@@ -1,0 +1,101 @@
+//===- bench/bench_ablation_powcache.cpp - B^k lookup vs recompute ------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation: the paper "uses a table to look up the value of 10^k for
+/// 0 <= k <= 325".  Every scaling operation needs one B^k; this compares
+/// the warm cache against recomputing the power, and shows the cost of a
+/// full conversion with each.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bigint/power_cache.h"
+#include "core/digit_loop.h"
+#include "core/scaling.h"
+#include "fp/boundaries.h"
+
+#include <benchmark/benchmark.h>
+
+#include <bit>
+
+using namespace dragon4;
+
+namespace {
+
+void BM_CachedPow10(benchmark::State &State) {
+  unsigned Exp = static_cast<unsigned>(State.range(0));
+  (void)cachedPow(10, 325); // Warm.
+  for (auto _ : State) {
+    const BigInt &P = cachedPow(10, Exp);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_CachedPow10)->Arg(10)->Arg(150)->Arg(325);
+
+void BM_RecomputedPow10(benchmark::State &State) {
+  unsigned Exp = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    BigInt P = BigInt::pow(10u, Exp);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_RecomputedPow10)->Arg(10)->Arg(150)->Arg(325);
+
+/// Full conversion of 1.5e-300 using the cache (the production path).
+void BM_ConversionWithCache(benchmark::State &State) {
+  Decomposed D = decompose(1.5e-300);
+  int BitLen = 64 - std::countl_zero(D.F);
+  BoundaryFlags Flags{false, false};
+  (void)cachedPow(10, 325);
+  for (auto _ : State) {
+    ScaledState Scaled = scaleEstimate(makeScaledStart<double>(D), 10, Flags,
+                                       D.E, BitLen);
+    DigitLoopResult Loop =
+        runDigitLoop(std::move(Scaled), 10, Flags, TieBreak::RoundUp);
+    benchmark::DoNotOptimize(Loop);
+  }
+}
+BENCHMARK(BM_ConversionWithCache);
+
+/// The same conversion paying a fresh power computation each time, as an
+/// uncached implementation would.
+void BM_ConversionRecomputingPower(benchmark::State &State) {
+  Decomposed D = decompose(1.5e-300);
+  int BitLen = 64 - std::countl_zero(D.F);
+  BoundaryFlags Flags{false, false};
+  for (auto _ : State) {
+    int Est = estimateScale(D.E, BitLen, 10);
+    ScaledStart Start = makeScaledStart<double>(D);
+    BigInt Power = BigInt::pow(10u, static_cast<unsigned>(-Est));
+    Start.R *= Power;
+    Start.MPlus *= Power;
+    Start.MMinus *= Power;
+    BigInt High = Start.R + Start.MPlus;
+    int K = Est;
+    ScaledState Scaled;
+    if (High > Start.S) {
+      Scaled = ScaledState{std::move(Start.R), std::move(Start.S),
+                           std::move(Start.MPlus), std::move(Start.MMinus),
+                           Est + 1};
+    } else {
+      Start.R.mulSmall(10);
+      Start.MPlus.mulSmall(10);
+      Start.MMinus.mulSmall(10);
+      Scaled = ScaledState{std::move(Start.R), std::move(Start.S),
+                           std::move(Start.MPlus), std::move(Start.MMinus),
+                           Est};
+    }
+    (void)K;
+    DigitLoopResult Loop =
+        runDigitLoop(std::move(Scaled), 10, Flags, TieBreak::RoundUp);
+    benchmark::DoNotOptimize(Loop);
+  }
+}
+BENCHMARK(BM_ConversionRecomputingPower);
+
+} // namespace
+
+BENCHMARK_MAIN();

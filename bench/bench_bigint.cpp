@@ -1,0 +1,113 @@
+//===- bench/bench_bigint.cpp - BigInt microbenchmarks ------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The substrate costs: multiplication across the Karatsuba threshold,
+/// Knuth-D division at digit-loop-realistic sizes, the small scalar
+/// operations the digit loop leans on, and decimal rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bigint/bigint.h"
+#include "testgen/random_floats.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dragon4;
+
+namespace {
+
+BigInt randomWide(SplitMix64 &Rng, size_t Limbs) {
+  BigInt V;
+  for (size_t I = 0; I < Limbs; ++I) {
+    V <<= 32;
+    V += BigInt(static_cast<uint64_t>(Rng.next() & 0xFFFFFFFFu));
+  }
+  return V;
+}
+
+void BM_Mul(benchmark::State &State) {
+  SplitMix64 Rng(1);
+  size_t Limbs = static_cast<size_t>(State.range(0));
+  BigInt A = randomWide(Rng, Limbs);
+  BigInt B = randomWide(Rng, Limbs);
+  for (auto _ : State) {
+    BigInt Product = A * B;
+    benchmark::DoNotOptimize(Product);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Mul)->RangeMultiplier(2)->Range(2, 512)->Complexity();
+
+void BM_DivMod(benchmark::State &State) {
+  SplitMix64 Rng(2);
+  size_t Limbs = static_cast<size_t>(State.range(0));
+  BigInt N = randomWide(Rng, 2 * Limbs);
+  BigInt D = randomWide(Rng, Limbs);
+  BigInt Q, R;
+  for (auto _ : State) {
+    BigInt::divMod(N, D, Q, R);
+    benchmark::DoNotOptimize(Q);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_DivMod)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_MulSmall(benchmark::State &State) {
+  SplitMix64 Rng(3);
+  BigInt V = randomWide(Rng, static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    BigInt Copy = V;
+    Copy.mulSmall(10);
+    benchmark::DoNotOptimize(Copy);
+  }
+}
+BENCHMARK(BM_MulSmall)->Arg(2)->Arg(8)->Arg(34)->Arg(128);
+
+void BM_AddSameSize(benchmark::State &State) {
+  SplitMix64 Rng(4);
+  BigInt A = randomWide(Rng, 34);
+  BigInt B = randomWide(Rng, 34);
+  for (auto _ : State) {
+    BigInt Sum = A + B;
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_AddSameSize);
+
+void BM_Compare(benchmark::State &State) {
+  SplitMix64 Rng(5);
+  BigInt A = randomWide(Rng, 34);
+  BigInt B = A;
+  B.addSmall(1);
+  for (auto _ : State) {
+    int Cmp = A.compare(B);
+    benchmark::DoNotOptimize(Cmp);
+  }
+}
+BENCHMARK(BM_Compare);
+
+void BM_ToDecimalString(benchmark::State &State) {
+  SplitMix64 Rng(6);
+  BigInt V = randomWide(Rng, static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    std::string Text = V.toString();
+    benchmark::DoNotOptimize(Text);
+  }
+}
+BENCHMARK(BM_ToDecimalString)->Arg(4)->Arg(34)->Arg(128);
+
+void BM_Pow10(benchmark::State &State) {
+  for (auto _ : State) {
+    BigInt P = BigInt::pow(10u, static_cast<unsigned>(State.range(0)));
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_Pow10)->Arg(27)->Arg(325);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+//===- bench/bench_common.h - Shared harness helpers -------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for the table-regeneration harnesses: wall-clock timing, the
+/// Schryer workload with optional subsampling (set DRAGON4_BENCH_QUICK=1
+/// for a 1/16 sample on slow machines), and a digit sink that defeats the
+/// optimizer the same way the paper "printed to /dev/null in order to
+/// factor out I/O performance".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_BENCH_BENCH_COMMON_H
+#define DRAGON4_BENCH_BENCH_COMMON_H
+
+#include "core/digits.h"
+#include "testgen/schryer.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace dragon4::bench {
+
+/// Seconds of wall-clock time spent running \p Body once.
+template <typename Fn> double timeSeconds(Fn &&Body) {
+  auto Start = std::chrono::steady_clock::now();
+  Body();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// The paper's workload (or a 1/16 sample with DRAGON4_BENCH_QUICK=1).
+inline std::vector<double> benchWorkload() {
+  std::vector<double> Values = schryerDoubles();
+  const char *Quick = std::getenv("DRAGON4_BENCH_QUICK");
+  if (Quick && Quick[0] == '1') {
+    std::vector<double> Sampled;
+    Sampled.reserve(Values.size() / 16 + 1);
+    for (size_t I = 0; I < Values.size(); I += 16)
+      Sampled.push_back(Values[I]);
+    Values = std::move(Sampled);
+  }
+  return Values;
+}
+
+/// Accumulates digits so conversions cannot be optimized away; the final
+/// value is printed once (the moral equivalent of /dev/null).
+struct DigitSink {
+  uint64_t Hash = 0;
+  void consume(const DigitString &Digits) {
+    for (uint8_t Digit : Digits.Digits)
+      Hash = Hash * 31 + Digit;
+    Hash += static_cast<uint64_t>(Digits.K);
+  }
+  void consume(const std::string &Text) {
+    for (char C : Text)
+      Hash = Hash * 31 + static_cast<unsigned char>(C);
+  }
+  /// Prints the accumulated checksum (keeps the work observable).
+  void report() const { std::printf("(sink checksum %016llx)\n",
+                                    static_cast<unsigned long long>(Hash)); }
+};
+
+} // namespace dragon4::bench
+
+#endif // DRAGON4_BENCH_BENCH_COMMON_H

@@ -1,0 +1,91 @@
+//===- bench/bench_fixedformat.cpp - Fixed-format conversion costs ------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-format costs: the Section 4 algorithm by requested digit count
+/// (including the mark-filling region), against the straightforward
+/// printer, and the relative-position scale iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/fixed17.h"
+#include "core/fixed_format.h"
+#include "fastpath/fixed_fast.h"
+#include "format/dtoa.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dragon4;
+
+namespace {
+
+void BM_FixedRelative(benchmark::State &State) {
+  int Digits = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    DigitString D = fixedDigitsRelative(3.141592653589793, Digits);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_FixedRelative)->Arg(1)->Arg(5)->Arg(10)->Arg(17)->Arg(30);
+
+void BM_FixedAbsolute(benchmark::State &State) {
+  int Position = -static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    DigitString D = fixedDigitsAbsolute(3.141592653589793, Position);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_FixedAbsolute)->Arg(2)->Arg(10)->Arg(25);
+
+void BM_StraightforwardN(benchmark::State &State) {
+  int Digits = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    DigitString D = straightforwardDigits(3.141592653589793, Digits);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_StraightforwardN)->Arg(1)->Arg(5)->Arg(10)->Arg(17)->Arg(30);
+
+void BM_FixedCarryCase(benchmark::State &State) {
+  // 9.996 to 3 digits forces the second scale-iteration round.
+  for (auto _ : State) {
+    DigitString D = fixedDigitsRelative(9.996, 3);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_FixedCarryCase);
+
+void BM_FixedSubnormalMarks(benchmark::State &State) {
+  // Deep in the subnormals the output is mostly marks.
+  for (auto _ : State) {
+    DigitString D = fixedDigitsRelative(5e-324, 20);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_FixedSubnormalMarks);
+
+void BM_GayFastPathN(benchmark::State &State) {
+  // The Gay-style fast path (with exact fallback) at the same digit
+  // counts as BM_StraightforwardN -- the paper's related-work speedup.
+  int Digits = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    DigitString D = fixedDigitsWithFastPath(3.141592653589793, Digits);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_GayFastPathN)->Arg(1)->Arg(5)->Arg(10)->Arg(17);
+
+void BM_ToFixedString(benchmark::State &State) {
+  for (auto _ : State) {
+    std::string Text = toFixed(123.456, 6);
+    benchmark::DoNotOptimize(Text);
+  }
+}
+BENCHMARK(BM_ToFixedString);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+//===- bench/bench_reader.cpp - Reader costs ----------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost of the exact correctly rounded reader (the verification-side
+/// component), by literal length and magnitude, against strtod.
+///
+//===----------------------------------------------------------------------===//
+
+#include "reader/reader.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+using namespace dragon4;
+
+namespace {
+
+const char *TestLiterals[] = {
+    "3.14159",
+    "3.141592653589793",
+    "1.7976931348623157e308",
+    "4.9406564584124654e-324",
+    "0.500000000000000166533453693773481063544750213623046875",
+};
+
+void BM_ReadDouble(benchmark::State &State) {
+  const char *Text = TestLiterals[State.range(0)];
+  for (auto _ : State) {
+    auto V = readFloat<double>(Text);
+    benchmark::DoNotOptimize(V);
+  }
+  State.SetLabel(Text);
+}
+BENCHMARK(BM_ReadDouble)->DenseRange(0, 4);
+
+void BM_StrtodReference(benchmark::State &State) {
+  const char *Text = TestLiterals[State.range(0)];
+  for (auto _ : State) {
+    double V = std::strtod(Text, nullptr);
+    benchmark::DoNotOptimize(V);
+  }
+  State.SetLabel(Text);
+}
+BENCHMARK(BM_StrtodReference)->DenseRange(0, 4);
+
+void BM_ReadDoubleFastPath(benchmark::State &State) {
+  // A short literal inside the Clinger fast-path domain (<= 53-bit
+  // significand, |q| <= 22): one exact IEEE operation.
+  for (auto _ : State) {
+    auto V = readFloat<double>("3.14159");
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_ReadDoubleFastPath);
+
+void BM_ReadDoubleExactOnly(benchmark::State &State) {
+  // The same literal forced down the exact path (NearestAway has no fast
+  // path) -- the ablation pair for BM_ReadDoubleFastPath.
+  for (auto _ : State) {
+    auto V = readFloat<double>("3.14159", 10, ReadRounding::NearestAway);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_ReadDoubleExactOnly);
+
+void BM_ReadFloat(benchmark::State &State) {
+  for (auto _ : State) {
+    auto V = readFloat<float>("3.14159");
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_ReadFloat);
+
+void BM_ReadHexDouble(benchmark::State &State) {
+  for (auto _ : State) {
+    auto V = readFloat<double>("1.921fb54442d18^0", 16);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_ReadHexDouble);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+//===- bench/bench_scaling_micro.cpp - Per-call scaling costs -----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-call cost of the three scaling strategies at small, medium, and
+/// extreme exponents -- the micro view behind Table 2.  The iterative
+/// algorithm's cost grows with |log v| while the estimator's stays flat;
+/// the crossover (tiny exponents) is visible in the 1.5 rows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/scaling.h"
+#include "fp/boundaries.h"
+
+#include <benchmark/benchmark.h>
+
+#include <bit>
+#include <cstdio>
+
+using namespace dragon4;
+
+namespace {
+
+const double TestValues[] = {1.5, 1.5e40, 1.5e150, 1.5e300, 1.5e-40,
+                             1.5e-150, 1.5e-300};
+
+void runScaling(benchmark::State &State, ScalingAlgorithm Algorithm) {
+  double V = TestValues[State.range(0)];
+  Decomposed D = decompose(V);
+  int BitLen = 64 - std::countl_zero(D.F);
+  BoundaryFlags Flags{false, false};
+  for (auto _ : State) {
+    ScaledState Scaled = scale(makeScaledStart<double>(D), 10, Flags,
+                               Algorithm, D.F, D.E, BitLen);
+    benchmark::DoNotOptimize(Scaled);
+  }
+  char Label[32];
+  std::snprintf(Label, sizeof(Label), "%g", V);
+  State.SetLabel(Label);
+}
+
+void BM_ScaleEstimate(benchmark::State &State) {
+  runScaling(State, ScalingAlgorithm::Estimate);
+}
+void BM_ScaleFloatLog(benchmark::State &State) {
+  runScaling(State, ScalingAlgorithm::FloatLog);
+}
+void BM_ScaleIterative(benchmark::State &State) {
+  runScaling(State, ScalingAlgorithm::Iterative);
+}
+
+void BM_EstimatorFlopsOnly(benchmark::State &State) {
+  Decomposed D = decompose(1.5e150);
+  int BitLen = 64 - std::countl_zero(D.F);
+  for (auto _ : State) {
+    int Est = estimateScale(D.E, BitLen, 10);
+    benchmark::DoNotOptimize(Est);
+  }
+}
+
+void BM_FloatLogFlopsOnly(benchmark::State &State) {
+  Decomposed D = decompose(1.5e150);
+  for (auto _ : State) {
+    int Est = estimateScaleFloatLog(D.F, D.E, 10);
+    benchmark::DoNotOptimize(Est);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_ScaleEstimate)->DenseRange(0, 6);
+BENCHMARK(BM_ScaleFloatLog)->DenseRange(0, 6);
+BENCHMARK(BM_ScaleIterative)->DenseRange(0, 6);
+BENCHMARK(BM_EstimatorFlopsOnly);
+BENCHMARK(BM_FloatLogFlopsOnly);
+
+BENCHMARK_MAIN();

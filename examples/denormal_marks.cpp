@@ -1,0 +1,76 @@
+//===- examples/denormal_marks.cpp - # marks and denormal numbers ------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating scenario for fixed-format # marks: denormalized
+/// numbers "may have only a few digits of precision", and printing them to
+/// a fixed width should not fabricate digits.  This example walks down
+/// into the binary16 and binary64 subnormal ranges and prints each value
+/// at a fixed precision, showing how the significant-digit count decays
+/// to almost nothing -- and how the '#' marks track exactly the point
+/// where information runs out.
+///
+///   ./build/examples/denormal_marks
+///
+//===----------------------------------------------------------------------===//
+
+#include "dragon4.h"
+
+#include <cstdio>
+
+using namespace dragon4;
+
+namespace {
+
+void showHalfLadder() {
+  std::printf("binary16: dividing 1.0 by 8 down into the subnormals\n");
+  std::printf("%-14s %-22s %s\n", "shortest", "toExponential(.,7)",
+              "significant digits");
+  Binary16 H = Binary16::fromDouble(1.0 / 1024.0);
+  for (int Step = 0; Step < 10; ++Step) {
+    std::string Short = toShortest(H);
+    std::string Fixed = toExponential(H, 7);
+    DigitString D = fixedDigitsRelative(H, 8);
+    std::printf("%-14s %-22s %d of 8\n", Short.c_str(), Fixed.c_str(),
+                static_cast<int>(D.Digits.size()));
+    H = Binary16::fromDouble(H.toDouble() / 8.0);
+    if (H.bits() == 0)
+      break;
+  }
+}
+
+void showDoubleLadder() {
+  std::printf("\nbinary64: the last few representable magnitudes\n");
+  std::printf("%-12s %s\n", "shortest", "toExponential(., 20)");
+  for (double V = 5e-324; V < 2e-322; V *= 4) {
+    std::printf("%-12s %s\n", toShortest(V).c_str(),
+                toExponential(V, 20).c_str());
+  }
+}
+
+void showWidePrinting() {
+  std::printf("\nprinting past the precision of ordinary values\n");
+  for (double V : {100.0, 1.0 / 3.0, 0.1}) {
+    std::printf("  %-20s -> %s\n", toShortest(V).c_str(),
+                toFixed(V, 25).c_str());
+  }
+  std::printf("\nsame, rendered with zeros for printf-style consumers\n");
+  PrintOptions Zeros;
+  Zeros.Marks = MarkStyle::Zeros;
+  for (double V : {100.0, 1.0 / 3.0, 0.1}) {
+    std::printf("  %-20s -> %s\n", toShortest(V).c_str(),
+                toFixed(V, 25, Zeros).c_str());
+  }
+}
+
+} // namespace
+
+int main() {
+  showHalfLadder();
+  showDoubleLadder();
+  showWidePrinting();
+  return 0;
+}

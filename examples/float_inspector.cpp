@@ -1,0 +1,89 @@
+//===- examples/float_inspector.cpp - Inspect a floating-point value --------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A REPL-style inspector in the spirit of the Scheme systems that
+/// motivated the paper: for each number given on the command line, show
+/// its exact decomposition, its neighbours, the rounding range, and its
+/// rendering under every output mode the library supports.
+///
+///   ./build/examples/float_inspector 0.1 1e23 5e-324
+///
+//===----------------------------------------------------------------------===//
+
+#include "dragon4.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace dragon4;
+
+namespace {
+
+void inspect(const char *Arg) {
+  auto Parsed = readFloat<double>(Arg);
+  if (!Parsed) {
+    std::printf("'%s' is not a floating-point literal\n\n", Arg);
+    return;
+  }
+  double V = *Parsed;
+  std::printf("%s\n", Arg);
+  std::printf("  shortest        : %s\n", toShortest(V).c_str());
+
+  FpClass Class = classify(V);
+  if (Class == FpClass::Zero || Class == FpClass::Infinity ||
+      Class == FpClass::NaN) {
+    std::printf("  class           : special\n\n");
+    return;
+  }
+
+  Decomposed D = decompose(V);
+  std::printf("  class           : %s\n",
+              Class == FpClass::Normal ? "normal" : "subnormal (denormal)");
+  std::printf("  decomposition   : %llu * 2^%d%s\n",
+              static_cast<unsigned long long>(D.F), D.E,
+              signBit(V) ? "  (negative)" : "");
+
+  // Neighbours and the rounding range, printed exactly via rationals.
+  Rational Exact = Rational::scaledPow(BigInt(D.F), 2, D.E);
+  Rational Ulp = Rational::scaledPow(BigInt(uint64_t(1)), 2, D.E);
+  std::printf("  exact value     : %s\n", Exact.toString().c_str());
+  std::printf("  gap to next     : %s\n", Ulp.toString().c_str());
+
+  std::printf("  17 digits       : %s\n",
+              renderScientific(straightforwardDigits(std::abs(V), 17),
+                               signBit(V))
+                  .c_str());
+  std::printf("  toPrecision(8)  : %s\n", toPrecision(V, 8).c_str());
+  std::printf("  toFixed(6)      : %s\n", toFixed(V, 6).c_str());
+
+  PrintOptions Hex;
+  Hex.Base = 16;
+  Hex.ExponentMarker = '^';
+  PrintOptions Bin = Hex;
+  Bin.Base = 2;
+  std::printf("  hex shortest    : %s\n", toShortest(V, Hex).c_str());
+  std::printf("  binary shortest : %s\n", toShortest(V, Bin).c_str());
+
+  // What Steele & White would have printed (no rounding-mode awareness).
+  DigitString SW = steeleWhiteDigits(std::abs(V));
+  std::printf("  Steele-White    : %s\n",
+              renderAuto(SW, signBit(V)).c_str());
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::printf("usage: %s NUMBER...\n", Argv[0]);
+    std::printf("example: %s 0.1 1e23 5e-324 -3.14159\n", Argv[0]);
+    return 1;
+  }
+  for (int I = 1; I < Argc; ++I)
+    inspect(Argv[I]);
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- examples/precision_ladder.cpp - One constant, five formats -------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reads the same decimal constant into every floating-point format the
+/// library supports -- binary16, binary32, binary64, the x87 80-bit
+/// extended, and binary128 -- then prints each value's shortest
+/// round-tripping form and a wide fixed-format rendering whose '#' marks
+/// show exactly where each format's information runs out.  One picture of
+/// the whole paper: shortest output adapts to the format's precision, and
+/// fixed-format output never fabricates digits.
+///
+///   ./build/examples/precision_ladder [decimal-constant]
+///
+//===----------------------------------------------------------------------===//
+
+#include "dragon4.h"
+
+#include <cstdio>
+
+using namespace dragon4;
+
+namespace {
+
+constexpr const char *DefaultConstant =
+    "3.14159265358979323846264338327950288419716939937510";
+
+void showRow(const char *Format, const std::string &Shortest,
+             const std::string &Wide) {
+  std::printf("%-10s %-38s %s\n", Format, Shortest.c_str(), Wide.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *Constant = Argc > 1 ? Argv[1] : DefaultConstant;
+  std::printf("reading %s\n", Constant);
+  std::printf("into every supported format:\n\n");
+  std::printf("%-10s %-38s %s\n", "format", "shortest (round-trips)",
+              "toPrecision(., 40)  ('#' = beyond the format's precision)");
+
+  auto Half = readFloat<Binary16>(Constant);
+  auto Single = readFloat<float>(Constant);
+  auto Double = readFloat<double>(Constant);
+  auto Extended = readFloat<long double>(Constant);
+  auto Quad = readFloat<Binary128>(Constant);
+  if (!Half || !Single || !Double || !Extended || !Quad) {
+    std::printf("'%s' is not a floating-point literal\n", Constant);
+    return 1;
+  }
+
+  showRow("binary16", toShortest(*Half), toPrecision(*Half, 40));
+  showRow("binary32", toShortest(*Single), toPrecision(*Single, 40));
+  showRow("binary64", toShortest(*Double), toPrecision(*Double, 40));
+  showRow("extended80", toShortest(*Extended), toPrecision(*Extended, 40));
+  showRow("binary128", toShortest(*Quad), toPrecision(*Quad, 40));
+
+  std::printf("\nshortest-output digit budget per format (worst case):\n");
+  std::printf("  binary16: 5   binary32: 9   binary64: 17   extended80: 21"
+              "   binary128: 36\n");
+
+  std::printf("\nand the round-trip check, end to end:\n");
+  bool Ok = *readFloat<Binary16>(toShortest(*Half)) == *Half &&
+            *readFloat<float>(toShortest(*Single)) == *Single &&
+            *readFloat<double>(toShortest(*Double)) == *Double &&
+            *readFloat<long double>(toShortest(*Extended)) == *Extended &&
+            *readFloat<Binary128>(toShortest(*Quad)) == *Quad;
+  std::printf("  every format reads its shortest form back %s\n",
+              Ok ? "bit-for-bit: OK" : "WRONG");
+  return Ok ? 0 : 1;
+}

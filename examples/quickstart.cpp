@@ -1,0 +1,63 @@
+//===- examples/quickstart.cpp - libdragon4 in five minutes -----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-page tour: shortest output, fixed-format output with # marks,
+/// alternate bases, and the round-trip guarantee.
+///
+///   cmake --build build && ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "dragon4.h"
+
+#include <cstdio>
+
+using namespace dragon4;
+
+int main() {
+  std::printf("== Free format: the shortest string that reads back ==\n");
+  std::printf("  0.3                -> %s\n", toShortest(0.3).c_str());
+  std::printf("  1.0/3.0            -> %s\n", toShortest(1.0 / 3.0).c_str());
+  std::printf("  1e23               -> %s   (unbiased-rounding aware)\n",
+              toShortest(1e23).c_str());
+  std::printf("  5e-324 (denormal)  -> %s\n", toShortest(5e-324).c_str());
+
+  std::printf("\n== The round-trip guarantee ==\n");
+  double Value = 0.1 + 0.2;
+  std::string Text = toShortest(Value);
+  double Back = *readFloat<double>(Text);
+  std::printf("  0.1 + 0.2 prints as %s and reads back %s\n", Text.c_str(),
+              Back == Value ? "identically" : "WRONG");
+
+  std::printf("\n== Fixed format: correctly rounded, honest about "
+              "precision ==\n");
+  std::printf("  toFixed(1/3, 10)       -> %s\n",
+              toFixed(1.0 / 3.0, 10).c_str());
+  std::printf("  toFixed(100, 20)       -> %s\n", toFixed(100.0, 20).c_str());
+  std::printf("  toPrecision(123.456,4) -> %s\n",
+              toPrecision(123.456, 4).c_str());
+  std::printf("  toExponential(1e23, 3) -> %s\n",
+              toExponential(1e23, 3).c_str());
+  std::printf("  float 1/3 to 10 places -> %s   ('#' = insignificant)\n",
+              toFixed(1.0f / 3.0f, 10).c_str());
+
+  std::printf("\n== Any base from 2 to 36 ==\n");
+  PrintOptions Hex;
+  Hex.Base = 16;
+  Hex.ExponentMarker = '^';
+  PrintOptions Bin = Hex;
+  Bin.Base = 2;
+  std::printf("  255.0 in hex       -> %s\n", toShortest(255.0, Hex).c_str());
+  std::printf("  0.3 in hex         -> %s\n", toShortest(0.3, Hex).c_str());
+  std::printf("  5.0 in binary      -> %s\n", toShortest(5.0, Bin).c_str());
+
+  std::printf("\n== Down at the digit level ==\n");
+  DigitString D = shortestDigits(0.3);
+  std::printf("  shortestDigits(0.3): digits \"%s\", K=%d  (0.%s x 10^%d)\n",
+              D.digitsAsText().c_str(), D.K, D.digitsAsText().c_str(), D.K);
+  return 0;
+}

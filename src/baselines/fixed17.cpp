@@ -1,0 +1,151 @@
+//===- baselines/fixed17.cpp - Straightforward fixed-format -----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/fixed17.h"
+
+#include "bigint/power_cache.h"
+#include "core/scaling.h"
+#include "support/checks.h"
+
+#include <bit>
+
+using namespace dragon4;
+
+namespace {
+
+/// Shared scale step: v = F * 2^E becomes the pre-multiplied pair (R, S)
+/// with B^(K-1) <= v < B^K and next-digit = floor(R/S), via the same
+/// estimator+fixup trick as the free-format path.
+struct SimpleScaled {
+  BigInt R;
+  BigInt S;
+  int K;
+};
+
+SimpleScaled scaleSimple(uint64_t F, int E, unsigned B) {
+  BigInt R(F);
+  BigInt S(uint64_t(1));
+  if (E >= 0)
+    R <<= static_cast<size_t>(E);
+  else
+    S <<= static_cast<size_t>(-E);
+
+  int BitLength = 64 - std::countl_zero(F);
+  int Est = estimateScale(E, BitLength, B);
+  if (Est >= 0)
+    S *= cachedPow(B, static_cast<unsigned>(Est));
+  else
+    R *= cachedPow(B, static_cast<unsigned>(-Est));
+  int K;
+  if (R >= S) {
+    K = Est + 1; // v >= B^Est: R/S is already v * B / B^K.
+  } else {
+    K = Est;
+    R.mulSmall(B);
+  }
+  return SimpleScaled{std::move(R), std::move(S), K};
+}
+
+/// Resolves a rounding decision on the remaining fraction R/S against the
+/// emitted digits (nearest; ties per \p Ties on the last digit's parity).
+bool resolveRoundUp(const BigInt &R, const BigInt &S, TieBreak Ties,
+                    uint8_t LastDigit) {
+  BigInt Doubled = R;
+  Doubled.mulSmall(2);
+  int Cmp = Doubled.compare(S);
+  if (Cmp != 0)
+    return Cmp > 0;
+  switch (Ties) {
+  case TieBreak::RoundUp:
+    return true;
+  case TieBreak::RoundDown:
+    return false;
+  case TieBreak::RoundEven:
+    return (LastDigit & 1) != 0;
+  }
+  return true;
+}
+
+/// Emits \p NumDigits digits of the scaled value and rounds the last one.
+/// Returns true if the rounding carried out of the leading digit (the
+/// caller bumps K; the digits are then 1 followed by zeros).
+bool emitDigits(SimpleScaled &State, unsigned B, int NumDigits,
+                TieBreak Ties, std::vector<uint8_t> &Digits) {
+  Digits.reserve(static_cast<size_t>(NumDigits));
+  BigInt Quotient;
+  for (int I = 0; I < NumDigits; ++I) {
+    BigInt::divMod(State.R, State.S, Quotient, State.R);
+    uint64_t Digit = Quotient.isZero() ? 0 : Quotient.toUint64();
+    D4_ASSERT(Digit < B, "digit out of range (scaling was wrong)");
+    Digits.push_back(static_cast<uint8_t>(Digit));
+    if (I + 1 < NumDigits)
+      State.R.mulSmall(B);
+  }
+  if (!resolveRoundUp(State.R, State.S, Ties, Digits.back()))
+    return false;
+  for (int I = NumDigits - 1; I >= 0; --I) {
+    if (Digits[static_cast<size_t>(I)] + 1u < B) {
+      ++Digits[static_cast<size_t>(I)];
+      return false;
+    }
+    Digits[static_cast<size_t>(I)] = 0;
+  }
+  Digits.front() = 1; // Carried out of the leading digit.
+  return true;
+}
+
+} // namespace
+
+DigitString dragon4::straightforwardFixed(uint64_t F, int E, unsigned B,
+                                          int NumDigits, TieBreak Ties) {
+  D4_ASSERT(F > 0, "straightforward conversion requires a positive mantissa");
+  D4_ASSERT(NumDigits >= 1, "at least one digit must be generated");
+  D4_ASSERT(B >= 2 && B <= 36, "base out of range");
+
+  SimpleScaled State = scaleSimple(F, E, B);
+  DigitString Result;
+  Result.K = State.K;
+  if (emitDigits(State, B, NumDigits, Ties, Result.Digits))
+    ++Result.K; // 9.99... became 10.0...: same width, higher scale.
+  D4_ASSERT(Result.Digits.front() != 0, "leading digit must be non-zero");
+  return Result;
+}
+
+DigitString dragon4::straightforwardFixedAbsolute(uint64_t F, int E,
+                                                  unsigned B, int Position,
+                                                  TieBreak Ties) {
+  D4_ASSERT(F > 0, "straightforward conversion requires a positive mantissa");
+  D4_ASSERT(B >= 2 && B <= 36, "base out of range");
+
+  SimpleScaled State = scaleSimple(F, E, B);
+  int NumDigits = State.K - Position;
+  DigitString Result;
+
+  if (NumDigits < 1) {
+    // v < B^K <= B^Position: the result is 0 or 1 at the position,
+    // depending on which side of B^Position / 2 the value falls.
+    // v = (R/S) * B^(K-1), so 2v >= B^Position iff 2R >= S*B^(1-NumDigits).
+    BigInt Lhs = State.R;
+    Lhs.mulSmall(2);
+    BigInt Rhs =
+        State.S * cachedPow(B, static_cast<unsigned>(1 - NumDigits));
+    int Cmp = Lhs.compare(Rhs);
+    // An exact tie resolves by strategy; RoundEven keeps the (even) zero.
+    bool Up = Cmp > 0 || (Cmp == 0 && Ties == TieBreak::RoundUp);
+    Result.Digits.push_back(Up ? 1 : 0);
+    Result.K = Position + 1;
+    return Result;
+  }
+
+  Result.K = State.K;
+  if (emitDigits(State, B, NumDigits, Ties, Result.Digits)) {
+    // Carry across the leading power: one more position is now covered,
+    // so extend with a zero to keep the last place at Position.
+    ++Result.K;
+    Result.Digits.push_back(0);
+  }
+  return Result;
+}

@@ -1,0 +1,69 @@
+//===- baselines/fixed17.h - Straightforward fixed-format --------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "straightforward fixed-format algorithm" of the paper's Table 3:
+/// print a value to a given number of significant digits, correctly
+/// rounded, with none of the shortest-output machinery -- no boundary
+/// tracking, no per-digit termination tests, no # marks.  Seventeen digits
+/// is "the minimum number guaranteed to distinguish among IEEE double-
+/// precision numbers", which is why the paper (and bench_table3) uses it
+/// as the free-format comparison point.
+///
+/// It shares the estimator-based scaling with the main algorithm so that
+/// the Table 3 ratio isolates exactly the per-digit overhead of the
+/// shortest-output tests, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_BASELINES_FIXED17_H
+#define DRAGON4_BASELINES_FIXED17_H
+
+#include "core/digits.h"
+#include "core/options.h"
+#include "fp/ieee_traits.h"
+
+namespace dragon4 {
+
+/// Prints F * 2^E to exactly \p NumDigits significant base-B digits,
+/// rounding the last digit to nearest (ties per \p Ties, applied to the
+/// digit string).  Unlike the Section 4 algorithm, rounding can carry all
+/// the way through the digits (e.g. 9.99 -> "10.0"), which this routine
+/// handles by propagation.
+DigitString straightforwardFixed(uint64_t F, int E, unsigned B, int NumDigits,
+                                 TieBreak Ties = TieBreak::RoundUp);
+
+/// Prints F * 2^E correctly rounded at absolute digit position
+/// \p Position (the B^Position place), emitting the value's true decimal
+/// expansion digits -- i.e. printf "%f" semantics, as opposed to the
+/// Section 4 algorithm's information-bounded output.  The result covers
+/// positions K-1 down to Position; a value that rounds entirely away
+/// yields the single digit 0 at the requested position.
+DigitString straightforwardFixedAbsolute(uint64_t F, int E, unsigned B,
+                                         int Position,
+                                         TieBreak Ties = TieBreak::RoundUp);
+
+/// Convenience overload for a finite non-zero IEEE value (magnitude only).
+template <typename T>
+DigitString straightforwardDigits(T Value, int NumDigits,
+                                  unsigned Base = 10,
+                                  TieBreak Ties = TieBreak::RoundUp) {
+  Decomposed D = decompose(Value);
+  return straightforwardFixed(D.F, D.E, Base, NumDigits, Ties);
+}
+
+/// Convenience overload of the absolute-position printer.
+template <typename T>
+DigitString straightforwardDigitsAbsolute(T Value, int Position,
+                                          unsigned Base = 10,
+                                          TieBreak Ties = TieBreak::RoundUp) {
+  Decomposed D = decompose(Value);
+  return straightforwardFixedAbsolute(D.F, D.E, Base, Position, Ties);
+}
+
+} // namespace dragon4
+
+#endif // DRAGON4_BASELINES_FIXED17_H

@@ -1,0 +1,78 @@
+//===- baselines/printf_shim.cpp - C library printf baseline ----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/printf_shim.h"
+
+#include "baselines/fixed17.h"
+#include "support/checks.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace dragon4;
+
+std::string dragon4::printfScientific(double Value, int SignificantDigits) {
+  D4_ASSERT(SignificantDigits >= 1, "need at least one digit");
+  char Buffer[64];
+  int Written = std::snprintf(Buffer, sizeof(Buffer), "%.*e",
+                              SignificantDigits - 1, Value);
+  D4_ASSERT(Written > 0 && Written < static_cast<int>(sizeof(Buffer)),
+            "printf output did not fit");
+  return std::string(Buffer, static_cast<size_t>(Written));
+}
+
+DigitString dragon4::parsePrintfScientific(const std::string &Text) {
+  DigitString Result;
+  size_t Pos = 0;
+  if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+    ++Pos;
+  for (; Pos < Text.size(); ++Pos) {
+    char C = Text[Pos];
+    if (C == '.')
+      continue;
+    if (C == 'e' || C == 'E')
+      break;
+    D4_ASSERT(C >= '0' && C <= '9', "unexpected character in printf output");
+    Result.Digits.push_back(static_cast<uint8_t>(C - '0'));
+  }
+  D4_ASSERT(Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E'),
+            "printf output lacks an exponent");
+  ++Pos;
+  bool Negative = false;
+  if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+')) {
+    Negative = Text[Pos] == '-';
+    ++Pos;
+  }
+  int Exponent = 0;
+  for (; Pos < Text.size(); ++Pos) {
+    D4_ASSERT(Text[Pos] >= '0' && Text[Pos] <= '9',
+              "malformed printf exponent");
+    Exponent = Exponent * 10 + (Text[Pos] - '0');
+  }
+  if (Negative)
+    Exponent = -Exponent;
+  // "%e" prints d.ddd * 10^exp, i.e. 0.ddd * 10^(exp + 1).
+  Result.K = Exponent + 1;
+  return Result;
+}
+
+bool dragon4::printfIsCorrectlyRounded(double Value, int SignificantDigits) {
+  D4_ASSERT(std::isfinite(Value) && Value != 0.0,
+            "checker expects a finite non-zero value");
+  DigitString Printed = parsePrintfScientific(
+      printfScientific(Value, SignificantDigits));
+  double Magnitude = std::fabs(Value);
+  DigitString RoundedUp =
+      straightforwardDigits(Magnitude, SignificantDigits, 10,
+                            TieBreak::RoundUp);
+  if (Printed == RoundedUp)
+    return true;
+  // Exact ties may legitimately round the other way.
+  DigitString RoundedDown =
+      straightforwardDigits(Magnitude, SignificantDigits, 10,
+                            TieBreak::RoundDown);
+  return Printed == RoundedDown && !(RoundedDown == RoundedUp);
+}

@@ -1,0 +1,43 @@
+//===- baselines/printf_shim.h - C library printf baseline -------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C library comparison point of Table 3: format a double with
+/// snprintf("%.*e") to a given number of significant digits, and check
+/// whether the result is correctly rounded.  On the 1996 systems the paper
+/// measured, several printf implementations misrounded thousands of the
+/// quarter-million test inputs; the checker lets bench_table3 reproduce
+/// that count (expected to be 0 on modern glibc).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_BASELINES_PRINTF_SHIM_H
+#define DRAGON4_BASELINES_PRINTF_SHIM_H
+
+#include "core/digits.h"
+
+#include <string>
+
+namespace dragon4 {
+
+/// Formats \p Value in scientific notation with \p SignificantDigits total
+/// significant digits via the C library ("%.*e" with SignificantDigits-1
+/// fraction digits).  Decimal only.
+std::string printfScientific(double Value, int SignificantDigits);
+
+/// Extracts the digit string from a "%e"-style text produced by
+/// printfScientific: digits plus the scale K (value = 0.digits * 10^K).
+/// Asserts on text that does not look like printf scientific output.
+DigitString parsePrintfScientific(const std::string &Text);
+
+/// True if printf's \p SignificantDigits-digit rendering of \p Value is
+/// correctly rounded.  Exact halfway points accept either direction
+/// (C leaves the tie direction implementation-defined).
+bool printfIsCorrectlyRounded(double Value, int SignificantDigits);
+
+} // namespace dragon4
+
+#endif // DRAGON4_BASELINES_PRINTF_SHIM_H

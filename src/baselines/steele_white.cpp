@@ -1,0 +1,24 @@
+//===- baselines/steele_white.cpp - Steele & White baseline -----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explicit instantiations of the Steele & White preset (the interface is
+/// header-only; this keeps one definition per supported format in the
+/// library for clients that prefer to link rather than inline).
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/steele_white.h"
+
+#include "fp/binary16.h"
+
+namespace dragon4 {
+
+template DigitString steeleWhiteDigits<double>(double, unsigned);
+template DigitString steeleWhiteDigits<float>(float, unsigned);
+template DigitString steeleWhiteDigits<Binary16>(Binary16, unsigned);
+
+} // namespace dragon4

@@ -1,0 +1,48 @@
+//===- baselines/steele_white.h - Steele & White baseline --------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The algorithm the paper improves on: Steele & White's free-format
+/// conversion ("How to print floating-point numbers accurately", PLDI '90)
+/// [5].  Relative to Burger-Dybvig it
+///   * scales iteratively -- O(|log v|) high-precision operations, the
+///     source of the ~two-orders-of-magnitude slowdown in Table 2 -- and
+///   * does not account for the reader's rounding mode (both boundaries
+///     are always treated as excluded), so e.g. 1e23 prints as
+///     9.999999999999999e22.
+///
+/// The digit-generation core is shared with the main implementation; the
+/// differences above are exactly the knobs the options expose, so this
+/// header is a thin, documented preset rather than a re-implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_BASELINES_STEELE_WHITE_H
+#define DRAGON4_BASELINES_STEELE_WHITE_H
+
+#include "core/free_format.h"
+
+namespace dragon4 {
+
+/// The Steele & White configuration of the free-format converter.
+inline FreeFormatOptions steeleWhiteOptions(unsigned Base = 10) {
+  FreeFormatOptions Options;
+  Options.Base = Base;
+  Options.Boundaries = BoundaryMode::Conservative;
+  Options.Ties = TieBreak::RoundUp;
+  Options.Scaling = ScalingAlgorithm::Iterative;
+  return Options;
+}
+
+/// Shortest digits of \p Value per Steele & White.
+template <typename T>
+DigitString steeleWhiteDigits(T Value, unsigned Base = 10) {
+  return shortestDigits(Value, steeleWhiteOptions(Base));
+}
+
+} // namespace dragon4
+
+#endif // DRAGON4_BASELINES_STEELE_WHITE_H

@@ -1,0 +1,288 @@
+//===- bigint/bigint.cpp - Arbitrary-precision integers -------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Construction, comparison, addition/subtraction, shifts, and the small
+/// scalar operations of BigInt.  Multiplication, division, and string
+/// conversion live in their own translation units.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bigint/bigint.h"
+
+#include "support/checks.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+using namespace dragon4;
+
+BigInt::BigInt(uint64_t Value) {
+  if (Value == 0)
+    return;
+  Limbs.push_back(static_cast<uint32_t>(Value));
+  if (Value >> 32)
+    Limbs.push_back(static_cast<uint32_t>(Value >> 32));
+}
+
+BigInt::BigInt(int64_t Value) {
+  // Careful with INT64_MIN: negate in the unsigned domain.
+  uint64_t Magnitude = Value < 0 ? 0u - static_cast<uint64_t>(Value)
+                                 : static_cast<uint64_t>(Value);
+  *this = BigInt(Magnitude);
+  Negative = Value < 0;
+}
+
+void BigInt::trim() {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+  if (Limbs.empty())
+    Negative = false;
+}
+
+size_t BigInt::bitLength() const {
+  if (Limbs.empty())
+    return 0;
+  unsigned TopBits = 32u - std::countl_zero(Limbs.back());
+  return (Limbs.size() - 1) * 32 + TopBits;
+}
+
+bool BigInt::testBit(size_t Index) const {
+  size_t Limb = Index / 32;
+  if (Limb >= Limbs.size())
+    return false;
+  return (Limbs[Limb] >> (Index % 32)) & 1u;
+}
+
+uint64_t BigInt::toUint64() const {
+  D4_ASSERT(!Negative, "toUint64 on a negative value");
+  D4_ASSERT(Limbs.size() <= 2, "toUint64 overflow");
+  uint64_t Value = 0;
+  if (Limbs.size() >= 1)
+    Value = Limbs[0];
+  if (Limbs.size() == 2)
+    Value |= static_cast<uint64_t>(Limbs[1]) << 32;
+  return Value;
+}
+
+double BigInt::toDouble() const {
+  if (Limbs.empty())
+    return 0.0;
+  size_t Bits = bitLength();
+  double Result;
+  if (Bits <= 53) {
+    // At most 53 bits: exactly representable, single conversion.  Read the
+    // magnitude directly (the sign lives in Negative, applied below).
+    uint64_t Magnitude = Limbs[0];
+    if (Limbs.size() == 2)
+      Magnitude |= static_cast<uint64_t>(Limbs[1]) << 32;
+    Result = static_cast<double>(Magnitude);
+  } else {
+    // Truncate to exactly 53 bits and round explicitly; converting a wider
+    // integer through static_cast would round a second time (the classic
+    // double-rounding bug on values like 2^64 + 2^11 + 1).
+    size_t Shift = Bits - 53;
+    BigInt Top = *this;
+    Top.Negative = false;
+    BigInt Tail = Top;
+    Top >>= Shift;
+    uint64_t Mantissa = Top.toUint64();
+    // Sticky test: is the dropped tail non-zero beyond the round bit?
+    bool RoundBit = Tail.testBit(Shift - 1);
+    bool Sticky = false;
+    for (size_t I = 0; I + 1 < Shift && !Sticky; ++I)
+      Sticky = Tail.testBit(I);
+    // A carry to 2^53 is fine: it is exactly representable.
+    if (RoundBit && (Sticky || (Mantissa & 1)))
+      ++Mantissa;
+    Result = std::ldexp(static_cast<double>(Mantissa),
+                        static_cast<int>(Shift));
+  }
+  return Negative ? -Result : Result;
+}
+
+int BigInt::compareMagnitude(const BigInt &RHS) const {
+  if (Limbs.size() != RHS.Limbs.size())
+    return Limbs.size() < RHS.Limbs.size() ? -1 : 1;
+  for (size_t I = Limbs.size(); I-- > 0;)
+    if (Limbs[I] != RHS.Limbs[I])
+      return Limbs[I] < RHS.Limbs[I] ? -1 : 1;
+  return 0;
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Negative != RHS.Negative)
+    return Negative ? -1 : 1;
+  int Mag = compareMagnitude(RHS);
+  return Negative ? -Mag : Mag;
+}
+
+void BigInt::addMagnitude(const BigInt &RHS) {
+  if (Limbs.size() < RHS.Limbs.size())
+    Limbs.resize(RHS.Limbs.size(), 0);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I < Limbs.size(); ++I) {
+    uint64_t Sum = Carry + Limbs[I];
+    if (I < RHS.Limbs.size())
+      Sum += RHS.Limbs[I];
+    Limbs[I] = static_cast<uint32_t>(Sum);
+    Carry = Sum >> 32;
+    if (Carry == 0 && I >= RHS.Limbs.size())
+      return; // No carry left and RHS exhausted: done early.
+  }
+  if (Carry)
+    Limbs.push_back(static_cast<uint32_t>(Carry));
+}
+
+void BigInt::subMagnitudeSmaller(const BigInt &RHS) {
+  D4_ASSERT(compareMagnitude(RHS) >= 0, "subtraction would underflow");
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < Limbs.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(Limbs[I]) - Borrow;
+    if (I < RHS.Limbs.size())
+      Diff -= RHS.Limbs[I];
+    Borrow = Diff < 0 ? 1 : 0;
+    if (Diff < 0)
+      Diff += int64_t(1) << 32;
+    Limbs[I] = static_cast<uint32_t>(Diff);
+    if (Borrow == 0 && I >= RHS.Limbs.size())
+      break;
+  }
+  D4_ASSERT(Borrow == 0, "borrow escaped magnitude subtraction");
+  trim();
+}
+
+BigInt &BigInt::operator+=(const BigInt &RHS) {
+  if (Negative == RHS.Negative) {
+    addMagnitude(RHS);
+    return *this;
+  }
+  // Opposite signs: subtract the smaller magnitude from the larger one.
+  if (compareMagnitude(RHS) >= 0) {
+    subMagnitudeSmaller(RHS);
+    return *this;
+  }
+  BigInt Tmp = RHS;
+  Tmp.subMagnitudeSmaller(*this);
+  *this = std::move(Tmp);
+  return *this;
+}
+
+BigInt &BigInt::operator-=(const BigInt &RHS) {
+  if (Negative != RHS.Negative) {
+    addMagnitude(RHS);
+    return *this;
+  }
+  if (compareMagnitude(RHS) >= 0) {
+    subMagnitudeSmaller(RHS);
+    return *this;
+  }
+  BigInt Tmp = RHS;
+  Tmp.subMagnitudeSmaller(*this);
+  Tmp.Negative = !Tmp.Negative;
+  Tmp.trim(); // Re-canonicalize in case the difference is zero.
+  *this = std::move(Tmp);
+  return *this;
+}
+
+BigInt &BigInt::operator<<=(size_t Bits) {
+  D4_ASSERT(!Negative, "shift of a negative value");
+  if (isZero() || Bits == 0)
+    return *this;
+  size_t LimbShift = Bits / 32;
+  unsigned BitShift = Bits % 32;
+  size_t OldSize = Limbs.size();
+  Limbs.resize(OldSize + LimbShift + (BitShift ? 1 : 0), 0);
+  if (BitShift == 0) {
+    for (size_t I = OldSize; I-- > 0;)
+      Limbs[I + LimbShift] = Limbs[I];
+  } else {
+    for (size_t I = OldSize; I-- > 0;) {
+      uint64_t Wide = static_cast<uint64_t>(Limbs[I]) << BitShift;
+      Limbs[I + LimbShift + 1] |= static_cast<uint32_t>(Wide >> 32);
+      Limbs[I + LimbShift] = static_cast<uint32_t>(Wide);
+    }
+  }
+  for (size_t I = 0; I < LimbShift; ++I)
+    Limbs[I] = 0;
+  trim();
+  return *this;
+}
+
+BigInt &BigInt::operator>>=(size_t Bits) {
+  D4_ASSERT(!Negative, "shift of a negative value");
+  if (isZero() || Bits == 0)
+    return *this;
+  size_t LimbShift = Bits / 32;
+  unsigned BitShift = Bits % 32;
+  if (LimbShift >= Limbs.size()) {
+    Limbs.clear();
+    trim();
+    return *this;
+  }
+  size_t NewSize = Limbs.size() - LimbShift;
+  if (BitShift == 0) {
+    for (size_t I = 0; I < NewSize; ++I)
+      Limbs[I] = Limbs[I + LimbShift];
+  } else {
+    for (size_t I = 0; I < NewSize; ++I) {
+      uint64_t Wide = static_cast<uint64_t>(Limbs[I + LimbShift]) >> BitShift;
+      if (I + LimbShift + 1 < Limbs.size())
+        Wide |= static_cast<uint64_t>(Limbs[I + LimbShift + 1])
+                << (32 - BitShift);
+      Limbs[I] = static_cast<uint32_t>(Wide);
+    }
+  }
+  Limbs.resize(NewSize);
+  trim();
+  return *this;
+}
+
+BigInt &BigInt::mulSmall(uint32_t Factor) {
+  if (Factor == 0 || isZero()) {
+    Limbs.clear();
+    trim();
+    return *this;
+  }
+  if (Factor == 1)
+    return *this;
+  uint64_t Carry = 0;
+  for (uint32_t &Limb : Limbs) {
+    uint64_t Product = static_cast<uint64_t>(Limb) * Factor + Carry;
+    Limb = static_cast<uint32_t>(Product);
+    Carry = Product >> 32;
+  }
+  if (Carry)
+    Limbs.push_back(static_cast<uint32_t>(Carry));
+  return *this;
+}
+
+BigInt &BigInt::addSmall(uint32_t Addend) {
+  D4_ASSERT(!Negative, "addSmall on a negative value");
+  uint64_t Carry = Addend;
+  for (size_t I = 0; Carry && I < Limbs.size(); ++I) {
+    uint64_t Sum = Carry + Limbs[I];
+    Limbs[I] = static_cast<uint32_t>(Sum);
+    Carry = Sum >> 32;
+  }
+  if (Carry)
+    Limbs.push_back(static_cast<uint32_t>(Carry));
+  return *this;
+}
+
+uint32_t BigInt::divModSmall(uint32_t Divisor) {
+  D4_ASSERT(Divisor != 0, "division by zero");
+  D4_ASSERT(!Negative, "divModSmall on a negative value");
+  uint64_t Remainder = 0;
+  for (size_t I = Limbs.size(); I-- > 0;) {
+    uint64_t Acc = (Remainder << 32) | Limbs[I];
+    Limbs[I] = static_cast<uint32_t>(Acc / Divisor);
+    Remainder = Acc % Divisor;
+  }
+  trim();
+  return static_cast<uint32_t>(Remainder);
+}

@@ -1,0 +1,206 @@
+//===- bigint/bigint.h - Arbitrary-precision integers -----------*- C++ -*-===//
+//
+// Part of libdragon4, a reproduction of Burger & Dybvig, "Printing
+// Floating-Point Numbers Quickly and Accurately" (PLDI 1996).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An arbitrary-precision signed integer, the substrate underneath every
+/// exact computation in this library (the paper's Scheme implementation
+/// leans on Chez Scheme's built-in bignums; this class plays that role).
+///
+/// Representation: sign-magnitude with 32-bit limbs stored little-endian
+/// (least-significant limb first).  The magnitude is always normalized --
+/// no trailing zero limbs -- and zero is represented by an empty limb vector
+/// with a non-negative sign.  32-bit limbs keep every intermediate product
+/// within native 64-bit arithmetic, which keeps the multiplication and
+/// Knuth Algorithm D division kernels simple and portable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_BIGINT_BIGINT_H
+#define DRAGON4_BIGINT_BIGINT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dragon4 {
+
+/// Arbitrary-precision signed integer.
+///
+/// The arithmetic interface mirrors the built-in integer operators.  All
+/// operations are exact; overflow cannot occur.  Division truncates toward
+/// zero (like C++ built-in division), and the remainder carries the sign of
+/// the dividend.  Bit shifts operate on the magnitude and are only defined
+/// for non-negative values, which is all the conversion algorithms need.
+class BigInt {
+public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from an unsigned 64-bit value.
+  explicit BigInt(uint64_t Value);
+
+  /// Constructs from a signed 64-bit value.
+  explicit BigInt(int64_t Value);
+
+  /// Constructs from a plain int, so `BigInt(10)` does the expected thing.
+  explicit BigInt(int Value) : BigInt(static_cast<int64_t>(Value)) {}
+
+  /// Parses \p Text in base \p Base (2-36).  Accepts an optional leading
+  /// '-' or '+' and upper- or lower-case digits.  Asserts on malformed
+  /// input; use isValidString() to pre-validate untrusted text.
+  static BigInt fromString(std::string_view Text, unsigned Base = 10);
+
+  /// Returns true if \p Text parses as a base-\p Base integer.
+  static bool isValidString(std::string_view Text, unsigned Base = 10);
+
+  /// Returns \p Base raised to \p Exponent.  \p Base may be any value,
+  /// including 0 and 1; `pow(x, 0)` is 1.
+  static BigInt pow(const BigInt &Base, unsigned Exponent);
+
+  /// Convenience overload for small bases.
+  static BigInt pow(unsigned Base, unsigned Exponent) {
+    return pow(BigInt(static_cast<uint64_t>(Base)), Exponent);
+  }
+
+  // --- Observers ---
+
+  /// Returns true if the value is zero.
+  bool isZero() const { return Limbs.empty(); }
+
+  /// Returns true if the value is exactly one.
+  bool isOne() const {
+    return !Negative && Limbs.size() == 1 && Limbs[0] == 1;
+  }
+
+  /// Returns true if the value is strictly negative.
+  bool isNegative() const { return Negative; }
+
+  /// Returns true if the value is even (zero counts as even).
+  bool isEven() const { return Limbs.empty() || (Limbs[0] & 1u) == 0; }
+
+  /// Returns the number of significant bits in the magnitude; zero has bit
+  /// length 0.  For V > 0 this is floor(log2 V) + 1.
+  size_t bitLength() const;
+
+  /// Returns bit \p Index (0 = least significant) of the magnitude.
+  bool testBit(size_t Index) const;
+
+  /// Returns the magnitude as a uint64_t.  Asserts that it fits.
+  uint64_t toUint64() const;
+
+  /// Returns the value as a double, correctly rounded to nearest-even.
+  /// Values beyond the double range return +/-infinity.
+  double toDouble() const;
+
+  /// Three-way comparison: negative, zero, or positive as *this is less
+  /// than, equal to, or greater than \p RHS.
+  int compare(const BigInt &RHS) const;
+
+  /// Magnitude-only three-way comparison (ignores signs).
+  int compareMagnitude(const BigInt &RHS) const;
+
+  /// Renders the value in base \p Base (2-36) using lower-case digits.
+  std::string toString(unsigned Base = 10) const;
+
+  // --- Mutating arithmetic ---
+
+  BigInt &operator+=(const BigInt &RHS);
+  BigInt &operator-=(const BigInt &RHS);
+  BigInt &operator*=(const BigInt &RHS);
+  BigInt &operator/=(const BigInt &RHS);
+  BigInt &operator%=(const BigInt &RHS);
+  BigInt &operator<<=(size_t Bits);
+  BigInt &operator>>=(size_t Bits);
+
+  /// Multiplies in place by a small non-negative value.  This is the hot
+  /// operation of the digit-generation loop (multiply r, m+, m- by the
+  /// output base each step), so it avoids the general product path.
+  BigInt &mulSmall(uint32_t Factor);
+
+  /// Adds a small non-negative value in place.  Defined for non-negative
+  /// *this only.
+  BigInt &addSmall(uint32_t Addend);
+
+  /// Divides in place by a small positive value and returns the remainder.
+  /// Defined for non-negative *this only.
+  uint32_t divModSmall(uint32_t Divisor);
+
+  /// Negates in place.
+  void negate() {
+    if (!isZero())
+      Negative = !Negative;
+  }
+
+  // --- Non-mutating arithmetic ---
+
+  friend BigInt operator+(BigInt LHS, const BigInt &RHS) { return LHS += RHS; }
+  friend BigInt operator-(BigInt LHS, const BigInt &RHS) { return LHS -= RHS; }
+  friend BigInt operator*(const BigInt &LHS, const BigInt &RHS);
+  friend BigInt operator/(BigInt LHS, const BigInt &RHS) { return LHS /= RHS; }
+  friend BigInt operator%(BigInt LHS, const BigInt &RHS) { return LHS %= RHS; }
+  friend BigInt operator<<(BigInt LHS, size_t Bits) { return LHS <<= Bits; }
+  friend BigInt operator>>(BigInt LHS, size_t Bits) { return LHS >>= Bits; }
+  friend BigInt operator-(BigInt Value) {
+    Value.negate();
+    return Value;
+  }
+
+  /// Computes quotient and remainder in one pass: \p Quotient = N / D and
+  /// \p Remainder = N % D (truncating; remainder takes N's sign).  This is
+  /// the digit-extraction primitive of the conversion core.
+  static void divMod(const BigInt &N, const BigInt &D, BigInt &Quotient,
+                     BigInt &Remainder);
+
+  friend bool operator==(const BigInt &LHS, const BigInt &RHS) {
+    return LHS.compare(RHS) == 0;
+  }
+  friend bool operator!=(const BigInt &LHS, const BigInt &RHS) {
+    return LHS.compare(RHS) != 0;
+  }
+  friend bool operator<(const BigInt &LHS, const BigInt &RHS) {
+    return LHS.compare(RHS) < 0;
+  }
+  friend bool operator<=(const BigInt &LHS, const BigInt &RHS) {
+    return LHS.compare(RHS) <= 0;
+  }
+  friend bool operator>(const BigInt &LHS, const BigInt &RHS) {
+    return LHS.compare(RHS) > 0;
+  }
+  friend bool operator>=(const BigInt &LHS, const BigInt &RHS) {
+    return LHS.compare(RHS) >= 0;
+  }
+
+  /// Number of 32-bit limbs in the magnitude (zero for the value 0).
+  /// Exposed for tests and for the multiplication-threshold benchmarks.
+  size_t limbCount() const { return Limbs.size(); }
+
+private:
+  friend struct BigIntKernels; // Internal access for mul/div kernels.
+
+  /// Drops trailing zero limbs and canonicalizes the sign of zero.
+  void trim();
+
+  /// Magnitude |*this| += |RHS| (sign untouched).
+  void addMagnitude(const BigInt &RHS);
+
+  /// Magnitude |*this| -= |RHS|; requires |*this| >= |RHS|.
+  void subMagnitudeSmaller(const BigInt &RHS);
+
+  std::vector<uint32_t> Limbs; // Little-endian magnitude, trimmed.
+  bool Negative = false;       // Sign; never true for zero.
+};
+
+/// Full product (declared at namespace scope as well as via the friend
+/// declaration, so the out-of-line definition matches a prior
+/// declaration).
+BigInt operator*(const BigInt &LHS, const BigInt &RHS);
+
+} // namespace dragon4
+
+#endif // DRAGON4_BIGINT_BIGINT_H

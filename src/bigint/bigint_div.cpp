@@ -1,0 +1,184 @@
+//===- bigint/bigint_div.cpp - BigInt division ----------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quotient/remainder for BigInt: a single-limb fast path and Knuth's
+/// Algorithm D (TAOCP vol. 2, 4.3.1) for the general case.  The conversion
+/// core calls divMod once per generated digit with a divisor of at most a
+/// few hundred limbs, so this routine is on the measured path of every
+/// benchmark in the repository.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bigint/bigint.h"
+
+#include "bigint/bigint_kernels.h"
+#include "support/checks.h"
+
+#include <bit>
+
+using namespace dragon4;
+
+namespace {
+
+/// Magnitude-only quotient/remainder by Knuth's Algorithm D.
+/// Requires D.size() >= 2 and |N| >= |D|.
+void divModKnuth(const std::vector<uint32_t> &N, const std::vector<uint32_t> &D,
+                 std::vector<uint32_t> &QOut, std::vector<uint32_t> &ROut) {
+  const size_t NLen = D.size();          // Divisor length (n in Knuth).
+  const size_t MLen = N.size() - NLen;   // Quotient length - 1 (m in Knuth).
+  constexpr uint64_t Base = uint64_t(1) << 32;
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  const unsigned Shift = std::countl_zero(D.back());
+  std::vector<uint32_t> V(NLen);
+  for (size_t I = NLen; I-- > 0;) {
+    uint64_t Wide = static_cast<uint64_t>(D[I]) << Shift;
+    if (Shift && I > 0)
+      Wide |= D[I - 1] >> (32 - Shift);
+    V[I] = static_cast<uint32_t>(Wide);
+  }
+  std::vector<uint32_t> U(N.size() + 1, 0);
+  for (size_t I = N.size(); I-- > 0;) {
+    uint64_t Wide = static_cast<uint64_t>(N[I]) << Shift;
+    if (Shift && I > 0)
+      Wide |= N[I - 1] >> (32 - Shift);
+    U[I] = static_cast<uint32_t>(Wide);
+  }
+  if (Shift)
+    U[N.size()] = static_cast<uint32_t>(N.back() >> (32 - Shift));
+
+  QOut.assign(MLen + 1, 0);
+  const uint64_t VTop = V[NLen - 1];
+  const uint64_t VNext = V[NLen - 2];
+
+  // D2-D7: main loop over quotient digits, most significant first.
+  for (size_t J = MLen + 1; J-- > 0;) {
+    // D3: estimate the quotient digit from the top two limbs.
+    uint64_t Numerator = (static_cast<uint64_t>(U[J + NLen]) << 32) |
+                         U[J + NLen - 1];
+    uint64_t QHat = Numerator / VTop;
+    uint64_t RHat = Numerator % VTop;
+    while (QHat >= Base ||
+           QHat * VNext > ((RHat << 32) | U[J + NLen - 2])) {
+      --QHat;
+      RHat += VTop;
+      if (RHat >= Base)
+        break; // Further refinement cannot change the comparison.
+    }
+
+    // D4: multiply and subtract U[J..J+NLen] -= QHat * V.
+    int64_t Borrow = 0;
+    uint64_t Carry = 0;
+    for (size_t I = 0; I < NLen; ++I) {
+      uint64_t Product = QHat * V[I] + Carry;
+      Carry = Product >> 32;
+      int64_t Diff = static_cast<int64_t>(U[I + J]) -
+                     static_cast<int64_t>(Product & 0xFFFFFFFFu) - Borrow;
+      Borrow = Diff < 0 ? 1 : 0;
+      if (Diff < 0)
+        Diff += Base;
+      U[I + J] = static_cast<uint32_t>(Diff);
+    }
+    int64_t TopDiff = static_cast<int64_t>(U[J + NLen]) -
+                      static_cast<int64_t>(Carry) - Borrow;
+    bool NeedAddBack = TopDiff < 0;
+    U[J + NLen] = static_cast<uint32_t>(TopDiff);
+
+    // D6: the (rare) add-back correction when QHat was one too large.
+    if (NeedAddBack) {
+      --QHat;
+      uint64_t AddCarry = 0;
+      for (size_t I = 0; I < NLen; ++I) {
+        uint64_t Sum = static_cast<uint64_t>(U[I + J]) + V[I] + AddCarry;
+        U[I + J] = static_cast<uint32_t>(Sum);
+        AddCarry = Sum >> 32;
+      }
+      U[J + NLen] = static_cast<uint32_t>(U[J + NLen] + AddCarry);
+    }
+    QOut[J] = static_cast<uint32_t>(QHat);
+  }
+
+  // D8: denormalize the remainder.
+  ROut.assign(NLen, 0);
+  for (size_t I = 0; I < NLen; ++I) {
+    uint64_t Wide = U[I] >> Shift;
+    if (Shift && I + 1 < U.size())
+      Wide |= static_cast<uint64_t>(U[I + 1]) << (32 - Shift);
+    ROut[I] = static_cast<uint32_t>(Wide);
+  }
+}
+
+/// Trims trailing zero limbs.
+void trimVec(std::vector<uint32_t> &V) {
+  while (!V.empty() && V.back() == 0)
+    V.pop_back();
+}
+
+} // namespace
+
+void BigInt::divMod(const BigInt &N, const BigInt &D, BigInt &Quotient,
+                    BigInt &Remainder) {
+  D4_ASSERT(!D.isZero(), "division by zero");
+  const bool QNeg = N.isNegative() != D.isNegative();
+  const bool RNeg = N.isNegative();
+
+  const auto &NLimbs = BigIntKernels::limbs(N);
+  const auto &DLimbs = BigIntKernels::limbs(D);
+
+  // |N| < |D|: quotient 0, remainder N. (Also covers N == 0.)
+  if (N.compareMagnitude(D) < 0) {
+    Remainder = N;
+    Quotient = BigInt();
+    return;
+  }
+
+  std::vector<uint32_t> Q;
+  std::vector<uint32_t> R;
+  if (DLimbs.size() == 1) {
+    // Single-limb fast path: one pass of 64-by-32 divisions.
+    const uint32_t Divisor = DLimbs[0];
+    Q.resize(NLimbs.size());
+    uint64_t Rem = 0;
+    for (size_t I = NLimbs.size(); I-- > 0;) {
+      uint64_t Acc = (Rem << 32) | NLimbs[I];
+      Q[I] = static_cast<uint32_t>(Acc / Divisor);
+      Rem = Acc % Divisor;
+    }
+    if (Rem)
+      R.push_back(static_cast<uint32_t>(Rem));
+  } else {
+    divModKnuth(NLimbs, DLimbs, Q, R);
+  }
+  trimVec(Q);
+  trimVec(R);
+
+  BigIntKernels::limbs(Quotient) = std::move(Q);
+  BigIntKernels::negative(Quotient) = false;
+  BigIntKernels::trim(Quotient);
+  if (!Quotient.isZero() && QNeg)
+    BigIntKernels::negative(Quotient) = true;
+
+  BigIntKernels::limbs(Remainder) = std::move(R);
+  BigIntKernels::negative(Remainder) = false;
+  BigIntKernels::trim(Remainder);
+  if (!Remainder.isZero() && RNeg)
+    BigIntKernels::negative(Remainder) = true;
+}
+
+BigInt &BigInt::operator/=(const BigInt &RHS) {
+  BigInt Q, R;
+  divMod(*this, RHS, Q, R);
+  *this = std::move(Q);
+  return *this;
+}
+
+BigInt &BigInt::operator%=(const BigInt &RHS) {
+  BigInt Q, R;
+  divMod(*this, RHS, Q, R);
+  *this = std::move(R);
+  return *this;
+}

@@ -1,0 +1,34 @@
+//===- bigint/bigint_kernels.h - Private limb access ------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private header granting the multiplication and division kernels direct
+/// access to BigInt's limb vector.  Not installed; include only from
+/// bigint/*.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_BIGINT_BIGINT_KERNELS_H
+#define DRAGON4_BIGINT_BIGINT_KERNELS_H
+
+#include "bigint/bigint.h"
+
+namespace dragon4 {
+
+/// Accessor for BigInt internals, used by the arithmetic kernels that live
+/// in separate translation units.
+struct BigIntKernels {
+  static std::vector<uint32_t> &limbs(BigInt &Value) { return Value.Limbs; }
+  static const std::vector<uint32_t> &limbs(const BigInt &Value) {
+    return Value.Limbs;
+  }
+  static bool &negative(BigInt &Value) { return Value.Negative; }
+  static void trim(BigInt &Value) { Value.trim(); }
+};
+
+} // namespace dragon4
+
+#endif // DRAGON4_BIGINT_BIGINT_KERNELS_H

@@ -1,0 +1,174 @@
+//===- bigint/bigint_mul.cpp - BigInt multiplication ----------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Full multiplication: schoolbook for small operands, Karatsuba above a
+/// threshold.  The conversion algorithms mostly multiply by small factors
+/// (handled by BigInt::mulSmall), but scaling by B^k for large |k| and the
+/// power cache produce operands of a few hundred limbs where Karatsuba
+/// starts to pay off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bigint/bigint.h"
+
+#include "bigint/bigint_kernels.h"
+#include "support/checks.h"
+
+#include <algorithm>
+#include <span>
+
+using namespace dragon4;
+
+namespace {
+
+using Limbs = std::span<const uint32_t>;
+
+/// Operand size (in limbs) below which schoolbook multiplication beats
+/// Karatsuba's bookkeeping.  Chosen empirically; bench_bigint sweeps it.
+constexpr size_t KaratsubaThreshold = 24;
+
+/// Out[0..A+B) += AOps * BOps, schoolbook.  Out must be pre-sized with
+/// enough room (callers pass zero-filled buffers of exactly A+B limbs).
+void mulSchoolbookAcc(std::span<uint32_t> Out, Limbs A, Limbs B) {
+  for (size_t I = 0; I < A.size(); ++I) {
+    uint64_t Carry = 0;
+    uint64_t AVal = A[I];
+    if (AVal == 0)
+      continue;
+    for (size_t J = 0; J < B.size(); ++J) {
+      uint64_t Acc = AVal * B[J] + Out[I + J] + Carry;
+      Out[I + J] = static_cast<uint32_t>(Acc);
+      Carry = Acc >> 32;
+    }
+    size_t K = I + B.size();
+    while (Carry) {
+      uint64_t Acc = static_cast<uint64_t>(Out[K]) + Carry;
+      Out[K] = static_cast<uint32_t>(Acc);
+      Carry = Acc >> 32;
+      ++K;
+    }
+  }
+}
+
+/// Adds Src into Dst at limb offset Offset, propagating the carry.
+void addAt(std::vector<uint32_t> &Dst, Limbs Src, size_t Offset) {
+  uint64_t Carry = 0;
+  size_t I = 0;
+  for (; I < Src.size(); ++I) {
+    uint64_t Acc = static_cast<uint64_t>(Dst[Offset + I]) + Src[I] + Carry;
+    Dst[Offset + I] = static_cast<uint32_t>(Acc);
+    Carry = Acc >> 32;
+  }
+  while (Carry) {
+    D4_ASSERT(Offset + I < Dst.size(), "carry escaped Karatsuba buffer");
+    uint64_t Acc = static_cast<uint64_t>(Dst[Offset + I]) + Carry;
+    Dst[Offset + I] = static_cast<uint32_t>(Acc);
+    Carry = Acc >> 32;
+    ++I;
+  }
+}
+
+/// Subtracts Src from Dst at limb offset Offset, propagating the borrow.
+/// The caller guarantees the result is non-negative.
+void subAt(std::vector<uint32_t> &Dst, Limbs Src, size_t Offset) {
+  int64_t Borrow = 0;
+  size_t I = 0;
+  for (; I < Src.size(); ++I) {
+    int64_t Acc = static_cast<int64_t>(Dst[Offset + I]) - Src[I] - Borrow;
+    Borrow = Acc < 0 ? 1 : 0;
+    if (Acc < 0)
+      Acc += int64_t(1) << 32;
+    Dst[Offset + I] = static_cast<uint32_t>(Acc);
+  }
+  while (Borrow) {
+    D4_ASSERT(Offset + I < Dst.size(), "borrow escaped Karatsuba buffer");
+    int64_t Acc = static_cast<int64_t>(Dst[Offset + I]) - Borrow;
+    Borrow = Acc < 0 ? 1 : 0;
+    if (Acc < 0)
+      Acc += int64_t(1) << 32;
+    Dst[Offset + I] = static_cast<uint32_t>(Acc);
+    ++I;
+  }
+}
+
+/// Trims trailing zero limbs from a plain vector.
+void trimVec(std::vector<uint32_t> &V) {
+  while (!V.empty() && V.back() == 0)
+    V.pop_back();
+}
+
+/// Adds two limb vectors into a fresh one.
+std::vector<uint32_t> addVec(Limbs A, Limbs B) {
+  if (A.size() < B.size())
+    std::swap(A, B);
+  std::vector<uint32_t> Out(A.begin(), A.end());
+  Out.push_back(0);
+  addAt(Out, B, 0);
+  trimVec(Out);
+  return Out;
+}
+
+std::vector<uint32_t> mulRec(Limbs A, Limbs B);
+
+/// Karatsuba: split at Half limbs, three recursive products.
+std::vector<uint32_t> mulKaratsuba(Limbs A, Limbs B) {
+  size_t Half = std::max(A.size(), B.size()) / 2;
+  Limbs A0 = A.subspan(0, std::min(Half, A.size()));
+  Limbs A1 = A.size() > Half ? A.subspan(Half) : Limbs{};
+  Limbs B0 = B.subspan(0, std::min(Half, B.size()));
+  Limbs B1 = B.size() > Half ? B.subspan(Half) : Limbs{};
+
+  // Strip trailing zeros of the low halves so the recursion sees trimmed
+  // operands (the sub-products below rely on it for sizing only).
+  while (!A0.empty() && A0.back() == 0)
+    A0 = A0.subspan(0, A0.size() - 1);
+  while (!B0.empty() && B0.back() == 0)
+    B0 = B0.subspan(0, B0.size() - 1);
+
+  std::vector<uint32_t> Z0 = mulRec(A0, B0);
+  std::vector<uint32_t> Z2 = mulRec(A1, B1);
+  std::vector<uint32_t> ASum = addVec(A0, A1);
+  std::vector<uint32_t> BSum = addVec(B0, B1);
+  std::vector<uint32_t> Z1 = mulRec(ASum, BSum); // (A0+A1)(B0+B1)
+
+  std::vector<uint32_t> Out(A.size() + B.size() + 1, 0);
+  addAt(Out, Z0, 0);
+  addAt(Out, Z2, 2 * Half);
+  addAt(Out, Z1, Half);
+  subAt(Out, Z0, Half);
+  subAt(Out, Z2, Half);
+  trimVec(Out);
+  return Out;
+}
+
+std::vector<uint32_t> mulRec(Limbs A, Limbs B) {
+  if (A.empty() || B.empty())
+    return {};
+  if (std::min(A.size(), B.size()) < KaratsubaThreshold) {
+    std::vector<uint32_t> Out(A.size() + B.size(), 0);
+    mulSchoolbookAcc(Out, A, B);
+    trimVec(Out);
+    return Out;
+  }
+  return mulKaratsuba(A, B);
+}
+
+} // namespace
+
+BigInt dragon4::operator*(const BigInt &LHS, const BigInt &RHS) {
+  BigInt Result;
+  BigIntKernels::limbs(Result) =
+      mulRec(BigIntKernels::limbs(LHS), BigIntKernels::limbs(RHS));
+  BigIntKernels::negative(Result) = !BigIntKernels::limbs(Result).empty() &&
+                                    (LHS.isNegative() != RHS.isNegative());
+  return Result;
+}
+
+BigInt &BigInt::operator*=(const BigInt &RHS) {
+  *this = *this * RHS;
+  return *this;
+}

@@ -1,0 +1,121 @@
+//===- bigint/bigint_string.cpp - BigInt <-> text -------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Base 2-36 parsing and rendering for BigInt.  Rendering chunks several
+/// output digits per divModSmall pass so the cost is one bignum division
+/// per 9 decimal digits rather than per digit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bigint/bigint.h"
+
+#include "support/checks.h"
+
+#include <algorithm>
+
+using namespace dragon4;
+
+namespace {
+
+constexpr char DigitChars[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+
+/// Returns the numeric value of digit character \p C, or -1 if \p C is not
+/// a digit in any base up to 36.
+int digitValue(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'z')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'Z')
+    return C - 'A' + 10;
+  return -1;
+}
+
+/// Largest power of \p Base that fits in uint32_t, along with its exponent.
+/// Used to batch digits per bignum pass in both directions.
+struct ChunkInfo {
+  uint32_t Power;
+  unsigned Digits;
+};
+
+ChunkInfo chunkFor(unsigned Base) {
+  ChunkInfo Info = {static_cast<uint32_t>(Base), 1};
+  while (static_cast<uint64_t>(Info.Power) * Base <= 0xFFFFFFFFull) {
+    Info.Power *= Base;
+    ++Info.Digits;
+  }
+  return Info;
+}
+
+} // namespace
+
+bool BigInt::isValidString(std::string_view Text, unsigned Base) {
+  D4_ASSERT(Base >= 2 && Base <= 36, "base out of range");
+  if (!Text.empty() && (Text.front() == '-' || Text.front() == '+'))
+    Text.remove_prefix(1);
+  if (Text.empty())
+    return false;
+  for (char C : Text) {
+    int Value = digitValue(C);
+    if (Value < 0 || static_cast<unsigned>(Value) >= Base)
+      return false;
+  }
+  return true;
+}
+
+BigInt BigInt::fromString(std::string_view Text, unsigned Base) {
+  D4_ASSERT(isValidString(Text, Base), "malformed integer literal");
+  bool Neg = false;
+  if (Text.front() == '-' || Text.front() == '+') {
+    Neg = Text.front() == '-';
+    Text.remove_prefix(1);
+  }
+  const ChunkInfo Chunk = chunkFor(Base);
+  BigInt Result;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Take = std::min<size_t>(Chunk.Digits, Text.size() - Pos);
+    uint32_t Piece = 0;
+    uint32_t Scale = 1; // Base^Take; fits because Take <= Chunk.Digits.
+    for (size_t I = 0; I < Take; ++I) {
+      Piece = Piece * Base + static_cast<uint32_t>(digitValue(Text[Pos + I]));
+      Scale *= Base;
+    }
+    Result.mulSmall(Scale);
+    Result.addSmall(Piece);
+    Pos += Take;
+  }
+  if (Neg)
+    Result.negate();
+  return Result;
+}
+
+std::string BigInt::toString(unsigned Base) const {
+  D4_ASSERT(Base >= 2 && Base <= 36, "base out of range");
+  if (isZero())
+    return "0";
+  const ChunkInfo Chunk = chunkFor(Base);
+  BigInt Work = *this;
+  Work.Negative = false;
+  std::string Reversed;
+  while (!Work.isZero()) {
+    uint32_t Piece = Work.divModSmall(Chunk.Power);
+    unsigned Emitted = 0;
+    while (Piece) {
+      Reversed.push_back(DigitChars[Piece % Base]);
+      Piece /= Base;
+      ++Emitted;
+    }
+    // Interior chunks must be zero-padded to the full chunk width.
+    if (!Work.isZero())
+      Reversed.append(Chunk.Digits - Emitted, '0');
+  }
+  if (Negative)
+    Reversed.push_back('-');
+  std::reverse(Reversed.begin(), Reversed.end());
+  return Reversed;
+}

@@ -1,0 +1,52 @@
+//===- bigint/power_cache.cpp - Memoized powers of a base -----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "bigint/power_cache.h"
+
+#include "support/checks.h"
+
+using namespace dragon4;
+
+PowerCache::PowerCache(unsigned Base) : Base(Base) {
+  D4_ASSERT(Base >= 2 && Base <= 36, "base out of range");
+  Powers.push_back(BigInt(uint64_t(1)));
+}
+
+const BigInt &PowerCache::get(unsigned Exponent) {
+  while (Powers.size() <= Exponent) {
+    BigInt Next = Powers.back();
+    Next.mulSmall(Base);
+    Powers.push_back(std::move(Next));
+  }
+  return Powers[Exponent];
+}
+
+const BigInt &dragon4::cachedPow(unsigned Base, unsigned Exponent) {
+  D4_ASSERT(Base >= 2 && Base <= 36, "base out of range");
+  // One cache per base, per thread.  Function-local thread_local keeps
+  // initialization lazy (no static constructors) and the caches isolated.
+  thread_local std::vector<PowerCache> Caches = [] {
+    std::vector<PowerCache> Init;
+    Init.reserve(35);
+    for (unsigned B = 2; B <= 36; ++B)
+      Init.emplace_back(B);
+    return Init;
+  }();
+  return Caches[Base - 2].get(Exponent);
+}
+
+BigInt BigInt::pow(const BigInt &Base, unsigned Exponent) {
+  BigInt Result(uint64_t(1));
+  BigInt Square = Base;
+  while (Exponent) {
+    if (Exponent & 1u)
+      Result *= Square;
+    Exponent >>= 1;
+    if (Exponent)
+      Square *= Square;
+  }
+  return Result;
+}

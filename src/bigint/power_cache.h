@@ -1,0 +1,49 @@
+//===- bigint/power_cache.h - Memoized powers of a base ---------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoized computation of B^k.  The paper's implementation keeps a vector
+/// of 10^k for 0 <= k <= 325 ("sufficient to handle all IEEE double-
+/// precision floating-point numbers") and falls back to expt otherwise;
+/// PowerCache is the same idea generalized to any base 2-36 and grown on
+/// demand, so binary32/binary16 and non-decimal output reuse it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_BIGINT_POWER_CACHE_H
+#define DRAGON4_BIGINT_POWER_CACHE_H
+
+#include "bigint/bigint.h"
+
+namespace dragon4 {
+
+/// Grow-on-demand table of powers of a fixed base.
+class PowerCache {
+public:
+  /// Creates a cache for \p Base (2-36) seeded with B^0 = 1.
+  explicit PowerCache(unsigned Base);
+
+  /// Returns B^\p Exponent, computing and caching all powers up to it on
+  /// first use.  The returned reference stays valid until the next get()
+  /// with a larger exponent.
+  const BigInt &get(unsigned Exponent);
+
+  unsigned base() const { return Base; }
+
+private:
+  unsigned Base;
+  std::vector<BigInt> Powers;
+};
+
+/// Returns B^\p Exponent through a per-thread cache shared by all
+/// conversions on this thread (one cache per base).  This is the lookup the
+/// scaling step performs for every conversion, so it must be O(1) after
+/// warm-up.
+const BigInt &cachedPow(unsigned Base, unsigned Exponent);
+
+} // namespace dragon4
+
+#endif // DRAGON4_BIGINT_POWER_CACHE_H

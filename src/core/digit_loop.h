@@ -1,0 +1,60 @@
+//===- core/digit_loop.h - The digit-generation loop -------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Step 3/4 of the conversion algorithm: generate digits left to right and
+/// stop as soon as the emitted prefix (or the prefix with its final digit
+/// incremented) is guaranteed to read back as v.  This single loop serves
+/// both free-format and fixed-format conversion; they differ only in how
+/// the starting state and the m+/m- boundary distances were prepared.
+///
+/// The loop uses the pre-multiplied convention of the paper's Figure 3:
+/// the next digit is floor(R/S) (quotientRemainder first, multiply after),
+/// and the loop invariants, with n digits emitted, are
+///
+///   v = 0.d1...dn * B^K + (R/S) * B^(K-n)
+///   high - v = (MPlus  / S) * B^(K-n)
+///   v - low  = (MMinus / S) * B^(K-n)
+///
+/// evaluated at the loop back-edge (after the remainder, before the next
+/// pre-multiplication).  Termination condition 1 (R < MMinus, or <= when
+/// the low boundary is inclusive) means the emitted prefix is already above
+/// low; condition 2 (R + MPlus > S, or >=) means the prefix with its last
+/// digit incremented is already below high.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_CORE_DIGIT_LOOP_H
+#define DRAGON4_CORE_DIGIT_LOOP_H
+
+#include "core/options.h"
+#include "core/scaling.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dragon4 {
+
+/// Outcome of the digit-generation loop.
+struct DigitLoopResult {
+  std::vector<uint8_t> Digits; ///< Emitted digits (increment applied).
+  bool Incremented = false;    ///< Whether the final digit was incremented.
+  BigInt R;                    ///< Remainder at the stopping point.
+  BigInt MPlus;                ///< m+ at the stopping point.
+  BigInt S;                    ///< The denominator (unchanged, moved out).
+};
+
+/// Runs the loop until a termination condition fires and resolves the
+/// closer-of-the-two choice (2R vs S) with \p Ties.  Consumes \p State.
+///
+/// The fixed-format caller uses R, MPlus, and S afterwards to decide how
+/// many significant zeros and '#' marks follow (see fixed_format.cpp).
+DigitLoopResult runDigitLoop(ScaledState State, unsigned B,
+                             BoundaryFlags Flags, TieBreak Ties);
+
+} // namespace dragon4
+
+#endif // DRAGON4_CORE_DIGIT_LOOP_H

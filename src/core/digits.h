@@ -1,0 +1,63 @@
+//===- core/digits.h - Digit-string result type ------------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of digit generation, independent of textual rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_CORE_DIGITS_H
+#define DRAGON4_CORE_DIGITS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dragon4 {
+
+/// A positional digit string V = 0.d1 d2 ... dn * B^K.
+///
+/// Digits holds the *significant* digits (values 0..B-1, most significant
+/// first).  Fixed-format output may additionally carry TrailingMarks
+/// insignificant positions after the digits, rendered as '#': positions
+/// whose content cannot affect the value read back.  Free-format output
+/// always has TrailingMarks == 0 and a non-zero leading digit; fixed-format
+/// output can legitimately be the single digit 0 (e.g. 0.04 printed to
+/// integer precision), or even zero digits and one mark.
+struct DigitString {
+  std::vector<uint8_t> Digits; ///< Significant digits, most significant first.
+  int K = 0;                   ///< Scale: value is 0.Digits * B^K.
+  int TrailingMarks = 0;       ///< Insignificant '#' positions after Digits.
+
+  /// Total positions occupied (digits plus marks).
+  int width() const {
+    return static_cast<int>(Digits.size()) + TrailingMarks;
+  }
+
+  /// Position (power of B) of the last emitted place: K - width().
+  int lastPlace() const { return K - width(); }
+
+  /// Renders digits (and marks) with no radix point, e.g. "314#" -- handy
+  /// in tests and diagnostics.  Digits >= 10 use 'a'..'z'.
+  std::string digitsAsText() const {
+    static const char Alphabet[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+    std::string Text;
+    Text.reserve(Digits.size() + TrailingMarks);
+    for (uint8_t Digit : Digits)
+      Text.push_back(Alphabet[Digit]);
+    Text.append(static_cast<size_t>(TrailingMarks), '#');
+    return Text;
+  }
+
+  friend bool operator==(const DigitString &L, const DigitString &R) {
+    return L.Digits == R.Digits && L.K == R.K &&
+           L.TrailingMarks == R.TrailingMarks;
+  }
+};
+
+} // namespace dragon4
+
+#endif // DRAGON4_CORE_DIGITS_H

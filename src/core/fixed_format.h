@@ -1,0 +1,87 @@
+//===- core/fixed_format.h - Fixed-precision conversion ----------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-format output (Section 4 of the paper): correctly rounded output
+/// to a requested digit position, with '#' marks in place of insignificant
+/// trailing digits -- "useful when printing denormalized numbers, which may
+/// have only a few digits of precision, or when printing to a large number
+/// of digits" (so 1/3 to ten places prints 0.3333333### rather than ten
+/// digits of garbage).
+///
+/// Precision can be requested two ways:
+///  * absolute digit position: "stop at the B^Position place" (e.g.
+///    Position = -2 prints to two places after the radix point);
+///  * relative digit position: "print NumDigits significant digits".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_CORE_FIXED_FORMAT_H
+#define DRAGON4_CORE_FIXED_FORMAT_H
+
+#include "bigint/bigint.h"
+#include "core/digits.h"
+#include "core/options.h"
+#include "fp/ieee_traits.h"
+
+namespace dragon4 {
+
+/// Options for fixed-format conversion.
+///
+/// Boundaries describes the reader of the *floating-point* rounding range
+/// (the unexpanded endpoints); the endpoints introduced by the requested
+/// precision itself are always inclusive, because a value landing exactly
+/// on position J's half-quantum is a legitimate correctly rounded output.
+struct FixedFormatOptions {
+  unsigned Base = 10;                ///< Output base B, 2-36.
+  BoundaryMode Boundaries = BoundaryMode::Conservative; ///< Reader model.
+  TieBreak Ties = TieBreak::RoundUp; ///< Strategy for exact halfway cases.
+};
+
+/// Converts the positive value F * 2^E to base-B digits, stopping at
+/// absolute digit position \p Position (the place value B^Position).
+DigitString fixedFormatAbsolute(uint64_t F, int E, int Precision,
+                                int MinExponent, int Position,
+                                const FixedFormatOptions &Options = {});
+
+/// Converts the positive value F * 2^E to exactly \p NumDigits base-B
+/// digit positions (digits plus marks), NumDigits >= 1.
+DigitString fixedFormatRelative(uint64_t F, int E, int Precision,
+                                int MinExponent, int NumDigits,
+                                const FixedFormatOptions &Options = {});
+
+/// Wide-mantissa generalizations (binary128 and friends).
+DigitString fixedFormatAbsoluteBig(const BigInt &F, int E, int Precision,
+                                   int MinExponent, int Position,
+                                   const FixedFormatOptions &Options = {});
+DigitString fixedFormatRelativeBig(const BigInt &F, int E, int Precision,
+                                   int MinExponent, int NumDigits,
+                                   const FixedFormatOptions &Options = {});
+
+/// Absolute-position conversion for a finite non-zero IEEE value
+/// (magnitude only; rendering attaches the sign).
+template <typename T>
+DigitString fixedDigitsAbsolute(T Value, int Position,
+                                const FixedFormatOptions &Options = {}) {
+  using Traits = IeeeTraits<T>;
+  Decomposed D = decompose(Value);
+  return fixedFormatAbsolute(D.F, D.E, Traits::Precision, Traits::MinExponent,
+                             Position, Options);
+}
+
+/// Relative-position conversion for a finite non-zero IEEE value.
+template <typename T>
+DigitString fixedDigitsRelative(T Value, int NumDigits,
+                                const FixedFormatOptions &Options = {}) {
+  using Traits = IeeeTraits<T>;
+  Decomposed D = decompose(Value);
+  return fixedFormatRelative(D.F, D.E, Traits::Precision, Traits::MinExponent,
+                             NumDigits, Options);
+}
+
+} // namespace dragon4
+
+#endif // DRAGON4_CORE_FIXED_FORMAT_H

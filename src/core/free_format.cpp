@@ -1,0 +1,64 @@
+//===- core/free_format.cpp - Shortest-output conversion -------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/free_format.h"
+
+#include "core/digit_loop.h"
+#include "core/scaling.h"
+#include "fp/boundaries.h"
+#include "support/checks.h"
+
+#include <bit>
+
+using namespace dragon4;
+
+namespace {
+
+/// Shared tail: run the loop and package the digits.
+DigitString finishFreeFormat(ScaledState State, const FreeFormatOptions &O,
+                             BoundaryFlags Flags) {
+  const int K = State.K;
+  DigitLoopResult Loop = runDigitLoop(std::move(State), O.Base, Flags, O.Ties);
+  DigitString Result;
+  Result.Digits = std::move(Loop.Digits);
+  Result.K = K;
+  D4_ASSERT(!Result.Digits.empty() && Result.Digits.front() != 0,
+            "free-format output must start with a non-zero digit");
+  return Result;
+}
+
+} // namespace
+
+DigitString dragon4::freeFormatDigits(uint64_t F, int E, int Precision,
+                                      int MinExponent,
+                                      const FreeFormatOptions &Options) {
+  D4_ASSERT(F > 0, "free-format conversion requires a positive mantissa");
+  D4_ASSERT(Options.Base >= 2 && Options.Base <= 36, "base out of range");
+
+  BoundaryFlags Flags = BoundaryFlags::resolve(Options.Boundaries, F);
+  ScaledStart Start = makeScaledStart(F, E, Precision, MinExponent);
+  int BitLength = 64 - std::countl_zero(F);
+  ScaledState State = scale(std::move(Start), Options.Base, Flags,
+                            Options.Scaling, F, E, BitLength);
+  return finishFreeFormat(std::move(State), Options, Flags);
+}
+
+DigitString dragon4::freeFormatDigitsBig(const BigInt &F, int E,
+                                         int Precision, int MinExponent,
+                                         const FreeFormatOptions &Options) {
+  D4_ASSERT(!F.isZero() && !F.isNegative(),
+            "free-format conversion requires a positive mantissa");
+  D4_ASSERT(Options.Base >= 2 && Options.Base <= 36, "base out of range");
+
+  BoundaryFlags Flags =
+      BoundaryFlags::resolveEven(Options.Boundaries, F.isEven());
+  ScaledStart Start = makeScaledStartBig(F, E, Precision, MinExponent);
+  int BitLength = static_cast<int>(F.bitLength());
+  ScaledState State =
+      scaleBig(std::move(Start), Options.Base, Flags, Options.Scaling,
+               F.toDouble(), E, BitLength);
+  return finishFreeFormat(std::move(State), Options, Flags);
+}

@@ -1,0 +1,60 @@
+//===- core/free_format.h - Shortest-output conversion -----------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Free-format output (Sections 2-3 of the paper): the shortest, correctly
+/// rounded base-B digit string that reads back as exactly the input value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_CORE_FREE_FORMAT_H
+#define DRAGON4_CORE_FREE_FORMAT_H
+
+#include "bigint/bigint.h"
+#include "core/digits.h"
+#include "core/options.h"
+#include "fp/ieee_traits.h"
+
+#include <cmath>
+#include <type_traits>
+
+namespace dragon4 {
+
+/// Options for free-format conversion.
+struct FreeFormatOptions {
+  unsigned Base = 10;                 ///< Output base B, 2-36.
+  BoundaryMode Boundaries = BoundaryMode::NearestEven; ///< Reader model.
+  TieBreak Ties = TieBreak::RoundUp;  ///< Writer tie strategy.
+  ScalingAlgorithm Scaling = ScalingAlgorithm::Estimate; ///< Table 2 knob.
+};
+
+/// Converts the positive value F * 2^E (a format with \p Precision bits of
+/// mantissa and minimum exponent \p MinExponent) to its shortest correctly
+/// rounded base-B digit string.
+DigitString freeFormatDigits(uint64_t F, int E, int Precision,
+                             int MinExponent,
+                             const FreeFormatOptions &Options);
+
+/// Generalization for mantissas wider than 64 bits (binary128 and
+/// friends): same contract, BigInt mantissa.
+DigitString freeFormatDigitsBig(const BigInt &F, int E, int Precision,
+                                int MinExponent,
+                                const FreeFormatOptions &Options);
+
+/// Converts a finite non-zero value of any supported IEEE type.  The sign
+/// is ignored (digit generation works on the magnitude; rendering attaches
+/// the sign).
+template <typename T>
+DigitString shortestDigits(T Value, const FreeFormatOptions &Options = {}) {
+  using Traits = IeeeTraits<T>;
+  Decomposed D = decompose(Value);
+  return freeFormatDigits(D.F, D.E, Traits::Precision, Traits::MinExponent,
+                          Options);
+}
+
+} // namespace dragon4
+
+#endif // DRAGON4_CORE_FREE_FORMAT_H

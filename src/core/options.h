@@ -1,0 +1,86 @@
+//===- core/options.h - Conversion options -----------------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The knobs of the conversion algorithms: how the reader that will consume
+/// the output treats values that land exactly on a rounding boundary, how
+/// the writer breaks its own ties, and which scaling strategy to use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_CORE_OPTIONS_H
+#define DRAGON4_CORE_OPTIONS_H
+
+#include <cstdint>
+
+namespace dragon4 {
+
+/// How the *input* routine that will eventually read our output back treats
+/// a value lying exactly on the boundary between two floating-point
+/// numbers.  The paper's algorithm "accommodates any input rounding mode";
+/// this enum selects the low-ok?/high-ok? flags of the Scheme code.
+///
+/// With `Conservative` neither boundary is assumed to round to v, so the
+/// output is valid for every reader.  `NearestEven` models IEEE unbiased
+/// rounding: a boundary value rounds to the neighbour with the even
+/// mantissa, so both boundaries round to v exactly when v's mantissa is
+/// even (this is what lets 10^23 print as 1e23 rather than
+/// 9.999999999999999e22).
+enum class BoundaryMode : uint8_t {
+  Conservative,  ///< Neither boundary may be assumed to round back to v.
+  NearestEven,   ///< Both boundaries round to v iff the mantissa is even.
+  BothInclusive, ///< Both boundaries always round to v.
+  LowInclusive,  ///< Only the low boundary rounds to v (reader rounds up).
+  HighInclusive, ///< Only the high boundary rounds to v (reader rounds down).
+};
+
+/// The writer-side strategy when the emitted prefix and the emitted prefix
+/// with its last digit incremented are exactly equidistant from v.  Both
+/// choices are correct (both round back to v); the paper's code rounds up.
+enum class TieBreak : uint8_t {
+  RoundUp,   ///< Prefer the incremented digit (the paper's choice).
+  RoundEven, ///< Prefer whichever final digit is even.
+  RoundDown, ///< Prefer the unincremented digit.
+};
+
+/// Which scaling-factor computation to use (the subject of Table 2).
+enum class ScalingAlgorithm : uint8_t {
+  Iterative, ///< Steele & White's O(|log v|) search from k = 0.
+  FloatLog,  ///< Floating-point logarithm estimate, then fix up (Figure 2).
+  Estimate,  ///< The paper's two-flop estimator with free fixup (Figure 3).
+};
+
+/// Resolved boundary-inclusion flags for a specific mantissa.
+struct BoundaryFlags {
+  bool LowOk = false;  ///< Output may equal the low boundary.
+  bool HighOk = false; ///< Output may equal the high boundary.
+
+  /// Resolves \p Mode for a value whose mantissa parity is \p MantissaEven.
+  static BoundaryFlags resolveEven(BoundaryMode Mode, bool MantissaEven) {
+    switch (Mode) {
+    case BoundaryMode::Conservative:
+      return {false, false};
+    case BoundaryMode::NearestEven:
+      return {MantissaEven, MantissaEven};
+    case BoundaryMode::BothInclusive:
+      return {true, true};
+    case BoundaryMode::LowInclusive:
+      return {true, false};
+    case BoundaryMode::HighInclusive:
+      return {false, true};
+    }
+    return {false, false};
+  }
+
+  /// Resolves \p Mode for a value whose mantissa is \p F.
+  static BoundaryFlags resolve(BoundaryMode Mode, uint64_t F) {
+    return resolveEven(Mode, (F & 1) == 0);
+  }
+};
+
+} // namespace dragon4
+
+#endif // DRAGON4_CORE_OPTIONS_H

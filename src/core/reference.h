@@ -1,0 +1,48 @@
+//===- core/reference.h - Rational-arithmetic oracle -------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 2 "basic algorithm", implemented directly over exact
+/// rational arithmetic.  It is deliberately slow and deliberately naive --
+/// no common denominator, no scaling estimate, digits by repeated
+/// multiply-and-floor -- so it can serve as an independent oracle for the
+/// fast integer-arithmetic implementation: both must agree digit-for-digit
+/// on every input, base, boundary mode, and tie strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_CORE_REFERENCE_H
+#define DRAGON4_CORE_REFERENCE_H
+
+#include "bigint/bigint.h"
+#include "core/digits.h"
+#include "core/options.h"
+
+#include <cstdint>
+
+namespace dragon4 {
+
+/// Free-format conversion by the Section 2 algorithm.  Same contract as
+/// freeFormatDigits.
+DigitString referenceFreeFormat(uint64_t F, int E, int Precision,
+                                int MinExponent, unsigned B,
+                                BoundaryFlags Flags, TieBreak Ties);
+
+/// Fixed-format conversion at absolute position \p J by the Section 4
+/// algorithm over rationals.  Same contract as fixedFormatAbsolute.
+DigitString referenceFixedFormat(uint64_t F, int E, int Precision,
+                                 int MinExponent, unsigned B,
+                                 BoundaryFlags UserFlags, TieBreak Ties,
+                                 int J);
+
+/// Wide-mantissa generalizations (binary128 and friends).
+DigitString referenceFreeFormatBig(const BigInt &F, int E, int Precision,
+                                   int MinExponent, unsigned B,
+                                   BoundaryFlags Flags, TieBreak Ties);
+
+} // namespace dragon4
+
+#endif // DRAGON4_CORE_REFERENCE_H

@@ -1,0 +1,56 @@
+//===- dragon4.h - libdragon4 umbrella header --------------------*- C++ -*-===//
+//
+// Part of libdragon4, a reproduction of Burger & Dybvig, "Printing
+// Floating-Point Numbers Quickly and Accurately" (PLDI 1996).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella: pulls in the whole public API.
+///
+/// Layering (each layer only depends on the ones above it):
+///   bigint/    arbitrary-precision integers and the B^k cache
+///   rational/  exact rationals (the Section 2 oracle substrate)
+///   fp/        IEEE-754 traits, decomposition, Table 1 boundaries
+///   core/      scaling, free-format, fixed-format, the rational oracle
+///   reader/    correctly rounded text -> float (verification side)
+///   format/    digit strings -> text; toShortest/toFixed/... convenience
+///   baselines/ Steele-White, straightforward fixed-format, printf shim
+///   testgen/   Schryer-style and random workloads
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_DRAGON4_H
+#define DRAGON4_DRAGON4_H
+
+#include "baselines/fixed17.h"
+#include "baselines/printf_shim.h"
+#include "baselines/steele_white.h"
+#include "bigint/bigint.h"
+#include "bigint/power_cache.h"
+#include "core/digits.h"
+#include "core/fixed_format.h"
+#include "core/free_format.h"
+#include "core/options.h"
+#include "core/reference.h"
+#include "core/scaling.h"
+#include "fastpath/diyfp.h"
+#include "fastpath/fixed_fast.h"
+#include "fastpath/grisu.h"
+#include "format/dtoa.h"
+#include "format/printf_compat.h"
+#include "format/render.h"
+#include "format/scheme_notation.h"
+#include "fp/binary128.h"
+#include "fp/binary16.h"
+#include "fp/boundaries.h"
+#include "fp/decomposed.h"
+#include "fp/extended80.h"
+#include "fp/ieee_traits.h"
+#include "rational/rational.h"
+#include "reader/reader.h"
+#include "testgen/random_floats.h"
+#include "testgen/schryer.h"
+
+#endif // DRAGON4_DRAGON4_H

@@ -1,0 +1,42 @@
+//===- fastpath/diyfp.h - 64-bit fixed-point helpers --------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared 64-bit-significand arithmetic of the fast paths: the DiyFp
+/// value type (declared in grisu.h), normalization, and the rounded
+/// 128-bit product.  Error discipline: multiplying two values whose
+/// significands are exact yields at most 1/2 unit of error; each inexact
+/// input (e.g. a cached power of ten) contributes up to 1/2 more.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FASTPATH_DIYFP_H
+#define DRAGON4_FASTPATH_DIYFP_H
+
+#include "fastpath/grisu.h"
+#include "support/checks.h"
+
+#include <bit>
+
+namespace dragon4 {
+
+/// Rounded high 64 bits of the 128-bit product.
+inline DiyFp diyMultiply(DiyFp A, DiyFp B) {
+  unsigned __int128 Product =
+      static_cast<unsigned __int128>(A.F) * B.F + (uint64_t(1) << 63);
+  return DiyFp{static_cast<uint64_t>(Product >> 64), A.E + B.E + 64};
+}
+
+/// Shifts left until the top bit is set.
+inline DiyFp diyNormalize(DiyFp Value) {
+  D4_ASSERT(Value.F != 0, "cannot normalize zero");
+  int Shift = std::countl_zero(Value.F);
+  return DiyFp{Value.F << Shift, Value.E - Shift};
+}
+
+} // namespace dragon4
+
+#endif // DRAGON4_FASTPATH_DIYFP_H

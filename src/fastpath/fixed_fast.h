@@ -1,0 +1,46 @@
+//===- fastpath/fixed_fast.h - Gay-style fixed-format fast path ---*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fast path the paper's related-work section attributes to Gay:
+/// "floating-point arithmetic is sufficiently accurate in most cases when
+/// the requested number of digits is small", with the exact algorithm as
+/// the safety net "when these heuristics fail".
+///
+/// This implementation renders N significant decimal digits of a double
+/// (printf-%e semantics, the straightforwardFixed contract) using one
+/// 64x64->128-bit multiply with a cached power of ten and an explicit
+/// error bound: if the rounding decision at the Nth digit could be
+/// affected by the bounded error -- including every exact decimal tie --
+/// it refuses, and the caller falls back to the exact bignum printer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FASTPATH_FIXED_FAST_H
+#define DRAGON4_FASTPATH_FIXED_FAST_H
+
+#include "baselines/fixed17.h"
+#include "core/digits.h"
+
+#include <optional>
+
+namespace dragon4 {
+
+/// Attempts \p NumDigits (1-17) correctly rounded significant digits of
+/// the positive double \p Value in base 10.  Returns std::nullopt when
+/// the error analysis cannot certify the final digit (rare; including
+/// all exact halfway cases, so the result never depends on a tie rule).
+std::optional<DigitString> fastFixedDigits(double Value, int NumDigits);
+
+/// fastFixedDigits with the exact straightforwardFixed fallback: always
+/// returns the correctly rounded digits (ties resolved by \p Ties, which
+/// only the fallback can hit).
+DigitString fixedDigitsWithFastPath(double Value, int NumDigits,
+                                    TieBreak Ties = TieBreak::RoundEven);
+
+} // namespace dragon4
+
+#endif // DRAGON4_FASTPATH_FIXED_FAST_H

@@ -1,0 +1,169 @@
+//===- format/dtoa.cpp - Convenience printing API ----------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "format/dtoa.h"
+
+#include "core/fixed_format.h"
+#include "core/free_format.h"
+#include "format/render.h"
+#include "support/checks.h"
+
+using namespace dragon4;
+
+namespace {
+
+RenderOptions renderOptionsFrom(const PrintOptions &Options) {
+  RenderOptions Render;
+  Render.Base = Options.Base;
+  Render.ExponentMarker = Options.ExponentMarker;
+  Render.MarkChar = Options.Marks == MarkStyle::Hash ? '#' : '0';
+  Render.UppercaseDigits = Options.UppercaseDigits;
+  return Render;
+}
+
+/// Handles NaN / infinity / zero.  Returns true (with Out filled in) when
+/// \p Value was special.  ZeroText is format-specific ("0", "0.00", ...).
+template <typename T>
+bool renderSpecial(T Value, const std::string &ZeroText, std::string &Out) {
+  switch (classify(Value)) {
+  case FpClass::NaN:
+    Out = "nan";
+    return true;
+  case FpClass::Infinity:
+    Out = signBit(Value) ? "-inf" : "inf";
+    return true;
+  case FpClass::Zero:
+    Out = signBit(Value) ? "-" + ZeroText : ZeroText;
+    return true;
+  case FpClass::Normal:
+  case FpClass::Subnormal:
+    return false;
+  }
+  return false;
+}
+
+FreeFormatOptions freeOptionsFrom(const PrintOptions &Options) {
+  FreeFormatOptions Free;
+  Free.Base = Options.Base;
+  Free.Boundaries = Options.Boundaries;
+  Free.Ties = Options.Ties;
+  Free.Scaling = Options.Scaling;
+  return Free;
+}
+
+FixedFormatOptions fixedOptionsFrom(const PrintOptions &Options) {
+  FixedFormatOptions Fixed;
+  Fixed.Base = Options.Base;
+  Fixed.Boundaries = Options.Boundaries;
+  Fixed.Ties = Options.Ties;
+  return Fixed;
+}
+
+} // namespace
+
+template <typename T>
+std::string dragon4::toShortest(T Value, const PrintOptions &Options) {
+  std::string Special;
+  if (renderSpecial(Value, "0", Special))
+    return Special;
+  DigitString Digits = shortestDigits(Value, freeOptionsFrom(Options));
+  return renderAuto(Digits, signBit(Value), renderOptionsFrom(Options));
+}
+
+template <typename T>
+std::string dragon4::toFixed(T Value, int FractionDigits,
+                             const PrintOptions &Options) {
+  D4_ASSERT(FractionDigits >= 0, "negative fraction-digit count");
+  std::string Zero = "0";
+  if (FractionDigits > 0) {
+    Zero.push_back('.');
+    Zero.append(static_cast<size_t>(FractionDigits), '0');
+  }
+  std::string Special;
+  if (renderSpecial(Value, Zero, Special))
+    return Special;
+  DigitString Digits =
+      fixedDigitsAbsolute(Value, -FractionDigits, fixedOptionsFrom(Options));
+  // Positional rendering of a conversion that stopped at -FractionDigits
+  // always shows exactly FractionDigits places (padding right of the
+  // integer part never happens because lastPlace == -FractionDigits).
+  return renderPositional(Digits, signBit(Value), renderOptionsFrom(Options));
+}
+
+template <typename T>
+std::string dragon4::toPrecision(T Value, int SignificantDigits,
+                                 const PrintOptions &Options) {
+  D4_ASSERT(SignificantDigits >= 1, "need at least one significant digit");
+  std::string Zero = "0";
+  if (SignificantDigits > 1) {
+    Zero.push_back('.');
+    Zero.append(static_cast<size_t>(SignificantDigits - 1), '0');
+  }
+  std::string Special;
+  if (renderSpecial(Value, Zero, Special))
+    return Special;
+  DigitString Digits =
+      fixedDigitsRelative(Value, SignificantDigits, fixedOptionsFrom(Options));
+  return renderAuto(Digits, signBit(Value), renderOptionsFrom(Options));
+}
+
+template <typename T>
+std::string dragon4::toExponential(T Value, int FractionDigits,
+                                   const PrintOptions &Options) {
+  D4_ASSERT(FractionDigits >= 0, "negative fraction-digit count");
+  std::string Zero = "0";
+  if (FractionDigits > 0) {
+    Zero.push_back('.');
+    Zero.append(static_cast<size_t>(FractionDigits), '0');
+  }
+  Zero.push_back(Options.ExponentMarker);
+  Zero.append("+0");
+  std::string Special;
+  if (renderSpecial(Value, Zero, Special))
+    return Special;
+  DigitString Digits =
+      fixedDigitsRelative(Value, FractionDigits + 1, fixedOptionsFrom(Options));
+  return renderScientific(Digits, signBit(Value), renderOptionsFrom(Options));
+}
+
+// Explicit instantiations for the supported formats.
+template std::string dragon4::toShortest<double>(double, const PrintOptions &);
+template std::string dragon4::toShortest<float>(float, const PrintOptions &);
+template std::string dragon4::toShortest<Binary16>(Binary16,
+                                                   const PrintOptions &);
+template std::string dragon4::toShortest<long double>(long double,
+                                                      const PrintOptions &);
+template std::string dragon4::toFixed<double>(double, int,
+                                              const PrintOptions &);
+template std::string dragon4::toFixed<float>(float, int, const PrintOptions &);
+template std::string dragon4::toFixed<Binary16>(Binary16, int,
+                                                const PrintOptions &);
+template std::string dragon4::toFixed<long double>(long double, int,
+                                                   const PrintOptions &);
+template std::string dragon4::toPrecision<double>(double, int,
+                                                  const PrintOptions &);
+template std::string dragon4::toPrecision<float>(float, int,
+                                                 const PrintOptions &);
+template std::string dragon4::toPrecision<Binary16>(Binary16, int,
+                                                    const PrintOptions &);
+template std::string dragon4::toPrecision<long double>(long double, int,
+                                                       const PrintOptions &);
+template std::string dragon4::toExponential<double>(double, int,
+                                                    const PrintOptions &);
+template std::string dragon4::toExponential<float>(float, int,
+                                                   const PrintOptions &);
+template std::string dragon4::toExponential<Binary16>(Binary16, int,
+                                                      const PrintOptions &);
+template std::string dragon4::toExponential<long double>(long double, int,
+                                                         const PrintOptions &);
+template std::string dragon4::toShortest<Binary128>(Binary128,
+                                                    const PrintOptions &);
+template std::string dragon4::toFixed<Binary128>(Binary128, int,
+                                                 const PrintOptions &);
+template std::string dragon4::toPrecision<Binary128>(Binary128, int,
+                                                     const PrintOptions &);
+template std::string dragon4::toExponential<Binary128>(Binary128, int,
+                                                       const PrintOptions &);

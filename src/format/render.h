@@ -1,0 +1,61 @@
+//===- format/render.h - DigitString to text ---------------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns the digit strings produced by the conversion core into text:
+/// positional ("123.45"), scientific ("1.2345e2"), or an automatic choice
+/// between the two.  Rendering is deliberately separate from digit
+/// generation -- the algorithms of the paper end at a digit string and a
+/// scale factor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FORMAT_RENDER_H
+#define DRAGON4_FORMAT_RENDER_H
+
+#include "core/digits.h"
+
+#include <string>
+
+namespace dragon4 {
+
+/// Textual rendering knobs.
+struct RenderOptions {
+  unsigned Base = 10;        ///< Base the digits were generated in.
+  char ExponentMarker = 'e'; ///< Marker for scientific notation.  For bases
+                             ///< above 14, 'e' is itself a digit; '^' is the
+                             ///< conventional escape (matches the reader).
+  char MarkChar = '#';       ///< Rendering of insignificant positions.
+  bool UppercaseDigits = false; ///< Use 'A'-'Z' for digit values 10-35.
+
+  /// renderAuto uses positional notation when K lies in
+  /// (PositionalMinK, PositionalMaxK], scientific otherwise.  The defaults
+  /// mirror the familiar %g-style behaviour.
+  int PositionalMaxK = 21;
+  int PositionalMinK = -5;
+};
+
+/// Renders in positional notation, e.g. "123.45", "0.00078", "12300".
+///
+/// Positions between the last generated place and the radix point (which
+/// occur when a fixed-format conversion was asked to stop left of the
+/// point) are filled with zeros: the result is still the correctly rounded
+/// value, just written positionally.
+std::string renderPositional(const DigitString &Digits, bool Negative,
+                             const RenderOptions &Options = {});
+
+/// Renders in scientific notation "d.ddd…e±x".  The exponent (K - 1, the
+/// power of B multiplying the leading digit) is always written in decimal.
+std::string renderScientific(const DigitString &Digits, bool Negative,
+                             const RenderOptions &Options = {});
+
+/// Chooses positional or scientific per the options' K window.
+std::string renderAuto(const DigitString &Digits, bool Negative,
+                       const RenderOptions &Options = {});
+
+} // namespace dragon4
+
+#endif // DRAGON4_FORMAT_RENDER_H

@@ -1,0 +1,120 @@
+//===- format/scheme_notation.cpp - Scheme number syntax ----------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "format/scheme_notation.h"
+
+#include "core/free_format.h"
+#include "format/render.h"
+#include "reader/reader.h"
+#include "support/checks.h"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+using namespace dragon4;
+
+namespace {
+
+/// Renders digits positionally with a guaranteed inexactness marker:
+/// "1." rather than "1", "0.5", "123.45".
+std::string positionalInexact(const DigitString &Digits, bool Negative,
+                              const RenderOptions &Options) {
+  std::string Text = renderPositional(Digits, Negative, Options);
+  if (Text.find('.') == std::string::npos)
+    Text.push_back('.');
+  return Text;
+}
+
+} // namespace
+
+std::string dragon4::schemeNumberToString(double Value, unsigned Radix) {
+  D4_ASSERT(Radix == 2 || Radix == 8 || Radix == 10 || Radix == 16,
+            "Scheme radix must be 2, 8, 10, or 16");
+  const char *Prefix = Radix == 2    ? "#b"
+                       : Radix == 8  ? "#o"
+                       : Radix == 16 ? "#x"
+                                     : "";
+  if (std::isnan(Value))
+    return "+nan.0";
+  if (std::isinf(Value))
+    return std::signbit(Value) ? "-inf.0" : "+inf.0";
+  if (Value == 0.0)
+    return std::string(Prefix) + (std::signbit(Value) ? "-0." : "0.");
+
+  FreeFormatOptions Options;
+  Options.Base = Radix;
+  DigitString Digits = shortestDigits(Value, Options);
+
+  RenderOptions Render;
+  Render.Base = Radix;
+  Render.ExponentMarker = Radix == 10 ? 'e' : '^';
+  // Scheme's writer prefers positional notation in a comfortable window
+  // and exponent form outside it (Chez uses roughly this policy).
+  Render.PositionalMaxK = 21;
+  Render.PositionalMinK = -6;
+
+  std::string Body;
+  if (Digits.K > Render.PositionalMinK && Digits.K <= Render.PositionalMaxK)
+    Body = positionalInexact(Digits, std::signbit(Value), Render);
+  else
+    Body = renderScientific(Digits, std::signbit(Value), Render);
+  return Prefix + Body;
+}
+
+std::optional<double> dragon4::schemeStringToNumber(std::string_view Text) {
+  unsigned Radix = 10;
+  bool SawRadix = false;
+  bool SawExact = false;
+  bool ForceExact = false;
+
+  // Up to two #-prefixes, radix and exactness, in either order.
+  while (Text.size() >= 2 && Text[0] == '#') {
+    char C = static_cast<char>(std::tolower(static_cast<unsigned char>(Text[1])));
+    if ((C == 'b' || C == 'o' || C == 'd' || C == 'x') && !SawRadix) {
+      Radix = C == 'b' ? 2 : C == 'o' ? 8 : C == 'x' ? 16 : 10;
+      SawRadix = true;
+    } else if ((C == 'i' || C == 'e') && !SawExact) {
+      ForceExact = C == 'e';
+      SawExact = true;
+    } else {
+      return std::nullopt;
+    }
+    Text.remove_prefix(2);
+  }
+
+  // Specials.
+  if (Text == "+inf.0" || Text == "-inf.0" || Text == "+nan.0" ||
+      Text == "-nan.0") {
+    if (Text[0] == '-' && Text[1] == 'i')
+      return -std::numeric_limits<double>::infinity();
+    if (Text[1] == 'i')
+      return std::numeric_limits<double>::infinity();
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  // Normalize Scheme exponent markers (s/f/d/l are precision hints; all
+  // map to double here) onto the reader's grammar.  For radix 10 the
+  // reader accepts 'e'; for larger radices it expects '^'.
+  std::string Normalized(Text);
+  if (Radix <= 10) {
+    for (char &C : Normalized)
+      if (C == 's' || C == 'S' || C == 'f' || C == 'F' || C == 'd' ||
+          C == 'D' || C == 'l' || C == 'L')
+        C = 'e';
+  }
+
+  auto Value = readFloat<double>(Normalized, Radix);
+  if (!Value)
+    return std::nullopt;
+  if (ForceExact) {
+    // #e demands an exact result; only integral values stay exact within
+    // this library's type vocabulary.
+    if (!std::isfinite(*Value) || *Value != std::floor(*Value))
+      return std::nullopt;
+  }
+  return Value;
+}

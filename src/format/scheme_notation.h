@@ -1,0 +1,47 @@
+//===- format/scheme_notation.h - Scheme number syntax -----------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheme's number->string / string->number for inexact reals -- the
+/// paper's motivating application ("the ANSI/IEEE Scheme standard
+/// requirement for accurate, minimal-length numeric output and the desire
+/// to do so as efficiently as possible in Chez Scheme motivated the work
+/// reported here").  The writer produces the standard-mandated minimal
+/// form: the shortest spelling that string->number maps back to the same
+/// inexact value, always carrying an inexactness marker (a decimal point
+/// or an exponent).  The reader understands the #x/#o/#b/#d radix and
+/// #i/#e exactness prefixes and the Scheme exponent markers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FORMAT_SCHEME_NOTATION_H
+#define DRAGON4_FORMAT_SCHEME_NOTATION_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dragon4 {
+
+/// number->string for an inexact real, R7RS style: minimal length,
+/// round-tripping, inexactness visible ("1.", "0.5", "3.14", "1e23",
+/// "+inf.0", "-inf.0", "+nan.0").  \p Radix may be 2, 8, 10, or 16; a
+/// non-decimal radix prepends the matching prefix (#b/#o/#x) and renders
+/// the digits in that base (exponents stay decimal, marked with '^' as in
+/// the rest of this library, since 'e' is a hex digit).
+std::string schemeNumberToString(double Value, unsigned Radix = 10);
+
+/// string->number for real literals: optional #i/#e exactness and
+/// #b/#o/#d/#x radix prefixes (in either order), Scheme's exponent
+/// markers e/s/f/d/l, and the +inf.0/-inf.0/+nan.0 specials.  Returns
+/// std::nullopt for anything that is not a real number literal.  An #e
+/// prefix on a fractional literal is rejected (this library has no exact
+/// rational number type to return).
+std::optional<double> schemeStringToNumber(std::string_view Text);
+
+} // namespace dragon4
+
+#endif // DRAGON4_FORMAT_SCHEME_NOTATION_H

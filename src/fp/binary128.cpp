@@ -1,0 +1,146 @@
+//===- fp/binary128.cpp - IEEE-754 quad precision -----------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "fp/binary128.h"
+
+#include "support/checks.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dragon4;
+
+namespace {
+
+constexpr int StoredBits = 112;
+constexpr uint64_t HiMantissaMask = (uint64_t(1) << 48) - 1;
+constexpr int ExponentBias = 16495; // v = F * 2^(be - 16495) for normals.
+
+uint64_t biasedExponent(Binary128 Value) {
+  return (Value.highBits() >> 48) & 0x7FFF;
+}
+
+/// Splits a BigInt known to fit 128 bits into (Hi, Lo) 64-bit words.
+void splitWords(const BigInt &Value, uint64_t &Hi, uint64_t &Lo) {
+  BigInt HiPart = Value;
+  HiPart >>= 64;
+  Hi = HiPart.toUint64();
+  BigInt LoPart = HiPart;
+  LoPart <<= 64;
+  LoPart = Value - LoPart;
+  Lo = LoPart.toUint64();
+}
+
+} // namespace
+
+FpClass dragon4::classify(Binary128 Value) {
+  uint64_t Exponent = biasedExponent(Value);
+  bool MantissaZero =
+      (Value.highBits() & HiMantissaMask) == 0 && Value.lowBits() == 0;
+  if (Exponent == 0x7FFF)
+    return MantissaZero ? FpClass::Infinity : FpClass::NaN;
+  if (Exponent == 0)
+    return MantissaZero ? FpClass::Zero : FpClass::Subnormal;
+  return FpClass::Normal;
+}
+
+bool dragon4::signBit(Binary128 Value) { return Value.highBits() >> 63; }
+
+DecomposedBig dragon4::decomposeBig(Binary128 Value) {
+  FpClass Class = classify(Value);
+  D4_ASSERT(Class == FpClass::Normal || Class == FpClass::Subnormal,
+            "decompose requires a finite non-zero value");
+  DecomposedBig Result;
+  Result.F = BigInt(Value.highBits() & HiMantissaMask);
+  Result.F <<= 64;
+  Result.F += BigInt(Value.lowBits());
+  if (Class == FpClass::Subnormal) {
+    Result.E = IeeeTraits<Binary128>::MinExponent;
+  } else {
+    BigInt Hidden(uint64_t(1));
+    Hidden <<= StoredBits;
+    Result.F += Hidden;
+    Result.E = static_cast<int>(biasedExponent(Value)) - ExponentBias;
+  }
+  return Result;
+}
+
+Binary128 dragon4::composeBig(BigInt F, int E) {
+  D4_ASSERT(!F.isZero() && !F.isNegative(), "compose of non-positive mantissa");
+  constexpr int MinExponent = IeeeTraits<Binary128>::MinExponent;
+  // Normalize to exactly 113 bits, or fewer pinned at the minimum exponent.
+  int Bits = static_cast<int>(F.bitLength());
+  if (Bits < 113 && E > MinExponent) {
+    int Shift = std::min(113 - Bits, E - MinExponent);
+    F <<= static_cast<size_t>(Shift);
+    E -= Shift;
+    Bits += Shift;
+  }
+  while (Bits > 113) {
+    D4_ASSERT(!F.testBit(0), "mantissa not exactly representable");
+    F >>= 1;
+    ++E;
+    --Bits;
+  }
+  D4_ASSERT(E >= MinExponent && E <= IeeeTraits<Binary128>::MaxExponent,
+            "exponent out of range");
+  uint64_t Hi, Lo;
+  if (Bits < 113) {
+    D4_ASSERT(E == MinExponent, "unnormalized mantissa above e_min");
+    splitWords(F, Hi, Lo);
+  } else {
+    BigInt Hidden(uint64_t(1));
+    Hidden <<= StoredBits;
+    F -= Hidden;
+    splitWords(F, Hi, Lo);
+    Hi |= static_cast<uint64_t>(E + ExponentBias) << 48;
+  }
+  return Binary128::fromBits(Hi, Lo);
+}
+
+Binary128 Binary128::fromDouble(double Value) {
+  if (Value == 0.0)
+    return Binary128::fromBits(std::signbit(Value) ? uint64_t(1) << 63 : 0,
+                               0);
+  FpClass Class = dragon4::classify(Value);
+  if (Class == FpClass::Infinity)
+    return Binary128::fromBits((std::signbit(Value)
+                                    ? (uint64_t(1) << 63)
+                                    : 0) |
+                                   (uint64_t(0x7FFF) << 48),
+                               0);
+  if (Class == FpClass::NaN)
+    return Binary128::fromBits(uint64_t(0x7FFF8) << 44, 0);
+  Decomposed Narrow = decompose(Value);
+  Binary128 Magnitude = composeBig(BigInt(Narrow.F), Narrow.E);
+  if (!std::signbit(Value))
+    return Magnitude;
+  return Binary128::fromBits(Magnitude.highBits() | (uint64_t(1) << 63),
+                             Magnitude.lowBits());
+}
+
+DigitString dragon4::shortestDigits(Binary128 Value,
+                                    const FreeFormatOptions &Options) {
+  DecomposedBig D = decomposeBig(Value);
+  return freeFormatDigitsBig(D.F, D.E, IeeeTraits<Binary128>::Precision,
+                             IeeeTraits<Binary128>::MinExponent, Options);
+}
+
+DigitString dragon4::fixedDigitsAbsolute(Binary128 Value, int Position,
+                                         const FixedFormatOptions &Options) {
+  DecomposedBig D = decomposeBig(Value);
+  return fixedFormatAbsoluteBig(D.F, D.E, IeeeTraits<Binary128>::Precision,
+                                IeeeTraits<Binary128>::MinExponent, Position,
+                                Options);
+}
+
+DigitString dragon4::fixedDigitsRelative(Binary128 Value, int NumDigits,
+                                         const FixedFormatOptions &Options) {
+  DecomposedBig D = decomposeBig(Value);
+  return fixedFormatRelativeBig(D.F, D.E, IeeeTraits<Binary128>::Precision,
+                                IeeeTraits<Binary128>::MinExponent, NumDigits,
+                                Options);
+}

@@ -1,0 +1,100 @@
+//===- fp/binary128.h - IEEE-754 quad precision ------------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IEEE-754 binary128 ("quad"), held as its 128-bit encoding.  Its 113-bit
+/// significand does not fit the uint64_t Decomposed form the narrower
+/// formats share, so this header introduces the BigInt-mantissa view
+/// (DecomposedBig) and non-template conversion entry points that route to
+/// the library's *Big generalizations.  No quad arithmetic is provided or
+/// needed: printing and reading only require the encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FP_BINARY128_H
+#define DRAGON4_FP_BINARY128_H
+
+#include "bigint/bigint.h"
+#include "core/digits.h"
+#include "core/fixed_format.h"
+#include "core/free_format.h"
+#include "fp/ieee_traits.h"
+
+namespace dragon4 {
+
+/// A finite non-zero magnitude decomposed as F * 2^E with a wide mantissa.
+struct DecomposedBig {
+  BigInt F;  ///< Integer mantissa, 0 < F < 2^p.
+  int E = 0; ///< Base-2 exponent.
+};
+
+/// IEEE-754 binary128 value held in its encoding (two 64-bit halves).
+class Binary128 {
+public:
+  /// Constructs +0.0.
+  Binary128() = default;
+
+  /// Wraps a raw encoding: \p Hi holds sign, exponent, and the top 48
+  /// mantissa bits; \p Lo the low 64 mantissa bits.
+  static Binary128 fromBits(uint64_t Hi, uint64_t Lo) {
+    Binary128 Result;
+    Result.Hi = Hi;
+    Result.Lo = Lo;
+    return Result;
+  }
+
+  /// Exact widening from double (every double is representable).
+  static Binary128 fromDouble(double Value);
+
+  uint64_t highBits() const { return Hi; }
+  uint64_t lowBits() const { return Lo; }
+
+  friend bool operator==(Binary128 L, Binary128 R) {
+    return L.Hi == R.Hi && L.Lo == R.Lo;
+  }
+
+private:
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+};
+
+template <> struct IeeeTraits<Binary128> {
+  static constexpr int Precision = 113;
+  // v = (2^112 + m) * 2^(be - 16495) for 1 <= be <= 32766; subnormals at
+  // -16494.
+  static constexpr int MinExponent = -16494;
+  static constexpr int MaxExponent = 16271;
+};
+
+/// IEEE classification of \p Value (non-template overload; preferred over
+/// the traits-based template).
+FpClass classify(Binary128 Value);
+
+/// Sign bit of \p Value.
+bool signBit(Binary128 Value);
+
+/// Decomposes a finite non-zero \p Value into |v| = F * 2^E.
+DecomposedBig decomposeBig(Binary128 Value);
+
+/// Recomposes a positive magnitude (inverse of decomposeBig; accepts
+/// shiftable un-normalized mantissas like the narrow-format compose).
+Binary128 composeBig(BigInt F, int E);
+
+/// Shortest digits of a finite non-zero quad (magnitude only).
+DigitString shortestDigits(Binary128 Value,
+                           const FreeFormatOptions &Options = {});
+
+/// Fixed-format digits of a finite non-zero quad at an absolute position.
+DigitString fixedDigitsAbsolute(Binary128 Value, int Position,
+                                const FixedFormatOptions &Options = {});
+
+/// Fixed-format digits of a finite non-zero quad, NumDigits positions.
+DigitString fixedDigitsRelative(Binary128 Value, int NumDigits,
+                                const FixedFormatOptions &Options = {});
+
+} // namespace dragon4
+
+#endif // DRAGON4_FP_BINARY128_H

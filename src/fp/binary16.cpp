@@ -1,0 +1,70 @@
+//===- fp/binary16.cpp - Software IEEE-754 half precision -----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "fp/binary16.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace dragon4;
+
+double Binary16::toDouble() const {
+  const uint16_t Bits = Encoding;
+  const int Sign = (Bits >> 15) & 1;
+  const int BiasedExp = (Bits >> 10) & 0x1F;
+  const int Mantissa = Bits & 0x3FF;
+  double Magnitude;
+  if (BiasedExp == 0x1F) {
+    Magnitude = Mantissa == 0 ? std::numeric_limits<double>::infinity()
+                              : std::numeric_limits<double>::quiet_NaN();
+  } else if (BiasedExp == 0) {
+    Magnitude = std::ldexp(static_cast<double>(Mantissa), -24);
+  } else {
+    Magnitude = std::ldexp(static_cast<double>(Mantissa | 0x400),
+                           BiasedExp - 25);
+  }
+  return Sign ? -Magnitude : Magnitude;
+}
+
+Binary16 Binary16::fromDouble(double Value) {
+  uint16_t SignBit = std::signbit(Value) ? 0x8000 : 0;
+  if (std::isnan(Value))
+    return fromBits(static_cast<uint16_t>(SignBit | 0x7E00));
+  double Magnitude = std::fabs(Value);
+  if (std::isinf(Value) || Magnitude >= 65520.0) // Overflow threshold.
+    return fromBits(static_cast<uint16_t>(SignBit | 0x7C00));
+  if (Magnitude == 0.0)
+    return fromBits(SignBit);
+
+  // Quantize at the correct ulp.  frexp gives Magnitude = Fr * 2^Exp2 with
+  // Fr in [0.5, 1); the binary16 ulp exponent is max(Exp2 - 11, -24).
+  int Exp2;
+  (void)std::frexp(Magnitude, &Exp2);
+  int UlpExp = Exp2 - 11 < -24 ? -24 : Exp2 - 11;
+  double Scaled = std::ldexp(Magnitude, -UlpExp);
+  // Round to nearest-even in the double domain.  Scaled <= 2^12 + small, so
+  // nearbyint under the default rounding mode is exact.
+  double Rounded = std::nearbyint(Scaled);
+  auto Quantized = static_cast<uint64_t>(Rounded);
+  if (Quantized == 0)
+    return fromBits(SignBit);
+  // Renormalize if rounding carried into the next binade (e.g. 2047.5 ulp
+  // -> 2048): composing handles it because 2048 = 1024 * 2^1.
+  while (Quantized >= 2048) {
+    Quantized >>= 1;
+    ++UlpExp;
+  }
+  if (UlpExp > 5) // Rounded up past the largest finite value.
+    return fromBits(static_cast<uint16_t>(SignBit | 0x7C00));
+  uint16_t Bits;
+  if (Quantized < 1024) {
+    Bits = static_cast<uint16_t>(Quantized); // Subnormal (UlpExp == -24).
+  } else {
+    Bits = static_cast<uint16_t>(((UlpExp + 25) << 10) |
+                                 (Quantized & 0x3FF));
+  }
+  return fromBits(static_cast<uint16_t>(SignBit | Bits));
+}

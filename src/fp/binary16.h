@@ -1,0 +1,74 @@
+//===- fp/binary16.h - Software IEEE-754 half precision ----------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal software binary16 ("half") type.  The paper's examples lean on
+/// denormalized numbers "which may have only a few digits of precision" to
+/// motivate the # marks; binary16's tiny 11-bit significand and wide
+/// subnormal range make those cases easy to exercise exhaustively (there
+/// are only 65536 encodings), so the test suite sweeps the entire format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FP_BINARY16_H
+#define DRAGON4_FP_BINARY16_H
+
+#include "fp/ieee_traits.h"
+
+#include <cstdint>
+
+namespace dragon4 {
+
+/// IEEE-754 binary16 value held in its 16-bit encoding.
+///
+/// Only the operations the conversion library needs are provided:
+/// correctly rounded construction from double, widening back to double,
+/// and raw-bits access for the traits machinery.
+class Binary16 {
+public:
+  /// Constructs +0.0.
+  Binary16() = default;
+
+  /// Wraps a raw encoding.
+  static Binary16 fromBits(uint16_t Bits) {
+    Binary16 Result;
+    Result.Encoding = Bits;
+    return Result;
+  }
+
+  /// Converts \p Value to binary16 with round-to-nearest-even, producing
+  /// infinities on overflow and signed zero/subnormals on underflow.
+  static Binary16 fromDouble(double Value);
+
+  /// Widens to double (always exact: binary16 values are a subset).
+  double toDouble() const;
+
+  uint16_t bits() const { return Encoding; }
+
+  friend bool operator==(Binary16 L, Binary16 R) {
+    return L.Encoding == R.Encoding;
+  }
+
+private:
+  uint16_t Encoding = 0;
+};
+
+template <> struct IeeeTraits<Binary16> {
+  using Bits = uint16_t;
+  static constexpr int Precision = 11;
+  static constexpr int StoredBits = 10;
+  static constexpr int ExponentBitCount = 5;
+  // v = (2^10 + m) * 2^(be - 25) for 1 <= be <= 30; subnormals at -24.
+  static constexpr int DecomposedBias = 25;
+  static constexpr int MinExponent = -24;
+  static constexpr int MaxExponent = 5;
+  static Bits toBits(Binary16 Value) { return Value.bits(); }
+  static Binary16 fromBits(Bits Value) { return Binary16::fromBits(Value); }
+};
+
+} // namespace dragon4
+
+#endif // DRAGON4_FP_BINARY16_H

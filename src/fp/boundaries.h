@@ -1,0 +1,67 @@
+//===- fp/boundaries.h - Table 1 initial values ------------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The high-precision-integer starting state of the conversion algorithm:
+/// Table 1 of the paper.  Given v = f * b^e it produces integers
+/// (r, s, m+, m-) such that
+///
+///   v = r / s,   (v+ - v) / 2 = m+ / s,   (v - v-) / 2 = m- / s,
+///
+/// i.e. low = (r - m-) / s and high = (r + m+) / s are the midpoints of the
+/// gaps to the neighbouring floating-point values.  The factor of two that
+/// makes the midpoints exact is baked into r and s (every Table 1 entry
+/// carries "x 2").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FP_BOUNDARIES_H
+#define DRAGON4_FP_BOUNDARIES_H
+
+#include "bigint/bigint.h"
+#include "fp/decomposed.h"
+#include "fp/ieee_traits.h"
+
+namespace dragon4 {
+
+/// The exact state (r, s, m+, m-) the digit-generation loop starts from.
+struct ScaledStart {
+  BigInt R;      ///< Numerator of v.
+  BigInt S;      ///< Common denominator.
+  BigInt MPlus;  ///< Numerator of high - v.
+  BigInt MMinus; ///< Numerator of v - low.
+};
+
+/// Builds the Table 1 initial values for v = F * InputBase^E where the
+/// format has \p Precision base-\p InputBase digits of mantissa and minimum
+/// exponent \p MinExponent.  F must be positive.
+///
+/// The four rows of Table 1:
+///   e >= 0, f != b^(p-1):              r = f*b^e*2, s = 2,        m+ = m- = b^e
+///   e >= 0, f  = b^(p-1):              r = f*b^(e+1)*2, s = b*2,  m+ = b^(e+1), m- = b^e
+///   e < 0, e = min exp or f != b^(p-1): r = f*2, s = b^(-e)*2,    m+ = m- = 1
+///   e < 0, e > min exp and f = b^(p-1): r = f*b*2, s = b^(1-e)*2, m+ = b, m- = 1
+///
+/// The asymmetric rows are the "narrower gap below a power of the base"
+/// cases (the predecessor of b^(p-1)*b^e sits only b^(e-1) away).
+ScaledStart makeScaledStart(uint64_t F, int E, int Precision, int MinExponent,
+                            unsigned InputBase = 2);
+
+/// Generalization for mantissas wider than 64 bits (e.g. binary128's
+/// p = 113): identical Table 1 logic over a BigInt mantissa.
+ScaledStart makeScaledStartBig(const BigInt &F, int E, int Precision,
+                               int MinExponent, unsigned InputBase = 2);
+
+/// Convenience overload for a decomposed IEEE value.
+template <typename T> ScaledStart makeScaledStart(Decomposed Value) {
+  using Traits = IeeeTraits<T>;
+  return makeScaledStart(Value.F, Value.E, Traits::Precision,
+                         Traits::MinExponent);
+}
+
+} // namespace dragon4
+
+#endif // DRAGON4_FP_BOUNDARIES_H

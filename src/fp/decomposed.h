@@ -1,0 +1,48 @@
+//===- fp/decomposed.h - Mantissa/exponent form ------------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The (f, e) view of a floating-point number used throughout the paper:
+/// v = f * b^e with integer mantissa f and exponent e (b = 2 for IEEE
+/// formats).  Subnormals are represented un-normalized with e pinned at the
+/// format's minimum exponent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FP_DECOMPOSED_H
+#define DRAGON4_FP_DECOMPOSED_H
+
+#include <cstdint>
+
+namespace dragon4 {
+
+/// IEEE-754 value classification.
+enum class FpClass {
+  Zero,      ///< +0.0 or -0.0.
+  Subnormal, ///< Non-zero with the minimum exponent and no hidden bit.
+  Normal,    ///< Ordinary normalized value.
+  Infinity,  ///< +inf or -inf.
+  NaN,       ///< Not a number (quiet or signaling).
+};
+
+/// A finite non-zero magnitude decomposed as F * 2^E.
+///
+/// For a normal binary64 value F includes the hidden bit (2^52 <= F < 2^53)
+/// and E = biasedExponent - 1075; for a subnormal, F = storedMantissa and
+/// E = -1074.  The conversion algorithms only ever see positive magnitudes;
+/// the sign is handled by the formatting layer.
+struct Decomposed {
+  uint64_t F = 0; ///< Integer mantissa, 0 < F < 2^p.
+  int E = 0;      ///< Base-2 exponent.
+
+  friend bool operator==(const Decomposed &L, const Decomposed &R) {
+    return L.F == R.F && L.E == R.E;
+  }
+};
+
+} // namespace dragon4
+
+#endif // DRAGON4_FP_DECOMPOSED_H

@@ -1,0 +1,64 @@
+//===- fp/extended80.cpp - x87 80-bit extended precision ---------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "fp/extended80.h"
+
+#include "support/checks.h"
+
+#include <cmath>
+
+namespace dragon4 {
+
+template <> FpClass classify<long double>(long double Value) {
+  switch (std::fpclassify(Value)) {
+  case FP_ZERO:
+    return FpClass::Zero;
+  case FP_SUBNORMAL:
+    return FpClass::Subnormal;
+  case FP_NORMAL:
+    return FpClass::Normal;
+  case FP_INFINITE:
+    return FpClass::Infinity;
+  default:
+    return FpClass::NaN;
+  }
+}
+
+template <> bool signBit<long double>(long double Value) {
+  return std::signbit(Value);
+}
+
+template <> Decomposed decompose<long double>(long double Value) {
+  FpClass Class = classify(Value);
+  D4_ASSERT(Class == FpClass::Normal || Class == FpClass::Subnormal,
+            "decompose requires a finite non-zero value");
+  (void)Class;
+  int Exp2;
+  long double Fraction = std::frexp(std::fabs(Value), &Exp2);
+  // Fraction in [0.5, 1): scale the full 64-bit significand out exactly.
+  Decomposed Result;
+  Result.F = static_cast<uint64_t>(std::ldexp(Fraction, 64));
+  Result.E = Exp2 - 64;
+  // frexpl normalizes subnormals; renormalize onto the format's minimum
+  // exponent so the Table 1 narrow-gap test sees the true mantissa form.
+  constexpr int MinExponent = IeeeTraits<long double>::MinExponent;
+  if (Result.E < MinExponent) {
+    unsigned Shift = static_cast<unsigned>(MinExponent - Result.E);
+    D4_ASSERT(Shift < 64 && (Result.F & ((uint64_t(1) << Shift) - 1)) == 0,
+              "subnormal renormalization must be exact");
+    Result.F >>= Shift;
+    Result.E = MinExponent;
+  }
+  return Result;
+}
+
+template <> long double compose<long double>(Decomposed Value) {
+  D4_ASSERT(Value.F != 0, "compose of zero mantissa");
+  // F has at most 64 bits = the format's precision: ldexpl is exact.
+  return std::ldexp(static_cast<long double>(Value.F), Value.E);
+}
+
+} // namespace dragon4

@@ -1,0 +1,47 @@
+//===- fp/extended80.h - x87 80-bit extended precision -----------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Support for the x87 80-bit extended format (long double on x86-64
+/// Linux).  Its 64-bit significand is stored with an *explicit* integer
+/// bit, so the hidden-bit bit-twiddling of the generic IeeeTraits
+/// machinery does not apply; instead the decompose/compose/classify/
+/// signBit function templates are specialized here using frexpl/ldexpl,
+/// which are exact for this format.  Everything downstream (Table 1,
+/// scaling, both output modes, the reader) is already written against
+/// (F, E, Precision, MinExponent) and works unchanged -- the conversion
+/// core never assumed a particular significand width beyond fitting F in
+/// 64 bits, which p = 64 does exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FP_EXTENDED80_H
+#define DRAGON4_FP_EXTENDED80_H
+
+#include "fp/ieee_traits.h"
+
+#include <limits>
+
+namespace dragon4 {
+
+static_assert(std::numeric_limits<long double>::digits == 64,
+              "extended80 support expects the x87 80-bit long double");
+
+template <> struct IeeeTraits<long double> {
+  static constexpr int Precision = 64;
+  // v = F * 2^E with 2^63 <= F < 2^64 for normals; subnormals at -16445.
+  static constexpr int MinExponent = -16445;
+  static constexpr int MaxExponent = 16320; // 16383 - 63.
+};
+
+template <> FpClass classify<long double>(long double Value);
+template <> bool signBit<long double>(long double Value);
+template <> Decomposed decompose<long double>(long double Value);
+template <> long double compose<long double>(Decomposed Value);
+
+} // namespace dragon4
+
+#endif // DRAGON4_FP_EXTENDED80_H

@@ -1,0 +1,195 @@
+//===- fp/ieee_traits.h - IEEE-754 format traits -----------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time descriptions of the IEEE-754 binary interchange formats and
+/// the bit-level decompose/compose/classify operations over them.  The
+/// conversion core is written against these traits so binary64, binary32,
+/// and the software Binary16 type all share one code path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FP_IEEE_TRAITS_H
+#define DRAGON4_FP_IEEE_TRAITS_H
+
+#include "fp/decomposed.h"
+#include "support/checks.h"
+
+#include <bit>
+#include <cstdint>
+
+namespace dragon4 {
+
+/// Format parameters and raw-bits access for a floating-point type.
+///
+/// Specializations provide:
+///   Bits               unsigned integer wide enough for the encoding
+///   Precision          p: significand bits including the hidden bit
+///   StoredBits         significand bits actually stored (p - 1)
+///   ExponentBitCount   width of the biased-exponent field
+///   MinExponent        e_min of the Decomposed form (subnormal exponent)
+///   MaxExponent        e_max of the Decomposed form
+///   toBits/fromBits    bit_cast between T and Bits
+template <typename T> struct IeeeTraits;
+
+template <> struct IeeeTraits<double> {
+  using Bits = uint64_t;
+  static constexpr int Precision = 53;
+  static constexpr int StoredBits = 52;
+  static constexpr int ExponentBitCount = 11;
+  // v = (2^52 + m) * 2^(be - 1075) for 1 <= be <= 2046; subnormals at -1074.
+  static constexpr int DecomposedBias = 1075;
+  static constexpr int MinExponent = -1074;
+  static constexpr int MaxExponent = 971;
+  static Bits toBits(double Value) { return std::bit_cast<Bits>(Value); }
+  static double fromBits(Bits Value) { return std::bit_cast<double>(Value); }
+};
+
+template <> struct IeeeTraits<float> {
+  using Bits = uint32_t;
+  static constexpr int Precision = 24;
+  static constexpr int StoredBits = 23;
+  static constexpr int ExponentBitCount = 8;
+  static constexpr int DecomposedBias = 150;
+  static constexpr int MinExponent = -149;
+  static constexpr int MaxExponent = 104;
+  static Bits toBits(float Value) { return std::bit_cast<Bits>(Value); }
+  static float fromBits(Bits Value) { return std::bit_cast<float>(Value); }
+};
+
+namespace fp_detail {
+
+template <typename T> using BitsOf = typename IeeeTraits<T>::Bits;
+
+template <typename T> constexpr BitsOf<T> storedMask() {
+  return (BitsOf<T>(1) << IeeeTraits<T>::StoredBits) - 1;
+}
+
+template <typename T> constexpr BitsOf<T> exponentMask() {
+  return (BitsOf<T>(1) << IeeeTraits<T>::ExponentBitCount) - 1;
+}
+
+template <typename T> BitsOf<T> biasedExponent(T Value) {
+  return (IeeeTraits<T>::toBits(Value) >> IeeeTraits<T>::StoredBits) &
+         exponentMask<T>();
+}
+
+} // namespace fp_detail
+
+/// Returns the IEEE class of \p Value.
+template <typename T> FpClass classify(T Value) {
+  using Traits = IeeeTraits<T>;
+  auto Exponent = fp_detail::biasedExponent(Value);
+  auto Mantissa = Traits::toBits(Value) & fp_detail::storedMask<T>();
+  if (Exponent == fp_detail::exponentMask<T>())
+    return Mantissa == 0 ? FpClass::Infinity : FpClass::NaN;
+  if (Exponent == 0)
+    return Mantissa == 0 ? FpClass::Zero : FpClass::Subnormal;
+  return FpClass::Normal;
+}
+
+/// Returns the sign bit of \p Value (true for negative, including -0.0).
+template <typename T> bool signBit(T Value) {
+  using Traits = IeeeTraits<T>;
+  constexpr int TotalBits = Traits::StoredBits + Traits::ExponentBitCount;
+  return (Traits::toBits(Value) >> TotalBits) & 1u;
+}
+
+/// Decomposes a finite, non-zero \p Value into |v| = F * 2^E.
+/// Asserts the class precondition; the caller screens specials and zero.
+template <typename T> Decomposed decompose(T Value) {
+  using Traits = IeeeTraits<T>;
+  FpClass Class = classify(Value);
+  D4_ASSERT(Class == FpClass::Normal || Class == FpClass::Subnormal,
+            "decompose requires a finite non-zero value");
+  auto Exponent = fp_detail::biasedExponent(Value);
+  uint64_t Mantissa = Traits::toBits(Value) & fp_detail::storedMask<T>();
+  Decomposed Result;
+  if (Class == FpClass::Subnormal) {
+    Result.F = Mantissa;
+    Result.E = Traits::MinExponent;
+  } else {
+    Result.F = Mantissa | (uint64_t(1) << Traits::StoredBits);
+    Result.E = static_cast<int>(Exponent) - Traits::DecomposedBias;
+  }
+  return Result;
+}
+
+/// Recomposes a Decomposed magnitude into a positive value of type \p T.
+/// The mantissa/exponent pair must be exactly representable (this is the
+/// inverse of decompose, used by tests and the reader).
+template <typename T> T compose(Decomposed Value) {
+  using Traits = IeeeTraits<T>;
+  using Bits = typename Traits::Bits;
+  D4_ASSERT(Value.F != 0, "compose of zero mantissa");
+  // Normalize into the canonical encoding: either the hidden bit is set and
+  // the exponent is in the normal range, or E == MinExponent (subnormal).
+  uint64_t F = Value.F;
+  int E = Value.E;
+  constexpr uint64_t Hidden = uint64_t(1) << Traits::StoredBits;
+  while (F < Hidden && E > Traits::MinExponent) {
+    F <<= 1;
+    --E;
+  }
+  while (F >= Hidden * 2) {
+    D4_ASSERT((F & 1) == 0, "mantissa not exactly representable");
+    F >>= 1;
+    ++E;
+  }
+  D4_ASSERT(F < Hidden * 2, "mantissa out of range");
+  D4_ASSERT(E >= Traits::MinExponent && E <= Traits::MaxExponent,
+            "exponent out of range");
+  Bits Encoded;
+  if (F < Hidden) {
+    D4_ASSERT(E == Traits::MinExponent, "unnormalized mantissa above e_min");
+    Encoded = static_cast<Bits>(F);
+  } else {
+    Bits BiasedExp = static_cast<Bits>(E + Traits::DecomposedBias);
+    Encoded = (BiasedExp << Traits::StoredBits) |
+              static_cast<Bits>(F & fp_detail::storedMask<T>());
+  }
+  return Traits::fromBits(Encoded);
+}
+
+/// Returns the next representable magnitude above \p Value (v+ in the
+/// paper).  Overflows past the largest finite value are the caller's
+/// responsibility (asserted).
+template <typename T> Decomposed successor(Decomposed Value) {
+  using Traits = IeeeTraits<T>;
+  static_assert(Traits::Precision < 64,
+                "wide formats use the BigInt-mantissa path");
+  constexpr uint64_t Limit = uint64_t(1) << Traits::Precision;
+  Decomposed Next = Value;
+  ++Next.F;
+  if (Next.F == Limit) { // f + 1 = b^p: bump the exponent (v+ = b^(p-1)*b^(e+1)).
+    Next.F = Limit >> 1;
+    ++Next.E;
+    D4_ASSERT(Next.E <= Traits::MaxExponent, "successor overflows format");
+  }
+  return Next;
+}
+
+/// Returns the next representable magnitude below \p Value (v- in the
+/// paper).  Asserts that \p Value is not the smallest positive value.
+template <typename T> Decomposed predecessor(Decomposed Value) {
+  using Traits = IeeeTraits<T>;
+  constexpr uint64_t PowPMinus1 = uint64_t(1) << (Traits::Precision - 1);
+  Decomposed Prev = Value;
+  if (Value.F == PowPMinus1 && Value.E > Traits::MinExponent) {
+    // The gap below a power of two is narrower: v- = (b^p - 1) * b^(e-1).
+    Prev.F = (PowPMinus1 << 1) - 1;
+    --Prev.E;
+    return Prev;
+  }
+  D4_ASSERT(Value.F > 1 || Value.E > Traits::MinExponent,
+            "predecessor of the smallest positive value");
+  --Prev.F;
+  return Prev;
+}
+
+} // namespace dragon4
+
+#endif // DRAGON4_FP_IEEE_TRAITS_H

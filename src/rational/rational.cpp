@@ -1,0 +1,107 @@
+//===- rational/rational.cpp - Exact rational arithmetic ------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "rational/rational.h"
+
+#include "bigint/power_cache.h"
+#include "support/checks.h"
+
+using namespace dragon4;
+
+BigInt dragon4::gcd(BigInt A, BigInt B) {
+  if (A.isNegative())
+    A.negate();
+  if (B.isNegative())
+    B.negate();
+  while (!B.isZero()) {
+    BigInt Q, R;
+    BigInt::divMod(A, B, Q, R);
+    A = std::move(B);
+    B = std::move(R);
+  }
+  return A;
+}
+
+Rational::Rational(BigInt Numerator, BigInt Denominator)
+    : Num(std::move(Numerator)), Den(std::move(Denominator)) {
+  D4_ASSERT(!Den.isZero(), "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Num.isZero()) {
+    Den = BigInt(uint64_t(1));
+    return;
+  }
+  if (Den.isNegative()) {
+    Den.negate();
+    Num.negate();
+  }
+  BigInt Common = gcd(Num, Den);
+  if (!Common.isOne()) {
+    Num /= Common;
+    Den /= Common;
+  }
+}
+
+Rational Rational::scaledPow(const BigInt &F, unsigned B, int E) {
+  if (E >= 0)
+    return Rational(F * cachedPow(B, static_cast<unsigned>(E)));
+  return Rational(F, cachedPow(B, static_cast<unsigned>(-E)));
+}
+
+int Rational::compare(const Rational &RHS) const {
+  // Cross-multiply: num1/den1 <=> num2/den2 with positive denominators.
+  return (Num * RHS.Den).compare(RHS.Num * Den);
+}
+
+BigInt Rational::floor() const {
+  BigInt Q, R;
+  BigInt::divMod(Num, Den, Q, R);
+  // divMod truncates toward zero; fix up negatives with a remainder.
+  if (R.isNegative())
+    Q -= BigInt(uint64_t(1));
+  return Q;
+}
+
+Rational Rational::fractionalPart() const {
+  return *this - Rational(floor());
+}
+
+Rational &Rational::operator+=(const Rational &RHS) {
+  Num = Num * RHS.Den + RHS.Num * Den;
+  Den *= RHS.Den;
+  normalize();
+  return *this;
+}
+
+Rational &Rational::operator-=(const Rational &RHS) {
+  Num = Num * RHS.Den - RHS.Num * Den;
+  Den *= RHS.Den;
+  normalize();
+  return *this;
+}
+
+Rational &Rational::operator*=(const Rational &RHS) {
+  Num *= RHS.Num;
+  Den *= RHS.Den;
+  normalize();
+  return *this;
+}
+
+Rational &Rational::operator/=(const Rational &RHS) {
+  D4_ASSERT(!RHS.isZero(), "rational division by zero");
+  Num *= RHS.Den;
+  Den *= RHS.Num;
+  normalize();
+  return *this;
+}
+
+std::string Rational::toString() const {
+  if (isInteger())
+    return Num.toString();
+  return Num.toString() + "/" + Den.toString();
+}

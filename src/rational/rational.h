@@ -1,0 +1,115 @@
+//===- rational/rational.h - Exact rational arithmetic ----------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over BigInt.  Section 2 of the paper specifies
+/// the basic conversion algorithm "in terms of exact rational arithmetic so
+/// that there is no loss of accuracy"; this class is that substrate, and
+/// core/reference.cpp implements the basic algorithm on top of it verbatim
+/// as the correctness oracle for the fast integer-arithmetic path.
+///
+/// Values are kept normalized: the denominator is positive, the sign lives
+/// in the numerator, and the fraction is reduced to lowest terms (the paper
+/// points out production code need not reduce; the oracle prefers small
+/// operands and clarity).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_RATIONAL_RATIONAL_H
+#define DRAGON4_RATIONAL_RATIONAL_H
+
+#include "bigint/bigint.h"
+
+namespace dragon4 {
+
+/// An exact rational number.
+class Rational {
+public:
+  /// Constructs zero.
+  Rational() : Num(), Den(uint64_t(1)) {}
+
+  /// Constructs \p Value / 1.
+  explicit Rational(BigInt Value) : Num(std::move(Value)), Den(uint64_t(1)) {}
+
+  /// Constructs \p Numerator / \p Denominator (reduced).  Asserts that the
+  /// denominator is non-zero.
+  Rational(BigInt Numerator, BigInt Denominator);
+
+  /// Convenience: small integer value.
+  explicit Rational(int64_t Value) : Rational(BigInt(Value)) {}
+
+  /// Returns f * b^e as an exact rational (b >= 2; e may be negative).
+  static Rational scaledPow(const BigInt &F, unsigned B, int E);
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isNegative() const { return Num.isNegative(); }
+
+  /// Returns true if the value is an integer (denominator 1).
+  bool isInteger() const { return Den.isOne(); }
+
+  /// Three-way comparison with \p RHS.
+  int compare(const Rational &RHS) const;
+
+  /// Returns floor(*this) as a BigInt (rounds toward negative infinity).
+  BigInt floor() const;
+
+  /// Returns the fractional part *this - floor(*this), in [0, 1).
+  Rational fractionalPart() const;
+
+  Rational &operator+=(const Rational &RHS);
+  Rational &operator-=(const Rational &RHS);
+  Rational &operator*=(const Rational &RHS);
+  Rational &operator/=(const Rational &RHS);
+
+  friend Rational operator+(Rational L, const Rational &R) { return L += R; }
+  friend Rational operator-(Rational L, const Rational &R) { return L -= R; }
+  friend Rational operator*(Rational L, const Rational &R) { return L *= R; }
+  friend Rational operator/(Rational L, const Rational &R) { return L /= R; }
+  friend Rational operator-(Rational Value) {
+    Value.Num.negate();
+    return Value;
+  }
+
+  friend bool operator==(const Rational &L, const Rational &R) {
+    return L.compare(R) == 0;
+  }
+  friend bool operator!=(const Rational &L, const Rational &R) {
+    return L.compare(R) != 0;
+  }
+  friend bool operator<(const Rational &L, const Rational &R) {
+    return L.compare(R) < 0;
+  }
+  friend bool operator<=(const Rational &L, const Rational &R) {
+    return L.compare(R) <= 0;
+  }
+  friend bool operator>(const Rational &L, const Rational &R) {
+    return L.compare(R) > 0;
+  }
+  friend bool operator>=(const Rational &L, const Rational &R) {
+    return L.compare(R) >= 0;
+  }
+
+  /// Renders as "num/den" (or just "num" for integers), for diagnostics.
+  std::string toString() const;
+
+private:
+  /// Restores the invariants (positive reduced denominator, sign in the
+  /// numerator, canonical zero).
+  void normalize();
+
+  BigInt Num;
+  BigInt Den;
+};
+
+/// Greatest common divisor of |A| and |B| (gcd(0, x) = |x|).
+BigInt gcd(BigInt A, BigInt B);
+
+} // namespace dragon4
+
+#endif // DRAGON4_RATIONAL_RATIONAL_H

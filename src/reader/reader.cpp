@@ -1,0 +1,401 @@
+//===- reader/reader.cpp - Correctly rounded input --------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "reader/reader.h"
+
+#include "bigint/bigint.h"
+#include "bigint/power_cache.h"
+#include "fp/binary128.h"
+#include "fp/binary16.h"
+#include "fp/extended80.h"
+#include "support/checks.h"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+using namespace dragon4;
+
+namespace {
+
+/// Parsed form of a literal: Sign * Digits * Base^Exponent10 (where
+/// "Exponent10" counts positions in the literal's base, decimal-style).
+struct ParsedLiteral {
+  bool Negative = false;
+  BigInt Digits;      // All mantissa digits as one integer.
+  int64_t Exponent = 0; // Power of Base the digit string is scaled by.
+  bool IsInfinity = false;
+  bool IsNaN = false;
+};
+
+int digitValue(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'z')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'Z')
+    return C - 'A' + 10;
+  return -1;
+}
+
+bool matchWordIgnoreCase(std::string_view Text, std::string_view Word) {
+  if (Text.size() != Word.size())
+    return false;
+  for (size_t I = 0; I < Text.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(Text[I])) != Word[I])
+      return false;
+  return true;
+}
+
+/// Parses the literal grammar; returns false on malformed input.
+bool parseLiteral(std::string_view Text, unsigned Base, ParsedLiteral &Out) {
+  if (Text.empty())
+    return false;
+  if (Text.front() == '+' || Text.front() == '-') {
+    Out.Negative = Text.front() == '-';
+    Text.remove_prefix(1);
+  }
+  if (matchWordIgnoreCase(Text, "inf") || matchWordIgnoreCase(Text, "infinity")) {
+    Out.IsInfinity = true;
+    return true;
+  }
+  if (matchWordIgnoreCase(Text, "nan")) {
+    Out.IsNaN = true;
+    return true;
+  }
+
+  // Mantissa digits, remembering how many came after the radix point.
+  const bool AllowE = Base <= 10;
+  size_t Pos = 0;
+  bool SawDigit = false;
+  bool SawPoint = false;
+  int64_t FractionDigits = 0;
+  std::string MantissaDigits; // Collected for one-shot BigInt parsing.
+  for (; Pos < Text.size(); ++Pos) {
+    char C = Text[Pos];
+    if (C == '.') {
+      if (SawPoint)
+        return false;
+      SawPoint = true;
+      continue;
+    }
+    if (AllowE && (C == 'e' || C == 'E'))
+      break;
+    if (C == '^')
+      break;
+    int Value = digitValue(C);
+    if (Value < 0 || static_cast<unsigned>(Value) >= Base)
+      return false;
+    SawDigit = true;
+    MantissaDigits.push_back(C);
+    if (SawPoint)
+      ++FractionDigits;
+  }
+  if (!SawDigit)
+    return false;
+
+  // Optional exponent part (always decimal), clamped so that absurd
+  // exponents saturate instead of building astronomically large bignums.
+  int64_t Exponent = 0;
+  if (Pos < Text.size()) {
+    ++Pos; // Skip the marker.
+    bool ExpNegative = false;
+    if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-')) {
+      ExpNegative = Text[Pos] == '-';
+      ++Pos;
+    }
+    if (Pos >= Text.size())
+      return false;
+    constexpr int64_t Clamp = 1000000000; // Far past any finite value.
+    for (; Pos < Text.size(); ++Pos) {
+      if (Text[Pos] < '0' || Text[Pos] > '9')
+        return false;
+      if (Exponent < Clamp)
+        Exponent = Exponent * 10 + (Text[Pos] - '0');
+    }
+    if (ExpNegative)
+      Exponent = -Exponent;
+  }
+
+  Out.Digits = BigInt::fromString(MantissaDigits, Base);
+  Out.Exponent = Exponent - FractionDigits;
+  return true;
+}
+
+/// Magnitude-side rounding decision: should the truncated mantissa be
+/// bumped up, given remainder Remainder/Denominator and the mantissa's
+/// current low bit?
+bool shouldRoundUp(ReadRounding Rounding, bool Negative,
+                   const BigInt &Remainder, const BigInt &Denominator,
+                   bool MantissaOdd) {
+  if (Remainder.isZero())
+    return false;
+  switch (Rounding) {
+  case ReadRounding::NearestEven: {
+    BigInt Twice = Remainder;
+    Twice.mulSmall(2);
+    int Cmp = Twice.compare(Denominator);
+    return Cmp > 0 || (Cmp == 0 && MantissaOdd);
+  }
+  case ReadRounding::NearestAway: {
+    BigInt Twice = Remainder;
+    Twice.mulSmall(2);
+    return Twice.compare(Denominator) >= 0;
+  }
+  case ReadRounding::TowardZero:
+    return false;
+  case ReadRounding::TowardPositive:
+    return !Negative;
+  case ReadRounding::TowardNegative:
+    return Negative;
+  }
+  return false;
+}
+
+/// True if the mode rounds a magnitude strictly below the smallest
+/// subnormal's halfway point all the way down to zero.
+template <typename T>
+T signApply(T Magnitude, bool Negative) {
+  if constexpr (std::is_same_v<T, Binary16>) {
+    if (!Negative)
+      return Magnitude;
+    return Binary16::fromBits(static_cast<uint16_t>(Magnitude.bits() ^ 0x8000));
+  } else if constexpr (std::is_same_v<T, Binary128>) {
+    if (!Negative)
+      return Magnitude;
+    return Binary128::fromBits(Magnitude.highBits() ^ (uint64_t(1) << 63),
+                               Magnitude.lowBits());
+  } else {
+    return Negative ? -Magnitude : Magnitude;
+  }
+}
+
+template <typename T> T makeZero(bool Negative) {
+  if constexpr (std::is_same_v<T, Binary16>)
+    return Binary16::fromBits(Negative ? 0x8000 : 0x0000);
+  else if constexpr (std::is_same_v<T, Binary128>)
+    return Binary128::fromBits(Negative ? uint64_t(1) << 63 : 0, 0);
+  else
+    return signApply(static_cast<T>(0.0), Negative);
+}
+
+template <typename T> T makeInfinity(bool Negative) {
+  if constexpr (std::is_same_v<T, Binary16>)
+    return Binary16::fromBits(Negative ? 0xFC00 : 0x7C00);
+  else if constexpr (std::is_same_v<T, Binary128>)
+    return signApply(Binary128::fromBits(uint64_t(0x7FFF) << 48, 0),
+                     Negative);
+  else
+    return signApply(std::numeric_limits<T>::infinity(), Negative);
+}
+
+template <typename T> T makeNaN() {
+  if constexpr (std::is_same_v<T, Binary16>)
+    return Binary16::fromBits(0x7E00);
+  else if constexpr (std::is_same_v<T, Binary128>)
+    return Binary128::fromBits(uint64_t(0x7FFF8) << 44, 0);
+  else
+    return std::numeric_limits<T>::quiet_NaN();
+}
+
+template <typename T> T largestFinite(bool Negative) {
+  using Traits = IeeeTraits<T>;
+  if constexpr (std::is_same_v<T, Binary128>) {
+    return signApply(
+        Binary128::fromBits((uint64_t(0x7FFE) << 48) | ((uint64_t(1) << 48) - 1),
+                            ~uint64_t(0)),
+        Negative);
+  } else {
+    Decomposed D;
+    // Precision can be a full 64 bits (x87 extended); avoid the UB shift.
+    D.F = Traits::Precision >= 64
+              ? ~uint64_t(0)
+              : (uint64_t(1) << Traits::Precision) - 1;
+    D.E = Traits::MaxExponent;
+    return signApply(compose<T>(D), Negative);
+  }
+}
+
+template <typename T> T smallestSubnormal(bool Negative) {
+  using Traits = IeeeTraits<T>;
+  if constexpr (std::is_same_v<T, Binary128>)
+    return signApply(Binary128::fromBits(0, 1), Negative);
+  else
+    return signApply(compose<T>(Decomposed{1, Traits::MinExponent}),
+                     Negative);
+}
+
+/// Overflow result per rounding mode (IEEE 754: directed modes that do not
+/// allow growing the magnitude return the largest finite value).
+template <typename T> T overflowResult(ReadRounding Rounding, bool Negative) {
+  switch (Rounding) {
+  case ReadRounding::NearestEven:
+  case ReadRounding::NearestAway:
+    return makeInfinity<T>(Negative);
+  case ReadRounding::TowardZero:
+    return largestFinite<T>(Negative);
+  case ReadRounding::TowardPositive:
+    return Negative ? largestFinite<T>(true) : makeInfinity<T>(false);
+  case ReadRounding::TowardNegative:
+    return Negative ? makeInfinity<T>(true) : largestFinite<T>(false);
+  }
+  return makeInfinity<T>(Negative);
+}
+
+/// Tiny-magnitude result per rounding mode, for values strictly between
+/// zero and half the smallest subnormal (exclusive).
+template <typename T> T underflowResult(ReadRounding Rounding, bool Negative) {
+  switch (Rounding) {
+  case ReadRounding::NearestEven:
+  case ReadRounding::NearestAway:
+  case ReadRounding::TowardZero:
+    return makeZero<T>(Negative);
+  case ReadRounding::TowardPositive:
+    return Negative ? makeZero<T>(true) : smallestSubnormal<T>(false);
+  case ReadRounding::TowardNegative:
+    return Negative ? smallestSubnormal<T>(true) : makeZero<T>(false);
+  }
+  return makeZero<T>(Negative);
+}
+
+/// Clinger's fast path (the input-side analogue of the Gay heuristics the
+/// paper cites): when the significand fits in 53 bits untruncated and the
+/// decimal exponent is within +/-22, both w and 10^|q| are exactly
+/// representable doubles, so a single IEEE multiply or divide performs
+/// exactly one correctly rounded operation on the exact value -- which is
+/// the definition of a correct conversion.  Only valid for binary64 with
+/// round-to-nearest-even (the default mode), base 10.
+bool tryFastDoublePath(const ParsedLiteral &Lit, double &Out) {
+  if (Lit.Digits.bitLength() > 53)
+    return false;
+  if (Lit.Exponent < -22 || Lit.Exponent > 22)
+    return false;
+  static const double PowersOfTen[23] = {
+      1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,  1e7,  1e8,  1e9,  1e10, 1e11,
+      1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22};
+  double W = static_cast<double>(Lit.Digits.toUint64()); // Exact.
+  double Result =
+      Lit.Exponent >= 0
+          ? W * PowersOfTen[Lit.Exponent]
+          : W / PowersOfTen[-Lit.Exponent];
+  Out = Lit.Negative ? -Result : Result;
+  return true;
+}
+
+/// The exact binary search: correctly rounds Digits * Base^Exponent.
+template <typename T>
+T convertExact(const ParsedLiteral &Lit, unsigned Base,
+               ReadRounding Rounding) {
+  using Traits = IeeeTraits<T>;
+  constexpr int Precision = Traits::Precision;
+
+  // Coarse magnitude screen to avoid astronomically large bignums for
+  // literals like 1e999999999.  log2(value) = log2(D) + X*log2(B), bounded
+  // via the bit length of D; the margins are far wider than the error.
+  double Log2 = static_cast<double>(Lit.Digits.bitLength()) +
+                static_cast<double>(Lit.Exponent) *
+                    std::log2(static_cast<double>(Base));
+  if (Log2 > Traits::MaxExponent + Precision + 64)
+    return signApply(overflowResult<T>(Rounding, Lit.Negative), false);
+  if (Log2 < Traits::MinExponent - 64)
+    return signApply(underflowResult<T>(Rounding, Lit.Negative), false);
+
+  // Exact value = Num / Den.
+  BigInt Num = Lit.Digits;
+  BigInt Den(uint64_t(1));
+  if (Lit.Exponent > 0)
+    Num *= cachedPow(Base, static_cast<unsigned>(Lit.Exponent));
+  else if (Lit.Exponent < 0)
+    Den = cachedPow(Base, static_cast<unsigned>(-Lit.Exponent));
+
+  // Find the exponent E of the ulp: value = Q * 2^E with Q having exactly
+  // Precision bits (or fewer, when pinned at the subnormal exponent).
+  int E = static_cast<int>(Num.bitLength()) -
+          static_cast<int>(Den.bitLength()) - Precision;
+  BigInt Q, R, NumScaled, DenScaled;
+  for (;;) {
+    if (E < Traits::MinExponent)
+      E = Traits::MinExponent;
+    NumScaled = Num;
+    DenScaled = Den;
+    if (E > 0)
+      DenScaled <<= static_cast<size_t>(E);
+    else if (E < 0)
+      NumScaled <<= static_cast<size_t>(-E);
+    BigInt::divMod(NumScaled, DenScaled, Q, R);
+    int QBits = static_cast<int>(Q.bitLength());
+    if (QBits > Precision) {
+      E += QBits - Precision;
+      continue;
+    }
+    if (QBits < Precision && E > Traits::MinExponent) {
+      E -= Precision - QBits;
+      continue;
+    }
+    break;
+  }
+
+  if (shouldRoundUp(Rounding, Lit.Negative, R, DenScaled,
+                    Q.testBit(0))) {
+    Q.addSmall(1);
+    if (Q.bitLength() > static_cast<size_t>(Precision)) {
+      // Carried into the next binade: 2^p * 2^E == 2^(p-1) * 2^(E+1).
+      Q >>= 1;
+      ++E;
+    }
+  }
+
+  if (Q.isZero())
+    return makeZero<T>(Lit.Negative);
+  if (E > Traits::MaxExponent)
+    return overflowResult<T>(Rounding, Lit.Negative);
+  if constexpr (std::is_same_v<T, Binary128>) {
+    return signApply(composeBig(std::move(Q), E), Lit.Negative);
+  } else {
+    Decomposed D;
+    D.F = Q.toUint64();
+    D.E = E;
+    return signApply(compose<T>(D), Lit.Negative);
+  }
+}
+
+} // namespace
+
+template <typename T>
+std::optional<T> dragon4::readFloat(std::string_view Text, unsigned Base,
+                                    ReadRounding Rounding) {
+  D4_ASSERT(Base >= 2 && Base <= 36, "base out of range");
+  ParsedLiteral Lit;
+  if (!parseLiteral(Text, Base, Lit))
+    return std::nullopt;
+  if (Lit.IsNaN)
+    return makeNaN<T>();
+  if (Lit.IsInfinity)
+    return makeInfinity<T>(Lit.Negative);
+  if (Lit.Digits.isZero())
+    return makeZero<T>(Lit.Negative);
+  if constexpr (std::is_same_v<T, double>) {
+    if (Base == 10 && Rounding == ReadRounding::NearestEven) {
+      double Fast;
+      if (tryFastDoublePath(Lit, Fast))
+        return Fast;
+    }
+  }
+  return convertExact<T>(Lit, Base, Rounding);
+}
+
+template std::optional<double> dragon4::readFloat<double>(std::string_view,
+                                                          unsigned,
+                                                          ReadRounding);
+template std::optional<float> dragon4::readFloat<float>(std::string_view,
+                                                        unsigned,
+                                                        ReadRounding);
+template std::optional<Binary16>
+dragon4::readFloat<Binary16>(std::string_view, unsigned, ReadRounding);
+template std::optional<long double>
+dragon4::readFloat<long double>(std::string_view, unsigned, ReadRounding);
+template std::optional<Binary128>
+dragon4::readFloat<Binary128>(std::string_view, unsigned, ReadRounding);

@@ -1,0 +1,70 @@
+//===- reader/reader.h - Correctly rounded input ------------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Correctly rounded text-to-floating-point conversion ("How to read
+/// floating-point numbers accurately", Clinger [1], is the input-side
+/// companion the paper assumes).  The free-format printer's whole contract
+/// is stated relative to such a reader: the shortest output must convert
+/// back to the identical value.  This reader is the verification half of
+/// that contract -- and the referee that counts printf's misroundings for
+/// Table 3.
+///
+/// The implementation always takes the exact path (bignum comparison of
+/// the decimal value against the binary candidates); it favours obvious
+/// correctness over speed, since it sits on the test/verification side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_READER_READER_H
+#define DRAGON4_READER_READER_H
+
+#include "fp/binary128.h"
+#include "fp/binary16.h"
+#include "fp/extended80.h"
+#include "fp/ieee_traits.h"
+
+#include <optional>
+#include <string_view>
+
+namespace dragon4 {
+
+/// The reader's rounding rule, applied to the real value denoted by the
+/// text.  Directed modes are signed (IEEE 754 terminology).
+enum class ReadRounding : uint8_t {
+  NearestEven,    ///< Ties to the even mantissa (IEEE default).
+  NearestAway,    ///< Ties away from zero.
+  TowardZero,     ///< Truncate.
+  TowardPositive, ///< Ceiling.
+  TowardNegative, ///< Floor.
+};
+
+/// Parses and correctly rounds \p Text as a base-\p Base floating-point
+/// literal; returns std::nullopt on malformed input.
+///
+/// Grammar: [+-]? digits? [. digits?] [exponent]  with at least one digit,
+/// or "inf"/"infinity"/"nan" (case-insensitive).  The exponent marker is
+/// 'e'/'E' for bases up to 10 and '^' for every base (for bases above 10,
+/// 'e' is a digit).  The exponent itself is always decimal.
+template <typename T>
+std::optional<T> readFloat(std::string_view Text, unsigned Base = 10,
+                           ReadRounding Rounding = ReadRounding::NearestEven);
+
+extern template std::optional<double> readFloat<double>(std::string_view,
+                                                        unsigned,
+                                                        ReadRounding);
+extern template std::optional<float> readFloat<float>(std::string_view,
+                                                      unsigned, ReadRounding);
+extern template std::optional<Binary16>
+readFloat<Binary16>(std::string_view, unsigned, ReadRounding);
+extern template std::optional<long double>
+readFloat<long double>(std::string_view, unsigned, ReadRounding);
+extern template std::optional<Binary128>
+readFloat<Binary128>(std::string_view, unsigned, ReadRounding);
+
+} // namespace dragon4
+
+#endif // DRAGON4_READER_READER_H

@@ -1,0 +1,45 @@
+//===- support/checks.h - Assertion helpers ---------------------*- C++ -*-===//
+//
+// Part of libdragon4, a reproduction of Burger & Dybvig, "Printing
+// Floating-Point Numbers Quickly and Accurately" (PLDI 1996).
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small assertion and unreachable helpers shared by all libdragon4 modules.
+/// The library reports programmatic errors by aborting (no exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_SUPPORT_CHECKS_H
+#define DRAGON4_SUPPORT_CHECKS_H
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Asserts \p Cond with a human-readable message, in all build modes (the
+/// algorithms are cheap enough that keeping invariant checks on in release
+/// builds is the safer default for a conversion library -- and NDEBUG
+/// builds silently skipping them has already hidden one real bug here).
+#define D4_ASSERT(Cond, Msg)                                                   \
+  do {                                                                         \
+    if (!(Cond)) {                                                             \
+      std::fprintf(stderr, "dragon4: assertion failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, Msg);                                   \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (false)
+
+namespace dragon4 {
+
+/// Marks a point in the code that must never be reached if the library's
+/// invariants hold.  Prints \p Msg and aborts.
+[[noreturn]] inline void unreachable(const char *Msg) {
+  std::fprintf(stderr, "dragon4 internal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace dragon4
+
+#endif // DRAGON4_SUPPORT_CHECKS_H

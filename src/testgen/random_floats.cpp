@@ -1,0 +1,63 @@
+//===- testgen/random_floats.cpp - Random float workloads -------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/random_floats.h"
+
+#include <bit>
+
+using namespace dragon4;
+
+std::vector<double> dragon4::randomNormalDoubles(size_t Count, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::vector<double> Values;
+  Values.reserve(Count);
+  while (Values.size() < Count) {
+    uint64_t Mantissa = Rng.next() & ((uint64_t(1) << 52) - 1);
+    uint64_t Biased = 1 + Rng.below(2046); // 1..2046: normalized.
+    Values.push_back(std::bit_cast<double>((Biased << 52) | Mantissa));
+  }
+  return Values;
+}
+
+std::vector<double> dragon4::randomSubnormalDoubles(size_t Count,
+                                                    uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::vector<double> Values;
+  Values.reserve(Count);
+  while (Values.size() < Count) {
+    uint64_t Mantissa = Rng.next() & ((uint64_t(1) << 52) - 1);
+    if (Mantissa == 0)
+      continue;
+    Values.push_back(std::bit_cast<double>(Mantissa));
+  }
+  return Values;
+}
+
+std::vector<double> dragon4::randomBitsDoubles(size_t Count, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::vector<double> Values;
+  Values.reserve(Count);
+  while (Values.size() < Count) {
+    uint64_t Bits = Rng.next() & ~(uint64_t(1) << 63); // Clear the sign.
+    double Value = std::bit_cast<double>(Bits);
+    if (Value == 0.0 || (Bits >> 52) == 2047) // Skip zero, inf, NaN.
+      continue;
+    Values.push_back(Value);
+  }
+  return Values;
+}
+
+std::vector<float> dragon4::randomNormalFloats(size_t Count, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::vector<float> Values;
+  Values.reserve(Count);
+  while (Values.size() < Count) {
+    uint32_t Mantissa = static_cast<uint32_t>(Rng.next()) & 0x7FFFFFu;
+    uint32_t Biased = 1 + static_cast<uint32_t>(Rng.below(254)); // 1..254.
+    Values.push_back(std::bit_cast<float>((Biased << 23) | Mantissa));
+  }
+  return Values;
+}

@@ -1,0 +1,68 @@
+//===- testgen/random_floats.h - Random float workloads ----------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random floating-point generators, used as a sanity complement to
+/// the structured Schryer-style set (results that hold on both cannot be
+/// artifacts of the structured mantissa patterns).  The generator is a
+/// self-contained SplitMix64 so streams are identical across platforms and
+/// standard-library versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_TESTGEN_RANDOM_FLOATS_H
+#define DRAGON4_TESTGEN_RANDOM_FLOATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dragon4 {
+
+/// SplitMix64: tiny, fast, well-distributed, reproducible.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    // Rejection-free modulo is fine here: Bound is tiny vs 2^64, and test
+    // workloads do not need perfect uniformity.
+    return next() % Bound;
+  }
+
+private:
+  uint64_t State;
+};
+
+/// \p Count positive normalized doubles with uniform random mantissa bits
+/// and uniform random (biased) exponent -- i.e. log-uniform magnitudes
+/// covering the whole range, like the exponent axis of the Schryer set.
+std::vector<double> randomNormalDoubles(size_t Count, uint64_t Seed);
+
+/// \p Count positive subnormal doubles (uniform non-zero stored mantissa).
+std::vector<double> randomSubnormalDoubles(size_t Count, uint64_t Seed);
+
+/// \p Count finite positive doubles drawn uniformly from raw bit patterns
+/// (mostly huge magnitudes; stresses wide scaling).
+std::vector<double> randomBitsDoubles(size_t Count, uint64_t Seed);
+
+/// \p Count positive normalized floats (uniform mantissa, uniform biased
+/// exponent).
+std::vector<float> randomNormalFloats(size_t Count, uint64_t Seed);
+
+} // namespace dragon4
+
+#endif // DRAGON4_TESTGEN_RANDOM_FLOATS_H

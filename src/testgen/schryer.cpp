@@ -1,0 +1,66 @@
+//===- testgen/schryer.cpp - Structured floating-point test set -------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/schryer.h"
+
+#include "support/checks.h"
+
+#include <algorithm>
+#include <bit>
+
+using namespace dragon4;
+
+namespace {
+
+constexpr int StoredBits = 52;
+constexpr uint64_t StoredMask = (uint64_t(1) << StoredBits) - 1;
+
+} // namespace
+
+std::vector<uint64_t>
+dragon4::schryerMantissaPatterns(const SchryerParams &Params) {
+  std::vector<uint64_t> Patterns;
+  // Runs of ones at the top (length A) and bottom (length C) of the stored
+  // significand, zeros in between: 1^A 0^(52-A-C) 1^C.
+  for (int A = 0; A <= StoredBits; ++A) {
+    for (int C = 0; C + A <= StoredBits; ++C) {
+      uint64_t Top = A == 0 ? 0
+                            : (((uint64_t(1) << A) - 1)
+                               << (StoredBits - A));
+      uint64_t Bottom = C == 0 ? 0 : (uint64_t(1) << C) - 1;
+      uint64_t Pattern = Top | Bottom;
+      Patterns.push_back(Pattern);
+      if (Params.IncludePerturbations) {
+        Patterns.push_back((Pattern + 1) & StoredMask);
+        Patterns.push_back((Pattern - 1) & StoredMask);
+      }
+    }
+  }
+  std::sort(Patterns.begin(), Patterns.end());
+  Patterns.erase(std::unique(Patterns.begin(), Patterns.end()),
+                 Patterns.end());
+  return Patterns;
+}
+
+std::vector<double> dragon4::schryerDoubles(const SchryerParams &Params) {
+  D4_ASSERT(Params.ExponentStride >= 1, "stride must be positive");
+  std::vector<uint64_t> Patterns = schryerMantissaPatterns(Params);
+
+  std::vector<int> Exponents; // Biased exponents of normalized doubles.
+  for (int Biased = 1; Biased <= 2046; Biased += Params.ExponentStride)
+    Exponents.push_back(Biased);
+  if (Exponents.back() != 2046)
+    Exponents.push_back(2046);
+
+  std::vector<double> Values;
+  Values.reserve(Patterns.size() * Exponents.size());
+  for (int Biased : Exponents)
+    for (uint64_t Mantissa : Patterns) {
+      uint64_t Bits = (static_cast<uint64_t>(Biased) << StoredBits) | Mantissa;
+      Values.push_back(std::bit_cast<double>(Bits));
+    }
+  return Values;
+}

@@ -1,0 +1,63 @@
+//===- tests/baselines/printf_shim_test.cpp -----------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/printf_shim.h"
+
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(PrintfShim, FormatsScientific) {
+  EXPECT_EQ(printfScientific(1.5, 3), "1.50e+00");
+  EXPECT_EQ(printfScientific(-1.5, 2), "-1.5e+00");
+  EXPECT_EQ(printfScientific(1234.5, 5), "1.2345e+03");
+  EXPECT_EQ(printfScientific(1.0, 1), "1e+00");
+}
+
+TEST(PrintfShim, ParsesItsOwnOutput) {
+  DigitString D = parsePrintfScientific("1.2345e+03");
+  EXPECT_EQ(D.digitsAsText(), "12345");
+  EXPECT_EQ(D.K, 4); // 1234.5 = 0.12345 * 10^4.
+
+  DigitString Neg = parsePrintfScientific("-9.99e-05");
+  EXPECT_EQ(Neg.digitsAsText(), "999");
+  EXPECT_EQ(Neg.K, -4);
+
+  DigitString One = parsePrintfScientific("5e+00");
+  EXPECT_EQ(One.digitsAsText(), "5");
+  EXPECT_EQ(One.K, 1);
+}
+
+TEST(PrintfShim, ParseComposedWithFormatIsConsistent) {
+  SplitMix64 Rng(99);
+  for (int I = 0; I < 100; ++I) {
+    double V = static_cast<double>(Rng.next()) / 7.0;
+    DigitString D = parsePrintfScientific(printfScientific(V, 17));
+    EXPECT_EQ(D.Digits.size(), 17u);
+  }
+}
+
+TEST(PrintfShim, ModernLibcIsCorrectlyRounded) {
+  // The Table 3 "Incorrect" column: expected to be zero on modern glibc.
+  for (double V : randomNormalDoubles(500, 1996)) {
+    EXPECT_TRUE(printfIsCorrectlyRounded(V, 17)) << printfScientific(V, 17);
+  }
+  for (double V : randomSubnormalDoubles(100, 1997)) {
+    EXPECT_TRUE(printfIsCorrectlyRounded(V, 17)) << printfScientific(V, 17);
+  }
+  for (int Digits : {1, 5, 9, 17}) {
+    for (double V : randomNormalDoubles(100, 2000 + Digits)) {
+      EXPECT_TRUE(printfIsCorrectlyRounded(V, Digits))
+          << printfScientific(V, Digits);
+    }
+  }
+}
+
+} // namespace

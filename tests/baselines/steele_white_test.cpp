@@ -1,0 +1,49 @@
+//===- tests/baselines/steele_white_test.cpp ----------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/steele_white.h"
+
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(SteeleWhite, DoesNotExploitUnbiasedRounding) {
+  // The headline behavioural difference: 1e23 prints long under Steele &
+  // White because the boundary cannot be assumed to round back.
+  DigitString D = steeleWhiteDigits(1e23);
+  EXPECT_EQ(D.digitsAsText(), "9999999999999999");
+  EXPECT_EQ(D.K, 23);
+}
+
+TEST(SteeleWhite, AgreesWithBurgerDybvigWhenBoundariesDoNotMatter) {
+  // For odd mantissas the NearestEven model collapses to Conservative, so
+  // the only remaining difference (scaling strategy) must not show.
+  for (double V : randomNormalDoubles(200, 90125)) {
+    Decomposed Dec = decompose(V);
+    if ((Dec.F & 1) == 0)
+      continue;
+    EXPECT_EQ(steeleWhiteDigits(V), shortestDigits(V)) << V;
+  }
+}
+
+TEST(SteeleWhite, OutputIsNeverShorterThanBurgerDybvig) {
+  for (double V : randomNormalDoubles(200, 424242)) {
+    EXPECT_GE(steeleWhiteDigits(V).Digits.size(),
+              shortestDigits(V).Digits.size())
+        << V;
+  }
+}
+
+TEST(SteeleWhite, WorksAcrossBases) {
+  EXPECT_EQ(steeleWhiteDigits(5.0, 2).digitsAsText(), "101");
+  EXPECT_EQ(steeleWhiteDigits(255.0, 16).digitsAsText(), "ff");
+}
+
+} // namespace

@@ -1,0 +1,220 @@
+//===- tests/bigint/bigint_basic_test.cpp ----------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Construction, comparison, addition/subtraction, shifts, and the small
+/// scalar operations of BigInt.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bigint/bigint.h"
+
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(BigIntBasic, DefaultIsZero) {
+  BigInt Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_FALSE(Zero.isNegative());
+  EXPECT_TRUE(Zero.isEven());
+  EXPECT_EQ(Zero.bitLength(), 0u);
+  EXPECT_EQ(Zero.toString(), "0");
+}
+
+TEST(BigIntBasic, ConstructFromUint64) {
+  EXPECT_EQ(BigInt(uint64_t(0)).toString(), "0");
+  EXPECT_EQ(BigInt(uint64_t(1)).toString(), "1");
+  EXPECT_EQ(BigInt(uint64_t(0xFFFFFFFFull)).toString(), "4294967295");
+  EXPECT_EQ(BigInt(uint64_t(0x100000000ull)).toString(), "4294967296");
+  EXPECT_EQ(BigInt(~uint64_t(0)).toString(), "18446744073709551615");
+}
+
+TEST(BigIntBasic, ConstructFromInt64) {
+  EXPECT_EQ(BigInt(int64_t(-1)).toString(), "-1");
+  EXPECT_EQ(BigInt(int64_t(-42)).toString(), "-42");
+  EXPECT_EQ(BigInt(INT64_MIN).toString(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).toString(), "9223372036854775807");
+  EXPECT_FALSE(BigInt(int64_t(0)).isNegative());
+}
+
+TEST(BigIntBasic, ToUint64RoundTrip) {
+  for (uint64_t V : {uint64_t(0), uint64_t(1), uint64_t(0xFFFFFFFF),
+                     uint64_t(1) << 52, ~uint64_t(0)}) {
+    EXPECT_EQ(BigInt(V).toUint64(), V);
+  }
+}
+
+TEST(BigIntBasic, CompareOrdersBySignThenMagnitude) {
+  BigInt MinusTwo(int64_t(-2));
+  BigInt MinusOne(int64_t(-1));
+  BigInt Zero;
+  BigInt One(uint64_t(1));
+  BigInt Big = BigInt::fromString("123456789123456789123456789");
+
+  EXPECT_LT(MinusTwo, MinusOne);
+  EXPECT_LT(MinusOne, Zero);
+  EXPECT_LT(Zero, One);
+  EXPECT_LT(One, Big);
+  EXPECT_GT(Big, MinusTwo);
+  EXPECT_EQ(One, BigInt(uint64_t(1)));
+  EXPECT_NE(One, Zero);
+  EXPECT_LE(One, One);
+  EXPECT_GE(Zero, Zero);
+}
+
+TEST(BigIntBasic, AdditionCarriesAcrossLimbs) {
+  BigInt A(uint64_t(0xFFFFFFFFFFFFFFFFull));
+  BigInt One(uint64_t(1));
+  EXPECT_EQ((A + One).toString(), "18446744073709551616");
+  EXPECT_EQ((A + A).toString(), "36893488147419103230");
+}
+
+TEST(BigIntBasic, SubtractionBorrowsAcrossLimbs) {
+  BigInt A = BigInt::fromString("18446744073709551616"); // 2^64
+  BigInt One(uint64_t(1));
+  EXPECT_EQ((A - One).toString(), "18446744073709551615");
+  EXPECT_EQ((One - A).toString(), "-18446744073709551615");
+  EXPECT_TRUE((A - A).isZero());
+}
+
+TEST(BigIntBasic, MixedSignAdditionReducesToSubtraction) {
+  BigInt A(int64_t(100));
+  BigInt B(int64_t(-30));
+  EXPECT_EQ((A + B).toString(), "70");
+  EXPECT_EQ((B + A).toString(), "70");
+  EXPECT_EQ((A - B).toString(), "130");
+  EXPECT_EQ((B - A).toString(), "-130");
+  BigInt C(int64_t(-100));
+  EXPECT_EQ((C + A).toString(), "0");
+  EXPECT_EQ((C - B).toString(), "-70");
+}
+
+TEST(BigIntBasic, NegateFlipsSignButNotZero) {
+  BigInt A(uint64_t(5));
+  A.negate();
+  EXPECT_EQ(A.toString(), "-5");
+  A.negate();
+  EXPECT_EQ(A.toString(), "5");
+  BigInt Zero;
+  Zero.negate();
+  EXPECT_FALSE(Zero.isNegative());
+}
+
+TEST(BigIntBasic, ShiftLeftMatchesMultiplicationByPowersOfTwo) {
+  BigInt One(uint64_t(1));
+  EXPECT_EQ((One << 0).toString(), "1");
+  EXPECT_EQ((One << 1).toString(), "2");
+  EXPECT_EQ((One << 32).toString(), "4294967296");
+  EXPECT_EQ((One << 64).toString(), "18446744073709551616");
+  EXPECT_EQ((One << 100).bitLength(), 101u);
+  BigInt V(uint64_t(0xDEADBEEF));
+  EXPECT_EQ((V << 37) >> 37, V);
+}
+
+TEST(BigIntBasic, ShiftRightDropsLowBits) {
+  BigInt V = BigInt::fromString("1000000000000000000000000000000");
+  EXPECT_EQ(((V << 200) >> 200), V);
+  EXPECT_TRUE((BigInt(uint64_t(1)) >> 1).isZero());
+  EXPECT_TRUE((V >> 5000).isZero());
+  EXPECT_EQ((BigInt(uint64_t(0xFF)) >> 4).toString(), "15");
+}
+
+TEST(BigIntBasic, BitLengthAndTestBit) {
+  EXPECT_EQ(BigInt(uint64_t(1)).bitLength(), 1u);
+  EXPECT_EQ(BigInt(uint64_t(2)).bitLength(), 2u);
+  EXPECT_EQ(BigInt(uint64_t(255)).bitLength(), 8u);
+  EXPECT_EQ(BigInt(uint64_t(256)).bitLength(), 9u);
+  BigInt V = BigInt(uint64_t(1)) << 131;
+  EXPECT_EQ(V.bitLength(), 132u);
+  EXPECT_TRUE(V.testBit(131));
+  EXPECT_FALSE(V.testBit(130));
+  EXPECT_FALSE(V.testBit(500));
+}
+
+TEST(BigIntBasic, MulSmall) {
+  BigInt V(uint64_t(1));
+  for (int I = 0; I < 25; ++I)
+    V.mulSmall(10);
+  EXPECT_EQ(V.toString(), "10000000000000000000000000");
+  V.mulSmall(0);
+  EXPECT_TRUE(V.isZero());
+}
+
+TEST(BigIntBasic, AddSmallCarriesThroughSaturatedLimbs) {
+  BigInt V = (BigInt(uint64_t(1)) << 96) - BigInt(uint64_t(1));
+  V.addSmall(1);
+  EXPECT_EQ(V, BigInt(uint64_t(1)) << 96);
+}
+
+TEST(BigIntBasic, DivModSmall) {
+  BigInt V = BigInt::fromString("12345678901234567890123456789");
+  uint32_t Rem = V.divModSmall(10);
+  EXPECT_EQ(Rem, 9u);
+  EXPECT_EQ(V.toString(), "1234567890123456789012345678");
+  BigInt Zero;
+  EXPECT_EQ(Zero.divModSmall(7), 0u);
+  EXPECT_TRUE(Zero.isZero());
+}
+
+TEST(BigIntBasic, IsEven) {
+  EXPECT_TRUE(BigInt(uint64_t(0)).isEven());
+  EXPECT_FALSE(BigInt(uint64_t(1)).isEven());
+  EXPECT_TRUE(BigInt(uint64_t(2)).isEven());
+  EXPECT_TRUE((BigInt(uint64_t(1)) << 64).isEven());
+}
+
+TEST(BigIntBasic, ToDoubleSmallValuesExact) {
+  EXPECT_EQ(BigInt(uint64_t(0)).toDouble(), 0.0);
+  EXPECT_EQ(BigInt(uint64_t(123456)).toDouble(), 123456.0);
+  EXPECT_EQ(BigInt(int64_t(-123456)).toDouble(), -123456.0);
+  EXPECT_EQ((BigInt(uint64_t(1)) << 52).toDouble(), 4503599627370496.0);
+}
+
+TEST(BigIntBasic, ToDoubleRoundsToNearestEven) {
+  // 2^64 + 2^11 is the first value above 2^64 whose nearest double differs
+  // from 2^64 (the ulp at 2^64 is 2^12, so +2^11 is an exact tie that must
+  // round to the even mantissa, i.e. back down to 2^64).
+  BigInt Tie = (BigInt(uint64_t(1)) << 64) + (BigInt(uint64_t(1)) << 11);
+  EXPECT_EQ(Tie.toDouble(), 18446744073709551616.0);
+  // One more than a tie rounds up.
+  BigInt Above = Tie + BigInt(uint64_t(1));
+  EXPECT_GT(Above.toDouble(), 18446744073709551616.0);
+}
+
+TEST(BigIntBasic, SelfAssignmentOperations) {
+  BigInt V = BigInt::fromString("987654321987654321");
+  BigInt Orig = V;
+  V += V;
+  EXPECT_EQ(V, Orig + Orig);
+  V -= V;
+  EXPECT_TRUE(V.isZero());
+}
+
+// Property sweep: (A + B) - B == A over random 64-bit pairs promoted to
+// multi-limb values by shifting.
+TEST(BigIntBasic, AddSubRoundTripProperty) {
+  SplitMix64 Rng(0xB16B00B5);
+  for (int I = 0; I < 500; ++I) {
+    BigInt A(Rng.next());
+    BigInt B(Rng.next());
+    A <<= Rng.below(100);
+    B <<= Rng.below(100);
+    if (Rng.below(2))
+      A.negate();
+    if (Rng.below(2))
+      B.negate();
+    BigInt Sum = A + B;
+    EXPECT_EQ(Sum - B, A);
+    EXPECT_EQ(Sum - A, B);
+  }
+}
+
+} // namespace

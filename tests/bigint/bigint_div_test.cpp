@@ -1,0 +1,150 @@
+//===- tests/bigint/bigint_div_test.cpp ------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Division: the single-limb fast path, Knuth Algorithm D, truncation
+/// semantics, and the N == Q*D + R identity as a property sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bigint/bigint.h"
+
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+BigInt randomWide(SplitMix64 &Rng, size_t Limbs) {
+  BigInt V;
+  for (size_t I = 0; I < Limbs; ++I) {
+    V <<= 32;
+    V += BigInt(uint64_t(Rng.next() & 0xFFFFFFFFu));
+  }
+  return V;
+}
+
+void expectDivModIdentity(const BigInt &N, const BigInt &D) {
+  BigInt Q, R;
+  BigInt::divMod(N, D, Q, R);
+  EXPECT_EQ(Q * D + R, N);
+  // |R| < |D| and R carries N's sign (or is zero).
+  EXPECT_LT((R.isNegative() ? -R : R), (D.isNegative() ? -D : D));
+  if (!R.isZero()) {
+    EXPECT_EQ(R.isNegative(), N.isNegative());
+  }
+}
+
+TEST(BigIntDiv, SmallQuotients) {
+  EXPECT_EQ((BigInt(uint64_t(42)) / BigInt(uint64_t(7))).toString(), "6");
+  EXPECT_EQ((BigInt(uint64_t(43)) / BigInt(uint64_t(7))).toString(), "6");
+  EXPECT_EQ((BigInt(uint64_t(43)) % BigInt(uint64_t(7))).toString(), "1");
+  EXPECT_TRUE((BigInt(uint64_t(3)) / BigInt(uint64_t(7))).isZero());
+  EXPECT_EQ((BigInt(uint64_t(3)) % BigInt(uint64_t(7))).toString(), "3");
+}
+
+TEST(BigIntDiv, TruncatesTowardZero) {
+  BigInt Seven(uint64_t(7));
+  BigInt MinusSeven(int64_t(-7));
+  BigInt Three(uint64_t(3));
+  BigInt MinusThree(int64_t(-3));
+  EXPECT_EQ((Seven / Three).toString(), "2");
+  EXPECT_EQ((MinusSeven / Three).toString(), "-2");
+  EXPECT_EQ((Seven / MinusThree).toString(), "-2");
+  EXPECT_EQ((MinusSeven / MinusThree).toString(), "2");
+  EXPECT_EQ((Seven % Three).toString(), "1");
+  EXPECT_EQ((MinusSeven % Three).toString(), "-1");
+  EXPECT_EQ((Seven % MinusThree).toString(), "1");
+  EXPECT_EQ((MinusSeven % MinusThree).toString(), "-1");
+}
+
+TEST(BigIntDiv, DividendSmallerThanDivisor) {
+  BigInt Small(uint64_t(123));
+  BigInt Huge = BigInt(uint64_t(1)) << 200;
+  BigInt Q, R;
+  BigInt::divMod(Small, Huge, Q, R);
+  EXPECT_TRUE(Q.isZero());
+  EXPECT_EQ(R, Small);
+}
+
+TEST(BigIntDiv, ExactPowersOfTen) {
+  BigInt V = BigInt::fromString("1000000000000000000000000000000000000");
+  BigInt D = BigInt::fromString("1000000000000000000");
+  BigInt Q, R;
+  BigInt::divMod(V, D, Q, R);
+  EXPECT_EQ(Q, D);
+  EXPECT_TRUE(R.isZero());
+}
+
+TEST(BigIntDiv, KnownMultiLimbCase) {
+  // (2^192 - 1) / (2^64 - 1) = 2^128 + 2^64 + 1 exactly.
+  BigInt N = (BigInt(uint64_t(1)) << 192) - BigInt(uint64_t(1));
+  BigInt D = (BigInt(uint64_t(1)) << 64) - BigInt(uint64_t(1));
+  BigInt Q, R;
+  BigInt::divMod(N, D, Q, R);
+  EXPECT_TRUE(R.isZero());
+  EXPECT_EQ(Q, (BigInt(uint64_t(1)) << 128) + (BigInt(uint64_t(1)) << 64) +
+                   BigInt(uint64_t(1)));
+}
+
+TEST(BigIntDiv, QHatRefinementStress) {
+  // Divisors with top limb 0x80000000 and dividends of all-ones limbs are
+  // the classic inputs that force the Algorithm D quotient-digit estimate
+  // to be corrected (and occasionally to take the add-back branch).
+  BigInt D = BigInt(uint64_t(0x80000000ull)) << 64; // 3 limbs, min top.
+  D += BigInt(uint64_t(1));
+  SplitMix64 Rng(5);
+  for (int I = 0; I < 200; ++I) {
+    BigInt N = randomWide(Rng, 6);
+    expectDivModIdentity(N, D);
+  }
+  // An explicit textbook add-back trigger family: N = (B^2)*(B/2) - 1 style
+  // values just below a multiple of the divisor.
+  for (int I = 1; I < 50; ++I) {
+    BigInt N = D * BigInt(uint64_t(I));
+    N -= BigInt(uint64_t(1));
+    expectDivModIdentity(N, D);
+  }
+}
+
+TEST(BigIntDiv, IdentityPropertySweep) {
+  SplitMix64 Rng(0xD1CE);
+  for (int I = 0; I < 400; ++I) {
+    BigInt N = randomWide(Rng, 1 + Rng.below(40));
+    BigInt D = randomWide(Rng, 1 + Rng.below(20));
+    if (D.isZero())
+      continue;
+    if (Rng.below(2))
+      N.negate();
+    if (Rng.below(2))
+      D.negate();
+    expectDivModIdentity(N, D);
+  }
+}
+
+TEST(BigIntDiv, DivModSmallMatchesGeneralPath) {
+  SplitMix64 Rng(0xFACE);
+  for (int I = 0; I < 200; ++I) {
+    BigInt N = randomWide(Rng, 1 + Rng.below(15));
+    uint32_t D = static_cast<uint32_t>(Rng.next() | 1);
+    BigInt Q, R;
+    BigInt::divMod(N, BigInt(uint64_t(D)), Q, R);
+    BigInt InPlace = N;
+    uint32_t Rem = InPlace.divModSmall(D);
+    EXPECT_EQ(InPlace, Q);
+    EXPECT_EQ(BigInt(uint64_t(Rem)), R);
+  }
+}
+
+TEST(BigIntDiv, SelfDivision) {
+  BigInt V = BigInt::fromString("314159265358979323846264338327950288");
+  EXPECT_TRUE((V / V).isOne());
+  EXPECT_TRUE((V % V).isZero());
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- tests/bigint/bigint_mul_test.cpp ------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multiplication: schoolbook and Karatsuba paths, signs, algebraic
+/// properties, and agreement with an independent add-and-shift reference.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bigint/bigint.h"
+
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+/// Independent multiplication reference: binary add-and-shift.
+BigInt mulReference(const BigInt &A, const BigInt &B) {
+  BigInt AbsA = A.isNegative() ? -A : A;
+  BigInt AbsB = B.isNegative() ? -B : B;
+  BigInt Result;
+  for (size_t I = 0; I < AbsB.bitLength(); ++I)
+    if (AbsB.testBit(I))
+      Result += AbsA << I;
+  if (A.isNegative() != B.isNegative())
+    Result.negate();
+  return Result;
+}
+
+/// Random value with roughly \p Limbs 32-bit limbs.
+BigInt randomWide(SplitMix64 &Rng, size_t Limbs) {
+  BigInt V;
+  for (size_t I = 0; I < Limbs; ++I) {
+    V <<= 32;
+    V += BigInt(uint64_t(Rng.next() & 0xFFFFFFFFu));
+  }
+  return V;
+}
+
+TEST(BigIntMul, SmallProducts) {
+  EXPECT_EQ((BigInt(uint64_t(6)) * BigInt(uint64_t(7))).toString(), "42");
+  EXPECT_TRUE((BigInt(uint64_t(6)) * BigInt()).isZero());
+  EXPECT_TRUE((BigInt() * BigInt(uint64_t(6))).isZero());
+  EXPECT_EQ(BigInt(uint64_t(1)) * BigInt(uint64_t(12345)),
+            BigInt(uint64_t(12345)));
+}
+
+TEST(BigIntMul, SignRules) {
+  BigInt Pos(uint64_t(21));
+  BigInt Neg(int64_t(-2));
+  EXPECT_EQ((Pos * Neg).toString(), "-42");
+  EXPECT_EQ((Neg * Pos).toString(), "-42");
+  EXPECT_EQ((Neg * Neg).toString(), "4");
+  EXPECT_FALSE((Neg * BigInt()).isNegative());
+}
+
+TEST(BigIntMul, KnownBigProduct) {
+  // 2^128 * (2^128 + 1) computed independently.
+  BigInt A = BigInt(uint64_t(1)) << 128;
+  BigInt B = A + BigInt(uint64_t(1));
+  BigInt Product = A * B;
+  EXPECT_EQ(Product, (BigInt(uint64_t(1)) << 256) + A);
+}
+
+TEST(BigIntMul, FactorialMatchesKnownValue) {
+  BigInt Fact(uint64_t(1));
+  for (uint32_t I = 2; I <= 30; ++I)
+    Fact.mulSmall(I);
+  EXPECT_EQ(Fact.toString(), "265252859812191058636308480000000");
+}
+
+TEST(BigIntMul, MatchesReferenceAcrossSizes) {
+  SplitMix64 Rng(42);
+  // Sizes straddling the Karatsuba threshold (24 limbs) on both sides.
+  for (size_t LimbsA : {1u, 2u, 5u, 23u, 24u, 25u, 40u, 97u}) {
+    for (size_t LimbsB : {1u, 3u, 24u, 50u}) {
+      BigInt A = randomWide(Rng, LimbsA);
+      BigInt B = randomWide(Rng, LimbsB);
+      EXPECT_EQ(A * B, mulReference(A, B))
+          << "limbs " << LimbsA << " x " << LimbsB;
+    }
+  }
+}
+
+TEST(BigIntMul, DeepKaratsubaRecursion) {
+  SplitMix64 Rng(7);
+  BigInt A = randomWide(Rng, 300);
+  BigInt B = randomWide(Rng, 300);
+  EXPECT_EQ(A * B, mulReference(A, B));
+  // Unbalanced operands exercise the uneven-split path.
+  BigInt C = randomWide(Rng, 300);
+  BigInt D = randomWide(Rng, 30);
+  EXPECT_EQ(C * D, mulReference(C, D));
+}
+
+TEST(BigIntMul, OperandsWithZeroLimbRuns) {
+  // Low halves that are all zero stress the Karatsuba trimming logic.
+  BigInt A = BigInt(uint64_t(0xABCDEF)) << 1024;
+  BigInt B = (BigInt(uint64_t(0x123456)) << 2048) + BigInt(uint64_t(1));
+  EXPECT_EQ(A * B, mulReference(A, B));
+}
+
+TEST(BigIntMul, AlgebraicProperties) {
+  SplitMix64 Rng(1234);
+  for (int I = 0; I < 50; ++I) {
+    BigInt A = randomWide(Rng, 1 + Rng.below(30));
+    BigInt B = randomWide(Rng, 1 + Rng.below(30));
+    BigInt C = randomWide(Rng, 1 + Rng.below(30));
+    EXPECT_EQ(A * B, B * A);
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ((A * B) * C, A * (B * C));
+  }
+}
+
+TEST(BigIntMul, MulSmallAgreesWithFullMultiplication) {
+  SplitMix64 Rng(99);
+  for (int I = 0; I < 100; ++I) {
+    BigInt A = randomWide(Rng, 1 + Rng.below(20));
+    uint32_t Factor = static_cast<uint32_t>(Rng.next());
+    BigInt ViaFull = A * BigInt(uint64_t(Factor));
+    BigInt ViaSmall = A;
+    ViaSmall.mulSmall(Factor);
+    EXPECT_EQ(ViaSmall, ViaFull);
+  }
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- tests/bigint/bigint_string_test.cpp ----------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Base 2-36 parsing and rendering, including the chunked fast paths and
+/// round-trip properties across all bases.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bigint/bigint.h"
+
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(BigIntString, DecimalRoundTrip) {
+  for (const char *Text :
+       {"0", "1", "9", "10", "4294967295", "4294967296",
+        "18446744073709551615", "18446744073709551616",
+        "340282366920938463463374607431768211456",
+        "999999999999999999999999999999999999999999999"}) {
+    EXPECT_EQ(BigInt::fromString(Text).toString(), Text);
+  }
+}
+
+TEST(BigIntString, NegativeAndExplicitPositive) {
+  EXPECT_EQ(BigInt::fromString("-123").toString(), "-123");
+  EXPECT_EQ(BigInt::fromString("+123").toString(), "123");
+  EXPECT_EQ(BigInt::fromString("-0").toString(), "0");
+}
+
+TEST(BigIntString, HexAndUpperCase) {
+  EXPECT_EQ(BigInt::fromString("ff", 16).toString(), "255");
+  EXPECT_EQ(BigInt::fromString("FF", 16).toString(), "255");
+  EXPECT_EQ(BigInt::fromString("deadbeef", 16).toString(16), "deadbeef");
+  EXPECT_EQ(BigInt::fromString("100", 16).toString(), "256");
+}
+
+TEST(BigIntString, BinaryAndBase36) {
+  EXPECT_EQ(BigInt::fromString("101010", 2).toString(), "42");
+  EXPECT_EQ(BigInt(uint64_t(42)).toString(2), "101010");
+  EXPECT_EQ(BigInt::fromString("zz", 36).toString(), "1295");
+  EXPECT_EQ(BigInt(uint64_t(1295)).toString(36), "zz");
+}
+
+TEST(BigIntString, IsValidString) {
+  EXPECT_TRUE(BigInt::isValidString("123"));
+  EXPECT_TRUE(BigInt::isValidString("-123"));
+  EXPECT_FALSE(BigInt::isValidString(""));
+  EXPECT_FALSE(BigInt::isValidString("-"));
+  EXPECT_FALSE(BigInt::isValidString("12a"));
+  EXPECT_TRUE(BigInt::isValidString("12a", 16));
+  EXPECT_FALSE(BigInt::isValidString("g", 16));
+  EXPECT_TRUE(BigInt::isValidString("g", 17));
+  EXPECT_FALSE(BigInt::isValidString("1 2"));
+}
+
+TEST(BigIntString, LeadingZerosParse) {
+  EXPECT_EQ(BigInt::fromString("000123").toString(), "123");
+  EXPECT_EQ(BigInt::fromString("0000").toString(), "0");
+}
+
+// Round-trip across every supported base, with values sized to cross the
+// per-base chunk boundaries.
+class BigIntStringBaseTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BigIntStringBaseTest, RoundTripAcrossChunkBoundaries) {
+  unsigned Base = GetParam();
+  SplitMix64 Rng(Base * 1000003u);
+  for (int I = 0; I < 40; ++I) {
+    BigInt V(Rng.next());
+    V <<= Rng.below(200);
+    V += BigInt(Rng.next());
+    std::string Text = V.toString(Base);
+    EXPECT_EQ(BigInt::fromString(Text, Base), V) << "base " << Base;
+  }
+}
+
+TEST_P(BigIntStringBaseTest, PowersOfBaseHaveCanonicalForm) {
+  unsigned Base = GetParam();
+  BigInt Power(uint64_t(1));
+  for (int Exp = 0; Exp < 40; ++Exp) {
+    std::string Text = Power.toString(Base);
+    EXPECT_EQ(Text.size(), static_cast<size_t>(Exp + 1));
+    EXPECT_EQ(Text[0], '1');
+    for (size_t Pos = 1; Pos < Text.size(); ++Pos)
+      EXPECT_EQ(Text[Pos], '0');
+    Power.mulSmall(Base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBases, BigIntStringBaseTest,
+                         ::testing::Values(2u, 3u, 7u, 8u, 10u, 16u, 17u, 25u,
+                                           32u, 36u));
+
+} // namespace

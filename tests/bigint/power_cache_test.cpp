@@ -1,0 +1,59 @@
+//===- tests/bigint/power_cache_test.cpp -------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "bigint/power_cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(PowerCache, ZeroExponentIsOne) {
+  PowerCache Cache(10);
+  EXPECT_TRUE(Cache.get(0).isOne());
+}
+
+TEST(PowerCache, MatchesBigIntPow) {
+  PowerCache Cache(10);
+  for (unsigned Exp : {1u, 5u, 27u, 100u, 325u})
+    EXPECT_EQ(Cache.get(Exp), BigInt::pow(10u, Exp)) << "10^" << Exp;
+}
+
+TEST(PowerCache, GrowOnDemandKeepsEarlierEntries) {
+  PowerCache Cache(3);
+  BigInt Small = Cache.get(4);
+  EXPECT_EQ(Small.toString(), "81");
+  Cache.get(200); // Force growth.
+  EXPECT_EQ(Cache.get(4).toString(), "81");
+}
+
+TEST(PowerCache, CachedPowCoversAllBases) {
+  for (unsigned Base = 2; Base <= 36; ++Base) {
+    EXPECT_TRUE(cachedPow(Base, 0).isOne());
+    EXPECT_EQ(cachedPow(Base, 1), BigInt(uint64_t(Base)));
+    EXPECT_EQ(cachedPow(Base, 7), BigInt::pow(Base, 7));
+  }
+}
+
+TEST(PowerCache, PaperRangeForDoubles) {
+  // The paper's table covers 10^0 .. 10^325, "sufficient to handle all
+  // IEEE double-precision floating-point numbers".
+  const BigInt &Big = cachedPow(10, 325);
+  EXPECT_EQ(Big.toString().size(), 326u);
+}
+
+TEST(BigIntPow, EdgeCases) {
+  EXPECT_TRUE(BigInt::pow(BigInt(uint64_t(0)), 0).isOne());
+  EXPECT_TRUE(BigInt::pow(BigInt(uint64_t(0)), 5).isZero());
+  EXPECT_TRUE(BigInt::pow(BigInt(uint64_t(1)), 1000).isOne());
+  EXPECT_EQ(BigInt::pow(BigInt(uint64_t(2)), 100),
+            BigInt(uint64_t(1)) << 100);
+  EXPECT_EQ(BigInt::pow(BigInt(int64_t(-2)), 3).toString(), "-8");
+  EXPECT_EQ(BigInt::pow(BigInt(int64_t(-2)), 4).toString(), "16");
+}
+
+} // namespace

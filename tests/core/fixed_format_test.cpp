@@ -1,0 +1,200 @@
+//===- tests/core/fixed_format_test.cpp --------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-format conversion: the paper's worked examples (1/3 to ten
+/// places, 100 to twenty places), absolute vs relative positions, the
+/// zero-collapse case, ties at half-quantum, and # mark placement.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/fixed_format.h"
+
+#include "fp/binary16.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+std::string fixedAbs(double V, int Position, FixedFormatOptions Options = {}) {
+  DigitString D = fixedDigitsAbsolute(V, Position, Options);
+  return D.digitsAsText() + " k=" + std::to_string(D.K);
+}
+
+std::string fixedRel(double V, int NumDigits,
+                     FixedFormatOptions Options = {}) {
+  DigitString D = fixedDigitsRelative(V, NumDigits, Options);
+  return D.digitsAsText() + " k=" + std::to_string(D.K);
+}
+
+TEST(FixedFormat, PaperExampleOneThirdTenPlaces) {
+  // "the floating-point representation of 1/3 might print as 0.3333333148
+  // even though only the first seven digits are significant ... so that
+  // 1/3 prints as 0.3333333###."  That was the 1996 single-precision
+  // example; float (p=24) gives exactly this.
+  float OneThird = 1.0f / 3.0f;
+  DigitString D = fixedDigitsAbsolute(OneThird, -10);
+  EXPECT_EQ(D.K, 0);
+  // First seven fraction digits significant, remainder insignificant.
+  EXPECT_EQ(D.digitsAsText().size(), 10u);
+  EXPECT_EQ(D.digitsAsText().substr(0, 7), "3333333");
+  EXPECT_GT(D.TrailingMarks, 0);
+  EXPECT_EQ(D.digitsAsText().substr(10 - D.TrailingMarks),
+            std::string(static_cast<size_t>(D.TrailingMarks), '#'));
+}
+
+TEST(FixedFormat, PaperExampleHundredToTwentyPlaces) {
+  // "when printing 100 in IEEE double-precision to digit position 20, the
+  // algorithm prints 100.000000000000000#####."
+  DigitString D = fixedDigitsAbsolute(100.0, -20);
+  EXPECT_EQ(D.K, 3);
+  std::string Text = D.digitsAsText();
+  ASSERT_EQ(Text.size(), 23u); // Positions 2..-20.
+  EXPECT_EQ(Text.substr(0, 3), "100");
+  // 100 = 2^2 * 25 has 55 bits below the leading digit... exactness runs
+  // out after enough decimal places; the tail must be marks and the
+  // boundary between zeros and marks is where incrementing stays in range.
+  EXPECT_EQ(D.TrailingMarks, 5);
+  EXPECT_EQ(Text.substr(0, 18), "100000000000000000");
+  EXPECT_EQ(Text.substr(18), "#####");
+}
+
+TEST(FixedFormat, PaperExampleHundredToPositionZero) {
+  // "Suppose 100 were printed to absolute position 0 ... the remaining
+  // digit positions are significant and must therefore be zero, not #."
+  DigitString D = fixedDigitsAbsolute(100.0, 0);
+  EXPECT_EQ(D.digitsAsText(), "100");
+  EXPECT_EQ(D.K, 3);
+  EXPECT_EQ(D.TrailingMarks, 0);
+}
+
+TEST(FixedFormat, RoundsCorrectlyAtRequestedPosition) {
+  EXPECT_EQ(fixedAbs(0.6, 0), "1 k=1");    // 0.6 -> 1 at integer precision.
+  EXPECT_EQ(fixedAbs(0.4, 0), "0 k=1");    // 0.4 -> 0.
+  EXPECT_EQ(fixedAbs(123.456, -2), "12346 k=3"); // Round up at hundredths.
+  EXPECT_EQ(fixedAbs(123.454, -2), "12345 k=3"); // Round down.
+  EXPECT_EQ(fixedAbs(9.95, 0), "10 k=2");  // Carry into a new position.
+}
+
+TEST(FixedFormat, HalfQuantumTies) {
+  // 0.5 is exact in binary; at integer precision it is a genuine tie.
+  FixedFormatOptions Up, Down, Even;
+  Up.Ties = TieBreak::RoundUp;
+  Down.Ties = TieBreak::RoundDown;
+  Even.Ties = TieBreak::RoundEven;
+  EXPECT_EQ(fixedAbs(0.5, 0, Up), "1 k=1");
+  EXPECT_EQ(fixedAbs(0.5, 0, Down), "0 k=1");
+  EXPECT_EQ(fixedAbs(0.5, 0, Even), "0 k=1");  // 0 is even.
+  EXPECT_EQ(fixedAbs(1.5, 0, Even), "2 k=1");  // Ties to even digit.
+  EXPECT_EQ(fixedAbs(2.5, 0, Even), "2 k=1");
+  EXPECT_EQ(fixedAbs(2.5, 0, Up), "3 k=1");
+  // 0.125 at two fraction digits: tie between 0.12 and 0.13.
+  EXPECT_EQ(fixedAbs(0.125, -2, Even), "12 k=0");
+  EXPECT_EQ(fixedAbs(0.125, -2, Up), "13 k=0");
+}
+
+TEST(FixedFormat, ZeroCollapseProducesSignificantZero) {
+  // A value far below the requested position rounds to a single zero.
+  EXPECT_EQ(fixedAbs(5e-324, 0), "0 k=1");
+  EXPECT_EQ(fixedAbs(0.04, 0), "0 k=1");
+  EXPECT_EQ(fixedAbs(1e-10, -5), "0 k=-4");
+  DigitString D = fixedDigitsAbsolute(5e-324, 0);
+  EXPECT_EQ(D.TrailingMarks, 0);
+}
+
+TEST(FixedFormat, RelativePositionBasics) {
+  EXPECT_EQ(fixedRel(123.456, 4), "1235 k=3");
+  EXPECT_EQ(fixedRel(123.456, 2), "12 k=3");
+  EXPECT_EQ(fixedRel(123.456, 1), "1 k=3");
+  EXPECT_EQ(fixedRel(0.0001234, 2), "12 k=-3");
+  EXPECT_EQ(fixedRel(1.0, 3), "100 k=1");
+}
+
+TEST(FixedFormat, RelativePositionCarryBumpsScale) {
+  // Values that round up past a power of the base need the second round
+  // of the scale iteration: the requested digit count stays fixed while
+  // the scale grows by one.
+  EXPECT_EQ(fixedRel(9.996, 3), "100 k=2"); // 9.996 -> 10.0.
+  EXPECT_EQ(fixedRel(9.96, 2), "10 k=2");   // 9.96  -> 10.
+  EXPECT_EQ(fixedRel(0.999999, 2), "10 k=1");
+  // Just below the carry threshold: no bump (9.995 in binary is
+  // 9.99499999..., which rounds down to 9.99).
+  EXPECT_EQ(fixedRel(9.995, 3), "999 k=1");
+}
+
+TEST(FixedFormat, RelativeMatchesAbsoluteAtDerivedPosition) {
+  for (double V : randomNormalDoubles(200, 3131)) {
+    for (int NumDigits : {1, 2, 5, 12, 17, 25}) {
+      DigitString Rel = fixedDigitsRelative(V, NumDigits);
+      int J = Rel.K - NumDigits;
+      DigitString Abs = fixedDigitsAbsolute(V, J);
+      EXPECT_EQ(Rel, Abs) << V << " digits=" << NumDigits;
+      EXPECT_EQ(Rel.width(), NumDigits) << V;
+    }
+  }
+}
+
+TEST(FixedFormat, MarksAppearExactlyWhenPrecisionRunsOut) {
+  // With enough requested digits, every double eventually yields marks;
+  // the digits+zeros prefix must match the free-format output when the
+  // latter is shorter.
+  for (double V : randomNormalDoubles(100, 717)) {
+    DigitString Wide = fixedDigitsRelative(V, 30);
+    EXPECT_EQ(Wide.width(), 30) << V;
+    EXPECT_GT(Wide.TrailingMarks, 0) << V; // 30 > 17 max significant.
+  }
+}
+
+TEST(FixedFormat, SubnormalsShowFewSignificantDigits) {
+  // 5e-324 to 30 significant positions: ~1-2 digits then marks, because
+  // the rounding range of the last subnormal is gigantic relative to it.
+  DigitString D = fixedDigitsRelative(5e-324, 10);
+  EXPECT_EQ(D.width(), 10);
+  EXPECT_GT(D.TrailingMarks, 6) << D.digitsAsText();
+  EXPECT_EQ(D.Digits.front(), 5u);
+}
+
+TEST(FixedFormat, Binary16DenormalMarksExhaustive) {
+  // The paper motivates # marks with denormalized numbers; sweep all
+  // binary16 subnormals at 8 significant positions and check structure.
+  for (uint32_t Bits = 1; Bits < 0x400; ++Bits) {
+    Binary16 H = Binary16::fromBits(static_cast<uint16_t>(Bits));
+    DigitString D = fixedDigitsRelative(H, 8);
+    EXPECT_EQ(D.width(), 8) << Bits;
+    for (uint8_t Digit : D.Digits)
+      EXPECT_LT(Digit, 10u);
+    // Subnormal halves have at most ~3-4 meaningful decimal digits.
+    EXPECT_GE(D.TrailingMarks, 1) << Bits;
+  }
+}
+
+TEST(FixedFormat, AbsolutePositiveQuantization) {
+  // Rounding to tens / hundreds (position > 0).  12345 at the tens is an
+  // exact tie; the default strategy rounds up.
+  EXPECT_EQ(fixedAbs(12345.0, 1), "1235 k=5");
+  EXPECT_EQ(fixedAbs(12355.0, 2), "124 k=5");
+  EXPECT_EQ(fixedAbs(149.0, 2), "1 k=3");
+  EXPECT_EQ(fixedAbs(151.0, 2), "2 k=3");
+}
+
+TEST(FixedFormat, WidthEqualsKMinusJ) {
+  for (double V : randomNormalDoubles(150, 818)) {
+    for (int J : {-12, -3, 0, 2, 8}) {
+      DigitString D = fixedDigitsAbsolute(V, J);
+      if (D.K <= J) {
+        EXPECT_EQ(D.width(), 1);
+        continue;
+      }
+      EXPECT_EQ(D.width(), D.K - J) << V << " J=" << J;
+      EXPECT_EQ(D.lastPlace(), J) << V << " J=" << J;
+    }
+  }
+}
+
+} // namespace

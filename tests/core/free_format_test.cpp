@@ -1,0 +1,209 @@
+//===- tests/core/free_format_test.cpp ---------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Free-format conversion: the paper's worked examples, the classic hard
+/// doubles, rounding-mode accommodation (the 1e23 case), scaling-strategy
+/// independence, and digit validity invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/free_format.h"
+
+#include "fp/binary16.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+/// Digits as text plus the scale, e.g. "3 k=0" for 0.3.
+std::string shortText(double V, FreeFormatOptions Options = {}) {
+  DigitString D = shortestDigits(V, Options);
+  return D.digitsAsText() + " k=" + std::to_string(D.K);
+}
+
+TEST(FreeFormat, PaperExampleOneThird) {
+  // "1/3 would print as 0.3333333333333333" (16 threes for the double
+  // nearest 1/3).
+  DigitString D = shortestDigits(1.0 / 3.0);
+  EXPECT_EQ(D.digitsAsText(), "3333333333333333");
+  EXPECT_EQ(D.K, 0);
+  EXPECT_EQ(D.TrailingMarks, 0);
+}
+
+TEST(FreeFormat, PaperExamplePointThree) {
+  // "3/10 would print as 0.3 instead of 0.2999999".
+  DigitString D = shortestDigits(0.3);
+  EXPECT_EQ(D.digitsAsText(), "3");
+  EXPECT_EQ(D.K, 0);
+}
+
+TEST(FreeFormat, PaperExampleUnbiasedRounding1e23) {
+  // 10^23 falls exactly between two doubles; the nearer-even one (the
+  // smaller) wins on input, so with the NearestEven reader model the
+  // algorithm may print the bold short form "1e23"...
+  DigitString Aware = shortestDigits(1e23, FreeFormatOptions{});
+  EXPECT_EQ(Aware.digitsAsText(), "1");
+  EXPECT_EQ(Aware.K, 24);
+  // ...while the conservative (Steele-White-style) model must print
+  // 9.999999999999999e22.
+  FreeFormatOptions Conservative;
+  Conservative.Boundaries = BoundaryMode::Conservative;
+  DigitString Safe = shortestDigits(1e23, Conservative);
+  EXPECT_EQ(Safe.digitsAsText(), "9999999999999999");
+  EXPECT_EQ(Safe.K, 23);
+}
+
+TEST(FreeFormat, ClassicHardValues) {
+  EXPECT_EQ(shortText(5e-324), "5 k=-323");        // Smallest subnormal.
+  EXPECT_EQ(shortText(2.2250738585072014e-308),
+            "22250738585072014 k=-307");            // Smallest normal.
+  EXPECT_EQ(shortText(1.7976931348623157e308),
+            "17976931348623157 k=309");             // Largest finite.
+  EXPECT_EQ(shortText(1.0), "1 k=1");
+  EXPECT_EQ(shortText(2.0), "2 k=1");
+  EXPECT_EQ(shortText(0.1), "1 k=0");
+  EXPECT_EQ(shortText(1e22), "1 k=23");             // Exact power of ten.
+  EXPECT_EQ(shortText(9007199254740992.0), "9007199254740992 k=16"); // 2^53.
+  EXPECT_EQ(shortText(123.456), "123456 k=3");
+}
+
+TEST(FreeFormat, PowersOfTwoAreExact) {
+  // Powers of two are exactly representable, so the shortest form is just
+  // the decimal expansion trimmed of trailing zeros.
+  EXPECT_EQ(shortText(4.0), "4 k=1");
+  EXPECT_EQ(shortText(1024.0), "1024 k=4");
+  EXPECT_EQ(shortText(0.5), "5 k=0");
+  EXPECT_EQ(shortText(0.25), "25 k=0");
+  EXPECT_EQ(shortText(0.125), "125 k=0");
+}
+
+TEST(FreeFormat, FirstDigitNonZeroAndAllDigitsValid) {
+  FreeFormatOptions Options;
+  for (unsigned Base : {2u, 7u, 10u, 16u, 36u}) {
+    Options.Base = Base;
+    for (double V : randomNormalDoubles(100, Base * 3 + 1)) {
+      DigitString D = shortestDigits(V, Options);
+      ASSERT_FALSE(D.Digits.empty());
+      EXPECT_NE(D.Digits.front(), 0u) << V;
+      for (uint8_t Digit : D.Digits)
+        EXPECT_LT(Digit, Base) << V;
+      EXPECT_EQ(D.TrailingMarks, 0);
+    }
+  }
+}
+
+TEST(FreeFormat, ScalingStrategiesProduceIdenticalOutput) {
+  FreeFormatOptions Iter, Log, Est;
+  Iter.Scaling = ScalingAlgorithm::Iterative;
+  Log.Scaling = ScalingAlgorithm::FloatLog;
+  Est.Scaling = ScalingAlgorithm::Estimate;
+  auto Check = [&](double V) {
+    DigitString A = shortestDigits(V, Iter);
+    DigitString B = shortestDigits(V, Log);
+    DigitString C = shortestDigits(V, Est);
+    EXPECT_EQ(A, B) << V;
+    EXPECT_EQ(A, C) << V;
+  };
+  for (double V : randomNormalDoubles(200, 1001))
+    Check(V);
+  for (double V : randomSubnormalDoubles(50, 1002))
+    Check(V);
+  for (double V : {1e308, 1e-308, 5e-324, 1.0, 3.141592653589793})
+    Check(V);
+}
+
+TEST(FreeFormat, BoundaryModesOrderOutputLengths) {
+  // Inclusive boundaries can only shorten (or keep) the output.
+  for (double V : randomNormalDoubles(200, 555)) {
+    FreeFormatOptions Conservative, Inclusive;
+    Conservative.Boundaries = BoundaryMode::Conservative;
+    Inclusive.Boundaries = BoundaryMode::BothInclusive;
+    size_t LenC = shortestDigits(V, Conservative).Digits.size();
+    size_t LenI = shortestDigits(V, Inclusive).Digits.size();
+    EXPECT_LE(LenI, LenC) << V;
+  }
+}
+
+TEST(FreeFormat, NearestEvenMatchesConservativeForOddMantissa) {
+  for (double V : randomNormalDoubles(300, 666)) {
+    Decomposed D = decompose(V);
+    if ((D.F & 1) == 0)
+      continue;
+    FreeFormatOptions Conservative, Even;
+    Conservative.Boundaries = BoundaryMode::Conservative;
+    Even.Boundaries = BoundaryMode::NearestEven;
+    EXPECT_EQ(shortestDigits(V, Conservative), shortestDigits(V, Even)) << V;
+  }
+}
+
+TEST(FreeFormat, TieBreakStrategiesDifferOnlyInLastDigit) {
+  FreeFormatOptions Up, Down;
+  Up.Ties = TieBreak::RoundUp;
+  Down.Ties = TieBreak::RoundDown;
+  for (double V : randomNormalDoubles(300, 91)) {
+    DigitString A = shortestDigits(V, Up);
+    DigitString B = shortestDigits(V, Down);
+    ASSERT_EQ(A.Digits.size(), B.Digits.size()) << V;
+    ASSERT_EQ(A.K, B.K) << V;
+    for (size_t I = 0; I + 1 < A.Digits.size(); ++I)
+      EXPECT_EQ(A.Digits[I], B.Digits[I]) << V;
+    int Delta = static_cast<int>(A.Digits.back()) -
+                static_cast<int>(B.Digits.back());
+    EXPECT_TRUE(Delta == 0 || Delta == 1) << V;
+  }
+}
+
+TEST(FreeFormat, FloatOutputsAreShorterThanDoubleOutputs) {
+  // floats have 24 bits of precision; their shortest decimal form needs at
+  // most 9 digits (and the double view of the same value never fewer).
+  for (float V : randomNormalFloats(300, 44)) {
+    DigitString D = shortestDigits(V);
+    EXPECT_LE(D.Digits.size(), 9u) << V;
+  }
+}
+
+TEST(FreeFormat, DoubleNeedsAtMost17Digits) {
+  for (double V : randomNormalDoubles(300, 45)) {
+    DigitString D = shortestDigits(V);
+    EXPECT_LE(D.Digits.size(), 17u) << V;
+  }
+}
+
+TEST(FreeFormat, Binary16ExhaustiveDigitBounds) {
+  // Every finite positive half: at most 5 significant decimal digits.
+  for (uint32_t Bits = 1; Bits < 0x7C00; ++Bits) {
+    Binary16 H = Binary16::fromBits(static_cast<uint16_t>(Bits));
+    DigitString D = shortestDigits(H);
+    EXPECT_LE(D.Digits.size(), 5u) << Bits;
+    EXPECT_NE(D.Digits.front(), 0u) << Bits;
+  }
+}
+
+TEST(FreeFormat, Base2OutputIsTheMantissa) {
+  // In base 2 the shortest digits of 5.0 = 101b.
+  FreeFormatOptions Options;
+  Options.Base = 2;
+  DigitString D = shortestDigits(5.0, Options);
+  EXPECT_EQ(D.digitsAsText(), "101");
+  EXPECT_EQ(D.K, 3);
+}
+
+TEST(FreeFormat, Base16KnownValue) {
+  FreeFormatOptions Options;
+  Options.Base = 16;
+  DigitString D = shortestDigits(255.0, Options);
+  EXPECT_EQ(D.digitsAsText(), "ff");
+  EXPECT_EQ(D.K, 2);
+  DigitString E = shortestDigits(0.0625, Options); // 16^-1.
+  EXPECT_EQ(E.digitsAsText(), "1");
+  EXPECT_EQ(E.K, 0);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/core/scaling_test.cpp -------------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scaling step: the estimator's "k or k-1, never more" guarantee, the
+/// fixup, and agreement of all three strategies (which is the correctness
+/// content of Table 2 -- they differ only in cost).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/scaling.h"
+
+#include "core/options.h"
+#include "fp/binary16.h"
+#include "testgen/random_floats.h"
+#include "testgen/schryer.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+using namespace dragon4;
+
+namespace {
+
+/// The exact k for comparison, from the slow iterative algorithm.
+int exactK(double V, unsigned B, BoundaryFlags Flags) {
+  Decomposed D = decompose(V);
+  return scaleIterative(makeScaledStart<double>(D), B, Flags).K;
+}
+
+TEST(Estimator, KnownDecimalValues) {
+  // estimateScale(E, len, 10) must be ceil(log10 v) or one less.
+  // v = 1.0: log10 = 0, k (for high slightly above 1) is 1; estimate is 0.
+  Decomposed One = decompose(1.0);
+  int Est = estimateScale(One.E, 64 - std::countl_zero(One.F), 10);
+  EXPECT_EQ(Est, 0);
+  // v = 1000.0: estimate 3 or 4 (true k = 4 since high > 1000).
+  Decomposed Th = decompose(1000.0);
+  int EstTh = estimateScale(Th.E, 64 - std::countl_zero(Th.F), 10);
+  EXPECT_TRUE(EstTh == 3 || EstTh == 4);
+}
+
+TEST(Estimator, Base2IsExactFloorLog2) {
+  for (double V : randomNormalDoubles(200, 31)) {
+    Decomposed D = decompose(V);
+    int Est = estimateScale(D.E, 64 - std::countl_zero(D.F), 2);
+    EXPECT_EQ(Est, static_cast<int>(std::floor(std::log2(V))))
+        << V; // For B = 2 the formula is floor(log2 v) exactly.
+  }
+}
+
+class ScalingBaseTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ScalingBaseTest, EstimateIsKOrKMinusOne) {
+  unsigned B = GetParam();
+  BoundaryFlags Flags{false, false};
+  auto Check = [&](double V) {
+    Decomposed D = decompose(V);
+    int Est = estimateScale(D.E, 64 - std::countl_zero(D.F), B);
+    int K = exactK(V, B, Flags);
+    EXPECT_TRUE(Est == K || Est == K - 1)
+        << "V=" << V << " base=" << B << " est=" << Est << " k=" << K;
+  };
+  for (double V : randomNormalDoubles(150, B * 7 + 1))
+    Check(V);
+  for (double V : randomSubnormalDoubles(50, B * 7 + 2))
+    Check(V);
+  for (double V : {1.0, 2.0, 0.5, 1e300, 1e-300, 5e-324, 4.9e300,
+                   65536.0, 1.7976931348623157e308})
+    Check(V);
+}
+
+TEST_P(ScalingBaseTest, FloatLogEstimateIsKOrKMinusOne) {
+  unsigned B = GetParam();
+  BoundaryFlags Flags{false, false};
+  for (double V : randomNormalDoubles(150, B * 13 + 5)) {
+    Decomposed DV = decompose(V);
+    int Est = estimateScaleFloatLog(DV.F, DV.E, B);
+    int K = exactK(V, B, Flags);
+    EXPECT_TRUE(Est == K || Est == K - 1)
+        << "V=" << V << " base=" << B << " est=" << Est << " k=" << K;
+  }
+}
+
+TEST_P(ScalingBaseTest, AllThreeStrategiesAgree) {
+  unsigned B = GetParam();
+  auto CheckAll = [&](double V, BoundaryFlags Flags) {
+    Decomposed D = decompose(V);
+    int BitLen = 64 - std::countl_zero(D.F);
+    ScaledState Iter =
+        scaleIterative(makeScaledStart<double>(D), B, Flags);
+    ScaledState Log =
+        scaleFloatLog(makeScaledStart<double>(D), B, Flags, D.F, D.E);
+    ScaledState Est =
+        scaleEstimate(makeScaledStart<double>(D), B, Flags, D.E, BitLen);
+    EXPECT_EQ(Iter.K, Log.K) << V;
+    EXPECT_EQ(Iter.K, Est.K) << V;
+    // The states may differ by a common factor (the loop is homogeneous);
+    // cross-multiplied ratios must match: R1*S2 == R2*S1, etc.
+    EXPECT_EQ(Iter.R * Est.S, Est.R * Iter.S) << V;
+    EXPECT_EQ(Iter.MPlus * Est.S, Est.MPlus * Iter.S) << V;
+    EXPECT_EQ(Iter.MMinus * Est.S, Est.MMinus * Iter.S) << V;
+    EXPECT_EQ(Log.R * Est.S, Est.R * Log.S) << V;
+    EXPECT_EQ(Log.MPlus * Est.S, Est.MPlus * Log.S) << V;
+  };
+  for (double V : randomNormalDoubles(60, B * 101 + 9)) {
+    CheckAll(V, BoundaryFlags{false, false});
+    CheckAll(V, BoundaryFlags{true, true});
+  }
+  for (double V : randomSubnormalDoubles(20, B * 101 + 10))
+    CheckAll(V, BoundaryFlags{false, false});
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, ScalingBaseTest,
+                         ::testing::Values(2u, 3u, 8u, 10u, 16u, 36u));
+
+TEST(Scaling, PostConditionHighAtMostBk) {
+  // After scaling (pre-multiplied convention), high = (R/B + MPlus/B)/S
+  // satisfies high <= B^K, i.e. R + MPlus <= B*S (strict if HighOk).
+  for (double V : randomNormalDoubles(200, 77)) {
+    for (bool HighOk : {false, true}) {
+      BoundaryFlags Flags{HighOk, HighOk};
+      Decomposed D = decompose(V);
+      int BitLen = 64 - std::countl_zero(D.F);
+      ScaledState State =
+          scaleEstimate(makeScaledStart<double>(D), 10, Flags, D.E, BitLen);
+      BigInt High = State.R + State.MPlus;
+      BigInt Bound = State.S;
+      Bound.mulSmall(10);
+      if (HighOk)
+        EXPECT_LT(High, Bound) << V;
+      else
+        EXPECT_LE(High, Bound) << V;
+      // And K is minimal: high > B^(K-1) (or >=).
+      if (HighOk)
+        EXPECT_GE(High, State.S) << V;
+      else
+        EXPECT_GT(High, State.S) << V;
+    }
+  }
+}
+
+TEST(Scaling, IterativeSeededFarAwayStillConverges) {
+  Decomposed D = decompose(1234.5);
+  BoundaryFlags Flags{false, false};
+  int KTrue = scaleIterative(makeScaledStart<double>(D), 10, Flags, 0).K;
+  EXPECT_EQ(scaleIterative(makeScaledStart<double>(D), 10, Flags, 50).K,
+            KTrue);
+  EXPECT_EQ(scaleIterative(makeScaledStart<double>(D), 10, Flags, -50).K,
+            KTrue);
+}
+
+TEST(Scaling, SchryerExtremesAgree) {
+  // Spot-check the structured set's extreme-exponent members, where the
+  // estimate-vs-exact distinction matters most.
+  SchryerParams Params;
+  Params.ExponentStride = 600; // Sparse: keep the test fast.
+  BoundaryFlags Flags{false, false};
+  for (double V : schryerDoubles(Params)) {
+    Decomposed D = decompose(V);
+    int BitLen = 64 - std::countl_zero(D.F);
+    int KEst =
+        scaleEstimate(makeScaledStart<double>(D), 10, Flags, D.E, BitLen).K;
+    int KIter = scaleIterative(makeScaledStart<double>(D), 10, Flags).K;
+    ASSERT_EQ(KEst, KIter) << V;
+  }
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+//===- tests/core/table1_test.cpp --------------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end invariants of the scaled state: after Table 1 initialization
+/// and scaling, the digit loop's invariants from the paper's Section 3
+/// must hold exactly (verified with rationals).  This is the "Table 1 as
+/// code + tests" entry of the experiment index in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/digit_loop.h"
+#include "core/scaling.h"
+#include "fp/boundaries.h"
+#include "rational/rational.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+using namespace dragon4;
+
+namespace {
+
+Rational ratio(const BigInt &Num, const BigInt &Den) {
+  return Rational(Num, Den);
+}
+
+/// After scaling (pre-multiplied convention), the state must satisfy
+///   v            = (R/S)  * B^(K-1)
+///   high - v     = (M+/S) * B^(K-1)
+///   v - low      = (M-/S) * B^(K-1)
+/// where low/high are the exact gap midpoints of v = F * 2^E.
+void expectScaledInvariants(uint64_t F, int E, int Precision,
+                            int MinExponent, unsigned B) {
+  Decomposed D{F, E};
+  BoundaryFlags Flags{false, false};
+  int BitLen = 64 - std::countl_zero(F);
+  ScaledState State =
+      scaleEstimate(makeScaledStart(F, E, Precision, MinExponent), B, Flags,
+                    E, BitLen);
+
+  Rational V = Rational::scaledPow(BigInt(F), 2, E);
+  Rational Scale = Rational::scaledPow(BigInt(uint64_t(1)), B, State.K - 1);
+
+  EXPECT_EQ(ratio(State.R, State.S) * Scale, V) << "F=" << F << " E=" << E;
+
+  // Successor gap midpoint distance = ulp / 2.
+  Rational HalfUlp = Rational::scaledPow(BigInt(uint64_t(1)), 2, E) *
+                     Rational(BigInt(uint64_t(1)), BigInt(uint64_t(2)));
+  EXPECT_EQ(ratio(State.MPlus, State.S) * Scale, HalfUlp)
+      << "F=" << F << " E=" << E;
+
+  bool Narrow = F == (uint64_t(1) << (Precision - 1)) && E > MinExponent;
+  Rational LowGap =
+      Narrow ? HalfUlp * Rational(BigInt(uint64_t(1)), BigInt(uint64_t(2)))
+             : HalfUlp;
+  EXPECT_EQ(ratio(State.MMinus, State.S) * Scale, LowGap)
+      << "F=" << F << " E=" << E;
+
+  (void)D;
+}
+
+TEST(ScaledInvariants, AllTableOneRowsBase10) {
+  expectScaledInvariants((uint64_t(1) << 53) - 1, 10, 53, -1074, 10);
+  expectScaledInvariants(uint64_t(1) << 52, 10, 53, -1074, 10);
+  expectScaledInvariants((uint64_t(1) << 52) | 0x9999, -60, 53, -1074, 10);
+  expectScaledInvariants(uint64_t(1) << 52, -60, 53, -1074, 10);
+  expectScaledInvariants(uint64_t(1) << 52, -1074, 53, -1074, 10);
+  expectScaledInvariants(1, -1074, 53, -1074, 10);
+}
+
+class ScaledInvariantsBaseTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ScaledInvariantsBaseTest, RandomDoubles) {
+  unsigned B = GetParam();
+  for (double V : randomNormalDoubles(40, B * 3 + 17)) {
+    Decomposed D = decompose(V);
+    expectScaledInvariants(D.F, D.E, 53, -1074, B);
+  }
+  for (double V : randomSubnormalDoubles(10, B * 3 + 18)) {
+    Decomposed D = decompose(V);
+    expectScaledInvariants(D.F, D.E, 53, -1074, B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, ScaledInvariantsBaseTest,
+                         ::testing::Values(2u, 5u, 10u, 16u, 36u));
+
+TEST(DigitLoop, EmittedValueStaysInsideTheRange) {
+  // For every emitted result, low < V_out < high (strictly, with the
+  // conservative flags) -- the information-preservation theorem.
+  for (double Value : randomNormalDoubles(100, 2718)) {
+    Decomposed D = decompose(Value);
+    BoundaryFlags Flags{false, false};
+    int BitLen = 64 - std::countl_zero(D.F);
+    ScaledState State = scaleEstimate(makeScaledStart<double>(D), 10, Flags,
+                                      D.E, BitLen);
+    int K = State.K;
+    DigitLoopResult Loop = runDigitLoop(std::move(State), 10, Flags,
+                                        TieBreak::RoundUp);
+
+    Rational V = Rational::scaledPow(BigInt(D.F), 2, D.E);
+    Rational HalfUlp = Rational::scaledPow(BigInt(uint64_t(1)), 2, D.E) *
+                       Rational(BigInt(uint64_t(1)), BigInt(uint64_t(2)));
+    bool Narrow = D.F == (uint64_t(1) << 52);
+    Rational Low = V - (Narrow ? HalfUlp * Rational(BigInt(uint64_t(1)),
+                                                    BigInt(uint64_t(2)))
+                               : HalfUlp);
+    Rational High = V + HalfUlp;
+
+    Rational Out;
+    Rational Place = Rational::scaledPow(BigInt(uint64_t(1)), 10, K);
+    Rational Tenth =
+        Rational(BigInt(uint64_t(1)), BigInt(uint64_t(10)));
+    for (uint8_t Digit : Loop.Digits) {
+      Place *= Tenth;
+      Out += Rational(BigInt(uint64_t(Digit))) * Place;
+    }
+    EXPECT_GT(Out, Low) << Value;
+    EXPECT_LT(Out, High) << Value;
+    // Correct rounding: |V - Out| <= Place / 2.
+    Rational Err = Out < V ? V - Out : Out - V;
+    EXPECT_LE(Err, Place * Rational(BigInt(uint64_t(1)),
+                                    BigInt(uint64_t(2))))
+        << Value;
+  }
+}
+
+} // namespace

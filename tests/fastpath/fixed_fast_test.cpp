@@ -1,0 +1,107 @@
+//===- tests/fastpath/fixed_fast_test.cpp --------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Gay-style fixed-format fast path: every certified result must equal
+/// the exact straightforward printer's digits, ties must always fall back
+/// (the fast result may never depend on a tie rule), and the success rate
+/// must be high enough to matter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fastpath/fixed_fast.h"
+
+#include "testgen/random_floats.h"
+#include "testgen/schryer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(FixedFast, SimpleValuesMatchExact) {
+  for (double V : {1.0, 0.5, 0.1, 123.456, 3.141592653589793, 1e22, 5e-324,
+                   1.7976931348623157e308, 9.999999999}) {
+    for (int N : {1, 3, 7, 12, 17}) {
+      auto Fast = fastFixedDigits(V, N);
+      if (!Fast.has_value())
+        continue;
+      EXPECT_EQ(*Fast, straightforwardDigits(V, N)) << V << " N=" << N;
+    }
+  }
+}
+
+TEST(FixedFast, CertifiedResultsAlwaysMatchExact) {
+  SplitMix64 Rng(171819);
+  size_t Success = 0, Total = 0;
+  for (int I = 0; I < 4000; ++I) {
+    double V = randomNormalDoubles(1, Rng.next())[0];
+    int N = 1 + static_cast<int>(Rng.below(17));
+    ++Total;
+    auto Fast = fastFixedDigits(V, N);
+    if (!Fast.has_value())
+      continue;
+    ++Success;
+    // Tie-independence: the exact printer must give the same digits under
+    // *both* tie rules whenever the fast path certifies.
+    DigitString Up = straightforwardDigits(V, N, 10, TieBreak::RoundUp);
+    DigitString Down = straightforwardDigits(V, N, 10, TieBreak::RoundDown);
+    ASSERT_EQ(Up, Down) << V << " N=" << N << " (fast path certified a tie)";
+    ASSERT_EQ(*Fast, Up) << V << " N=" << N;
+  }
+  // Gay's observation: the heuristics almost always succeed.
+  EXPECT_GT(static_cast<double>(Success) / static_cast<double>(Total), 0.99);
+}
+
+TEST(FixedFast, ExactDecimalTiesAlwaysFallBack) {
+  // Binary-exact values with terminating decimal expansions produce real
+  // halfway cases; the fast path must refuse every one of them.
+  EXPECT_FALSE(fastFixedDigits(0.125, 2).has_value());
+  EXPECT_FALSE(fastFixedDigits(0.375, 2).has_value());
+  EXPECT_FALSE(fastFixedDigits(2.5, 1).has_value());
+  EXPECT_FALSE(fastFixedDigits(1.5, 1).has_value());
+  // ...but the wrapped entry point still answers, via the exact fallback.
+  EXPECT_EQ(fixedDigitsWithFastPath(0.125, 2).digitsAsText(), "12");
+  EXPECT_EQ(fixedDigitsWithFastPath(0.125, 2, TieBreak::RoundUp)
+                .digitsAsText(),
+            "13");
+}
+
+TEST(FixedFast, SubnormalsAndExtremes) {
+  for (double V : randomSubnormalDoubles(300, 2021)) {
+    for (int N : {3, 9, 17}) {
+      auto Fast = fastFixedDigits(V, N);
+      if (Fast.has_value()) {
+        ASSERT_EQ(*Fast, straightforwardDigits(V, N)) << V << " N=" << N;
+      }
+    }
+  }
+}
+
+TEST(FixedFast, SchryerSweep) {
+  SchryerParams Params;
+  Params.ExponentStride = 256;
+  for (double V : schryerDoubles(Params)) {
+    auto Fast = fastFixedDigits(V, 17);
+    if (!Fast.has_value())
+      continue;
+    ASSERT_EQ(*Fast, straightforwardDigits(V, 17)) << V;
+  }
+}
+
+TEST(FixedFast, WrapperAlwaysEqualsExact) {
+  SplitMix64 Rng(232425);
+  for (int I = 0; I < 2000; ++I) {
+    double V = randomNormalDoubles(1, Rng.next())[0];
+    int N = 1 + static_cast<int>(Rng.below(17));
+    EXPECT_EQ(fixedDigitsWithFastPath(V, N, TieBreak::RoundEven),
+              straightforwardDigits(V, N, 10, TieBreak::RoundEven))
+        << V << " N=" << N;
+  }
+}
+
+} // namespace

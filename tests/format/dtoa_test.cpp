@@ -1,0 +1,130 @@
+//===- tests/format/dtoa_test.cpp ---------------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "format/dtoa.h"
+
+#include "reader/reader.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(ToShortest, HeaderExamples) {
+  EXPECT_EQ(toShortest(0.3), "0.3");
+  EXPECT_EQ(toShortest(1.0 / 3.0), "0.3333333333333333");
+  EXPECT_EQ(toShortest(1e23), "1e+23");
+  EXPECT_EQ(toShortest(100.0), "100");
+  EXPECT_EQ(toShortest(-2.5), "-2.5");
+  EXPECT_EQ(toShortest(5e-324), "5e-324");
+  EXPECT_EQ(toShortest(1.7976931348623157e308), "1.7976931348623157e+308");
+}
+
+TEST(ToShortest, Specials) {
+  EXPECT_EQ(toShortest(0.0), "0");
+  EXPECT_EQ(toShortest(-0.0), "-0");
+  EXPECT_EQ(toShortest(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(toShortest(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(toShortest(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(ToShortest, FloatUsesItsOwnPrecision) {
+  EXPECT_EQ(toShortest(0.3f), "0.3");
+  EXPECT_EQ(toShortest(1.0f / 3.0f), "0.33333334");
+  EXPECT_EQ(toShortest(3.4028235e38f), "3.4028235e+38");
+}
+
+TEST(ToShortest, Binary16) {
+  EXPECT_EQ(toShortest(Binary16::fromDouble(1.0)), "1");
+  EXPECT_EQ(toShortest(Binary16::fromDouble(0.333251953125)), "0.3333");
+  // The max finite half is 65504, but "65500" already reads back to it
+  // (the rounding range spans 65488..65520), so shortest wins.
+  EXPECT_EQ(toShortest(Binary16::fromDouble(65504.0)), "65500");
+}
+
+TEST(ToShortest, RoundTripsThroughTheReader) {
+  for (double V : randomNormalDoubles(300, 5150)) {
+    std::string Text = toShortest(V);
+    EXPECT_EQ(*readFloat<double>(Text), V) << Text;
+  }
+}
+
+TEST(ToFixed, Basics) {
+  EXPECT_EQ(toFixed(1.0 / 3.0, 10), "0.3333333333");
+  EXPECT_EQ(toFixed(123.456, 2), "123.46");
+  EXPECT_EQ(toFixed(123.456, 0), "123");
+  EXPECT_EQ(toFixed(-123.456, 1), "-123.5");
+  EXPECT_EQ(toFixed(0.5, 0), "1"); // Tie, default rounds up.
+  EXPECT_EQ(toFixed(0.0001, 2), "0.00");
+}
+
+TEST(ToFixed, SpecialsAndZeros) {
+  EXPECT_EQ(toFixed(0.0, 2), "0.00");
+  EXPECT_EQ(toFixed(-0.0, 2), "-0.00");
+  EXPECT_EQ(toFixed(0.0, 0), "0");
+  EXPECT_EQ(toFixed(std::numeric_limits<double>::infinity(), 2), "inf");
+  EXPECT_EQ(toFixed(std::numeric_limits<double>::quiet_NaN(), 2), "nan");
+}
+
+TEST(ToFixed, MarksWhenPrecisionRunsOut) {
+  std::string Text = toFixed(100.0, 20);
+  EXPECT_EQ(Text, "100.000000000000000#####");
+  PrintOptions Zeros;
+  Zeros.Marks = MarkStyle::Zeros;
+  EXPECT_EQ(toFixed(100.0, 20, Zeros), "100.00000000000000000000");
+}
+
+TEST(ToPrecision, Basics) {
+  EXPECT_EQ(toPrecision(123.456, 4), "123.5");
+  EXPECT_EQ(toPrecision(123.456, 2), "120");
+  EXPECT_EQ(toPrecision(123.456, 1), "100");
+  EXPECT_EQ(toPrecision(0.000123456, 2), "0.00012");
+  EXPECT_EQ(toPrecision(9.996, 3), "10.0");
+  EXPECT_EQ(toPrecision(0.0, 3), "0.00");
+}
+
+TEST(ToPrecision, SwitchesToScientificForExtremes) {
+  EXPECT_EQ(toPrecision(1.5e30, 3), "1.50e+30");
+  EXPECT_EQ(toPrecision(1.5e-30, 3), "1.50e-30");
+}
+
+TEST(ToExponential, Basics) {
+  EXPECT_EQ(toExponential(123.456, 3), "1.235e+2");
+  EXPECT_EQ(toExponential(123.456, 0), "1e+2");
+  EXPECT_EQ(toExponential(0.5, 1), "5.0e-1");
+  EXPECT_EQ(toExponential(-0.5, 1), "-5.0e-1");
+  EXPECT_EQ(toExponential(0.0, 2), "0.00e+0");
+  EXPECT_EQ(toExponential(1e23, 3), "1.000e+23");
+}
+
+TEST(ToExponential, MarksForLowPrecisionValues) {
+  // A half has ~3-4 decimal digits of precision; asking for 9 shows marks.
+  std::string Text = toExponential(Binary16::fromDouble(1.0 / 3.0), 9);
+  EXPECT_EQ(Text.substr(0, 2), "3.");
+  EXPECT_NE(Text.find('#'), std::string::npos);
+}
+
+TEST(PrintOptions, AlternateBase) {
+  PrintOptions Hex;
+  Hex.Base = 16;
+  Hex.ExponentMarker = '^';
+  EXPECT_EQ(toShortest(255.0, Hex), "ff");
+  EXPECT_EQ(toShortest(0.5, Hex), "0.8");
+  EXPECT_EQ(toShortest(65536.0 * 16, Hex), "100000");
+}
+
+TEST(PrintOptions, ScalingChoiceDoesNotChangeText) {
+  PrintOptions Iter;
+  Iter.Scaling = ScalingAlgorithm::Iterative;
+  for (double V : randomNormalDoubles(50, 9999))
+    EXPECT_EQ(toShortest(V), toShortest(V, Iter)) << V;
+}
+
+} // namespace

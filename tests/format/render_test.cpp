@@ -1,0 +1,87 @@
+//===- tests/format/render_test.cpp -------------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "format/render.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+DigitString makeDigits(std::vector<uint8_t> Digits, int K, int Marks = 0) {
+  DigitString D;
+  D.Digits = std::move(Digits);
+  D.K = K;
+  D.TrailingMarks = Marks;
+  return D;
+}
+
+TEST(RenderPositional, IntegerForms) {
+  EXPECT_EQ(renderPositional(makeDigits({1, 2, 3}, 3), false), "123");
+  EXPECT_EQ(renderPositional(makeDigits({1, 2, 3}, 3), true), "-123");
+  EXPECT_EQ(renderPositional(makeDigits({5}, 1), false), "5");
+  EXPECT_EQ(renderPositional(makeDigits({0}, 1), false), "0");
+}
+
+TEST(RenderPositional, FractionForms) {
+  EXPECT_EQ(renderPositional(makeDigits({3}, 0), false), "0.3");
+  EXPECT_EQ(renderPositional(makeDigits({3}, -2), false), "0.003");
+  EXPECT_EQ(renderPositional(makeDigits({1, 2, 3, 4}, 2), false), "12.34");
+  EXPECT_EQ(renderPositional(makeDigits({1, 2, 3, 4}, 2), true), "-12.34");
+}
+
+TEST(RenderPositional, FillerZerosWhenStoppingLeftOfThePoint) {
+  // 123 at the hundreds place of a 5-digit number: "12300".
+  EXPECT_EQ(renderPositional(makeDigits({1, 2, 3}, 5), false), "12300");
+}
+
+TEST(RenderPositional, MarksRenderInTheirPositions) {
+  EXPECT_EQ(renderPositional(makeDigits({1, 0, 0}, 3, 2), false), "100.##");
+  EXPECT_EQ(renderPositional(makeDigits({3, 3}, 0, 3), false), "0.33###");
+  EXPECT_EQ(renderPositional(makeDigits({1}, 3, 2), false), "1##");
+  // Zero digits, one mark (the "entirely insignificant" fixed case).
+  EXPECT_EQ(renderPositional(makeDigits({}, 1, 1), false), "#");
+}
+
+TEST(RenderPositional, MarkCharIsConfigurable) {
+  RenderOptions Options;
+  Options.MarkChar = '0';
+  EXPECT_EQ(renderPositional(makeDigits({1, 0, 0}, 3, 2), false, Options),
+            "100.00");
+}
+
+TEST(RenderScientific, BasicForms) {
+  EXPECT_EQ(renderScientific(makeDigits({1, 2, 3}, 3), false), "1.23e+2");
+  EXPECT_EQ(renderScientific(makeDigits({5}, -323), false), "5e-324");
+  EXPECT_EQ(renderScientific(makeDigits({1}, 24), false), "1e+23");
+  EXPECT_EQ(renderScientific(makeDigits({1, 7}, 309), true),
+            "-1.7e+308");
+}
+
+TEST(RenderScientific, MarksAndMarker) {
+  EXPECT_EQ(renderScientific(makeDigits({3, 3, 3}, 0, 4), false),
+            "3.33####e-1");
+  RenderOptions Options;
+  Options.ExponentMarker = '^';
+  EXPECT_EQ(renderScientific(makeDigits({1, 10, 15}, 2, 0), false, Options),
+            "1.af^+1");
+  Options.UppercaseDigits = true;
+  EXPECT_EQ(renderScientific(makeDigits({1, 10, 15}, 2, 0), false, Options),
+            "1.AF^+1");
+}
+
+TEST(RenderAuto, SwitchesOnMagnitude) {
+  RenderOptions Options; // Positional for -5 < K <= 21.
+  EXPECT_EQ(renderAuto(makeDigits({1}, 1), false, Options), "1");
+  EXPECT_EQ(renderAuto(makeDigits({1}, 21), false, Options),
+            "100000000000000000000");
+  EXPECT_EQ(renderAuto(makeDigits({1}, 22), false, Options), "1e+21");
+  EXPECT_EQ(renderAuto(makeDigits({1}, -4), false, Options), "0.00001");
+  EXPECT_EQ(renderAuto(makeDigits({1}, -5), false, Options), "1e-6");
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+//===- tests/format/scheme_notation_test.cpp -----------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Scheme number syntax layer -- the paper's motivating application.
+/// The writer must satisfy the standard's contract: string->number of
+/// number->string is the identity on inexact reals, at minimal length,
+/// with the inexactness always visible.
+///
+//===----------------------------------------------------------------------===//
+
+#include "format/scheme_notation.h"
+
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(SchemeWrite, MinimalInexactForms) {
+  EXPECT_EQ(schemeNumberToString(1.0), "1.");
+  EXPECT_EQ(schemeNumberToString(-1.0), "-1.");
+  EXPECT_EQ(schemeNumberToString(0.5), "0.5");
+  EXPECT_EQ(schemeNumberToString(0.3), "0.3");
+  EXPECT_EQ(schemeNumberToString(100.0), "100.");
+  EXPECT_EQ(schemeNumberToString(1.0 / 3.0), "0.3333333333333333");
+  EXPECT_EQ(schemeNumberToString(0.0), "0.");
+  EXPECT_EQ(schemeNumberToString(-0.0), "-0.");
+}
+
+TEST(SchemeWrite, ThePaperExample) {
+  // "the algorithm prints this number as 1e23 instead of
+  //  9.999999999999999e22."
+  EXPECT_EQ(schemeNumberToString(1e23), "1e+23");
+}
+
+TEST(SchemeWrite, Specials) {
+  EXPECT_EQ(schemeNumberToString(std::numeric_limits<double>::infinity()),
+            "+inf.0");
+  EXPECT_EQ(schemeNumberToString(-std::numeric_limits<double>::infinity()),
+            "-inf.0");
+  EXPECT_EQ(schemeNumberToString(std::numeric_limits<double>::quiet_NaN()),
+            "+nan.0");
+}
+
+TEST(SchemeWrite, RadixPrefixes) {
+  EXPECT_EQ(schemeNumberToString(5.0, 2), "#b101.");
+  EXPECT_EQ(schemeNumberToString(255.0, 16), "#xff.");
+  EXPECT_EQ(schemeNumberToString(0.5, 16), "#x0.8");
+  EXPECT_EQ(schemeNumberToString(8.0, 8), "#o10.");
+}
+
+TEST(SchemeRead, BasicLiterals) {
+  EXPECT_EQ(*schemeStringToNumber("1."), 1.0);
+  EXPECT_EQ(*schemeStringToNumber("0.5"), 0.5);
+  EXPECT_EQ(*schemeStringToNumber("-3.25"), -3.25);
+  EXPECT_EQ(*schemeStringToNumber("1e23"), 1e23);
+  EXPECT_EQ(*schemeStringToNumber("42"), 42.0);
+}
+
+TEST(SchemeRead, ExponentMarkerVariants) {
+  // R7RS allows s/f/d/l in place of e (short/single/double/long hints).
+  EXPECT_EQ(*schemeStringToNumber("1.5d3"), 1500.0);
+  EXPECT_EQ(*schemeStringToNumber("1.5s3"), 1500.0);
+  EXPECT_EQ(*schemeStringToNumber("1.5f3"), 1500.0);
+  EXPECT_EQ(*schemeStringToNumber("1.5l3"), 1500.0);
+}
+
+TEST(SchemeRead, PrefixCombinations) {
+  EXPECT_EQ(*schemeStringToNumber("#x10"), 16.0);
+  EXPECT_EQ(*schemeStringToNumber("#b101"), 5.0);
+  EXPECT_EQ(*schemeStringToNumber("#o17"), 15.0);
+  EXPECT_EQ(*schemeStringToNumber("#d17"), 17.0);
+  EXPECT_EQ(*schemeStringToNumber("#i1"), 1.0);
+  EXPECT_EQ(*schemeStringToNumber("#i#x10"), 16.0);
+  EXPECT_EQ(*schemeStringToNumber("#x#i10"), 16.0);
+  EXPECT_EQ(*schemeStringToNumber("#e42"), 42.0);
+}
+
+TEST(SchemeRead, Specials) {
+  EXPECT_TRUE(std::isinf(*schemeStringToNumber("+inf.0")));
+  EXPECT_TRUE(std::signbit(*schemeStringToNumber("-inf.0")));
+  EXPECT_TRUE(std::isnan(*schemeStringToNumber("+nan.0")));
+}
+
+TEST(SchemeRead, Rejections) {
+  EXPECT_FALSE(schemeStringToNumber("").has_value());
+  EXPECT_FALSE(schemeStringToNumber("#q1").has_value());
+  EXPECT_FALSE(schemeStringToNumber("#x#x10").has_value());
+  EXPECT_FALSE(schemeStringToNumber("#e0.5").has_value()); // No exact type.
+  EXPECT_FALSE(schemeStringToNumber("banana").has_value());
+  EXPECT_FALSE(schemeStringToNumber("1..2").has_value());
+}
+
+TEST(SchemeRoundTrip, StandardContractOnRandomDoubles) {
+  // R7RS 6.2.6: for an inexact z, string->number(number->string(z)) == z.
+  for (double V : randomNormalDoubles(500, 777)) {
+    auto Back = schemeStringToNumber(schemeNumberToString(V));
+    ASSERT_TRUE(Back.has_value()) << schemeNumberToString(V);
+    EXPECT_EQ(*Back, V) << schemeNumberToString(V);
+  }
+  for (double V : randomSubnormalDoubles(100, 778)) {
+    auto Back = schemeStringToNumber(schemeNumberToString(V));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, V);
+  }
+}
+
+TEST(SchemeRoundTrip, NonDecimalRadixes) {
+  for (double V : randomNormalDoubles(120, 779)) {
+    for (unsigned Radix : {2u, 8u, 16u}) {
+      auto Back = schemeStringToNumber(schemeNumberToString(V, Radix));
+      ASSERT_TRUE(Back.has_value()) << schemeNumberToString(V, Radix);
+      EXPECT_EQ(*Back, V) << schemeNumberToString(V, Radix);
+    }
+  }
+}
+
+} // namespace

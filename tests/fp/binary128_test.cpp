@@ -1,0 +1,198 @@
+//===- tests/fp/binary128_test.cpp --------------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IEEE binary128 end to end through the BigInt-mantissa path: encoding,
+/// decomposition, Table 1 via the oracle, shortest output with its
+/// 36-digit bound and round-trip, fixed format, and the reader.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fp/binary128.h"
+
+#include "core/reference.h"
+#include "format/dtoa.h"
+#include "reader/reader.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+/// Builds a normalized quad from random-ish words: top bit patterns plus
+/// a biased exponent.
+Binary128 makeQuad(SplitMix64 &Rng, uint64_t BiasedExp) {
+  uint64_t Hi = (BiasedExp << 48) | (Rng.next() & ((uint64_t(1) << 48) - 1));
+  return Binary128::fromBits(Hi, Rng.next());
+}
+
+TEST(Binary128, ClassifyAndSign) {
+  EXPECT_EQ(classify(Binary128::fromBits(0, 0)), FpClass::Zero);
+  EXPECT_EQ(classify(Binary128::fromBits(uint64_t(1) << 63, 0)),
+            FpClass::Zero);
+  EXPECT_EQ(classify(Binary128::fromBits(0, 1)), FpClass::Subnormal);
+  EXPECT_EQ(classify(Binary128::fromBits(uint64_t(0x3FFF) << 48, 0)),
+            FpClass::Normal); // 1.0
+  EXPECT_EQ(classify(Binary128::fromBits(uint64_t(0x7FFF) << 48, 0)),
+            FpClass::Infinity);
+  EXPECT_EQ(classify(Binary128::fromBits((uint64_t(0x7FFF) << 48) | 1, 0)),
+            FpClass::NaN);
+  EXPECT_FALSE(signBit(Binary128::fromBits(0, 1)));
+  EXPECT_TRUE(signBit(Binary128::fromBits(uint64_t(1) << 63, 1)));
+}
+
+TEST(Binary128, DecomposeKnownValues) {
+  // 1.0: biased exponent 0x3FFF, mantissa 2^112, E = -112.
+  DecomposedBig One = decomposeBig(Binary128::fromBits(uint64_t(0x3FFF) << 48, 0));
+  EXPECT_EQ(One.F, BigInt(uint64_t(1)) << 112);
+  EXPECT_EQ(One.E, -112);
+  // Smallest subnormal.
+  DecomposedBig Tiny = decomposeBig(Binary128::fromBits(0, 1));
+  EXPECT_TRUE(Tiny.F.isOne());
+  EXPECT_EQ(Tiny.E, -16494);
+}
+
+TEST(Binary128, ComposeDecomposeRoundTripSweep) {
+  SplitMix64 Rng(128128);
+  for (int I = 0; I < 300; ++I) {
+    uint64_t BiasedExp = 1 + Rng.below(0x7FFE - 1);
+    Binary128 V = makeQuad(Rng, BiasedExp);
+    DecomposedBig D = decomposeBig(V);
+    EXPECT_EQ(composeBig(D.F, D.E), V);
+  }
+  // Subnormals.
+  for (int I = 0; I < 50; ++I) {
+    Binary128 V = Binary128::fromBits(Rng.next() & 0xFFFF, Rng.next());
+    if (classify(V) != FpClass::Subnormal)
+      continue;
+    DecomposedBig D = decomposeBig(V);
+    EXPECT_EQ(composeBig(D.F, D.E), V);
+  }
+}
+
+TEST(Binary128, FromDoubleIsExactWidening) {
+  for (double V : {1.0, 0.5, 0.1, 3.141592653589793, 5e-324, 1.7e308}) {
+    Binary128 Q = Binary128::fromDouble(V);
+    DecomposedBig DQ = decomposeBig(Q);
+    Decomposed DD = decompose(V);
+    // Same real value: F_q * 2^(E_q) == F_d * 2^(E_d).
+    BigInt Fd(DD.F);
+    int Shift = DD.E - DQ.E;
+    ASSERT_GE(Shift, 0) << V;
+    Fd <<= static_cast<size_t>(Shift);
+    EXPECT_EQ(DQ.F, Fd) << V;
+  }
+  EXPECT_TRUE(signBit(Binary128::fromDouble(-2.5)));
+  EXPECT_EQ(classify(Binary128::fromDouble(0.0)), FpClass::Zero);
+}
+
+TEST(Binary128, ShortestKnownValues) {
+  EXPECT_EQ(toShortest(Binary128::fromDouble(1.0)), "1");
+  EXPECT_EQ(toShortest(Binary128::fromDouble(0.5)), "0.5");
+  EXPECT_EQ(toShortest(Binary128::fromDouble(-2.5)), "-2.5");
+  // The quad nearest to 1/10 (not the widened double!).
+  Binary128 Tenth = *readFloat<Binary128>("0.1");
+  EXPECT_EQ(toShortest(Tenth), "0.1");
+  // The widened double 0.1 is NOT the quad nearest 0.1: its shortest quad
+  // spelling must pin down the double's full value.
+  std::string WideTenth = toShortest(Binary128::fromDouble(0.1));
+  EXPECT_GT(WideTenth.size(), 17u);
+  EXPECT_EQ(WideTenth.substr(0, 4), "0.10");
+}
+
+TEST(Binary128, ShortestDigitBoundIs36) {
+  // ceil(113 * log10 2) + 1 = 36 digits always suffice.
+  SplitMix64 Rng(363636);
+  for (int I = 0; I < 200; ++I) {
+    Binary128 V = makeQuad(Rng, 1 + Rng.below(0x7FFE - 1));
+    DigitString D = shortestDigits(V);
+    EXPECT_LE(D.Digits.size(), 36u);
+    EXPECT_NE(D.Digits.front(), 0u);
+  }
+}
+
+TEST(Binary128, RoundTripThroughReader) {
+  SplitMix64 Rng(646464);
+  for (int I = 0; I < 150; ++I) {
+    Binary128 V = makeQuad(Rng, 1 + Rng.below(0x7FFE - 1));
+    DigitString D = shortestDigits(V);
+    std::string Text =
+        D.digitsAsText() + "e" +
+        std::to_string(D.K - static_cast<int>(D.Digits.size()));
+    auto Back = readFloat<Binary128>(Text);
+    ASSERT_TRUE(Back.has_value()) << Text;
+    ASSERT_EQ(*Back, V) << Text;
+  }
+  // Corners.
+  Binary128 MaxFinite = Binary128::fromBits(
+      (uint64_t(0x7FFE) << 48) | ((uint64_t(1) << 48) - 1), ~uint64_t(0));
+  EXPECT_EQ(*readFloat<Binary128>(toShortest(MaxFinite)), MaxFinite);
+  Binary128 Tiny = Binary128::fromBits(0, 1);
+  EXPECT_EQ(*readFloat<Binary128>(toShortest(Tiny)), Tiny);
+}
+
+TEST(Binary128, AgreesWithRationalOracle) {
+  SplitMix64 Rng(909090);
+  FreeFormatOptions Options;
+  Options.Boundaries = BoundaryMode::NearestEven;
+  for (int I = 0; I < 25; ++I) {
+    Binary128 V = makeQuad(Rng, 0x3FFF - 200 + Rng.below(400));
+    DecomposedBig D = decomposeBig(V);
+    DigitString Fast = shortestDigits(V, Options);
+    DigitString Slow = referenceFreeFormatBig(
+        D.F, D.E, 113, -16494, 10,
+        BoundaryFlags::resolveEven(Options.Boundaries, D.F.isEven()),
+        Options.Ties);
+    ASSERT_EQ(Fast, Slow);
+  }
+  // The narrow-gap case: an exact power of two.
+  DecomposedBig PowTwo;
+  PowTwo.F = BigInt(uint64_t(1)) << 112;
+  PowTwo.E = -50;
+  DigitString Fast = freeFormatDigitsBig(PowTwo.F, PowTwo.E, 113, -16494,
+                                         Options);
+  DigitString Slow = referenceFreeFormatBig(
+      PowTwo.F, PowTwo.E, 113, -16494, 10,
+      BoundaryFlags::resolveEven(Options.Boundaries, true), Options.Ties);
+  EXPECT_EQ(Fast, Slow);
+}
+
+TEST(Binary128, FixedFormatAndMarks) {
+  Binary128 Third = *readFloat<Binary128>("0.333333333333333333333333333333333");
+  EXPECT_EQ(toFixed(Third, 10), "0.3333333333");
+  // Past the quad's ~34 digits of precision the marks appear.
+  std::string Wide = toPrecision(Third, 45);
+  EXPECT_NE(Wide.find('#'), std::string::npos);
+  // And a double runs out far sooner on the same prefix length.
+  std::string WideDouble = toPrecision(1.0 / 3.0, 45);
+  EXPECT_GT(Wide.find('#'), WideDouble.find('#'));
+}
+
+TEST(Binary128, SpecialsThroughConvenienceApi) {
+  EXPECT_EQ(toShortest(Binary128::fromBits(0, 0)), "0");
+  EXPECT_EQ(toShortest(Binary128::fromBits(uint64_t(1) << 63, 0)), "-0");
+  EXPECT_EQ(toShortest(Binary128::fromBits(uint64_t(0x7FFF) << 48, 0)),
+            "inf");
+  EXPECT_EQ(toShortest(Binary128::fromBits(uint64_t(0xFFFF) << 48, 0)),
+            "-inf");
+  EXPECT_EQ(toShortest(Binary128::fromBits((uint64_t(0x7FFF) << 48) | 99, 0)),
+            "nan");
+}
+
+TEST(Binary128, ReaderSubnormalAndOverflowEdges) {
+  // The smallest quad subnormal is 2^-16494 ~ 6.48e-4966: just above it
+  // reads subnormal, just below half of it reads zero.
+  EXPECT_EQ(classify(*readFloat<Binary128>("7e-4966")), FpClass::Subnormal);
+  EXPECT_EQ(classify(*readFloat<Binary128>("1e-4966")), FpClass::Zero);
+  EXPECT_EQ(classify(*readFloat<Binary128>("1e5000")), FpClass::Infinity);
+  EXPECT_EQ(classify(*readFloat<Binary128>("1e-5000")), FpClass::Zero);
+  EXPECT_EQ(classify(*readFloat<Binary128>("1.18e4932")), FpClass::Normal);
+  EXPECT_EQ(classify(*readFloat<Binary128>("1.19e4932")), FpClass::Infinity);
+}
+
+} // namespace

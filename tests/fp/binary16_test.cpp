@@ -1,0 +1,88 @@
+//===- tests/fp/binary16_test.cpp --------------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "fp/binary16.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(Binary16, KnownEncodings) {
+  EXPECT_EQ(Binary16::fromBits(0x0000).toDouble(), 0.0);
+  EXPECT_EQ(Binary16::fromBits(0x3C00).toDouble(), 1.0);
+  EXPECT_EQ(Binary16::fromBits(0xBC00).toDouble(), -1.0);
+  EXPECT_EQ(Binary16::fromBits(0x4000).toDouble(), 2.0);
+  EXPECT_EQ(Binary16::fromBits(0x3555).toDouble(), 0.333251953125);
+  EXPECT_EQ(Binary16::fromBits(0x7BFF).toDouble(), 65504.0); // Max finite.
+  EXPECT_EQ(Binary16::fromBits(0x0001).toDouble(),
+            std::ldexp(1.0, -24)); // Smallest subnormal.
+  EXPECT_EQ(Binary16::fromBits(0x0400).toDouble(),
+            std::ldexp(1.0, -14)); // Smallest normal.
+  EXPECT_TRUE(std::isinf(Binary16::fromBits(0x7C00).toDouble()));
+  EXPECT_TRUE(std::isnan(Binary16::fromBits(0x7E01).toDouble()));
+}
+
+TEST(Binary16, SignedZeroAndNegatives) {
+  EXPECT_TRUE(std::signbit(Binary16::fromBits(0x8000).toDouble()));
+  EXPECT_EQ(Binary16::fromBits(0x8000).toDouble(), 0.0);
+  EXPECT_EQ(Binary16::fromBits(0xC000).toDouble(), -2.0);
+  EXPECT_TRUE(std::isinf(Binary16::fromBits(0xFC00).toDouble()));
+  EXPECT_TRUE(std::signbit(Binary16::fromBits(0xFC00).toDouble()));
+}
+
+TEST(Binary16, FromDoubleExactValues) {
+  EXPECT_EQ(Binary16::fromDouble(1.0).bits(), 0x3C00);
+  EXPECT_EQ(Binary16::fromDouble(-1.0).bits(), 0xBC00);
+  EXPECT_EQ(Binary16::fromDouble(65504.0).bits(), 0x7BFF);
+  EXPECT_EQ(Binary16::fromDouble(0.0).bits(), 0x0000);
+  EXPECT_EQ(Binary16::fromDouble(-0.0).bits(), 0x8000);
+  EXPECT_EQ(Binary16::fromDouble(std::ldexp(1.0, -24)).bits(), 0x0001);
+}
+
+TEST(Binary16, FromDoubleRounding) {
+  // 1 + 2^-11 is exactly halfway between 1.0 (mantissa even) and its
+  // successor (odd); nearest-even goes down.
+  EXPECT_EQ(Binary16::fromDouble(1.0 + std::ldexp(1.0, -11)).bits(), 0x3C00);
+  // Just above the halfway point rounds up.
+  EXPECT_EQ(Binary16::fromDouble(1.0 + std::ldexp(1.0, -11) +
+                                 std::ldexp(1.0, -20))
+                .bits(),
+            0x3C01);
+  // The next halfway (between 0x3C01 and 0x3C02) rounds up to even.
+  EXPECT_EQ(Binary16::fromDouble(1.0 + 3 * std::ldexp(1.0, -11)).bits(),
+            0x3C02);
+}
+
+TEST(Binary16, FromDoubleOverflowAndUnderflow) {
+  EXPECT_EQ(Binary16::fromDouble(65520.0).bits(), 0x7C00); // -> +inf.
+  EXPECT_EQ(Binary16::fromDouble(1e9).bits(), 0x7C00);
+  EXPECT_EQ(Binary16::fromDouble(-1e9).bits(), 0xFC00);
+  EXPECT_EQ(Binary16::fromDouble(65519.9).bits(), 0x7BFF); // Largest finite.
+  // Half the smallest subnormal ties to even (zero).
+  EXPECT_EQ(Binary16::fromDouble(std::ldexp(1.0, -25)).bits(), 0x0000);
+  // Anything above the tie rounds to the smallest subnormal.
+  EXPECT_EQ(Binary16::fromDouble(std::ldexp(1.0, -25) * 1.5).bits(), 0x0001);
+  EXPECT_TRUE(std::isnan(
+      Binary16::fromDouble(std::numeric_limits<double>::quiet_NaN())
+          .toDouble()));
+}
+
+TEST(Binary16, RoundTripAllFiniteEncodings) {
+  for (uint32_t Bits = 0; Bits < 0x10000; ++Bits) {
+    Binary16 H = Binary16::fromBits(static_cast<uint16_t>(Bits));
+    double Wide = H.toDouble();
+    if (std::isnan(Wide))
+      continue; // NaN payloads are not preserved; skip.
+    EXPECT_EQ(Binary16::fromDouble(Wide).bits(), Bits) << std::hex << Bits;
+  }
+}
+
+} // namespace

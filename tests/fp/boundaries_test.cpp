@@ -1,0 +1,128 @@
+//===- tests/fp/boundaries_test.cpp ------------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 1 of the paper: for every row, the initial integers (r, s, m+, m-)
+/// must satisfy v = r/s, (v+ - v)/2 = m+/s, and (v - v-)/2 = m-/s.  Checked
+/// symbolically against the exact rational neighbours for each of the four
+/// (e, f) cases and then as a property sweep over random values.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fp/boundaries.h"
+
+#include "fp/binary16.h"
+#include "rational/rational.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+/// Checks the ScaledStart invariants for v = F * 2^E exactly.
+void expectTable1Invariants(uint64_t F, int E, int Precision,
+                            int MinExponent) {
+  ScaledStart Start = makeScaledStart(F, E, Precision, MinExponent);
+
+  Rational V = Rational::scaledPow(BigInt(F), 2, E);
+  Rational R(Start.R);
+  Rational S(Start.S);
+  EXPECT_EQ(R / S, V) << "F=" << F << " E=" << E;
+
+  // Successor gap: always one ulp; (f+1) overflowing to b^p is the same
+  // real value as b^(p-1) * b^(e+1).
+  Rational Ulp = Rational::scaledPow(BigInt(uint64_t(1)), 2, E);
+  Rational HighGap = Rational(Start.MPlus) / S;
+  EXPECT_EQ(HighGap, Ulp * Rational(BigInt(uint64_t(1)), BigInt(uint64_t(2))))
+      << "F=" << F << " E=" << E;
+
+  // Predecessor gap: half an ulp narrower below a power of two.
+  bool Narrow =
+      F == (uint64_t(1) << (Precision - 1)) && E > MinExponent;
+  Rational ExpectedLowGap =
+      Narrow ? Rational::scaledPow(BigInt(uint64_t(1)), 2, E - 1) *
+                   Rational(BigInt(uint64_t(1)), BigInt(uint64_t(2)))
+             : Ulp * Rational(BigInt(uint64_t(1)), BigInt(uint64_t(2)));
+  EXPECT_EQ(Rational(Start.MMinus) / S, ExpectedLowGap)
+      << "F=" << F << " E=" << E;
+}
+
+// The four rows of Table 1, one explicit case each (doubles: p = 53,
+// min exponent -1074).
+
+TEST(Table1, RowOne_PositiveExponent_OrdinaryMantissa) {
+  // e >= 0, f != b^(p-1): 2^53-1 at e = 10.
+  expectTable1Invariants((uint64_t(1) << 53) - 1, 10, 53, -1074);
+}
+
+TEST(Table1, RowTwo_PositiveExponent_PowerOfTwoMantissa) {
+  // e >= 0, f = b^(p-1): the narrow-below case with a positive exponent.
+  expectTable1Invariants(uint64_t(1) << 52, 10, 53, -1074);
+}
+
+TEST(Table1, RowThree_NegativeExponent_OrdinaryMantissa) {
+  // e < 0, f != b^(p-1).
+  expectTable1Invariants(0x123456789ABCDull | (uint64_t(1) << 52), -52, 53,
+                         -1074);
+}
+
+TEST(Table1, RowThree_MinimumExponent_PowerOfTwoMantissa) {
+  // e = min exp forces the symmetric row even for f = b^(p-1).
+  expectTable1Invariants(uint64_t(1) << 52, -1074, 53, -1074);
+}
+
+TEST(Table1, RowFour_NegativeExponent_PowerOfTwoMantissa) {
+  // e < 0, e > min exp, f = b^(p-1): 1.0 itself (2^52 * 2^-52).
+  expectTable1Invariants(uint64_t(1) << 52, -52, 53, -1074);
+}
+
+TEST(Table1, SubnormalsUseTheSymmetricRow) {
+  expectTable1Invariants(1, -1074, 53, -1074);       // Smallest subnormal.
+  expectTable1Invariants(0xFFFFF, -1074, 53, -1074); // Mid subnormal.
+}
+
+TEST(Table1, DenominatorIsAlwaysEven) {
+  // The fixed-format path divides S by two; every row carries the factor.
+  for (double V : randomNormalDoubles(100, 3)) {
+    Decomposed D = decompose(V);
+    ScaledStart Start = makeScaledStart<double>(D);
+    EXPECT_TRUE(Start.S.isEven());
+  }
+}
+
+TEST(Table1, PropertySweepRandomDoubles) {
+  for (double V : randomNormalDoubles(300, 21)) {
+    Decomposed D = decompose(V);
+    expectTable1Invariants(D.F, D.E, 53, -1074);
+  }
+  for (double V : randomSubnormalDoubles(100, 22)) {
+    Decomposed D = decompose(V);
+    expectTable1Invariants(D.F, D.E, 53, -1074);
+  }
+}
+
+TEST(Table1, PropertySweepBinary16) {
+  // Small format: sweep every finite positive value exactly.
+  for (uint32_t Bits = 1; Bits < 0x7C00; ++Bits) {
+    Binary16 H = Binary16::fromBits(static_cast<uint16_t>(Bits));
+    Decomposed D = decompose(H);
+    expectTable1Invariants(D.F, D.E, 11, -24);
+  }
+}
+
+TEST(Table1, MidpointsBracketTheValue) {
+  for (double V : randomNormalDoubles(100, 5)) {
+    Decomposed D = decompose(V);
+    ScaledStart Start = makeScaledStart<double>(D);
+    EXPECT_FALSE(Start.MPlus.isZero());
+    EXPECT_FALSE(Start.MMinus.isZero());
+    EXPECT_GT(Start.R, Start.MMinus); // low > 0 for positive v.
+  }
+}
+
+} // namespace

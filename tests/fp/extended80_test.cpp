@@ -1,0 +1,166 @@
+//===- tests/fp/extended80_test.cpp -------------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The x87 80-bit extended format end to end: decomposition, Table 1
+/// invariants, shortest output with its round-trip and 21-digit bound,
+/// fixed format, and the reader -- all at p = 64, which exercises the
+/// "mantissa exactly fills uint64_t" edge of the whole library.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fp/extended80.h"
+
+#include "core/fixed_format.h"
+#include "core/free_format.h"
+#include "format/dtoa.h"
+#include "reader/reader.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(Extended80, Classify) {
+  EXPECT_EQ(classify(1.0L), FpClass::Normal);
+  EXPECT_EQ(classify(0.0L), FpClass::Zero);
+  EXPECT_EQ(classify(std::numeric_limits<long double>::denorm_min()),
+            FpClass::Subnormal);
+  EXPECT_EQ(classify(std::numeric_limits<long double>::infinity()),
+            FpClass::Infinity);
+  EXPECT_EQ(classify(std::numeric_limits<long double>::quiet_NaN()),
+            FpClass::NaN);
+}
+
+TEST(Extended80, DecomposeKnownValues) {
+  Decomposed One = decompose(1.0L);
+  EXPECT_EQ(One.F, uint64_t(1) << 63);
+  EXPECT_EQ(One.E, -63);
+
+  Decomposed Tiny = decompose(std::numeric_limits<long double>::denorm_min());
+  EXPECT_EQ(Tiny.F, 1u);
+  EXPECT_EQ(Tiny.E, -16445);
+
+  Decomposed Max = decompose(std::numeric_limits<long double>::max());
+  EXPECT_EQ(Max.F, ~uint64_t(0));
+  EXPECT_EQ(Max.E, 16320);
+
+  EXPECT_EQ(decompose(-2.5L), decompose(2.5L));
+}
+
+TEST(Extended80, ComposeDecomposeRoundTrip) {
+  SplitMix64 Rng(808080);
+  for (int I = 0; I < 300; ++I) {
+    uint64_t F = Rng.next() | (uint64_t(1) << 63); // Normalized.
+    int E = static_cast<int>(Rng.below(32000)) - 16000 - 63;
+    long double V = std::ldexp(static_cast<long double>(F), E);
+    Decomposed D = decompose(V);
+    EXPECT_EQ(compose<long double>(D), V);
+  }
+  // Subnormals.
+  for (uint64_t F : {uint64_t(1), uint64_t(7), uint64_t(1) << 40}) {
+    long double V = std::ldexp(static_cast<long double>(F), -16445);
+    Decomposed D = decompose(V);
+    EXPECT_EQ(D.F, F);
+    EXPECT_EQ(D.E, -16445);
+    EXPECT_EQ(compose<long double>(D), V);
+  }
+}
+
+TEST(Extended80, ShortestKnownValues) {
+  EXPECT_EQ(toShortest(1.0L), "1");
+  EXPECT_EQ(toShortest(0.5L), "0.5");
+  EXPECT_EQ(toShortest(-2.5L), "-2.5");
+  // 0.1L is closer to 0.1 than any double, still needs the short form.
+  EXPECT_EQ(toShortest(0.1L), "0.1");
+  // One third at 64 bits needs 20 digits (a double needs 16).
+  EXPECT_EQ(toShortest(1.0L / 3.0L), "0.33333333333333333334");
+}
+
+TEST(Extended80, ShortestDigitBoundIsTwentyOne) {
+  // ceil(64 * log10(2)) + 1 = 21 digits always suffice for p = 64.
+  SplitMix64 Rng(515151);
+  for (int I = 0; I < 400; ++I) {
+    uint64_t F = Rng.next() | (uint64_t(1) << 63);
+    int E = static_cast<int>(Rng.below(32000)) - 16000 - 63;
+    long double V = std::ldexp(static_cast<long double>(F), E);
+    DigitString D = shortestDigits(V);
+    EXPECT_LE(D.Digits.size(), 21u) << toShortest(V);
+    EXPECT_NE(D.Digits.front(), 0u);
+  }
+}
+
+TEST(Extended80, RoundTripThroughReader) {
+  SplitMix64 Rng(626262);
+  for (int I = 0; I < 300; ++I) {
+    uint64_t F = Rng.next() | (uint64_t(1) << 63);
+    int E = static_cast<int>(Rng.below(32600)) - 16300 - 63;
+    long double V = std::ldexp(static_cast<long double>(F), E);
+    std::string Text = toShortest(V);
+    auto Back = readFloat<long double>(Text);
+    ASSERT_TRUE(Back.has_value()) << Text;
+    EXPECT_EQ(*Back, V) << Text;
+  }
+  // The extreme corners.
+  for (long double V :
+       {std::numeric_limits<long double>::max(),
+        std::numeric_limits<long double>::min(),
+        std::numeric_limits<long double>::denorm_min()}) {
+    EXPECT_EQ(*readFloat<long double>(toShortest(V)), V) << toShortest(V);
+  }
+}
+
+TEST(Extended80, ReaderMatchesStrtold) {
+  SplitMix64 Rng(737373);
+  for (int I = 0; I < 200; ++I) {
+    char Buffer[64];
+    uint64_t Mantissa = Rng.next();
+    int Exp = static_cast<int>(Rng.below(9800)) - 4900;
+    std::snprintf(Buffer, sizeof(Buffer), "%llue%d",
+                  static_cast<unsigned long long>(Mantissa), Exp);
+    auto Mine = readFloat<long double>(Buffer);
+    long double Theirs = std::strtold(Buffer, nullptr);
+    ASSERT_TRUE(Mine.has_value());
+    EXPECT_EQ(*Mine, Theirs) << Buffer;
+  }
+}
+
+TEST(Extended80, FixedFormatAndMarks) {
+  EXPECT_EQ(toFixed(1.0L / 3.0L, 10), "0.3333333333");
+  // More precision than a double: the marks start later.
+  std::string Wide = toPrecision(1.0L / 3.0L, 30);
+  std::string WideDouble = toPrecision(1.0 / 3.0, 30);
+  size_t MarksLong = Wide.size() - Wide.find('#');
+  size_t MarksDouble = WideDouble.size() - WideDouble.find('#');
+  EXPECT_LT(MarksLong, MarksDouble);
+}
+
+TEST(Extended80, MoreDigitsThanDoubleForTheSameDecimal) {
+  // The same decimal literal read at both precisions: the long double is
+  // closer to the decimal value and its shortest form is (weakly) longer.
+  for (const char *Text : {"3.14159265358979323846", "2.71828182845904523536",
+                           "1.41421356237309504880"}) {
+    long double Ext = *readFloat<long double>(Text);
+    double Dbl = *readFloat<double>(Text);
+    EXPECT_GE(shortestDigits(Ext).Digits.size(),
+              shortestDigits(Dbl).Digits.size())
+        << Text;
+  }
+}
+
+TEST(Extended80, SpecialsThroughConvenienceApi) {
+  EXPECT_EQ(toShortest(0.0L), "0");
+  EXPECT_EQ(toShortest(-0.0L), "-0");
+  EXPECT_EQ(toShortest(std::numeric_limits<long double>::infinity()), "inf");
+  EXPECT_EQ(toShortest(std::numeric_limits<long double>::quiet_NaN()), "nan");
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===- tests/fp/ieee_traits_test.cpp -----------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decompose/compose/classify/successor/predecessor over the IEEE formats,
+/// including an exhaustive sweep of every binary16 encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fp/ieee_traits.h"
+
+#include "fp/binary16.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(Classify, Doubles) {
+  EXPECT_EQ(classify(0.0), FpClass::Zero);
+  EXPECT_EQ(classify(-0.0), FpClass::Zero);
+  EXPECT_EQ(classify(1.0), FpClass::Normal);
+  EXPECT_EQ(classify(-1.5e308), FpClass::Normal);
+  EXPECT_EQ(classify(5e-324), FpClass::Subnormal);
+  EXPECT_EQ(classify(std::numeric_limits<double>::infinity()),
+            FpClass::Infinity);
+  EXPECT_EQ(classify(-std::numeric_limits<double>::infinity()),
+            FpClass::Infinity);
+  EXPECT_EQ(classify(std::numeric_limits<double>::quiet_NaN()), FpClass::NaN);
+  EXPECT_EQ(classify(std::numeric_limits<double>::denorm_min()),
+            FpClass::Subnormal);
+  EXPECT_EQ(classify(std::numeric_limits<double>::min()), FpClass::Normal);
+}
+
+TEST(Classify, Floats) {
+  EXPECT_EQ(classify(0.0f), FpClass::Zero);
+  EXPECT_EQ(classify(1.0f), FpClass::Normal);
+  EXPECT_EQ(classify(std::numeric_limits<float>::denorm_min()),
+            FpClass::Subnormal);
+  EXPECT_EQ(classify(std::numeric_limits<float>::infinity()),
+            FpClass::Infinity);
+  EXPECT_EQ(classify(std::numeric_limits<float>::quiet_NaN()), FpClass::NaN);
+}
+
+TEST(SignBit, DetectsNegativeIncludingZero) {
+  EXPECT_FALSE(signBit(1.0));
+  EXPECT_TRUE(signBit(-1.0));
+  EXPECT_FALSE(signBit(0.0));
+  EXPECT_TRUE(signBit(-0.0));
+  EXPECT_TRUE(signBit(-std::numeric_limits<double>::infinity()));
+}
+
+TEST(Decompose, KnownDoubles) {
+  // 1.0 = 2^52 * 2^-52.
+  Decomposed One = decompose(1.0);
+  EXPECT_EQ(One.F, uint64_t(1) << 52);
+  EXPECT_EQ(One.E, -52);
+  // 0.5's mantissa is also 2^52, one exponent lower.
+  Decomposed Half = decompose(0.5);
+  EXPECT_EQ(Half.F, uint64_t(1) << 52);
+  EXPECT_EQ(Half.E, -53);
+  // The smallest subnormal is 1 * 2^-1074.
+  Decomposed Tiny = decompose(5e-324);
+  EXPECT_EQ(Tiny.F, 1u);
+  EXPECT_EQ(Tiny.E, -1074);
+  // The largest finite double.
+  Decomposed Max = decompose(std::numeric_limits<double>::max());
+  EXPECT_EQ(Max.F, (uint64_t(1) << 53) - 1);
+  EXPECT_EQ(Max.E, 971);
+  // Integers decompose exactly: 3 = 3 * 2^0 after normalization shifts.
+  Decomposed Three = decompose(3.0);
+  EXPECT_EQ(std::ldexp(static_cast<double>(Three.F), Three.E), 3.0);
+}
+
+TEST(Decompose, IgnoresSign) {
+  EXPECT_EQ(decompose(-1.0), decompose(1.0));
+  EXPECT_EQ(decompose(-12345.678), decompose(12345.678));
+}
+
+TEST(ComposeDecompose, RoundTripRandomDoubles) {
+  for (double V : randomNormalDoubles(500, 11)) {
+    Decomposed D = decompose(V);
+    EXPECT_EQ(compose<double>(D), V);
+  }
+  for (double V : randomSubnormalDoubles(200, 12)) {
+    Decomposed D = decompose(V);
+    EXPECT_EQ(compose<double>(D), V);
+  }
+}
+
+TEST(ComposeDecompose, RoundTripRandomFloats) {
+  for (float V : randomNormalFloats(500, 13)) {
+    Decomposed D = decompose(V);
+    EXPECT_EQ(compose<float>(D), V);
+  }
+}
+
+TEST(ComposeDecompose, AcceptsUnnormalizedInput) {
+  // 4 * 2^-2 == 1.0, presented with a shiftable mantissa.
+  EXPECT_EQ(compose<double>(Decomposed{4, -2}), 1.0);
+  // 3 * 2^0 == 3.0.
+  EXPECT_EQ(compose<double>(Decomposed{3, 0}), 3.0);
+}
+
+TEST(SuccessorPredecessor, OrdinaryStep) {
+  Decomposed D = decompose(1.5);
+  Decomposed Up = successor<double>(D);
+  EXPECT_EQ(compose<double>(Up), std::nextafter(1.5, 2.0));
+  Decomposed Down = predecessor<double>(D);
+  EXPECT_EQ(compose<double>(Down), std::nextafter(1.5, 1.0));
+}
+
+TEST(SuccessorPredecessor, NarrowGapBelowPowerOfTwo) {
+  // Below 1.0 the gap halves: predecessor(1.0) = 1 - 2^-53.
+  Decomposed One = decompose(1.0);
+  Decomposed Below = predecessor<double>(One);
+  EXPECT_EQ(compose<double>(Below), std::nextafter(1.0, 0.0));
+  EXPECT_EQ(Below.E, One.E - 1);
+  EXPECT_EQ(Below.F, (uint64_t(1) << 53) - 1);
+}
+
+TEST(SuccessorPredecessor, MantissaOverflowBumpsExponent) {
+  // successor(max mantissa) rolls to b^(p-1) * b^(e+1).
+  Decomposed D;
+  D.F = (uint64_t(1) << 53) - 1;
+  D.E = -52;
+  Decomposed Up = successor<double>(D);
+  EXPECT_EQ(Up.F, uint64_t(1) << 52);
+  EXPECT_EQ(Up.E, -51);
+  EXPECT_EQ(compose<double>(Up),
+            std::nextafter(compose<double>(D),
+                           std::numeric_limits<double>::infinity()));
+}
+
+TEST(SuccessorPredecessor, SubnormalRegionIsUniform) {
+  // At the bottom of the format the gap never narrows.
+  Decomposed Tiny = decompose(5e-324);
+  Decomposed Up = successor<double>(Tiny);
+  EXPECT_EQ(compose<double>(Up), 2 * 5e-324);
+  // Predecessor of the smallest normal steps into the subnormals.
+  Decomposed SmallestNormal = decompose(std::numeric_limits<double>::min());
+  Decomposed Down = predecessor<double>(SmallestNormal);
+  EXPECT_EQ(compose<double>(Down),
+            std::nextafter(std::numeric_limits<double>::min(), 0.0));
+}
+
+TEST(SuccessorPredecessor, AgreeWithNextafterProperty) {
+  for (double V : randomNormalDoubles(300, 17)) {
+    Decomposed D = decompose(V);
+    EXPECT_EQ(compose<double>(successor<double>(D)),
+              std::nextafter(V, std::numeric_limits<double>::infinity()))
+        << V;
+    EXPECT_EQ(compose<double>(predecessor<double>(D)),
+              std::nextafter(V, 0.0))
+        << V;
+  }
+}
+
+TEST(Binary16Traits, ExhaustiveDecomposeComposeSweep) {
+  // All 65536 encodings: every finite non-zero value must round-trip.
+  int Checked = 0;
+  for (uint32_t Bits = 0; Bits < 0x10000; ++Bits) {
+    Binary16 H = Binary16::fromBits(static_cast<uint16_t>(Bits));
+    FpClass Class = classify(H);
+    if (Class != FpClass::Normal && Class != FpClass::Subnormal)
+      continue;
+    Decomposed D = decompose(H);
+    Binary16 Back = compose<Binary16>(D);
+    // compose produces the positive encoding; compare magnitudes.
+    EXPECT_EQ(Back.bits(), Bits & 0x7FFF);
+    ++Checked;
+  }
+  EXPECT_EQ(Checked, 2 * (0x7C00 - 1)); // All finite non-zero encodings.
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/integration/cross_validation_test.cpp -----------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-validation against the C library (glibc's conversions are
+/// correctly rounded, so agreement is meaningful evidence) and death
+/// tests pinning the library's contract-violation behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#include "format/dtoa.h"
+#include "baselines/fixed17.h"
+#include "bigint/bigint.h"
+#include "core/fixed_format.h"
+#include "core/free_format.h"
+#include "reader/reader.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(CrossValidation, ToFixedMatchesPrintfWhenFullySignificant) {
+  // When no marks appear (the requested precision is within the value's
+  // information), toFixed with zero-marks must agree with printf "%.Nf"
+  // character for character... except at exact decimal ties, where C
+  // leaves the direction implementation-defined (glibc rounds to even,
+  // our default rounds up); skip those.
+  SplitMix64 Rng(20107);
+  int Compared = 0;
+  for (int I = 0; I < 3000; ++I) {
+    // Values in a human range where %.*f stays reasonable.
+    double V = static_cast<double>(Rng.below(1000000000)) / 1000.0;
+    if (V == 0.0)
+      continue;
+    int FractionDigits = static_cast<int>(Rng.below(8));
+    DigitString Digits = fixedDigitsAbsolute(V, -FractionDigits);
+    if (Digits.TrailingMarks > 0)
+      continue;
+    PrintOptions Options;
+    Options.Marks = MarkStyle::Zeros;
+    std::string Mine = toFixed(V, FractionDigits, Options);
+    char Theirs[64];
+    std::snprintf(Theirs, sizeof(Theirs), "%.*f", FractionDigits, V);
+    if (Mine != Theirs) {
+      // Tolerate a genuine half-way tie (we round up, glibc to even):
+      // reconstruct the remainder exactly and skip iff it is a tie.
+      FixedFormatOptions Down;
+      Down.Ties = TieBreak::RoundDown;
+      DigitString Low = fixedDigitsAbsolute(V, -FractionDigits, Down);
+      ASSERT_NE(Low, Digits) << "non-tie disagreement: " << Mine << " vs "
+                             << Theirs;
+      continue;
+    }
+    ++Compared;
+  }
+  EXPECT_GT(Compared, 2000); // The sweep must mostly be comparable.
+}
+
+TEST(CrossValidation, ToExponentialMatchesPrintfE) {
+  SplitMix64 Rng(20108);
+  for (int I = 0; I < 2000; ++I) {
+    double V = std::ldexp(static_cast<double>(Rng.next() >> 11) + 1, -30);
+    int Frac = 1 + static_cast<int>(Rng.below(15));
+    DigitString Digits = fixedDigitsRelative(V, Frac + 1);
+    if (Digits.TrailingMarks > 0)
+      continue;
+    PrintOptions Options;
+    Options.Marks = MarkStyle::Zeros;
+    std::string Mine = toExponential(V, Frac, Options);
+    char Theirs[64];
+    std::snprintf(Theirs, sizeof(Theirs), "%.*e", Frac, V);
+    // printf pads exponents to two digits ("e+07"); normalize ours.
+    std::string Normalized = Theirs;
+    size_t EPos = Normalized.find('e');
+    ASSERT_NE(EPos, std::string::npos);
+    // Strip a leading zero in the exponent ("e+07" -> "e+7").
+    if (Normalized[EPos + 2] == '0')
+      Normalized.erase(EPos + 2, 1);
+    if (Mine != Normalized) {
+      FixedFormatOptions Down;
+      Down.Ties = TieBreak::RoundDown;
+      DigitString Low = fixedDigitsRelative(V, Frac + 1, Down);
+      ASSERT_NE(Low, Digits) << "non-tie disagreement: " << Mine << " vs "
+                             << Normalized;
+    }
+  }
+}
+
+TEST(CrossValidation, ShortestAgreesWithPrintfShortestSearch) {
+  // The shortest output must equal the shortest of %.15g/%.16g/%.17g that
+  // round-trips via strtod -- the classic pre-shortest-printing recipe.
+  for (double V : randomNormalDoubles(400, 20109)) {
+    std::string Mine = toShortest(V);
+    std::string BestRecipe;
+    for (int Precision = 15; Precision <= 17; ++Precision) {
+      char Buffer[64];
+      std::snprintf(Buffer, sizeof(Buffer), "%.*g", Precision, V);
+      if (std::strtod(Buffer, nullptr) == V) {
+        BestRecipe = Buffer;
+        break;
+      }
+    }
+    ASSERT_FALSE(BestRecipe.empty()) << V;
+    // Same significant-digit count (the recipe may pick a different tie
+    // digit or exponent style, so compare counts, not text).  %g trims
+    // trailing zeros; count its mantissa digits, dropping trailing zeros
+    // (significant-trailing-zero cases like 5e22 print as "5e+22").
+    size_t RecipeDigits = 0;
+    size_t TrailingZeros = 0;
+    bool Leading = true;
+    for (char C : BestRecipe) {
+      if (C == 'e' || C == 'E')
+        break;
+      if (C < '0' || C > '9')
+        continue;
+      if (C == '0' && Leading)
+        continue;
+      Leading = false;
+      ++RecipeDigits;
+      TrailingZeros = C == '0' ? TrailingZeros + 1 : 0;
+    }
+    // Positional %g output can end in non-significant zeros only left of
+    // the decimal point; the shortest form never needs them.
+    EXPECT_LE(shortestDigits(V).Digits.size(), RecipeDigits)
+        << V << ": " << Mine << " vs " << BestRecipe;
+    EXPECT_GE(shortestDigits(V).Digits.size(), RecipeDigits - TrailingZeros)
+        << V << ": " << Mine << " vs " << BestRecipe;
+    EXPECT_EQ(*readFloat<double>(Mine), V);
+  }
+}
+
+// --- Contract-violation death tests (always-on asserts) ---
+
+TEST(ContractDeath, DivisionByZeroAborts) {
+  BigInt One(uint64_t(1));
+  BigInt Zero;
+  EXPECT_DEATH({ BigInt Q = One / Zero; (void)Q; }, "division by zero");
+}
+
+TEST(ContractDeath, BaseOutOfRangeAborts) {
+  EXPECT_DEATH((void)BigInt(uint64_t(5)).toString(1), "base out of range");
+  EXPECT_DEATH((void)BigInt(uint64_t(5)).toString(37), "base out of range");
+  FreeFormatOptions Options;
+  Options.Base = 1;
+  EXPECT_DEATH((void)shortestDigits(1.0, Options), "base out of range");
+}
+
+TEST(ContractDeath, DecomposeOfSpecialAborts) {
+  EXPECT_DEATH((void)decompose(0.0), "finite non-zero");
+  EXPECT_DEATH((void)decompose(std::numeric_limits<double>::infinity()),
+               "finite non-zero");
+}
+
+TEST(ContractDeath, ZeroMantissaAborts) {
+  EXPECT_DEATH((void)freeFormatDigits(0, 0, 53, -1074, FreeFormatOptions{}),
+               "positive mantissa");
+  EXPECT_DEATH((void)straightforwardFixed(0, 0, 10, 5), "positive mantissa");
+}
+
+TEST(ContractDeath, NegativeShiftTargetsAbort) {
+  BigInt MinusOne(int64_t(-1));
+  EXPECT_DEATH((void)(MinusOne << 3), "negative");
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+//===- tests/integration/fixed_free_consistency_test.cpp ------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-checks between the two output modes and the baselines:
+///  * fixed-format output at high precision = free-format digits + filler;
+///  * fixed-format output is the correctly rounded prefix (vs the
+///    straightforward printer) wherever the shortest-output tie-breaking
+///    cannot interfere;
+///  * reading a fixed-format rendering back gives a value within half a
+///    quantum.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/fixed17.h"
+#include "core/fixed_format.h"
+#include "core/free_format.h"
+#include "format/dtoa.h"
+#include "reader/reader.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(FixedFreeConsistency, FreeDigitsArePrefixOfWideFixed) {
+  // Requesting far more digits than the value has precision must
+  // reproduce the free-format digits, then zeros, then marks.
+  FreeFormatOptions FreeOptions; // NearestEven.
+  FixedFormatOptions FixedOptions;
+  FixedOptions.Boundaries = BoundaryMode::NearestEven;
+  for (double V : randomNormalDoubles(200, 12321)) {
+    DigitString Free = shortestDigits(V, FreeOptions);
+    DigitString Fixed = fixedDigitsRelative(V, 40, FixedOptions);
+    ASSERT_EQ(Fixed.K, Free.K) << V;
+    ASSERT_GE(Fixed.Digits.size(), Free.Digits.size()) << V;
+    for (size_t I = 0; I < Free.Digits.size(); ++I)
+      EXPECT_EQ(Fixed.Digits[I], Free.Digits[I]) << V << " digit " << I;
+    // Whatever follows the shortest prefix is zeros (then marks).
+    for (size_t I = Free.Digits.size(); I < Fixed.Digits.size(); ++I)
+      EXPECT_EQ(Fixed.Digits[I], 0u) << V << " digit " << I;
+    EXPECT_GT(Fixed.TrailingMarks, 0) << V;
+  }
+}
+
+TEST(FixedFreeConsistency, FixedEqualsStraightforwardWhenFullySignificant) {
+  // When the requested digit count is below the significance limit, the
+  // Section 4 algorithm and the straightforward printer agree: both are
+  // "correctly rounded to N digits" and ties (exact decimal halfway
+  // points) are broken the same way (RoundUp).
+  for (double V : randomNormalDoubles(300, 777)) {
+    for (int N : {3, 7, 12}) {
+      DigitString Fixed = fixedDigitsRelative(V, N);
+      if (Fixed.TrailingMarks > 0)
+        continue; // Precision ran out; the straightforward printer lies.
+      DigitString Straight = straightforwardDigits(V, N);
+      EXPECT_EQ(Fixed.K, Straight.K) << V << " N=" << N;
+      EXPECT_EQ(Fixed.Digits, Straight.Digits) << V << " N=" << N;
+    }
+  }
+}
+
+TEST(FixedFreeConsistency, FixedRenderingReadsBackWithinHalfQuantum) {
+  for (double V : randomNormalDoubles(200, 31415)) {
+    for (int N : {2, 5, 9}) {
+      PrintOptions Options;
+      Options.Marks = MarkStyle::Zeros; // Reader-friendly rendering.
+      std::string Text = toPrecision(V, N, Options);
+      auto Back = readFloat<double>(Text);
+      ASSERT_TRUE(Back.has_value()) << Text;
+      // |read-back - v| <= half of the last printed place, up to the
+      // reader's own half-ulp -- bound loosely by one quantum.
+      DigitString D = fixedDigitsRelative(V, N);
+      double Quantum = std::pow(10.0, D.K - N);
+      EXPECT_LE(std::fabs(*Back - V), Quantum) << Text;
+    }
+  }
+}
+
+TEST(FixedFreeConsistency, AbsoluteAndRelativeShareTheScale) {
+  for (double V : randomNormalDoubles(200, 999)) {
+    DigitString Free = shortestDigits(V);
+    // Absolute position derived from the free K, minus 5 positions.  A
+    // value within half a quantum of B^K rounds up across the power (K
+    // grows by one and the width with it); otherwise the scale is shared.
+    DigitString Abs = fixedDigitsAbsolute(V, Free.K - 5);
+    if (Abs.K == Free.K) {
+      EXPECT_EQ(Abs.width(), 5) << V;
+    } else {
+      EXPECT_EQ(Abs.K, Free.K + 1) << V;
+      EXPECT_EQ(Abs.width(), 6) << V;
+    }
+  }
+}
+
+TEST(FixedFreeConsistency, SeventeenDigitFixedIsLossless) {
+  // The Table 3 configuration: 17 significant digits always uniquely
+  // determine the double, marks or not.
+  for (double V : randomNormalDoubles(300, 171717)) {
+    PrintOptions Options;
+    Options.Marks = MarkStyle::Zeros;
+    std::string Text = toPrecision(V, 17, Options);
+    EXPECT_EQ(*readFloat<double>(Text), V) << Text;
+  }
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/integration/minimality_test.cpp -----------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Output condition "shortest" (Theorem 5): no digit string one shorter
+/// than the free-format output reads back as the same value.  Verified by
+/// actually constructing the two candidate (n-1)-digit neighbours and
+/// running them through the reader.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/free_format.h"
+#include "format/render.h"
+#include "reader/reader.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+/// Renders Digits (a plain digit vector) at scale K in base Base as
+/// scientific text the reader accepts.
+std::string digitsToText(const std::vector<uint8_t> &Digits, int K,
+                         unsigned Base) {
+  DigitString D;
+  D.Digits = Digits;
+  D.K = K;
+  RenderOptions Render;
+  Render.Base = Base;
+  Render.ExponentMarker = '^';
+  return renderScientific(D, false, Render);
+}
+
+/// True if Text reads back (nearest-even) as exactly Value.
+bool readsBackTo(const std::string &Text, double Value, unsigned Base) {
+  auto Back = readFloat<double>(Text, Base, ReadRounding::NearestEven);
+  return Back.has_value() && *Back == Value;
+}
+
+/// Checks that no (n-1)-digit string reads back to Value.  The only two
+/// candidates are the truncated prefix and the truncated prefix plus one
+/// (with carry); anything else is farther away.
+void expectMinimal(double Value, unsigned Base) {
+  FreeFormatOptions Options;
+  Options.Base = Base;
+  DigitString D = shortestDigits(Value, Options);
+  ASSERT_FALSE(D.Digits.empty());
+
+  // First: the output itself must read back (sanity, condition (1)).
+  EXPECT_TRUE(readsBackTo(digitsToText(D.Digits, D.K, Base), Value, Base));
+
+  if (D.Digits.size() == 1)
+    return; // A one-digit output is trivially minimal (reader rejects "").
+
+  std::vector<uint8_t> Truncated(D.Digits.begin(), D.Digits.end() - 1);
+  EXPECT_FALSE(readsBackTo(digitsToText(Truncated, D.K, Base), Value, Base))
+      << "truncation of " << digitsToText(D.Digits, D.K, Base)
+      << " still reads back";
+
+  // Truncated + 1 (propagate carry; a full carry becomes 1 with K+1).
+  std::vector<uint8_t> Bumped = Truncated;
+  int I = static_cast<int>(Bumped.size()) - 1;
+  for (; I >= 0; --I) {
+    if (Bumped[static_cast<size_t>(I)] + 1u < Base) {
+      ++Bumped[static_cast<size_t>(I)];
+      break;
+    }
+    Bumped[static_cast<size_t>(I)] = 0;
+  }
+  int BumpedK = D.K;
+  if (I < 0) {
+    Bumped.assign(1, 1);
+    ++BumpedK;
+  }
+  EXPECT_FALSE(readsBackTo(digitsToText(Bumped, BumpedK, Base), Value, Base))
+      << "increment of truncated " << digitsToText(D.Digits, D.K, Base)
+      << " still reads back";
+}
+
+class MinimalityBaseTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MinimalityBaseTest, RandomDoubles) {
+  unsigned Base = GetParam();
+  for (double V : randomNormalDoubles(250, Base * 17 + 3))
+    expectMinimal(V, Base);
+  for (double V : randomSubnormalDoubles(50, Base * 17 + 4))
+    expectMinimal(V, Base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, MinimalityBaseTest,
+                         ::testing::Values(2u, 10u, 16u));
+
+TEST(Minimality, HardcodedShortCases) {
+  for (double V : {0.1, 0.3, 1e22, 1e23, 5e-324, 1.5, 0.125})
+    expectMinimal(V, 10);
+}
+
+TEST(Minimality, AverageDigitCountIsWellBelowSeventeen) {
+  // The paper reports 15.2 average digits on its exact Schryer vector; on
+  // uniform-mantissa doubles (and on our Schryer substitution) the mean is
+  // ~16.4 -- in both cases meaningfully below the 17 the straightforward
+  // fixed printer always emits, which is the property Table 3 leans on.
+  // EXPERIMENTS.md records the 15.2-vs-16.4 delta.
+  double Sum = 0;
+  int Count = 0;
+  for (double V : randomNormalDoubles(4000, 15151)) {
+    Sum += static_cast<double>(shortestDigits(V).Digits.size());
+    ++Count;
+  }
+  double Mean = Sum / Count;
+  EXPECT_GT(Mean, 15.5);
+  EXPECT_LT(Mean, 16.9);
+}
+
+} // namespace

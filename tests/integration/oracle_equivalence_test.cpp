@@ -1,0 +1,179 @@
+//===- tests/integration/oracle_equivalence_test.cpp ----------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fast integer-arithmetic implementation (Section 3) against the
+/// exact rational-arithmetic basic algorithm (Section 2): digit-for-digit
+/// agreement across values, bases, boundary modes, and tie strategies.
+/// Any divergence here means the common-denominator rewrite broke the
+/// algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/fixed_format.h"
+#include "core/free_format.h"
+#include "core/reference.h"
+#include "fp/binary16.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace dragon4;
+
+namespace {
+
+struct ModeCase {
+  BoundaryMode Mode;
+  TieBreak Ties;
+};
+
+class OracleSweepTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+BoundaryMode modeOf(int Index) {
+  switch (Index) {
+  case 0:
+    return BoundaryMode::Conservative;
+  case 1:
+    return BoundaryMode::NearestEven;
+  case 2:
+    return BoundaryMode::BothInclusive;
+  case 3:
+    return BoundaryMode::LowInclusive;
+  default:
+    return BoundaryMode::HighInclusive;
+  }
+}
+
+TEST_P(OracleSweepTest, FreeFormatMatchesReference) {
+  auto [Base, ModeIndex] = GetParam();
+  BoundaryMode Mode = modeOf(ModeIndex);
+  FreeFormatOptions Options;
+  Options.Base = Base;
+  Options.Boundaries = Mode;
+
+  auto Check = [&](uint64_t F, int E, int P, int MinE) {
+    for (TieBreak Ties :
+         {TieBreak::RoundUp, TieBreak::RoundEven, TieBreak::RoundDown}) {
+      Options.Ties = Ties;
+      DigitString Fast =
+          freeFormatDigits(F, E, P, MinE, Options);
+      DigitString Slow = referenceFreeFormat(
+          F, E, P, MinE, Base, BoundaryFlags::resolve(Mode, F), Ties);
+      ASSERT_EQ(Fast, Slow)
+          << "F=" << F << " E=" << E << " base=" << Base
+          << " mode=" << ModeIndex << " ties=" << static_cast<int>(Ties);
+    }
+  };
+
+  // Doubles: random normals and subnormals.
+  for (double V : randomNormalDoubles(40, Base * 1000 + ModeIndex)) {
+    Decomposed D = decompose(V);
+    Check(D.F, D.E, 53, -1074);
+  }
+  for (double V : randomSubnormalDoubles(10, Base * 1000 + ModeIndex + 7)) {
+    Decomposed D = decompose(V);
+    Check(D.F, D.E, 53, -1074);
+  }
+  // Halves: structured sweep including powers of two (narrow gap).
+  SplitMix64 Rng(Base * 31 + ModeIndex);
+  for (int I = 0; I < 30; ++I) {
+    uint32_t Bits = 1 + static_cast<uint32_t>(Rng.below(0x7BFF));
+    Binary16 H = Binary16::fromBits(static_cast<uint16_t>(Bits));
+    Decomposed D = decompose(H);
+    Check(D.F, D.E, 11, -24);
+  }
+  Check(uint64_t(1) << 10, -5, 11, -24); // Power-of-two mantissa, narrow gap.
+  Check(uint64_t(1) << 10, -24, 11, -24); // ... pinned at min exponent.
+  Check(1, -24, 11, -24);                 // Smallest subnormal.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BasesAndModes, OracleSweepTest,
+    ::testing::Combine(::testing::Values(2u, 3u, 10u, 16u, 36u),
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+class FixedOracleTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FixedOracleTest, FixedFormatMatchesReference) {
+  unsigned Base = GetParam();
+  FixedFormatOptions Options;
+  Options.Base = Base;
+  Options.Boundaries = BoundaryMode::Conservative;
+
+  auto Check = [&](uint64_t F, int E, int P, int MinE, int J) {
+    DigitString Fast = fixedFormatAbsolute(F, E, P, MinE, J, Options);
+    DigitString Slow =
+        referenceFixedFormat(F, E, P, MinE, Base,
+                             BoundaryFlags::resolve(Options.Boundaries, F),
+                             Options.Ties, J);
+    ASSERT_EQ(Fast, Slow) << "F=" << F << " E=" << E << " J=" << J
+                          << " base=" << Base;
+  };
+
+  // Halves at a grid of absolute positions (oracle rationals stay small).
+  SplitMix64 Rng(Base * 991);
+  for (int I = 0; I < 40; ++I) {
+    uint32_t Bits = 1 + static_cast<uint32_t>(Rng.below(0x7BFF));
+    Binary16 H = Binary16::fromBits(static_cast<uint16_t>(Bits));
+    Decomposed D = decompose(H);
+    for (int J : {-12, -6, -2, 0, 2, 5})
+      Check(D.F, D.E, 11, -24, J);
+  }
+  // A few doubles at coarse positions.
+  for (double V : randomNormalDoubles(10, Base * 17)) {
+    Decomposed D = decompose(V);
+    for (int J : {-20, -3, 0})
+      Check(D.F, D.E, 53, -1074, J);
+  }
+  // The zero-collapse region.
+  Check(1, -24, 11, -24, 0);
+  Check(1, -24, 11, -24, 3);
+  Check(uint64_t(1) << 10, -24, 11, -24, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, FixedOracleTest,
+                         ::testing::Values(2u, 10u, 16u));
+
+TEST(OracleDense, Binary16FreeFormatStridedSweep) {
+  // A dense (stride-5) sweep of the half-precision format against the
+  // rational oracle in base 10, both common boundary modes.  Together
+  // with the random suites above this pins the integer rewrite to the
+  // Section 2 specification across an entire format.
+  for (int ModeIndex : {0, 1}) {
+    BoundaryMode Mode = modeOf(ModeIndex);
+    FreeFormatOptions Options;
+    Options.Boundaries = Mode;
+    for (uint32_t Bits = 1; Bits < 0x7C00; Bits += 5) {
+      Binary16 H = Binary16::fromBits(static_cast<uint16_t>(Bits));
+      Decomposed D = decompose(H);
+      DigitString Fast = freeFormatDigits(D.F, D.E, 11, -24, Options);
+      DigitString Slow = referenceFreeFormat(
+          D.F, D.E, 11, -24, 10, BoundaryFlags::resolve(Mode, D.F),
+          Options.Ties);
+      ASSERT_EQ(Fast, Slow) << "bits " << Bits << " mode " << ModeIndex;
+    }
+  }
+}
+
+TEST(OracleDense, Binary16FixedFormatStridedSweep) {
+  // The same density for the Section 4 algorithm at a fraction position
+  // deep enough that subnormals produce marks.
+  FixedFormatOptions Options;
+  for (uint32_t Bits = 1; Bits < 0x7C00; Bits += 7) {
+    Binary16 H = Binary16::fromBits(static_cast<uint16_t>(Bits));
+    Decomposed D = decompose(H);
+    DigitString Fast = fixedFormatAbsolute(D.F, D.E, 11, -24, -6, Options);
+    DigitString Slow = referenceFixedFormat(
+        D.F, D.E, 11, -24, 10,
+        BoundaryFlags::resolve(Options.Boundaries, D.F), Options.Ties, -6);
+    ASSERT_EQ(Fast, Slow) << "bits " << Bits;
+  }
+}
+
+} // namespace

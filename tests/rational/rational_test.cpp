@@ -1,0 +1,124 @@
+//===- tests/rational/rational_test.cpp --------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "rational/rational.h"
+
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+
+namespace {
+
+Rational makeRat(int64_t Num, int64_t Den) {
+  return Rational(BigInt(Num), BigInt(Den));
+}
+
+TEST(Gcd, BasicCases) {
+  EXPECT_EQ(gcd(BigInt(uint64_t(12)), BigInt(uint64_t(18))).toString(), "6");
+  EXPECT_EQ(gcd(BigInt(uint64_t(17)), BigInt(uint64_t(5))).toString(), "1");
+  EXPECT_EQ(gcd(BigInt(), BigInt(uint64_t(7))).toString(), "7");
+  EXPECT_EQ(gcd(BigInt(uint64_t(7)), BigInt()).toString(), "7");
+  EXPECT_EQ(gcd(BigInt(int64_t(-12)), BigInt(uint64_t(18))).toString(), "6");
+}
+
+TEST(Rational, DefaultIsZero) {
+  Rational Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_TRUE(Zero.isInteger());
+  EXPECT_EQ(Zero.toString(), "0");
+}
+
+TEST(Rational, NormalizesSignAndReduces) {
+  EXPECT_EQ(makeRat(2, 4).toString(), "1/2");
+  EXPECT_EQ(makeRat(-2, 4).toString(), "-1/2");
+  EXPECT_EQ(makeRat(2, -4).toString(), "-1/2");
+  EXPECT_EQ(makeRat(-2, -4).toString(), "1/2");
+  EXPECT_EQ(makeRat(0, -5).toString(), "0");
+  EXPECT_EQ(makeRat(6, 3).toString(), "2");
+  EXPECT_TRUE(makeRat(6, 3).isInteger());
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ((makeRat(1, 2) + makeRat(1, 3)).toString(), "5/6");
+  EXPECT_EQ((makeRat(1, 2) - makeRat(1, 3)).toString(), "1/6");
+  EXPECT_EQ((makeRat(1, 3) - makeRat(1, 2)).toString(), "-1/6");
+  EXPECT_EQ((makeRat(2, 3) * makeRat(3, 4)).toString(), "1/2");
+  EXPECT_EQ((makeRat(2, 3) / makeRat(4, 3)).toString(), "1/2");
+  EXPECT_EQ((-makeRat(2, 3)).toString(), "-2/3");
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(makeRat(1, 3), makeRat(1, 2));
+  EXPECT_GT(makeRat(-1, 3), makeRat(-1, 2));
+  EXPECT_EQ(makeRat(2, 4), makeRat(1, 2));
+  EXPECT_LE(makeRat(1, 2), makeRat(1, 2));
+  EXPECT_LT(makeRat(-1, 2), Rational());
+  EXPECT_GT(makeRat(1, 1000000), Rational());
+}
+
+TEST(Rational, FloorTowardNegativeInfinity) {
+  EXPECT_EQ(makeRat(7, 2).floor().toString(), "3");
+  EXPECT_EQ(makeRat(-7, 2).floor().toString(), "-4");
+  EXPECT_EQ(makeRat(6, 2).floor().toString(), "3");
+  EXPECT_EQ(makeRat(-6, 2).floor().toString(), "-3");
+  EXPECT_EQ(Rational().floor().toString(), "0");
+}
+
+TEST(Rational, FractionalPartInUnitInterval) {
+  EXPECT_EQ(makeRat(7, 2).fractionalPart(), makeRat(1, 2));
+  EXPECT_EQ(makeRat(-7, 2).fractionalPart(), makeRat(1, 2));
+  EXPECT_TRUE(makeRat(4, 2).fractionalPart().isZero());
+}
+
+TEST(Rational, ScaledPow) {
+  EXPECT_EQ(Rational::scaledPow(BigInt(uint64_t(3)), 10, 2).toString(),
+            "300");
+  EXPECT_EQ(Rational::scaledPow(BigInt(uint64_t(3)), 10, -2).toString(),
+            "3/100");
+  EXPECT_EQ(Rational::scaledPow(BigInt(uint64_t(5)), 2, -1).toString(),
+            "5/2");
+  EXPECT_EQ(Rational::scaledPow(BigInt(uint64_t(1)), 7, 0).toString(), "1");
+}
+
+TEST(Rational, FieldAxiomsProperty) {
+  SplitMix64 Rng(31337);
+  auto Random = [&] {
+    int64_t Num = static_cast<int64_t>(Rng.next() % 2001) - 1000;
+    int64_t Den = static_cast<int64_t>(Rng.next() % 999) + 1;
+    return makeRat(Num, Den);
+  };
+  for (int I = 0; I < 100; ++I) {
+    Rational A = Random(), B = Random(), C = Random();
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ(A - A, Rational());
+    if (!B.isZero()) {
+      EXPECT_EQ((A / B) * B, A);
+    }
+  }
+}
+
+TEST(Rational, CompareViaSubtraction) {
+  SplitMix64 Rng(777);
+  for (int I = 0; I < 100; ++I) {
+    int64_t N1 = static_cast<int64_t>(Rng.next() % 2001) - 1000;
+    int64_t N2 = static_cast<int64_t>(Rng.next() % 2001) - 1000;
+    Rational A = makeRat(N1, 1 + int64_t(Rng.below(50)));
+    Rational B = makeRat(N2, 1 + int64_t(Rng.below(50)));
+    Rational Diff = A - B;
+    if (A < B)
+      EXPECT_TRUE(Diff.isNegative());
+    else if (A == B)
+      EXPECT_TRUE(Diff.isZero());
+    else
+      EXPECT_TRUE(!Diff.isNegative() && !Diff.isZero());
+  }
+}
+
+} // namespace

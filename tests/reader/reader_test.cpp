@@ -1,0 +1,243 @@
+//===- tests/reader/reader_test.cpp -------------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correctly rounded reader: grammar, exact rounding (including the
+/// classic strtod torture values), rounding modes, subnormal/overflow
+/// edges, and non-decimal bases.
+///
+//===----------------------------------------------------------------------===//
+
+#include "reader/reader.h"
+
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace dragon4;
+
+namespace {
+
+double readD(std::string_view Text,
+             ReadRounding Mode = ReadRounding::NearestEven) {
+  auto Result = readFloat<double>(Text, 10, Mode);
+  EXPECT_TRUE(Result.has_value()) << Text;
+  return *Result;
+}
+
+TEST(ReaderGrammar, AcceptsCommonForms) {
+  EXPECT_TRUE(readFloat<double>("1").has_value());
+  EXPECT_TRUE(readFloat<double>("1.5").has_value());
+  EXPECT_TRUE(readFloat<double>(".5").has_value());
+  EXPECT_TRUE(readFloat<double>("5.").has_value());
+  EXPECT_TRUE(readFloat<double>("-1e10").has_value());
+  EXPECT_TRUE(readFloat<double>("+1E-10").has_value());
+  EXPECT_TRUE(readFloat<double>("1.25e+3").has_value());
+  EXPECT_TRUE(readFloat<double>("inf").has_value());
+  EXPECT_TRUE(readFloat<double>("-Infinity").has_value());
+  EXPECT_TRUE(readFloat<double>("NaN").has_value());
+}
+
+TEST(ReaderGrammar, RejectsMalformedText) {
+  EXPECT_FALSE(readFloat<double>("").has_value());
+  EXPECT_FALSE(readFloat<double>("-").has_value());
+  EXPECT_FALSE(readFloat<double>(".").has_value());
+  EXPECT_FALSE(readFloat<double>("e5").has_value());
+  EXPECT_FALSE(readFloat<double>("1e").has_value());
+  EXPECT_FALSE(readFloat<double>("1e+").has_value());
+  EXPECT_FALSE(readFloat<double>("1.2.3").has_value());
+  EXPECT_FALSE(readFloat<double>("12x").has_value());
+  EXPECT_FALSE(readFloat<double>(" 1").has_value());
+  EXPECT_FALSE(readFloat<double>("0x10").has_value());
+}
+
+TEST(Reader, ExactSmallValues) {
+  EXPECT_EQ(readD("0"), 0.0);
+  EXPECT_EQ(readD("1"), 1.0);
+  EXPECT_EQ(readD("-1"), -1.0);
+  EXPECT_EQ(readD("1.5"), 1.5);
+  EXPECT_EQ(readD("0.25"), 0.25);
+  EXPECT_EQ(readD("123456789"), 123456789.0);
+  EXPECT_EQ(readD("1e3"), 1000.0);
+  EXPECT_EQ(readD("1.25e2"), 125.0);
+  EXPECT_EQ(readD("-0.0"), 0.0);
+  EXPECT_TRUE(std::signbit(readD("-0.0")));
+}
+
+TEST(Reader, Specials) {
+  EXPECT_TRUE(std::isinf(readD("inf")));
+  EXPECT_TRUE(std::isinf(readD("-infinity")));
+  EXPECT_TRUE(std::signbit(readD("-inf")));
+  EXPECT_TRUE(std::isnan(readD("nan")));
+}
+
+TEST(Reader, MatchesStrtodOnRandomShortLiterals) {
+  SplitMix64 Rng(404);
+  for (int I = 0; I < 500; ++I) {
+    // Random digit strings with random exponents in the comfortable range.
+    char Buffer[64];
+    uint64_t Mantissa = Rng.next() % 10000000000000000000ull;
+    int Exp = static_cast<int>(Rng.below(613)) - 306;
+    std::snprintf(Buffer, sizeof(Buffer), "%llue%d",
+                  static_cast<unsigned long long>(Mantissa), Exp);
+    double Mine = readD(Buffer);
+    double Theirs = std::strtod(Buffer, nullptr);
+    EXPECT_EQ(Mine, Theirs) << Buffer;
+  }
+}
+
+TEST(Reader, ClassicTortureValues) {
+  // Values near the midpoint of two doubles, where naive accumulation
+  // misrounds (drawn from the strtod test folklore).
+  EXPECT_EQ(readD("2.2250738585072011e-308"), // The famous PHP hang value.
+            std::strtod("2.2250738585072011e-308", nullptr));
+  EXPECT_EQ(readD("0.500000000000000166533453693773481063544750213623046875"),
+            std::strtod(
+                "0.500000000000000166533453693773481063544750213623046875",
+                nullptr));
+  EXPECT_EQ(readD("1e308"), 1e308);
+  EXPECT_EQ(readD("17976931348623157e292"), 1.7976931348623157e308);
+  EXPECT_EQ(readD("4.9406564584124654e-324"), 5e-324);
+  EXPECT_EQ(readD("2.4703282292062327e-324"), 0.0);  // Just below half ulp.
+  EXPECT_EQ(readD("2.4703282292062329e-324"), 5e-324); // Just above.
+}
+
+TEST(Reader, HalfUlpTieRoundsToEven) {
+  // 1 + 2^-53 is exactly representable in decimal and is the midpoint
+  // between 1.0 and nextafter(1.0): ties-to-even must give 1.0.
+  EXPECT_EQ(readD("1.00000000000000011102230246251565404236316680908203125"),
+            1.0);
+  // The midpoint above nextafter (odd mantissa) rounds up to the even.
+  double Next = std::nextafter(1.0, 2.0);
+  EXPECT_EQ(
+      readD("1.00000000000000033306690738754696212708950042724609375"),
+      std::nextafter(Next, 2.0));
+}
+
+TEST(Reader, OverflowAndUnderflowByMode) {
+  EXPECT_TRUE(std::isinf(readD("1e309")));
+  EXPECT_TRUE(std::isinf(readD("1e99999")));
+  EXPECT_FALSE(std::isinf(readD("1e309", ReadRounding::TowardZero)));
+  EXPECT_EQ(readD("1e309", ReadRounding::TowardZero),
+            std::numeric_limits<double>::max());
+  EXPECT_EQ(readD("1e99999", ReadRounding::TowardNegative),
+            std::numeric_limits<double>::max());
+  EXPECT_TRUE(std::isinf(readD("-1e309", ReadRounding::TowardNegative)));
+  EXPECT_EQ(readD("-1e309", ReadRounding::TowardPositive),
+            -std::numeric_limits<double>::max());
+
+  EXPECT_EQ(readD("1e-400"), 0.0);
+  EXPECT_EQ(readD("1e-99999"), 0.0);
+  EXPECT_EQ(readD("1e-400", ReadRounding::TowardPositive), 5e-324);
+  EXPECT_EQ(readD("-1e-400", ReadRounding::TowardNegative), -5e-324);
+  EXPECT_EQ(readD("-1e-400", ReadRounding::TowardPositive), -0.0);
+  EXPECT_TRUE(std::signbit(readD("-1e-400", ReadRounding::TowardPositive)));
+}
+
+TEST(Reader, DirectedRoundingBracketsNearest) {
+  SplitMix64 Rng(808);
+  for (int I = 0; I < 200; ++I) {
+    char Buffer[64];
+    uint64_t Mantissa = Rng.next() % 1000000000000000000ull;
+    int Exp = static_cast<int>(Rng.below(600)) - 300;
+    std::snprintf(Buffer, sizeof(Buffer), "%llue%d",
+                  static_cast<unsigned long long>(Mantissa), Exp);
+    double Down = readD(Buffer, ReadRounding::TowardNegative);
+    double Up = readD(Buffer, ReadRounding::TowardPositive);
+    double Near = readD(Buffer);
+    EXPECT_LE(Down, Near) << Buffer;
+    EXPECT_LE(Near, Up) << Buffer;
+    // Down and Up are equal (exact) or adjacent.
+    if (Down != Up) {
+      EXPECT_EQ(std::nextafter(Down, Up), Up) << Buffer;
+    }
+  }
+}
+
+TEST(Reader, TowardZeroTruncates) {
+  EXPECT_EQ(readD("1.9999999999999999999", ReadRounding::TowardZero),
+            std::nextafter(2.0, 1.0));
+  EXPECT_EQ(readD("-1.9999999999999999999", ReadRounding::TowardZero),
+            -std::nextafter(2.0, 1.0));
+  EXPECT_EQ(readD("2.0000000000000000001", ReadRounding::TowardZero), 2.0);
+}
+
+TEST(Reader, NearestAwayDiffersOnlyOnTies) {
+  EXPECT_EQ(readD("1.00000000000000011102230246251565404236316680908203125",
+                  ReadRounding::NearestAway),
+            std::nextafter(1.0, 2.0));
+}
+
+TEST(Reader, FloatAndHalfFormats) {
+  EXPECT_EQ(*readFloat<float>("1.5"), 1.5f);
+  EXPECT_EQ(*readFloat<float>("3.4028235e38"),
+            std::numeric_limits<float>::max());
+  EXPECT_TRUE(std::isinf(*readFloat<float>("3.5e38")));
+  EXPECT_EQ(*readFloat<float>("1e-45"), std::numeric_limits<float>::denorm_min());
+
+  EXPECT_EQ(readFloat<Binary16>("1.0")->bits(), 0x3C00);
+  EXPECT_EQ(readFloat<Binary16>("65504")->bits(), 0x7BFF);
+  EXPECT_EQ(readFloat<Binary16>("65520")->bits(), 0x7C00); // Tie -> inf.
+  EXPECT_EQ(readFloat<Binary16>("-2")->bits(), 0xC000);
+  EXPECT_EQ(readFloat<Binary16>("6e-8")->bits(), 0x0001);
+}
+
+TEST(Reader, NonDecimalBases) {
+  EXPECT_EQ(*readFloat<double>("101", 2), 5.0);
+  EXPECT_EQ(*readFloat<double>("0.1", 2), 0.5);
+  EXPECT_EQ(*readFloat<double>("ff", 16), 255.0);
+  EXPECT_EQ(*readFloat<double>("0.8", 16), 0.5);
+  EXPECT_EQ(*readFloat<double>("1^3", 16), 4096.0); // 16^3 via the ^ marker.
+  EXPECT_EQ(*readFloat<double>("z", 36), 35.0);
+  EXPECT_EQ(*readFloat<double>("10", 8), 8.0);
+  // 'e' is a digit in base 16, so "1e1" is the integer 0x1e1.
+  EXPECT_EQ(*readFloat<double>("1e1", 16), 481.0);
+}
+
+TEST(Reader, ExhaustiveSubnormalFloatNeighborhood) {
+  // Decimal strings straddling each of the first 50 float subnormal
+  // midpoints must land on the correct side.
+  for (int N = 1; N <= 50; ++N) {
+    float Value = static_cast<float>(N) *
+                  std::numeric_limits<float>::denorm_min();
+    double Wide = static_cast<double>(Value);
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%.20e", Wide);
+    EXPECT_EQ(*readFloat<float>(Buffer), Value) << Buffer;
+  }
+}
+
+TEST(ReaderFastPath, AgreesWithExactAcrossItsDomain) {
+  // The Clinger fast path fires for <=53-bit significands with decimal
+  // exponents in [-22, 22]; sweep that domain comparing against the
+  // exact path via other rounding modes' machinery (NearestAway has no
+  // fast path and differs from NearestEven only at ties, which cannot
+  // occur inside the fast path's exactness conditions... so instead
+  // compare against glibc, which is correctly rounded).
+  SplitMix64 Rng(5555);
+  for (int I = 0; I < 3000; ++I) {
+    uint64_t W = Rng.next() >> (11 + Rng.below(40)); // <= 53 bits.
+    int Q = static_cast<int>(Rng.below(45)) - 22;
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%llue%d",
+                  static_cast<unsigned long long>(W), Q);
+    EXPECT_EQ(readD(Buffer), std::strtod(Buffer, nullptr)) << Buffer;
+  }
+}
+
+TEST(ReaderFastPath, TruncatedLongDigitStringsStayExact) {
+  // More than 53 bits of significand must take the exact path even when
+  // the exponent is small; these are classic near-half-ulp cases.
+  EXPECT_EQ(readD("9007199254740993"), 9007199254740992.0); // 2^53+1 tie.
+  EXPECT_EQ(readD("9007199254740995"), 9007199254740996.0); // Tie to even.
+  EXPECT_EQ(readD("10000000000000000000000.5"),
+            std::strtod("10000000000000000000000.5", nullptr));
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+//===- tests/testgen/testgen_test.cpp -----------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/random_floats.h"
+#include "testgen/schryer.h"
+
+#include "fp/ieee_traits.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace dragon4;
+
+namespace {
+
+TEST(Schryer, PatternsAreDeduplicatedStoredMantissas) {
+  std::vector<uint64_t> Patterns = schryerMantissaPatterns();
+  EXPECT_FALSE(Patterns.empty());
+  EXPECT_TRUE(std::is_sorted(Patterns.begin(), Patterns.end()));
+  EXPECT_EQ(std::adjacent_find(Patterns.begin(), Patterns.end()),
+            Patterns.end());
+  for (uint64_t P : Patterns)
+    EXPECT_LT(P, uint64_t(1) << 52);
+  // The canonical boundary patterns are present.
+  auto Contains = [&](uint64_t V) {
+    return std::binary_search(Patterns.begin(), Patterns.end(), V);
+  };
+  EXPECT_TRUE(Contains(0));                         // 1.000...0
+  EXPECT_TRUE(Contains((uint64_t(1) << 52) - 1));   // 1.111...1
+  EXPECT_TRUE(Contains(1));                         // 1.000...01
+  EXPECT_TRUE(Contains(uint64_t(1) << 51));         // 1.100...0
+}
+
+TEST(Schryer, SetIsPositiveNormalizedAndDeterministic) {
+  SchryerParams Sparse;
+  Sparse.ExponentStride = 500;
+  std::vector<double> A = schryerDoubles(Sparse);
+  std::vector<double> B = schryerDoubles(Sparse);
+  EXPECT_EQ(A, B);
+  for (double V : A) {
+    EXPECT_GT(V, 0.0);
+    EXPECT_EQ(classify(V), FpClass::Normal);
+  }
+}
+
+TEST(Schryer, DefaultSizeIsNearThePapers) {
+  // The paper used 250,680 inputs; our substitution should be in the same
+  // ballpark (within 20%) so the benchmark workloads are comparable.
+  size_t Count = schryerDoubles().size();
+  EXPECT_GT(Count, 200000u);
+  EXPECT_LT(Count, 300000u);
+}
+
+TEST(Schryer, CoversTheFullExponentRange) {
+  SchryerParams Params;
+  std::vector<double> Values = schryerDoubles(Params);
+  auto MinMax = std::minmax_element(Values.begin(), Values.end());
+  EXPECT_LT(*MinMax.first, 1e-307);  // Near the bottom of normal range.
+  EXPECT_GT(*MinMax.second, 1e307);  // Near the top.
+}
+
+TEST(RandomFloats, DeterministicPerSeed) {
+  EXPECT_EQ(randomNormalDoubles(100, 7), randomNormalDoubles(100, 7));
+  EXPECT_NE(randomNormalDoubles(100, 7), randomNormalDoubles(100, 8));
+}
+
+TEST(RandomFloats, ClassesAreAsAdvertised) {
+  for (double V : randomNormalDoubles(200, 1))
+    EXPECT_EQ(classify(V), FpClass::Normal);
+  for (double V : randomSubnormalDoubles(200, 2))
+    EXPECT_EQ(classify(V), FpClass::Subnormal);
+  for (double V : randomBitsDoubles(200, 3)) {
+    EXPECT_TRUE(std::isfinite(V));
+    EXPECT_GT(V, 0.0);
+  }
+  for (float V : randomNormalFloats(200, 4))
+    EXPECT_EQ(classify(V), FpClass::Normal);
+}
+
+TEST(RandomFloats, ReasonableSpread) {
+  // Log-uniform generation: should produce both tiny and huge magnitudes.
+  std::vector<double> Values = randomNormalDoubles(2000, 5);
+  int Tiny = 0, Huge = 0;
+  for (double V : Values) {
+    if (V < 1e-100)
+      ++Tiny;
+    if (V > 1e100)
+      ++Huge;
+  }
+  EXPECT_GT(Tiny, 100);
+  EXPECT_GT(Huge, 100);
+}
+
+TEST(SplitMix, KnownStream) {
+  // Reference values for SplitMix64 seeded with 1234567 (from the public
+  // reference implementation).
+  SplitMix64 Rng(1234567);
+  EXPECT_EQ(Rng.next(), 6457827717110365317ull);
+  EXPECT_EQ(Rng.next(), 3203168211198807973ull);
+  EXPECT_EQ(Rng.next(), 9817491932198370423ull);
+}
+
+TEST(SplitMix, BelowStaysInRange) {
+  SplitMix64 Rng(9);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Rng.below(17), 17u);
+}
+
+} // namespace
