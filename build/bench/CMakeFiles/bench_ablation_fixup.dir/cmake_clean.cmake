@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fixup.dir/bench_ablation_fixup.cpp.o"
+  "CMakeFiles/bench_ablation_fixup.dir/bench_ablation_fixup.cpp.o.d"
+  "bench_ablation_fixup"
+  "bench_ablation_fixup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fixup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_powcache.dir/bench_ablation_powcache.cpp.o"
+  "CMakeFiles/bench_ablation_powcache.dir/bench_ablation_powcache.cpp.o.d"
+  "bench_ablation_powcache"
+  "bench_ablation_powcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_powcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fixedformat.dir/bench_fixedformat.cpp.o"
+  "CMakeFiles/bench_fixedformat.dir/bench_fixedformat.cpp.o.d"
+  "bench_fixedformat"
+  "bench_fixedformat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fixedformat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

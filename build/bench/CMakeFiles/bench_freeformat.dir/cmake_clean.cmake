@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_freeformat.dir/bench_freeformat.cpp.o"
+  "CMakeFiles/bench_freeformat.dir/bench_freeformat.cpp.o.d"
+  "bench_freeformat"
+  "bench_freeformat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freeformat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_writer.dir/csv_writer.cpp.o"
+  "CMakeFiles/csv_writer.dir/csv_writer.cpp.o.d"
+  "csv_writer"
+  "csv_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

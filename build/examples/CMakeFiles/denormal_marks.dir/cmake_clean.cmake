@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denormal_marks.dir/denormal_marks.cpp.o"
+  "CMakeFiles/denormal_marks.dir/denormal_marks.cpp.o.d"
+  "denormal_marks"
+  "denormal_marks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denormal_marks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_inspector.dir/float_inspector.cpp.o"
+  "CMakeFiles/float_inspector.dir/float_inspector.cpp.o.d"
+  "float_inspector"
+  "float_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

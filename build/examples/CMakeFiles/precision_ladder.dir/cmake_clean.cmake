@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_ladder.dir/precision_ladder.cpp.o"
+  "CMakeFiles/precision_ladder.dir/precision_ladder.cpp.o.d"
+  "precision_ladder"
+  "precision_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fixed17.cpp" "src/CMakeFiles/dragon4.dir/baselines/fixed17.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/baselines/fixed17.cpp.o.d"
+  "/root/repo/src/baselines/printf_shim.cpp" "src/CMakeFiles/dragon4.dir/baselines/printf_shim.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/baselines/printf_shim.cpp.o.d"
+  "/root/repo/src/baselines/steele_white.cpp" "src/CMakeFiles/dragon4.dir/baselines/steele_white.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/baselines/steele_white.cpp.o.d"
+  "/root/repo/src/bigint/bigint.cpp" "src/CMakeFiles/dragon4.dir/bigint/bigint.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/bigint/bigint.cpp.o.d"
+  "/root/repo/src/bigint/bigint_div.cpp" "src/CMakeFiles/dragon4.dir/bigint/bigint_div.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/bigint/bigint_div.cpp.o.d"
+  "/root/repo/src/bigint/bigint_mul.cpp" "src/CMakeFiles/dragon4.dir/bigint/bigint_mul.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/bigint/bigint_mul.cpp.o.d"
+  "/root/repo/src/bigint/bigint_string.cpp" "src/CMakeFiles/dragon4.dir/bigint/bigint_string.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/bigint/bigint_string.cpp.o.d"
+  "/root/repo/src/bigint/power_cache.cpp" "src/CMakeFiles/dragon4.dir/bigint/power_cache.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/bigint/power_cache.cpp.o.d"
+  "/root/repo/src/core/digit_loop.cpp" "src/CMakeFiles/dragon4.dir/core/digit_loop.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/core/digit_loop.cpp.o.d"
+  "/root/repo/src/core/fixed_format.cpp" "src/CMakeFiles/dragon4.dir/core/fixed_format.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/core/fixed_format.cpp.o.d"
+  "/root/repo/src/core/free_format.cpp" "src/CMakeFiles/dragon4.dir/core/free_format.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/core/free_format.cpp.o.d"
+  "/root/repo/src/core/reference.cpp" "src/CMakeFiles/dragon4.dir/core/reference.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/core/reference.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "src/CMakeFiles/dragon4.dir/core/scaling.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/core/scaling.cpp.o.d"
+  "/root/repo/src/fastpath/fixed_fast.cpp" "src/CMakeFiles/dragon4.dir/fastpath/fixed_fast.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/fastpath/fixed_fast.cpp.o.d"
+  "/root/repo/src/fastpath/grisu.cpp" "src/CMakeFiles/dragon4.dir/fastpath/grisu.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/fastpath/grisu.cpp.o.d"
+  "/root/repo/src/format/dtoa.cpp" "src/CMakeFiles/dragon4.dir/format/dtoa.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/format/dtoa.cpp.o.d"
+  "/root/repo/src/format/printf_compat.cpp" "src/CMakeFiles/dragon4.dir/format/printf_compat.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/format/printf_compat.cpp.o.d"
+  "/root/repo/src/format/render.cpp" "src/CMakeFiles/dragon4.dir/format/render.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/format/render.cpp.o.d"
+  "/root/repo/src/format/scheme_notation.cpp" "src/CMakeFiles/dragon4.dir/format/scheme_notation.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/format/scheme_notation.cpp.o.d"
+  "/root/repo/src/fp/binary128.cpp" "src/CMakeFiles/dragon4.dir/fp/binary128.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/fp/binary128.cpp.o.d"
+  "/root/repo/src/fp/binary16.cpp" "src/CMakeFiles/dragon4.dir/fp/binary16.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/fp/binary16.cpp.o.d"
+  "/root/repo/src/fp/boundaries.cpp" "src/CMakeFiles/dragon4.dir/fp/boundaries.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/fp/boundaries.cpp.o.d"
+  "/root/repo/src/fp/extended80.cpp" "src/CMakeFiles/dragon4.dir/fp/extended80.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/fp/extended80.cpp.o.d"
+  "/root/repo/src/rational/rational.cpp" "src/CMakeFiles/dragon4.dir/rational/rational.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/rational/rational.cpp.o.d"
+  "/root/repo/src/reader/reader.cpp" "src/CMakeFiles/dragon4.dir/reader/reader.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/reader/reader.cpp.o.d"
+  "/root/repo/src/testgen/random_floats.cpp" "src/CMakeFiles/dragon4.dir/testgen/random_floats.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/testgen/random_floats.cpp.o.d"
+  "/root/repo/src/testgen/schryer.cpp" "src/CMakeFiles/dragon4.dir/testgen/schryer.cpp.o" "gcc" "src/CMakeFiles/dragon4.dir/testgen/schryer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

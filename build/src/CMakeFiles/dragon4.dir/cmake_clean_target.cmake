@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdragon4.a"
+)

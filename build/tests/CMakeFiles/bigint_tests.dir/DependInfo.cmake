@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bigint/bigint_basic_test.cpp" "tests/CMakeFiles/bigint_tests.dir/bigint/bigint_basic_test.cpp.o" "gcc" "tests/CMakeFiles/bigint_tests.dir/bigint/bigint_basic_test.cpp.o.d"
+  "/root/repo/tests/bigint/bigint_div_test.cpp" "tests/CMakeFiles/bigint_tests.dir/bigint/bigint_div_test.cpp.o" "gcc" "tests/CMakeFiles/bigint_tests.dir/bigint/bigint_div_test.cpp.o.d"
+  "/root/repo/tests/bigint/bigint_mul_test.cpp" "tests/CMakeFiles/bigint_tests.dir/bigint/bigint_mul_test.cpp.o" "gcc" "tests/CMakeFiles/bigint_tests.dir/bigint/bigint_mul_test.cpp.o.d"
+  "/root/repo/tests/bigint/bigint_string_test.cpp" "tests/CMakeFiles/bigint_tests.dir/bigint/bigint_string_test.cpp.o" "gcc" "tests/CMakeFiles/bigint_tests.dir/bigint/bigint_string_test.cpp.o.d"
+  "/root/repo/tests/bigint/power_cache_test.cpp" "tests/CMakeFiles/bigint_tests.dir/bigint/power_cache_test.cpp.o" "gcc" "tests/CMakeFiles/bigint_tests.dir/bigint/power_cache_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dragon4.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

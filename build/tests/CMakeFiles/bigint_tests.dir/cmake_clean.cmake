@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigint_tests.dir/bigint/bigint_basic_test.cpp.o"
+  "CMakeFiles/bigint_tests.dir/bigint/bigint_basic_test.cpp.o.d"
+  "CMakeFiles/bigint_tests.dir/bigint/bigint_div_test.cpp.o"
+  "CMakeFiles/bigint_tests.dir/bigint/bigint_div_test.cpp.o.d"
+  "CMakeFiles/bigint_tests.dir/bigint/bigint_mul_test.cpp.o"
+  "CMakeFiles/bigint_tests.dir/bigint/bigint_mul_test.cpp.o.d"
+  "CMakeFiles/bigint_tests.dir/bigint/bigint_string_test.cpp.o"
+  "CMakeFiles/bigint_tests.dir/bigint/bigint_string_test.cpp.o.d"
+  "CMakeFiles/bigint_tests.dir/bigint/power_cache_test.cpp.o"
+  "CMakeFiles/bigint_tests.dir/bigint/power_cache_test.cpp.o.d"
+  "bigint_tests"
+  "bigint_tests.pdb"
+  "bigint_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigint_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/fixed_format_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fixed_format_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fixed_format_test.cpp.o.d"
+  "/root/repo/tests/core/free_format_test.cpp" "tests/CMakeFiles/core_tests.dir/core/free_format_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/free_format_test.cpp.o.d"
+  "/root/repo/tests/core/scaling_test.cpp" "tests/CMakeFiles/core_tests.dir/core/scaling_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/scaling_test.cpp.o.d"
+  "/root/repo/tests/core/table1_test.cpp" "tests/CMakeFiles/core_tests.dir/core/table1_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/table1_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dragon4.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

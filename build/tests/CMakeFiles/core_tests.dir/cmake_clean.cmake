@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/fixed_format_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/fixed_format_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/free_format_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/free_format_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/scaling_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/scaling_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/table1_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/table1_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

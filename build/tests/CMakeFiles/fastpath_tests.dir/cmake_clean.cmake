@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpath_tests.dir/fastpath/fixed_fast_test.cpp.o"
+  "CMakeFiles/fastpath_tests.dir/fastpath/fixed_fast_test.cpp.o.d"
+  "CMakeFiles/fastpath_tests.dir/fastpath/grisu_test.cpp.o"
+  "CMakeFiles/fastpath_tests.dir/fastpath/grisu_test.cpp.o.d"
+  "fastpath_tests"
+  "fastpath_tests.pdb"
+  "fastpath_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpath_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/format/dtoa_test.cpp" "tests/CMakeFiles/format_tests.dir/format/dtoa_test.cpp.o" "gcc" "tests/CMakeFiles/format_tests.dir/format/dtoa_test.cpp.o.d"
+  "/root/repo/tests/format/printf_compat_test.cpp" "tests/CMakeFiles/format_tests.dir/format/printf_compat_test.cpp.o" "gcc" "tests/CMakeFiles/format_tests.dir/format/printf_compat_test.cpp.o.d"
+  "/root/repo/tests/format/render_test.cpp" "tests/CMakeFiles/format_tests.dir/format/render_test.cpp.o" "gcc" "tests/CMakeFiles/format_tests.dir/format/render_test.cpp.o.d"
+  "/root/repo/tests/format/scheme_notation_test.cpp" "tests/CMakeFiles/format_tests.dir/format/scheme_notation_test.cpp.o" "gcc" "tests/CMakeFiles/format_tests.dir/format/scheme_notation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dragon4.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_tests.dir/format/dtoa_test.cpp.o"
+  "CMakeFiles/format_tests.dir/format/dtoa_test.cpp.o.d"
+  "CMakeFiles/format_tests.dir/format/printf_compat_test.cpp.o"
+  "CMakeFiles/format_tests.dir/format/printf_compat_test.cpp.o.d"
+  "CMakeFiles/format_tests.dir/format/render_test.cpp.o"
+  "CMakeFiles/format_tests.dir/format/render_test.cpp.o.d"
+  "CMakeFiles/format_tests.dir/format/scheme_notation_test.cpp.o"
+  "CMakeFiles/format_tests.dir/format/scheme_notation_test.cpp.o.d"
+  "format_tests"
+  "format_tests.pdb"
+  "format_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fp/binary128_test.cpp" "tests/CMakeFiles/fp_tests.dir/fp/binary128_test.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/fp/binary128_test.cpp.o.d"
+  "/root/repo/tests/fp/binary16_test.cpp" "tests/CMakeFiles/fp_tests.dir/fp/binary16_test.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/fp/binary16_test.cpp.o.d"
+  "/root/repo/tests/fp/boundaries_test.cpp" "tests/CMakeFiles/fp_tests.dir/fp/boundaries_test.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/fp/boundaries_test.cpp.o.d"
+  "/root/repo/tests/fp/extended80_test.cpp" "tests/CMakeFiles/fp_tests.dir/fp/extended80_test.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/fp/extended80_test.cpp.o.d"
+  "/root/repo/tests/fp/ieee_traits_test.cpp" "tests/CMakeFiles/fp_tests.dir/fp/ieee_traits_test.cpp.o" "gcc" "tests/CMakeFiles/fp_tests.dir/fp/ieee_traits_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dragon4.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_tests.dir/fp/binary128_test.cpp.o"
+  "CMakeFiles/fp_tests.dir/fp/binary128_test.cpp.o.d"
+  "CMakeFiles/fp_tests.dir/fp/binary16_test.cpp.o"
+  "CMakeFiles/fp_tests.dir/fp/binary16_test.cpp.o.d"
+  "CMakeFiles/fp_tests.dir/fp/boundaries_test.cpp.o"
+  "CMakeFiles/fp_tests.dir/fp/boundaries_test.cpp.o.d"
+  "CMakeFiles/fp_tests.dir/fp/extended80_test.cpp.o"
+  "CMakeFiles/fp_tests.dir/fp/extended80_test.cpp.o.d"
+  "CMakeFiles/fp_tests.dir/fp/ieee_traits_test.cpp.o"
+  "CMakeFiles/fp_tests.dir/fp/ieee_traits_test.cpp.o.d"
+  "fp_tests"
+  "fp_tests.pdb"
+  "fp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/cross_validation_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/integration/fixed_free_consistency_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/fixed_free_consistency_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/fixed_free_consistency_test.cpp.o.d"
+  "/root/repo/tests/integration/minimality_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/minimality_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/minimality_test.cpp.o.d"
+  "/root/repo/tests/integration/oracle_equivalence_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/oracle_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/oracle_equivalence_test.cpp.o.d"
+  "/root/repo/tests/integration/property_sweep_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/integration/roundtrip_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/roundtrip_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dragon4.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

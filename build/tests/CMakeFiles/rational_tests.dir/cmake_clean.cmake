@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rational_tests.dir/rational/rational_test.cpp.o"
+  "CMakeFiles/rational_tests.dir/rational/rational_test.cpp.o.d"
+  "rational_tests"
+  "rational_tests.pdb"
+  "rational_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rational_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reader_tests.dir/reader/reader_test.cpp.o"
+  "CMakeFiles/reader_tests.dir/reader/reader_test.cpp.o.d"
+  "reader_tests"
+  "reader_tests.pdb"
+  "reader_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reader_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

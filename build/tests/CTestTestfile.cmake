@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bigint_tests[1]_include.cmake")
+include("/root/repo/build/tests/rational_tests[1]_include.cmake")
+include("/root/repo/build/tests/fp_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/fastpath_tests[1]_include.cmake")
+include("/root/repo/build/tests/reader_tests[1]_include.cmake")
+include("/root/repo/build/tests/format_tests[1]_include.cmake")
+include("/root/repo/build/tests/baselines_tests[1]_include.cmake")
+include("/root/repo/build/tests/testgen_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
