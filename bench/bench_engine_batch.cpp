@@ -1,0 +1,136 @@
+//===- bench/bench_engine_batch.cpp - Engine vs string API, batch scaling ----===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the engine against the convenience API on uniform-random
+/// doubles, and batch conversion across 1/2/4 threads:
+///
+///   * toShortest (std::string per value, fresh BigInt state per call)
+///   * engine::format (char buffer, warm Scratch, arena-backed limbs)
+///   * BatchEngine::convert at 1, 2, and 4 threads
+///
+/// Results go to BENCH_engine.json (or argv[1]); the engine stats block is
+/// printed to stdout for the digit-length histogram and fast-path rates.
+///
+///   ./build/bench/bench_engine_batch [out.json] [count=200000]
+///
+//===----------------------------------------------------------------------===//
+
+#include "dragon4.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace dragon4;
+namespace eng = dragon4::engine;
+
+namespace {
+
+/// Best-of-Reps wall time of one full pass, in ns per value.
+template <typename Fn>
+double bestNsPerValue(size_t Count, int Reps, Fn &&Run) {
+  double Best = 0;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    Run();
+    auto End = std::chrono::steady_clock::now();
+    double Nanos = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+            .count());
+    if (Rep == 0 || Nanos < Best)
+      Best = Nanos;
+  }
+  return Best / static_cast<double>(Count);
+}
+
+volatile size_t Sink; // Defeats dead-code elimination.
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_engine.json";
+  size_t Count = Argc > 2 ? std::strtoull(Argv[2], nullptr, 10) : 200000;
+  constexpr int Reps = 5;
+
+  std::vector<double> Values = randomBitsDoubles(Count, 42);
+  unsigned Cores = std::thread::hardware_concurrency();
+  std::printf(
+      "bench_engine_batch: %zu uniform-random doubles, best of %d, %u cores\n",
+      Count, Reps, Cores);
+  if (Cores < 4)
+    std::printf("  NOTE: %u-core host -- thread scaling is bounded by the "
+                "hardware, not the engine\n",
+                Cores);
+
+  // Baseline: the std::string convenience API.
+  double StringNs = bestNsPerValue(Count, Reps, [&] {
+    size_t Total = 0;
+    for (double V : Values)
+      Total += toShortest(V).size();
+    Sink = Total;
+  });
+  std::printf("  toShortest        %8.1f ns/value\n", StringNs);
+
+  // The engine's buffer API through one warm Scratch.
+  eng::Scratch Scratch;
+  char Buf[32];
+  double BufferNs = bestNsPerValue(Count, Reps, [&] {
+    size_t Total = 0;
+    for (double V : Values)
+      Total += eng::format(V, Buf, sizeof(Buf), PrintOptions{}, Scratch);
+    Sink = Total;
+  });
+  std::printf("  engine::format    %8.1f ns/value\n", BufferNs);
+
+  // Batch conversion at 1/2/4 threads (persistent pools, warm scratches).
+  const unsigned ThreadCounts[] = {1, 2, 4};
+  double BatchNs[3] = {};
+  for (int I = 0; I < 3; ++I) {
+    eng::BatchEngine Engine(ThreadCounts[I]);
+    eng::StringTable Table;
+    Engine.convert(Values, Table, PrintOptions{}); // Warm-up pass.
+    BatchNs[I] = bestNsPerValue(Count, Reps, [&] {
+      Engine.convert(Values, Table, PrintOptions{});
+      Sink = Table.length(Count - 1);
+    });
+    std::printf("  batch %u thread%s  %8.1f ns/value\n", ThreadCounts[I],
+                ThreadCounts[I] == 1 ? " " : "s", BatchNs[I]);
+    if (ThreadCounts[I] == 4)
+      Engine.stats().print(stdout);
+  }
+
+  double BufferSpeedup = StringNs / BufferNs;
+  double BatchScaling = BatchNs[0] / BatchNs[2];
+  std::printf("  buffer vs string  %.2fx\n", BufferSpeedup);
+  std::printf("  4t vs 1t batch    %.2fx\n", BatchScaling);
+
+  std::FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", OutPath);
+    return 1;
+  }
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"workload\": \"randomBitsDoubles\",\n");
+  std::fprintf(Out, "  \"count\": %zu,\n", Count);
+  std::fprintf(Out, "  \"reps\": %d,\n", Reps);
+  std::fprintf(Out, "  \"hardware_concurrency\": %u,\n", Cores);
+  std::fprintf(Out, "  \"to_shortest_ns_per_value\": %.2f,\n", StringNs);
+  std::fprintf(Out, "  \"engine_format_ns_per_value\": %.2f,\n", BufferNs);
+  std::fprintf(Out, "  \"batch_ns_per_value\": {\n");
+  std::fprintf(Out, "    \"threads_1\": %.2f,\n", BatchNs[0]);
+  std::fprintf(Out, "    \"threads_2\": %.2f,\n", BatchNs[1]);
+  std::fprintf(Out, "    \"threads_4\": %.2f\n", BatchNs[2]);
+  std::fprintf(Out, "  },\n");
+  std::fprintf(Out, "  \"speedup_buffer_vs_string\": %.2f,\n", BufferSpeedup);
+  std::fprintf(Out, "  \"scaling_4t_vs_1t\": %.2f\n", BatchScaling);
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}

@@ -23,10 +23,11 @@
 #ifndef DRAGON4_BIGINT_BIGINT_H
 #define DRAGON4_BIGINT_BIGINT_H
 
+#include "bigint/limb_vector.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <vector>
 
 namespace dragon4 {
 
@@ -192,8 +193,8 @@ private:
   /// Magnitude |*this| -= |RHS|; requires |*this| >= |RHS|.
   void subMagnitudeSmaller(const BigInt &RHS);
 
-  std::vector<uint32_t> Limbs; // Little-endian magnitude, trimmed.
-  bool Negative = false;       // Sign; never true for zero.
+  LimbVector Limbs;      // Little-endian magnitude, trimmed.
+  bool Negative = false; // Sign; never true for zero.
 };
 
 /// Full product (declared at namespace scope as well as via the friend

@@ -26,22 +26,22 @@ namespace {
 
 /// Magnitude-only quotient/remainder by Knuth's Algorithm D.
 /// Requires D.size() >= 2 and |N| >= |D|.
-void divModKnuth(const std::vector<uint32_t> &N, const std::vector<uint32_t> &D,
-                 std::vector<uint32_t> &QOut, std::vector<uint32_t> &ROut) {
+void divModKnuth(const LimbVector &N, const LimbVector &D,
+                 LimbVector &QOut, LimbVector &ROut) {
   const size_t NLen = D.size();          // Divisor length (n in Knuth).
   const size_t MLen = N.size() - NLen;   // Quotient length - 1 (m in Knuth).
   constexpr uint64_t Base = uint64_t(1) << 32;
 
   // D1: normalize so the divisor's top limb has its high bit set.
   const unsigned Shift = std::countl_zero(D.back());
-  std::vector<uint32_t> V(NLen);
+  LimbVector V(NLen);
   for (size_t I = NLen; I-- > 0;) {
     uint64_t Wide = static_cast<uint64_t>(D[I]) << Shift;
     if (Shift && I > 0)
       Wide |= D[I - 1] >> (32 - Shift);
     V[I] = static_cast<uint32_t>(Wide);
   }
-  std::vector<uint32_t> U(N.size() + 1, 0);
+  LimbVector U(N.size() + 1, 0);
   for (size_t I = N.size(); I-- > 0;) {
     uint64_t Wide = static_cast<uint64_t>(N[I]) << Shift;
     if (Shift && I > 0)
@@ -113,7 +113,7 @@ void divModKnuth(const std::vector<uint32_t> &N, const std::vector<uint32_t> &D,
 }
 
 /// Trims trailing zero limbs.
-void trimVec(std::vector<uint32_t> &V) {
+void trimVec(LimbVector &V) {
   while (!V.empty() && V.back() == 0)
     V.pop_back();
 }
@@ -136,8 +136,8 @@ void BigInt::divMod(const BigInt &N, const BigInt &D, BigInt &Quotient,
     return;
   }
 
-  std::vector<uint32_t> Q;
-  std::vector<uint32_t> R;
+  LimbVector Q;
+  LimbVector R;
   if (DLimbs.size() == 1) {
     // Single-limb fast path: one pass of 64-by-32 divisions.
     const uint32_t Divisor = DLimbs[0];

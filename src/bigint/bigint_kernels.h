@@ -21,10 +21,8 @@ namespace dragon4 {
 /// Accessor for BigInt internals, used by the arithmetic kernels that live
 /// in separate translation units.
 struct BigIntKernels {
-  static std::vector<uint32_t> &limbs(BigInt &Value) { return Value.Limbs; }
-  static const std::vector<uint32_t> &limbs(const BigInt &Value) {
-    return Value.Limbs;
-  }
+  static LimbVector &limbs(BigInt &Value) { return Value.Limbs; }
+  static const LimbVector &limbs(const BigInt &Value) { return Value.Limbs; }
   static bool &negative(BigInt &Value) { return Value.Negative; }
   static void trim(BigInt &Value) { Value.trim(); }
 };

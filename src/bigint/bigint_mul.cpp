@@ -55,7 +55,7 @@ void mulSchoolbookAcc(std::span<uint32_t> Out, Limbs A, Limbs B) {
 }
 
 /// Adds Src into Dst at limb offset Offset, propagating the carry.
-void addAt(std::vector<uint32_t> &Dst, Limbs Src, size_t Offset) {
+void addAt(LimbVector &Dst, Limbs Src, size_t Offset) {
   uint64_t Carry = 0;
   size_t I = 0;
   for (; I < Src.size(); ++I) {
@@ -74,7 +74,7 @@ void addAt(std::vector<uint32_t> &Dst, Limbs Src, size_t Offset) {
 
 /// Subtracts Src from Dst at limb offset Offset, propagating the borrow.
 /// The caller guarantees the result is non-negative.
-void subAt(std::vector<uint32_t> &Dst, Limbs Src, size_t Offset) {
+void subAt(LimbVector &Dst, Limbs Src, size_t Offset) {
   int64_t Borrow = 0;
   size_t I = 0;
   for (; I < Src.size(); ++I) {
@@ -96,26 +96,26 @@ void subAt(std::vector<uint32_t> &Dst, Limbs Src, size_t Offset) {
 }
 
 /// Trims trailing zero limbs from a plain vector.
-void trimVec(std::vector<uint32_t> &V) {
+void trimVec(LimbVector &V) {
   while (!V.empty() && V.back() == 0)
     V.pop_back();
 }
 
 /// Adds two limb vectors into a fresh one.
-std::vector<uint32_t> addVec(Limbs A, Limbs B) {
+LimbVector addVec(Limbs A, Limbs B) {
   if (A.size() < B.size())
     std::swap(A, B);
-  std::vector<uint32_t> Out(A.begin(), A.end());
+  LimbVector Out(A.data(), A.size());
   Out.push_back(0);
   addAt(Out, B, 0);
   trimVec(Out);
   return Out;
 }
 
-std::vector<uint32_t> mulRec(Limbs A, Limbs B);
+LimbVector mulRec(Limbs A, Limbs B);
 
 /// Karatsuba: split at Half limbs, three recursive products.
-std::vector<uint32_t> mulKaratsuba(Limbs A, Limbs B) {
+LimbVector mulKaratsuba(Limbs A, Limbs B) {
   size_t Half = std::max(A.size(), B.size()) / 2;
   Limbs A0 = A.subspan(0, std::min(Half, A.size()));
   Limbs A1 = A.size() > Half ? A.subspan(Half) : Limbs{};
@@ -129,13 +129,13 @@ std::vector<uint32_t> mulKaratsuba(Limbs A, Limbs B) {
   while (!B0.empty() && B0.back() == 0)
     B0 = B0.subspan(0, B0.size() - 1);
 
-  std::vector<uint32_t> Z0 = mulRec(A0, B0);
-  std::vector<uint32_t> Z2 = mulRec(A1, B1);
-  std::vector<uint32_t> ASum = addVec(A0, A1);
-  std::vector<uint32_t> BSum = addVec(B0, B1);
-  std::vector<uint32_t> Z1 = mulRec(ASum, BSum); // (A0+A1)(B0+B1)
+  LimbVector Z0 = mulRec(A0, B0);
+  LimbVector Z2 = mulRec(A1, B1);
+  LimbVector ASum = addVec(A0, A1);
+  LimbVector BSum = addVec(B0, B1);
+  LimbVector Z1 = mulRec(ASum, BSum); // (A0+A1)(B0+B1)
 
-  std::vector<uint32_t> Out(A.size() + B.size() + 1, 0);
+  LimbVector Out(A.size() + B.size() + 1, 0);
   addAt(Out, Z0, 0);
   addAt(Out, Z2, 2 * Half);
   addAt(Out, Z1, Half);
@@ -145,11 +145,11 @@ std::vector<uint32_t> mulKaratsuba(Limbs A, Limbs B) {
   return Out;
 }
 
-std::vector<uint32_t> mulRec(Limbs A, Limbs B) {
+LimbVector mulRec(Limbs A, Limbs B) {
   if (A.empty() || B.empty())
     return {};
   if (std::min(A.size(), B.size()) < KaratsubaThreshold) {
-    std::vector<uint32_t> Out(A.size() + B.size(), 0);
+    LimbVector Out(A.size() + B.size(), 0);
     mulSchoolbookAcc(Out, A, B);
     trimVec(Out);
     return Out;

@@ -1,0 +1,173 @@
+//===- bigint/limb_vector.h - Hook-allocated limb storage --------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage type behind BigInt's limbs: a minimal vector of uint32_t
+/// whose backing memory comes from the thread's limb-allocation hook (see
+/// limb_arena.h) -- a bump arena when one is active, the heap otherwise.
+/// Each instance remembers where its storage came from, so mixed lifetimes
+/// work: a heap-backed value grown while an arena is active simply migrates
+/// into the arena, and releasing arena-backed storage is a no-op.
+///
+/// Only the slice of std::vector's interface the bignum kernels use is
+/// provided.  Growth zero-fills (resize) exactly like std::vector of an
+/// unsigned type, which several kernels rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_BIGINT_LIMB_VECTOR_H
+#define DRAGON4_BIGINT_LIMB_VECTOR_H
+
+#include "bigint/limb_arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <utility>
+
+namespace dragon4 {
+
+/// Contiguous uint32_t storage allocated through the limb hook.
+class LimbVector {
+public:
+  LimbVector() = default;
+
+  /// \p Count zero limbs (mirrors std::vector's value-initializing ctor).
+  explicit LimbVector(size_t Count) { resize(Count); }
+
+  LimbVector(size_t Count, uint32_t Fill) { assign(Count, Fill); }
+
+  LimbVector(const uint32_t *First, size_t Count) {
+    reserve(Count);
+    if (Count)
+      std::memcpy(Data_, First, Count * sizeof(uint32_t));
+    Size_ = Count;
+  }
+
+  LimbVector(const LimbVector &RHS) : LimbVector(RHS.Data_, RHS.Size_) {}
+
+  LimbVector(LimbVector &&RHS) noexcept
+      : Data_(RHS.Data_), Size_(RHS.Size_), Capacity_(RHS.Capacity_),
+        FromArena_(RHS.FromArena_) {
+    RHS.Data_ = nullptr;
+    RHS.Size_ = RHS.Capacity_ = 0;
+    RHS.FromArena_ = false;
+  }
+
+  LimbVector &operator=(const LimbVector &RHS) {
+    if (this == &RHS)
+      return *this;
+    Size_ = 0;
+    reserve(RHS.Size_);
+    if (RHS.Size_)
+      std::memcpy(Data_, RHS.Data_, RHS.Size_ * sizeof(uint32_t));
+    Size_ = RHS.Size_;
+    return *this;
+  }
+
+  LimbVector &operator=(LimbVector &&RHS) noexcept {
+    if (this == &RHS)
+      return *this;
+    detail::deallocateLimbs(Data_, FromArena_);
+    Data_ = RHS.Data_;
+    Size_ = RHS.Size_;
+    Capacity_ = RHS.Capacity_;
+    FromArena_ = RHS.FromArena_;
+    RHS.Data_ = nullptr;
+    RHS.Size_ = RHS.Capacity_ = 0;
+    RHS.FromArena_ = false;
+    return *this;
+  }
+
+  ~LimbVector() { detail::deallocateLimbs(Data_, FromArena_); }
+
+  // --- Observers ---
+
+  size_t size() const { return Size_; }
+  bool empty() const { return Size_ == 0; }
+  size_t capacity() const { return Capacity_; }
+  const uint32_t *data() const { return Data_; }
+  uint32_t *data() { return Data_; }
+
+  uint32_t *begin() { return Data_; }
+  uint32_t *end() { return Data_ + Size_; }
+  const uint32_t *begin() const { return Data_; }
+  const uint32_t *end() const { return Data_ + Size_; }
+
+  uint32_t &operator[](size_t Index) { return Data_[Index]; }
+  uint32_t operator[](size_t Index) const { return Data_[Index]; }
+  uint32_t &back() { return Data_[Size_ - 1]; }
+  uint32_t back() const { return Data_[Size_ - 1]; }
+
+  operator std::span<const uint32_t>() const { return {Data_, Size_}; }
+  operator std::span<uint32_t>() { return {Data_, Size_}; }
+
+  // --- Mutators ---
+
+  void push_back(uint32_t Value) {
+    if (Size_ == Capacity_)
+      grow(Size_ + 1);
+    Data_[Size_++] = Value;
+  }
+
+  void pop_back() { --Size_; }
+
+  /// Drops all elements; keeps the storage (capacity is the warm-up state
+  /// the zero-allocation contract depends on).
+  void clear() { Size_ = 0; }
+
+  void reserve(size_t MinCapacity) {
+    if (MinCapacity > Capacity_)
+      grow(MinCapacity);
+  }
+
+  /// Shrinks, or grows with zero-fill.
+  void resize(size_t Count) {
+    if (Count > Size_) {
+      reserve(Count);
+      std::memset(Data_ + Size_, 0, (Count - Size_) * sizeof(uint32_t));
+    }
+    Size_ = Count;
+  }
+
+  void resize(size_t Count, uint32_t Fill) {
+    if (Count > Size_) {
+      reserve(Count);
+      for (size_t I = Size_; I < Count; ++I)
+        Data_[I] = Fill;
+    }
+    Size_ = Count;
+  }
+
+  void assign(size_t Count, uint32_t Fill) {
+    Size_ = 0;
+    resize(Count, Fill);
+  }
+
+private:
+  void grow(size_t MinCapacity) {
+    size_t NewCapacity = Capacity_ ? Capacity_ * 2 : 4;
+    if (NewCapacity < MinCapacity)
+      NewCapacity = MinCapacity;
+    bool FromArena = false;
+    uint32_t *NewData = detail::allocateLimbs(NewCapacity, FromArena);
+    if (Size_)
+      std::memcpy(NewData, Data_, Size_ * sizeof(uint32_t));
+    detail::deallocateLimbs(Data_, FromArena_);
+    Data_ = NewData;
+    Capacity_ = NewCapacity;
+    FromArena_ = FromArena;
+  }
+
+  uint32_t *Data_ = nullptr;
+  size_t Size_ = 0;
+  size_t Capacity_ = 0;
+  bool FromArena_ = false; ///< Whether Data_ belongs to an arena.
+};
+
+} // namespace dragon4
+
+#endif // DRAGON4_BIGINT_LIMB_VECTOR_H

@@ -6,16 +6,24 @@
 
 #include "bigint/power_cache.h"
 
+#include "bigint/limb_arena.h"
 #include "support/checks.h"
 
 using namespace dragon4;
 
 PowerCache::PowerCache(unsigned Base) : Base(Base) {
   D4_ASSERT(Base >= 2 && Base <= 36, "base out of range");
+  LimbArenaSuspend HeapOnly; // Cached entries must outlive any arena.
   Powers.push_back(BigInt(uint64_t(1)));
 }
 
 const BigInt &PowerCache::get(unsigned Exponent) {
+  if (Powers.size() > Exponent)
+    return Powers[Exponent];
+  // Cache growth happens once per high-water exponent and the entries live
+  // for the thread's lifetime, so they must never be arena-backed: an
+  // engine Scratch resets its arena after every conversion.
+  LimbArenaSuspend HeapOnly;
   while (Powers.size() <= Exponent) {
     BigInt Next = Powers.back();
     Next.mulSmall(Base);

@@ -13,6 +13,15 @@ using namespace dragon4;
 DigitLoopResult dragon4::runDigitLoop(ScaledState State, unsigned B,
                                       BoundaryFlags Flags, TieBreak Ties) {
   DigitLoopResult Result;
+  runDigitLoopInto(std::move(State), B, Flags, Ties, Result);
+  return Result;
+}
+
+void dragon4::runDigitLoopInto(ScaledState State, unsigned B,
+                               BoundaryFlags Flags, TieBreak Ties,
+                               DigitLoopResult &Result) {
+  Result.Digits.clear();
+  Result.Incremented = false;
   BigInt Quotient;
   for (;;) {
     BigInt::divMod(State.R, State.S, Quotient, State.R);
@@ -75,5 +84,4 @@ DigitLoopResult dragon4::runDigitLoop(ScaledState State, unsigned B,
   Result.R = std::move(State.R);
   Result.MPlus = std::move(State.MPlus);
   Result.S = std::move(State.S);
-  return Result;
 }

@@ -55,6 +55,13 @@ struct DigitLoopResult {
 DigitLoopResult runDigitLoop(ScaledState State, unsigned B,
                              BoundaryFlags Flags, TieBreak Ties);
 
+/// Same loop, writing into a caller-owned result whose digit storage is
+/// reused across calls (cleared, capacity kept).  This is the engine's
+/// zero-allocation entry point: with a limb arena active and \p Result
+/// warm, the whole loop performs no heap traffic.
+void runDigitLoopInto(ScaledState State, unsigned B, BoundaryFlags Flags,
+                      TieBreak Ties, DigitLoopResult &Result);
+
 } // namespace dragon4
 
 #endif // DRAGON4_CORE_DIGIT_LOOP_H

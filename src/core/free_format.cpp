@@ -46,6 +46,25 @@ DigitString dragon4::freeFormatDigits(uint64_t F, int E, int Precision,
   return finishFreeFormat(std::move(State), Options, Flags);
 }
 
+int dragon4::freeFormatDigitsInto(uint64_t F, int E, int Precision,
+                                  int MinExponent,
+                                  const FreeFormatOptions &Options,
+                                  DigitLoopResult &Out) {
+  D4_ASSERT(F > 0, "free-format conversion requires a positive mantissa");
+  D4_ASSERT(Options.Base >= 2 && Options.Base <= 36, "base out of range");
+
+  BoundaryFlags Flags = BoundaryFlags::resolve(Options.Boundaries, F);
+  ScaledStart Start = makeScaledStart(F, E, Precision, MinExponent);
+  int BitLength = 64 - std::countl_zero(F);
+  ScaledState State = scale(std::move(Start), Options.Base, Flags,
+                            Options.Scaling, F, E, BitLength);
+  const int K = State.K;
+  runDigitLoopInto(std::move(State), Options.Base, Flags, Options.Ties, Out);
+  D4_ASSERT(!Out.Digits.empty() && Out.Digits.front() != 0,
+            "free-format output must start with a non-zero digit");
+  return K;
+}
+
 DigitString dragon4::freeFormatDigitsBig(const BigInt &F, int E,
                                          int Precision, int MinExponent,
                                          const FreeFormatOptions &Options) {

@@ -14,6 +14,7 @@
 #define DRAGON4_CORE_FREE_FORMAT_H
 
 #include "bigint/bigint.h"
+#include "core/digit_loop.h"
 #include "core/digits.h"
 #include "core/options.h"
 #include "fp/ieee_traits.h"
@@ -43,6 +44,14 @@ DigitString freeFormatDigits(uint64_t F, int E, int Precision,
 DigitString freeFormatDigitsBig(const BigInt &F, int E, int Precision,
                                 int MinExponent,
                                 const FreeFormatOptions &Options);
+
+/// Engine entry point: the same conversion, written into a caller-owned
+/// loop result whose digit storage is reused across calls.  Returns the
+/// scale factor K (the digits in \p Out satisfy v = 0.d1...dn * B^K).
+/// With a limb arena active and \p Out warm this allocates nothing.
+int freeFormatDigitsInto(uint64_t F, int E, int Precision, int MinExponent,
+                         const FreeFormatOptions &Options,
+                         DigitLoopResult &Out);
 
 /// Converts a finite non-zero value of any supported IEEE type.  The sign
 /// is ignored (digit generation works on the magnitude; rendering attaches

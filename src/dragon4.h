@@ -16,6 +16,7 @@
 ///   core/      scaling, free-format, fixed-format, the rational oracle
 ///   reader/    correctly rounded text -> float (verification side)
 ///   format/    digit strings -> text; toShortest/toFixed/... convenience
+///   engine/    zero-allocation buffer API, batch conversion, counters
 ///   baselines/ Steele-White, straightforward fixed-format, printf shim
 ///   testgen/   Schryer-style and random workloads
 ///
@@ -35,6 +36,10 @@
 #include "core/options.h"
 #include "core/reference.h"
 #include "core/scaling.h"
+#include "engine/batch.h"
+#include "engine/engine.h"
+#include "engine/scratch.h"
+#include "engine/stats.h"
 #include "fastpath/diyfp.h"
 #include "fastpath/fixed_fast.h"
 #include "fastpath/grisu.h"

@@ -1,0 +1,123 @@
+//===- engine/batch.cpp - Thread-parallel batch conversion ------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/batch.h"
+
+#include <chrono>
+
+using namespace dragon4;
+using namespace dragon4::engine;
+
+namespace {
+
+/// Values claimed per fetch_add: large enough that the atomic is cold,
+/// small enough that a straggler chunk cannot unbalance the batch.
+constexpr size_t ChunkSize = 256;
+
+unsigned resolveThreads(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    return 1;
+  return Hardware < 64 ? Hardware : 64;
+}
+
+} // namespace
+
+BatchEngine::BatchEngine(unsigned Threads)
+    : ThreadCount(resolveThreads(Threads)) {
+  Scratches.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Scratches.push_back(std::make_unique<Scratch>());
+  Workers.reserve(ThreadCount - 1);
+  for (unsigned I = 1; I < ThreadCount; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+BatchEngine::~BatchEngine() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Shutdown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void BatchEngine::runJob(Job &J, Scratch &S) {
+  const size_t Stride = J.Out->strideBytes();
+  for (;;) {
+    size_t Begin = J.Next.fetch_add(ChunkSize, std::memory_order_relaxed);
+    if (Begin >= J.Count)
+      return;
+    size_t End = Begin + ChunkSize < J.Count ? Begin + ChunkSize : J.Count;
+    for (size_t I = Begin; I < End; ++I) {
+      size_t Length =
+          format(J.Values[I], J.Out->slot(I), Stride, *J.Options, S);
+      J.Out->setLength(I, Length);
+    }
+  }
+}
+
+void BatchEngine::workerMain(unsigned WorkerIndex) {
+  uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    WakeWorkers.wait(Lock, [&] {
+      return Shutdown || Generation != SeenGeneration;
+    });
+    if (Shutdown)
+      return;
+    SeenGeneration = Generation;
+    Job &J = *Current;
+    Lock.unlock();
+    runJob(J, *Scratches[WorkerIndex]);
+    Lock.lock();
+    if (--Running == 0)
+      JobDone.notify_one();
+  }
+}
+
+void BatchEngine::convert(std::span<const double> Values, StringTable &Out,
+                          const PrintOptions &Options) {
+  Out.reset(Values.size(), shortestSlotSize(Options.Base));
+
+  const auto Start = std::chrono::steady_clock::now();
+  Job J;
+  J.Values = Values.data();
+  J.Count = Values.size();
+  J.Options = &Options;
+  J.Out = &Out;
+
+  if (ThreadCount == 1 || Values.size() <= ChunkSize) {
+    // Inline: a pool wake-up costs more than a small batch.
+    runJob(J, *Scratches[0]);
+  } else {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Current = &J;
+      ++Generation;
+      Running = ThreadCount - 1;
+    }
+    WakeWorkers.notify_all();
+    runJob(J, *Scratches[0]);
+    std::unique_lock<std::mutex> Lock(Mutex);
+    JobDone.wait(Lock, [&] { return Running == 0; });
+    Current = nullptr;
+  }
+  const auto End = std::chrono::steady_clock::now();
+
+  // Workers are quiescent again (blocked on WakeWorkers), so their stats
+  // can be drained without contention.
+  for (std::unique_ptr<Scratch> &S : Scratches)
+    Stats.merge(S->takeStats());
+  ++Stats.Batches;
+  Stats.BatchValues += Values.size();
+  Stats.BatchNanos += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+          .count());
+}

@@ -1,0 +1,138 @@
+//===- engine/batch.h - Thread-parallel batch conversion ---------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Batch conversion of a span of doubles into a caller-provided arena of
+/// strings.  A BatchEngine owns a small persistent worker pool and one
+/// Scratch per worker; convert() shards the input across the pool with a
+/// chunked work-stealing index.  Because every value has a fixed-stride
+/// slot in the output table and is rendered independently, the output is
+/// byte-identical no matter how many threads run or how chunks interleave.
+///
+/// Thread-safety contract: a BatchEngine may be used from one thread at a
+/// time (convert() is not reentrant); the internal workers are invisible
+/// to the caller.  Distinct BatchEngines are fully independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_ENGINE_BATCH_H
+#define DRAGON4_ENGINE_BATCH_H
+
+#include "engine/engine.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace dragon4::engine {
+
+/// Fixed-stride string arena: slot I is StrideBytes of character storage
+/// plus the full required length recorded by the conversion.  The caller
+/// owns one of these and reuses it across batches; reset() only grows the
+/// backing store, so steady-state batches allocate nothing here either.
+class StringTable {
+public:
+  StringTable() = default;
+
+  /// Prepares \p Count slots of \p StrideBytes each.  Previous contents
+  /// are discarded; capacity is kept.
+  void reset(size_t Count, size_t StrideBytes) {
+    Count_ = Count;
+    Stride = StrideBytes;
+    if (Chars.size() < Count * StrideBytes)
+      Chars.resize(Count * StrideBytes);
+    if (Lengths.size() < Count)
+      Lengths.resize(Count);
+  }
+
+  size_t size() const { return Count_; }
+  size_t strideBytes() const { return Stride; }
+
+  /// Raw storage of slot \p Index (StrideBytes writable bytes).
+  char *slot(size_t Index) { return Chars.data() + Index * Stride; }
+  const char *slot(size_t Index) const { return Chars.data() + Index * Stride; }
+
+  /// Full required length recorded for slot \p Index; greater than
+  /// strideBytes() means the rendering was truncated to the stride.
+  size_t length(size_t Index) const { return Lengths[Index]; }
+  void setLength(size_t Index, size_t Length) {
+    Lengths[Index] = static_cast<uint32_t>(Length);
+  }
+
+  /// The rendered text of slot \p Index (clipped to the stride on the
+  /// truncated-slot edge case).
+  std::string_view view(size_t Index) const {
+    size_t Length = Lengths[Index];
+    return {slot(Index), Length < Stride ? Length : Stride};
+  }
+
+private:
+  std::vector<char> Chars;
+  std::vector<uint32_t> Lengths;
+  size_t Count_ = 0;
+  size_t Stride = 0;
+};
+
+/// Persistent worker pool converting batches of doubles.  Construction
+/// spawns Threads - 1 workers (the calling thread participates in every
+/// batch, so a 1-thread engine runs inline with no pool at all).
+class BatchEngine {
+public:
+  /// \p Threads = 0 picks the hardware concurrency.
+  explicit BatchEngine(unsigned Threads = 0);
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine &) = delete;
+  BatchEngine &operator=(const BatchEngine &) = delete;
+
+  /// Total conversion threads per batch (workers + the caller).
+  unsigned threads() const { return ThreadCount; }
+
+  /// Converts every value in \p Values to shortest form, writing slot I of
+  /// \p Out from Values[I].  \p Out is reset to Values.size() slots of
+  /// shortestSlotSize(Options.Base) bytes.
+  void convert(std::span<const double> Values, StringTable &Out,
+               const PrintOptions &Options = {});
+
+  /// Counters merged from every worker across all batches so far.
+  const EngineStats &stats() const { return Stats; }
+  void resetStats() { Stats.reset(); }
+
+private:
+  struct Job {
+    const double *Values = nullptr;
+    size_t Count = 0;
+    const PrintOptions *Options = nullptr;
+    StringTable *Out = nullptr;
+    std::atomic<size_t> Next{0}; ///< Work-stealing chunk index.
+  };
+
+  void workerMain(unsigned WorkerIndex);
+  static void runJob(Job &J, Scratch &S);
+
+  unsigned ThreadCount;
+  std::vector<std::unique_ptr<Scratch>> Scratches; ///< One per thread.
+  std::vector<std::thread> Workers;                ///< ThreadCount - 1.
+
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable JobDone;
+  uint64_t Generation = 0; ///< Bumped per batch; workers latch it.
+  unsigned Running = 0;    ///< Workers still inside the current batch.
+  bool Shutdown = false;
+  Job *Current = nullptr;
+
+  EngineStats Stats;
+};
+
+} // namespace dragon4::engine
+
+#endif // DRAGON4_ENGINE_BATCH_H

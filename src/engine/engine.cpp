@@ -1,0 +1,324 @@
+//===- engine/engine.cpp - Zero-allocation conversion engine ----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-value engine layer.  The conversion core is untouched: this
+/// file routes it through reusable storage (Scratch's arena and digit
+/// buffers) and re-renders the resulting digits straight into the caller's
+/// buffer, replicating format/render.cpp symbol for symbol so
+/// engine::format(v) == toShortest(v) holds byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/engine.h"
+
+#include "core/fixed_format.h"
+#include "core/free_format.h"
+#include "fastpath/grisu.h"
+#include "format/render.h"
+#include "support/checks.h"
+
+#include <span>
+
+using namespace dragon4;
+using namespace dragon4::engine;
+
+namespace dragon4::engine {
+
+/// Engine-internal accessor for Scratch's private storage (befriended by
+/// Scratch; keeps the reusable buffers out of the public surface).
+struct ScratchAccess {
+  static EngineStats &stats(Scratch &S) { return S.Stats; }
+  static std::vector<uint8_t> &fastDigits(Scratch &S) { return S.FastDigits; }
+  static DigitLoopResult &loop(Scratch &S) { return S.Loop; }
+};
+
+} // namespace dragon4::engine
+
+namespace {
+
+/// Bounded buffer writer with snprintf-like overflow behaviour: put()
+/// drops bytes past the capacity but keeps counting, so Pos ends at the
+/// full required length.
+struct BufWriter {
+  char *Buf;
+  size_t Cap;
+  size_t Pos = 0;
+
+  void put(char C) {
+    if (Pos < Cap)
+      Buf[Pos] = C;
+    ++Pos;
+  }
+  void fill(size_t Count, char C) {
+    for (size_t I = 0; I < Count; ++I)
+      put(C);
+  }
+  void literal(const char *Text) {
+    for (; *Text; ++Text)
+      put(*Text);
+  }
+};
+
+char digitChar(uint8_t Value, bool Uppercase) {
+  static const char Lower[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  static const char Upper[] = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return Uppercase ? Upper[Value] : Lower[Value];
+}
+
+/// Symbol for output position \p Index: a digit, or the mark character
+/// past the digits (mirrors render.cpp's appendPosition).
+void putPosition(BufWriter &W, std::span<const uint8_t> Digits, int Index,
+                 const RenderOptions &Options) {
+  if (Index < static_cast<int>(Digits.size())) {
+    W.put(digitChar(Digits[static_cast<size_t>(Index)],
+                    Options.UppercaseDigits));
+    return;
+  }
+  W.put(Options.MarkChar);
+}
+
+/// Decimal exponent with an explicit sign -- the buffer equivalent of
+/// snprintf("%+d", Exponent).
+void putExponent(BufWriter &W, int Exponent) {
+  W.put(Exponent < 0 ? '-' : '+');
+  unsigned Magnitude = Exponent < 0 ? 0u - static_cast<unsigned>(Exponent)
+                                    : static_cast<unsigned>(Exponent);
+  char Reversed[12];
+  int Count = 0;
+  do {
+    Reversed[Count++] = static_cast<char>('0' + Magnitude % 10);
+    Magnitude /= 10;
+  } while (Magnitude != 0);
+  while (Count > 0)
+    W.put(Reversed[--Count]);
+}
+
+/// Buffer twin of renderPositional.
+void putPositional(BufWriter &W, std::span<const uint8_t> Digits, int K,
+                   int TrailingMarks, bool Negative,
+                   const RenderOptions &Options) {
+  const int Width = static_cast<int>(Digits.size()) + TrailingMarks;
+  if (Negative)
+    W.put('-');
+
+  if (K <= 0) {
+    // Pure fraction: 0.000ddd...
+    W.literal("0.");
+    W.fill(static_cast<size_t>(-K), '0');
+    for (int I = 0; I < Width; ++I)
+      putPosition(W, Digits, I, Options);
+    return;
+  }
+
+  // Integer part: positions K-1 down to 0, zero-padded if the conversion
+  // stopped left of the radix point.
+  int Index = 0;
+  for (int Place = K - 1; Place >= 0; --Place, ++Index) {
+    if (Index < Width)
+      putPosition(W, Digits, Index, Options);
+    else
+      W.put('0');
+  }
+  if (Index >= Width)
+    return; // Nothing after the point.
+  W.put('.');
+  for (; Index < Width; ++Index)
+    putPosition(W, Digits, Index, Options);
+}
+
+/// Buffer twin of renderScientific.
+void putScientific(BufWriter &W, std::span<const uint8_t> Digits, int K,
+                   int TrailingMarks, bool Negative,
+                   const RenderOptions &Options) {
+  const int Width = static_cast<int>(Digits.size()) + TrailingMarks;
+  D4_ASSERT(Width > 0, "cannot render an empty digit string");
+  if (Negative)
+    W.put('-');
+  putPosition(W, Digits, 0, Options);
+  if (Width > 1) {
+    W.put('.');
+    for (int I = 1; I < Width; ++I)
+      putPosition(W, Digits, I, Options);
+  }
+  W.put(Options.ExponentMarker);
+  putExponent(W, K - 1);
+}
+
+/// Buffer twin of renderAuto.
+void putAuto(BufWriter &W, std::span<const uint8_t> Digits, int K,
+             int TrailingMarks, bool Negative, const RenderOptions &Options) {
+  if (K > Options.PositionalMinK && K <= Options.PositionalMaxK)
+    putPositional(W, Digits, K, TrailingMarks, Negative, Options);
+  else
+    putScientific(W, Digits, K, TrailingMarks, Negative, Options);
+}
+
+RenderOptions renderOptionsFrom(const PrintOptions &Options) {
+  RenderOptions Render;
+  Render.Base = Options.Base;
+  Render.ExponentMarker = Options.ExponentMarker;
+  Render.MarkChar = Options.Marks == MarkStyle::Hash ? '#' : '0';
+  Render.UppercaseDigits = Options.UppercaseDigits;
+  return Render;
+}
+
+FreeFormatOptions freeOptionsFrom(const PrintOptions &Options) {
+  FreeFormatOptions Free;
+  Free.Base = Options.Base;
+  Free.Boundaries = Options.Boundaries;
+  Free.Ties = Options.Ties;
+  Free.Scaling = Options.Scaling;
+  return Free;
+}
+
+FixedFormatOptions fixedOptionsFrom(const PrintOptions &Options) {
+  FixedFormatOptions Fixed;
+  Fixed.Base = Options.Base;
+  Fixed.Boundaries = Options.Boundaries;
+  Fixed.Ties = Options.Ties;
+  return Fixed;
+}
+
+/// The Grisu fast path models the conservative reader (boundaries
+/// excluded) with round-up ties.  That equals the requested semantics
+/// exactly when the options ask for Conservative, or for NearestEven on a
+/// value with an odd mantissa -- an odd mantissa can never sit on an
+/// inclusive boundary, so NearestEven and Conservative flags coincide.
+bool fastPathEligible(const PrintOptions &Options, uint64_t F) {
+  if (Options.Base != 10 || Options.Ties != TieBreak::RoundUp)
+    return false;
+  if (Options.Boundaries == BoundaryMode::Conservative)
+    return true;
+  return Options.Boundaries == BoundaryMode::NearestEven && (F & 1) != 0;
+}
+
+void recordSlowDigits(EngineStats &Stats, size_t NumDigits) {
+  constexpr size_t Last = EngineStats::DigitBuckets - 1;
+  size_t Bucket = NumDigits < Last ? NumDigits : Last;
+  ++Stats.SlowDigitLength[Bucket];
+}
+
+/// Closes out one call: counts truncation and returns the full length.
+size_t finish(const BufWriter &W, EngineStats &Stats) {
+  if (W.Pos > W.Cap)
+    ++Stats.Truncated;
+  return W.Pos;
+}
+
+/// Writes NaN / infinity / zero, or returns false for finite non-zero
+/// values.  \p writeZero emits the format-specific zero text (sign already
+/// written).
+template <typename WriteZero>
+bool putSpecial(BufWriter &W, double Value, EngineStats &Stats,
+                WriteZero writeZero) {
+  switch (classify(Value)) {
+  case FpClass::NaN:
+    W.literal("nan");
+    break;
+  case FpClass::Infinity:
+    W.literal(signBit(Value) ? "-inf" : "inf");
+    break;
+  case FpClass::Zero:
+    if (signBit(Value))
+      W.put('-');
+    writeZero();
+    break;
+  case FpClass::Normal:
+  case FpClass::Subnormal:
+    return false;
+  }
+  ++Stats.Specials;
+  return true;
+}
+
+} // namespace
+
+size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
+                               const PrintOptions &Options, Scratch &S) {
+  EngineStats &Stats = ScratchAccess::stats(S);
+  BufWriter W{Buffer, BufferSize};
+
+  if (putSpecial(W, Value, Stats, [&W] { W.put('0'); }))
+    return finish(W, Stats);
+
+  using Traits = IeeeTraits<double>;
+  const Decomposed D = decompose(Value);
+  const bool Negative = signBit(Value);
+
+  // All BigInt limbs below come from the Scratch arena; the scope rewinds
+  // it on every exit path.
+  ConversionScope Scope(S);
+
+  std::span<const uint8_t> Digits;
+  int K = 0;
+  if (fastPathEligible(Options, D.F) &&
+      grisuShortestInto(D.F, D.E, Traits::Precision, Traits::MinExponent,
+                        ScratchAccess::fastDigits(S), K)) {
+    ++Stats.FastPathHits;
+    Digits = ScratchAccess::fastDigits(S);
+  } else {
+    if (fastPathEligible(Options, D.F))
+      ++Stats.FastPathFails;
+    else
+      ++Stats.SlowPathDirect;
+    DigitLoopResult &Loop = ScratchAccess::loop(S);
+    K = freeFormatDigitsInto(D.F, D.E, Traits::Precision, Traits::MinExponent,
+                             freeOptionsFrom(Options), Loop);
+    Digits = Loop.Digits;
+    recordSlowDigits(Stats, Digits.size());
+  }
+  ++Stats.Conversions;
+
+  putAuto(W, Digits, K, /*TrailingMarks=*/0, Negative,
+          renderOptionsFrom(Options));
+  S.syncArenaStats();
+  return finish(W, Stats);
+}
+
+size_t dragon4::engine::formatFixed(double Value, int FractionDigits,
+                                    char *Buffer, size_t BufferSize,
+                                    const PrintOptions &Options, Scratch &S) {
+  D4_ASSERT(FractionDigits >= 0, "negative fraction-digit count");
+  EngineStats &Stats = ScratchAccess::stats(S);
+  BufWriter W{Buffer, BufferSize};
+
+  if (putSpecial(W, Value, Stats, [&] {
+        W.put('0');
+        if (FractionDigits > 0) {
+          W.put('.');
+          W.fill(static_cast<size_t>(FractionDigits), '0');
+        }
+      }))
+    return finish(W, Stats);
+
+  ConversionScope Scope(S);
+  // The fixed core's termination logic consumes the loop state in ways the
+  // shortest path does not; its small DigitString is the one remaining
+  // allocation on this path (the BigInt limbs still come from the arena).
+  DigitString Digits =
+      fixedDigitsAbsolute(Value, -FractionDigits, fixedOptionsFrom(Options));
+  ++Stats.Conversions;
+  ++Stats.SlowPathDirect;
+  recordSlowDigits(Stats, Digits.Digits.size());
+
+  putPositional(W, Digits.Digits, Digits.K, Digits.TrailingMarks,
+                signBit(Value), renderOptionsFrom(Options));
+  S.syncArenaStats();
+  return finish(W, Stats);
+}
+
+size_t dragon4::engine::shortestSlotSize(unsigned Base) {
+  D4_ASSERT(Base >= 2 && Base <= 36, "base out of range");
+  // Worst cases (sign + widest positional window or scientific form):
+  // base 10 tops out at 25 bytes ("-d.ddddddddddddddddde-324"); low bases
+  // carry up to 53 significant digits and 4-digit exponents.
+  if (Base >= 10)
+    return 32;
+  if (Base >= 3)
+    return 48;
+  return 64;
+}

@@ -1,0 +1,62 @@
+//===- engine/engine.h - Zero-allocation conversion engine -------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch conversion engine's single-value layer: a char-buffer API that
+/// bypasses std::string entirely.  Where toShortest() heap-allocates a
+/// string and fresh BigInt state per call, engine::format() writes into a
+/// caller-provided buffer and draws every intermediate from a reusable
+/// Scratch -- Grisu digits, loop state, and BigInt limbs all come from
+/// warm storage, so a warmed-up conversion performs zero heap allocations
+/// even when it falls back to the exact BigInt path.
+///
+/// Truncation semantics (snprintf-like, minus the NUL): format() always
+/// returns the full length the rendering requires and writes at most
+/// BufferSize bytes.  A return value greater than BufferSize means the
+/// output was truncated at BufferSize bytes; the written prefix is exactly
+/// the first BufferSize characters of the full rendering.  No NUL
+/// terminator is written.
+///
+/// See docs/engine.md for the design discussion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_ENGINE_ENGINE_H
+#define DRAGON4_ENGINE_ENGINE_H
+
+#include "engine/scratch.h"
+#include "format/dtoa.h"
+
+#include <cstddef>
+
+namespace dragon4::engine {
+
+/// Shortest round-tripping rendering of \p Value (the buffer counterpart
+/// of toShortest): writes up to \p BufferSize bytes at \p Buffer and
+/// returns the full required length.  Identical output, byte for byte, to
+/// toShortest(Value, Options).
+size_t format(double Value, char *Buffer, size_t BufferSize,
+              const PrintOptions &Options, Scratch &S);
+
+/// Convenience overload with default options.
+inline size_t format(double Value, char *Buffer, size_t BufferSize,
+                     Scratch &S) {
+  return format(Value, Buffer, BufferSize, PrintOptions{}, S);
+}
+
+/// Buffer counterpart of toFixed: exactly \p FractionDigits positions
+/// after the radix point.  Same truncation semantics as format().
+size_t formatFixed(double Value, int FractionDigits, char *Buffer,
+                   size_t BufferSize, const PrintOptions &Options, Scratch &S);
+
+/// A buffer size sufficient for any shortest-form double rendered in base
+/// \p Base with format(): covers the widest positional window plus sign,
+/// radix point, leading zeros, and exponent field.
+size_t shortestSlotSize(unsigned Base);
+
+} // namespace dragon4::engine
+
+#endif // DRAGON4_ENGINE_ENGINE_H

@@ -1,0 +1,101 @@
+//===- engine/stats.h - Engine counters --------------------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counters block the conversion engine maintains: fast-path hit and
+/// fallback counts, a digit-length histogram for conversions that took the
+/// slow (BigInt) path, arena sizing, and batch timing.  Counters are plain
+/// (non-atomic) -- each Scratch owns its own block and the batch layer
+/// merges per-worker blocks after the workers have joined, so there is
+/// never concurrent mutation of one block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_ENGINE_STATS_H
+#define DRAGON4_ENGINE_STATS_H
+
+#include <cstdint>
+#include <cstdio>
+
+namespace dragon4::engine {
+
+/// Counters for engine conversions.  All counts are cumulative since
+/// construction (or the last reset()).
+struct EngineStats {
+  /// Histogram buckets for slow-path significant-digit counts; the last
+  /// bucket collects everything at or beyond DigitBuckets - 1 digits.
+  static constexpr int DigitBuckets = 26;
+
+  uint64_t Conversions = 0;    ///< Finite non-zero values converted.
+  uint64_t Specials = 0;       ///< NaN / infinity / zero renderings.
+  uint64_t FastPathHits = 0;   ///< Grisu certified the result.
+  uint64_t FastPathFails = 0;  ///< Grisu attempted but could not certify.
+  uint64_t SlowPathDirect = 0; ///< Fast path not eligible (base/options).
+  uint64_t Truncated = 0;      ///< Outputs that did not fit the buffer.
+
+  /// Digit-count histogram of conversions that ran the exact BigInt loop.
+  uint64_t SlowDigitLength[DigitBuckets] = {};
+
+  uint64_t ArenaHighWaterBytes = 0; ///< Max live arena bytes ever observed.
+  uint64_t ArenaBlockAllocs = 0;    ///< Arena growth events (heap blocks).
+
+  uint64_t Batches = 0;    ///< BatchEngine::convert calls.
+  uint64_t BatchValues = 0; ///< Values across all batches.
+  uint64_t BatchNanos = 0; ///< Wall-clock ns spent inside batches.
+
+  /// Conversions that ran the exact loop (fallbacks plus ineligibles).
+  uint64_t slowPathRuns() const { return FastPathFails + SlowPathDirect; }
+
+  /// Adds \p RHS into this block.  High-water marks take the max; counts
+  /// add.
+  void merge(const EngineStats &RHS) {
+    Conversions += RHS.Conversions;
+    Specials += RHS.Specials;
+    FastPathHits += RHS.FastPathHits;
+    FastPathFails += RHS.FastPathFails;
+    SlowPathDirect += RHS.SlowPathDirect;
+    Truncated += RHS.Truncated;
+    for (int I = 0; I < DigitBuckets; ++I)
+      SlowDigitLength[I] += RHS.SlowDigitLength[I];
+    if (RHS.ArenaHighWaterBytes > ArenaHighWaterBytes)
+      ArenaHighWaterBytes = RHS.ArenaHighWaterBytes;
+    ArenaBlockAllocs += RHS.ArenaBlockAllocs;
+    Batches += RHS.Batches;
+    BatchValues += RHS.BatchValues;
+    BatchNanos += RHS.BatchNanos;
+  }
+
+  void reset() { *this = EngineStats(); }
+
+  /// Human-readable dump, one counter per line (used by tools/soak and the
+  /// batch benchmark).
+  void print(std::FILE *Out) const {
+    auto U = [](uint64_t V) { return static_cast<unsigned long long>(V); };
+    std::fprintf(Out, "engine stats:\n");
+    std::fprintf(Out, "  conversions        %llu\n", U(Conversions));
+    std::fprintf(Out, "  specials           %llu\n", U(Specials));
+    std::fprintf(Out, "  fast-path hits     %llu\n", U(FastPathHits));
+    std::fprintf(Out, "  fast-path fails    %llu\n", U(FastPathFails));
+    std::fprintf(Out, "  slow-path direct   %llu\n", U(SlowPathDirect));
+    std::fprintf(Out, "  truncated writes   %llu\n", U(Truncated));
+    std::fprintf(Out, "  arena high water   %llu bytes\n",
+                 U(ArenaHighWaterBytes));
+    std::fprintf(Out, "  arena block allocs %llu\n", U(ArenaBlockAllocs));
+    if (Batches)
+      std::fprintf(Out, "  batches            %llu (%llu values, %llu ns)\n",
+                   U(Batches), U(BatchValues), U(BatchNanos));
+    std::fprintf(Out, "  slow-path digit-length histogram:\n");
+    for (int I = 0; I < DigitBuckets; ++I)
+      if (SlowDigitLength[I])
+        std::fprintf(Out, "    %2d%s digits: %llu\n", I,
+                     I == DigitBuckets - 1 ? "+" : " ",
+                     U(SlowDigitLength[I]));
+  }
+};
+
+} // namespace dragon4::engine
+
+#endif // DRAGON4_ENGINE_STATS_H

@@ -206,6 +206,16 @@ DiyFp dragon4::cachedPowerOfTen(int K10) {
 
 std::optional<DigitString>
 dragon4::grisuShortest(uint64_t F, int E, int Precision, int MinExponent) {
+  DigitString Result;
+  if (!grisuShortestInto(F, E, Precision, MinExponent, Result.Digits,
+                         Result.K))
+    return std::nullopt;
+  return Result;
+}
+
+bool dragon4::grisuShortestInto(uint64_t F, int E, int Precision,
+                                int MinExponent, std::vector<uint8_t> &Digits,
+                                int &K) {
   D4_ASSERT(F > 0, "fast path requires a positive mantissa");
   D4_ASSERT(Precision <= 62, "fast path requires p <= 62 (see header)");
   D4_ASSERT(F < (uint64_t(1) << Precision), "mantissa exceeds precision");
@@ -236,18 +246,16 @@ dragon4::grisuShortest(uint64_t F, int E, int Precision, int MinExponent) {
   DiyFp ScaledHigh = diyMultiply(High, Ten);
   DiyFp ScaledLow = diyMultiply(Low, Ten);
 
-  std::vector<uint8_t> Digits;
+  Digits.clear();
   int Kappa = 0;
   if (!digitGen(ScaledLow, ScaledW, ScaledHigh, Digits, Kappa))
-    return std::nullopt;
+    return false;
   D4_ASSERT(!Digits.empty() && Digits.front() != 0,
             "fast path produced a leading zero");
 
   // The emitted digits satisfy v ~ 0.d1...dn * 10^(n + Kappa) * 10^(-K10).
-  DigitString Result;
-  Result.K = static_cast<int>(Digits.size()) + Kappa - K10;
-  Result.Digits = std::move(Digits);
-  return Result;
+  K = static_cast<int>(Digits.size()) + Kappa - K10;
+  return true;
 }
 
 namespace dragon4 {

@@ -56,6 +56,15 @@ DiyFp cachedPowerOfTen(int K10);
 std::optional<DigitString> grisuShortest(uint64_t F, int E, int Precision,
                                          int MinExponent);
 
+/// Engine variant of grisuShortest: on success, fills \p Digits (cleared
+/// first, capacity reused across calls) and sets \p K so that
+/// v = 0.d1...dn * 10^K, and returns true.  Returns false when the error
+/// analysis cannot certify the result; \p Digits is then garbage and the
+/// caller must take the exact path.  Allocates nothing once \p Digits and
+/// the per-thread 10^k cache are warm.
+bool grisuShortestInto(uint64_t F, int E, int Precision, int MinExponent,
+                       std::vector<uint8_t> &Digits, int &K);
+
 /// Shortest base-10 digits of \p Value: Grisu3 when certifiable, the
 /// exact Burger-Dybvig algorithm otherwise.  Result is always identical
 /// to shortestDigits(Value, {.Boundaries = Conservative}).

@@ -1,0 +1,132 @@
+//===- tests/engine/engine_alloc_test.cpp - Zero-allocation guarantee -------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The tentpole guarantee of the engine: after a warm-up pass, conversions
+// through a Scratch perform zero heap allocations -- including on the slow
+// (exact BigInt) path, where every limb comes from the Scratch's arena.
+// This test lives in its own binary because it replaces the global
+// operator new with a counting version; the count is measured as a delta
+// around the warmed-up loop, so gtest's own allocations don't interfere.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dragon4.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace {
+std::atomic<uint64_t> GlobalNewCount{0};
+} // namespace
+
+void *operator new(size_t Size) {
+  GlobalNewCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *Ptr = std::malloc(Size ? Size : 1))
+    return Ptr;
+  throw std::bad_alloc();
+}
+
+void operator delete(void *Ptr) noexcept { std::free(Ptr); }
+void operator delete(void *Ptr, size_t) noexcept { std::free(Ptr); }
+
+using namespace dragon4;
+namespace eng = dragon4::engine;
+
+namespace {
+
+/// Corpus reused verbatim for warm-up and measurement, so every power of
+/// ten, arena block, and digit capacity the measured pass needs is already
+/// in place.
+std::vector<double> allocCorpus() {
+  std::vector<double> Values = randomBitsDoubles(384, 0xa110c001);
+  std::vector<double> Sub = randomSubnormalDoubles(128, 0xa110c002);
+  Values.insert(Values.end(), Sub.begin(), Sub.end());
+  return Values;
+}
+
+TEST(EngineAlloc, WarmShortestConversionsAllocateNothing) {
+  eng::Scratch S;
+  std::vector<double> Values = allocCorpus();
+  char Buf[64];
+
+  // Warm-up: first pass fills the per-thread power caches, the arena's
+  // block, and the reusable digit buffers.
+  for (double V : Values)
+    eng::format(V, Buf, sizeof(Buf), PrintOptions{}, S);
+
+  // Every subsequent pass over the same values must be allocation-free:
+  // no global new, no BigInt limbs from the heap.
+  for (int Round = 0; Round < 2; ++Round) {
+    uint64_t NewBefore = GlobalNewCount.load(std::memory_order_relaxed);
+    uint64_t LimbHeapBefore = limbHeapAllocCount();
+    for (double V : Values)
+      eng::format(V, Buf, sizeof(Buf), PrintOptions{}, S);
+    EXPECT_EQ(GlobalNewCount.load(std::memory_order_relaxed) - NewBefore, 0u)
+        << "round " << Round;
+    EXPECT_EQ(limbHeapAllocCount() - LimbHeapBefore, 0u) << "round " << Round;
+  }
+
+  // The guarantee is only meaningful if the exact BigInt path actually
+  // ran: even-mantissa values are ineligible for Grisu under NearestEven.
+  EXPECT_GT(S.stats().slowPathRuns(), 0u);
+  EXPECT_GT(S.stats().ArenaHighWaterBytes, 0u);
+}
+
+TEST(EngineAlloc, ForcedSlowPathAllocatesNothingWhenWarm) {
+  eng::Scratch S;
+  std::vector<double> Values = allocCorpus();
+  char Buf[64];
+  // Conservative boundaries with base 16 never touch the fast path.
+  PrintOptions Options;
+  Options.Base = 16;
+  Options.ExponentMarker = '^';
+
+  for (double V : Values)
+    eng::format(V, Buf, sizeof(Buf), Options, S);
+  ASSERT_EQ(S.stats().FastPathHits, 0u);
+  ASSERT_EQ(S.stats().SlowPathDirect, S.stats().Conversions);
+
+  uint64_t NewBefore = GlobalNewCount.load(std::memory_order_relaxed);
+  uint64_t LimbHeapBefore = limbHeapAllocCount();
+  for (double V : Values)
+    eng::format(V, Buf, sizeof(Buf), Options, S);
+  EXPECT_EQ(GlobalNewCount.load(std::memory_order_relaxed) - NewBefore, 0u);
+  EXPECT_EQ(limbHeapAllocCount() - LimbHeapBefore, 0u);
+}
+
+TEST(EngineAlloc, FixedPathKeepsLimbsOnArenaWhenWarm) {
+  eng::Scratch S;
+  std::vector<double> Values = randomNormalDoubles(256, 0xa110c003);
+  char Buf[512];
+
+  for (double V : Values)
+    eng::formatFixed(V, 17, Buf, sizeof(Buf), PrintOptions{}, S);
+
+  // The fixed path still returns a DigitString (a small digit vector), so
+  // only the limb traffic is asserted to be arena-resident.
+  uint64_t LimbHeapBefore = limbHeapAllocCount();
+  for (double V : Values)
+    eng::formatFixed(V, 17, Buf, sizeof(Buf), PrintOptions{}, S);
+  EXPECT_EQ(limbHeapAllocCount() - LimbHeapBefore, 0u);
+}
+
+TEST(EngineAlloc, ArenaHighWaterIsBounded) {
+  eng::Scratch S;
+  char Buf[64];
+  for (double V : allocCorpus())
+    eng::format(V, Buf, sizeof(Buf), PrintOptions{}, S);
+  S.syncArenaStats();
+  // A double conversion's whole BigInt state fits comfortably in the
+  // default first block; growth would show up as extra block allocations.
+  EXPECT_LE(S.stats().ArenaHighWaterBytes, uint64_t(1) << 16);
+  EXPECT_LE(S.stats().ArenaBlockAllocs, 1u);
+}
+
+} // namespace

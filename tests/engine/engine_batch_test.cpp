@@ -1,0 +1,114 @@
+//===- tests/engine/engine_batch_test.cpp - Batch conversion ----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// BatchEngine must produce byte-identical output regardless of how many
+// threads run the batch: every value owns a fixed-stride slot, so the
+// sharding is invisible in the result.  The counters must account for
+// every value exactly once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dragon4.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+using namespace dragon4;
+namespace eng = dragon4::engine;
+
+namespace {
+
+/// Big enough that a multi-thread engine genuinely shards (several chunks
+/// per worker), with specials sprinkled through.
+std::vector<double> batchCorpus() {
+  std::vector<double> Values = randomBitsDoubles(20000, 0xba7c4001);
+  std::vector<double> Sub = randomSubnormalDoubles(2000, 0xba7c4002);
+  Values.insert(Values.end(), Sub.begin(), Sub.end());
+  for (size_t I = 0; I < Values.size(); I += 997) {
+    Values[I] = (I % 3 == 0)   ? std::numeric_limits<double>::quiet_NaN()
+                : (I % 3 == 1) ? std::numeric_limits<double>::infinity()
+                               : -0.0;
+  }
+  return Values;
+}
+
+TEST(BatchEngine, SingleThreadMatchesStringApi) {
+  std::vector<double> Values = batchCorpus();
+  eng::BatchEngine Engine(1);
+  EXPECT_EQ(Engine.threads(), 1u);
+  eng::StringTable Table;
+  Engine.convert(Values, Table, PrintOptions{});
+  ASSERT_EQ(Table.size(), Values.size());
+  for (size_t I = 0; I < Values.size(); ++I)
+    ASSERT_EQ(std::string(Table.view(I)), toShortest(Values[I])) << I;
+}
+
+TEST(BatchEngine, MultiThreadIdenticalToSingleThread) {
+  std::vector<double> Values = batchCorpus();
+  eng::BatchEngine Single(1);
+  eng::StringTable Expected;
+  Single.convert(Values, Expected, PrintOptions{});
+  for (unsigned Threads : {2u, 4u}) {
+    eng::BatchEngine Engine(Threads);
+    EXPECT_EQ(Engine.threads(), Threads);
+    eng::StringTable Table;
+    Engine.convert(Values, Table, PrintOptions{});
+    ASSERT_EQ(Table.size(), Expected.size());
+    for (size_t I = 0; I < Values.size(); ++I)
+      ASSERT_EQ(Table.view(I), Expected.view(I))
+          << I << " with " << Threads << " threads";
+  }
+}
+
+TEST(BatchEngine, StatsCoverEveryValueExactlyOnce) {
+  std::vector<double> Values = batchCorpus();
+  eng::BatchEngine Engine(4);
+  eng::StringTable Table;
+  Engine.convert(Values, Table, PrintOptions{});
+  const eng::EngineStats &Stats = Engine.stats();
+  EXPECT_EQ(Stats.Batches, 1u);
+  EXPECT_EQ(Stats.BatchValues, Values.size());
+  EXPECT_EQ(Stats.Conversions + Stats.Specials, Values.size());
+  EXPECT_GT(Stats.Specials, 0u);
+  EXPECT_EQ(Stats.FastPathHits + Stats.slowPathRuns(), Stats.Conversions);
+  EXPECT_GT(Stats.BatchNanos, 0u);
+
+  // A second batch accumulates.
+  Engine.convert(Values, Table, PrintOptions{});
+  EXPECT_EQ(Engine.stats().Batches, 2u);
+  EXPECT_EQ(Engine.stats().BatchValues, 2 * Values.size());
+  // Arena blocks are reported once, not re-sampled per drain: two batches
+  // over warm scratches must not exceed one first block per worker.
+  EXPECT_LE(Engine.stats().ArenaBlockAllocs, uint64_t(Engine.threads()));
+
+  Engine.resetStats();
+  EXPECT_EQ(Engine.stats().Batches, 0u);
+}
+
+TEST(BatchEngine, TableReusedAcrossBatchesAndSmallBatchRunsInline) {
+  eng::BatchEngine Engine(4);
+  eng::StringTable Table;
+  std::vector<double> Big = randomNormalDoubles(5000, 0xba7c4003);
+  Engine.convert(Big, Table, PrintOptions{});
+  ASSERT_EQ(Table.size(), Big.size());
+
+  // A tiny follow-up batch (below one chunk) reuses the same table.
+  std::vector<double> Small = {0.1, -2.5, 1e300};
+  Engine.convert(Small, Table, PrintOptions{});
+  ASSERT_EQ(Table.size(), Small.size());
+  for (size_t I = 0; I < Small.size(); ++I)
+    EXPECT_EQ(std::string(Table.view(I)), toShortest(Small[I]));
+}
+
+TEST(BatchEngine, ZeroThreadsPicksHardwareConcurrency) {
+  eng::BatchEngine Engine;
+  EXPECT_GE(Engine.threads(), 1u);
+}
+
+} // namespace

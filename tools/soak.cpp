@@ -35,7 +35,7 @@ struct Failure {
 };
 
 /// One value through every cheap invariant.
-void checkValue(double V, Failure &Failures) {
+void checkValue(double V, Failure &Failures, engine::Scratch &Scratch) {
   // 1. Round trip of the shortest form.
   DigitString Short = shortestDigits(V);
   std::string Text = renderScientific(Short, false);
@@ -75,6 +75,14 @@ void checkValue(double V, Failure &Failures) {
   std::snprintf(Libc, sizeof(Libc), Spec, V);
   if (formatPrintf(V, Spec) != Libc)
     Failures.note("printf-compat", V, Spec);
+
+  // 6. Engine buffer API agreement with toShortest (and with itself: the
+  // scratch is reused across every value of the soak).
+  char Buf[64];
+  size_t Len = engine::format(V, Buf, sizeof(Buf), PrintOptions{}, Scratch);
+  if (Len > sizeof(Buf) ||
+      std::string_view(Buf, Len) != std::string_view(toShortest(V)))
+    Failures.note("engine", V, std::string(Buf, std::min(Len, sizeof(Buf))));
 }
 
 } // namespace
@@ -87,10 +95,11 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Seed));
   Failure Failures;
   SplitMix64 Rng(Seed);
+  engine::Scratch Scratch;
   size_t Done = 0;
   auto Run = [&](const std::vector<double> &Values) {
     for (double V : Values) {
-      checkValue(V, Failures);
+      checkValue(V, Failures, Scratch);
       if (++Done % 100000 == 0)
         std::printf("  ... %zu checked, %zu failures\n", Done,
                     Failures.Count);
@@ -104,5 +113,7 @@ int main(int Argc, char **Argv) {
 
   std::printf("soak: %zu values checked, %zu failures\n", Done,
               Failures.Count);
+  Scratch.syncArenaStats();
+  Scratch.stats().print(stdout);
   return Failures.Count == 0 ? 0 : 1;
 }
