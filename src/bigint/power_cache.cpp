@@ -17,6 +17,9 @@ PowerCache::PowerCache(unsigned Base) : Base(Base) {
   Powers.push_back(BigInt(uint64_t(1)));
 }
 
+// NOTE: the returned reference points into the Powers vector, so a later
+// get() with a higher exponent (which grows the vector) invalidates it.
+// Callers needing two powers at once must fetch the larger exponent first.
 const BigInt &PowerCache::get(unsigned Exponent) {
   if (Powers.size() > Exponent)
     return Powers[Exponent];

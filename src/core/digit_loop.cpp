@@ -7,8 +7,11 @@
 #include "core/digit_loop.h"
 
 #include "support/checks.h"
+#include "support/testhooks.h"
 
 using namespace dragon4;
+
+bool dragon4::testhooks::FlipDigitLoopLowComparison = false;
 
 DigitLoopResult dragon4::runDigitLoop(ScaledState State, unsigned B,
                                       BoundaryFlags Flags, TieBreak Ties) {
@@ -32,6 +35,9 @@ void dragon4::runDigitLoopInto(ScaledState State, unsigned B,
     // Termination condition 1: the emitted prefix is already above low.
     bool PrefixAboveLow = Flags.LowOk ? State.R <= State.MMinus
                                       : State.R < State.MMinus;
+    if (testhooks::FlipDigitLoopLowComparison) [[unlikely]]
+      PrefixAboveLow = Flags.LowOk ? State.R < State.MMinus
+                                   : State.R <= State.MMinus;
     // Termination condition 2: incrementing the last digit lands below high.
     BigInt High = State.R + State.MPlus;
     bool IncrementBelowHigh = Flags.HighOk ? High >= State.S : High > State.S;

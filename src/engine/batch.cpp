@@ -49,12 +49,16 @@ BatchEngine::~BatchEngine() {
 }
 
 void BatchEngine::runJob(Job &J, Scratch &S) {
-  const size_t Stride = J.Out->strideBytes();
+  const size_t Stride = J.Fn ? 0 : J.Out->strideBytes();
   for (;;) {
     size_t Begin = J.Next.fetch_add(ChunkSize, std::memory_order_relaxed);
     if (Begin >= J.Count)
       return;
     size_t End = Begin + ChunkSize < J.Count ? Begin + ChunkSize : J.Count;
+    if (J.Fn) {
+      (*J.Fn)(Begin, End, S);
+      continue;
+    }
     for (size_t I = Begin; I < End; ++I) {
       size_t Length =
           format(J.Values[I], J.Out->slot(I), Stride, *J.Options, S);
@@ -82,18 +86,8 @@ void BatchEngine::workerMain(unsigned WorkerIndex) {
   }
 }
 
-void BatchEngine::convert(std::span<const double> Values, StringTable &Out,
-                          const PrintOptions &Options) {
-  Out.reset(Values.size(), shortestSlotSize(Options.Base));
-
-  const auto Start = std::chrono::steady_clock::now();
-  Job J;
-  J.Values = Values.data();
-  J.Count = Values.size();
-  J.Options = &Options;
-  J.Out = &Out;
-
-  if (ThreadCount == 1 || Values.size() <= ChunkSize) {
+void BatchEngine::dispatch(Job &J) {
+  if (ThreadCount == 1 || J.Count <= ChunkSize) {
     // Inline: a pool wake-up costs more than a small batch.
     runJob(J, *Scratches[0]);
   } else {
@@ -109,15 +103,40 @@ void BatchEngine::convert(std::span<const double> Values, StringTable &Out,
     JobDone.wait(Lock, [&] { return Running == 0; });
     Current = nullptr;
   }
-  const auto End = std::chrono::steady_clock::now();
 
   // Workers are quiescent again (blocked on WakeWorkers), so their stats
   // can be drained without contention.
   for (std::unique_ptr<Scratch> &S : Scratches)
     Stats.merge(S->takeStats());
+}
+
+void BatchEngine::convert(std::span<const double> Values, StringTable &Out,
+                          const PrintOptions &Options) {
+  Out.reset(Values.size(), shortestSlotSize(Options.Base));
+
+  const auto Start = std::chrono::steady_clock::now();
+  Job J;
+  J.Values = Values.data();
+  J.Count = Values.size();
+  J.Options = &Options;
+  J.Out = &Out;
+  dispatch(J);
+  const auto End = std::chrono::steady_clock::now();
+
   ++Stats.Batches;
   Stats.BatchValues += Values.size();
   Stats.BatchNanos += static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
           .count());
+}
+
+void BatchEngine::parallelFor(
+    size_t Count,
+    const std::function<void(size_t, size_t, Scratch &)> &Fn) {
+  Job J;
+  J.Count = Count;
+  J.Fn = &Fn;
+  // Not counted as a batch: Batches/BatchValues/BatchNanos describe
+  // convert() traffic, while parallelFor clients keep their own clocks.
+  dispatch(J);
 }

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -102,20 +103,38 @@ public:
   void convert(std::span<const double> Values, StringTable &Out,
                const PrintOptions &Options = {});
 
+  /// Runs \p Fn(Begin, End, Scratch) over chunked subranges of [0, Count)
+  /// using the same persistent pool and work-stealing chunk index as
+  /// convert().  The chunk boundaries are fixed (independent of the thread
+  /// count); only the chunk-to-worker assignment varies, so any computation
+  /// whose per-index results are combined commutatively -- the verification
+  /// sweeps in src/verify/ are the motivating client -- is deterministic
+  /// for every thread count.  \p Fn must be safe to call concurrently on
+  /// disjoint ranges; each invocation owns its Scratch for the duration of
+  /// the chunk.  Worker counters (including verification verdicts) are
+  /// merged into stats() after the pool drains.
+  void parallelFor(size_t Count,
+                   const std::function<void(size_t Begin, size_t End,
+                                            Scratch &S)> &Fn);
+
   /// Counters merged from every worker across all batches so far.
   const EngineStats &stats() const { return Stats; }
   void resetStats() { Stats.reset(); }
 
 private:
   struct Job {
+    // Conversion payload (convert()); unused when Fn is set.
     const double *Values = nullptr;
     size_t Count = 0;
     const PrintOptions *Options = nullptr;
     StringTable *Out = nullptr;
+    // Generic payload (parallelFor()).
+    const std::function<void(size_t, size_t, Scratch &)> *Fn = nullptr;
     std::atomic<size_t> Next{0}; ///< Work-stealing chunk index.
   };
 
   void workerMain(unsigned WorkerIndex);
+  void dispatch(Job &J);
   static void runJob(Job &J, Scratch &S);
 
   unsigned ThreadCount;

@@ -46,6 +46,15 @@ public:
   /// Counters accumulated by conversions through this Scratch.
   const EngineStats &stats() const { return Stats; }
 
+  /// Records one verification verdict (an oracle check run with this
+  /// Scratch).  The verification harness calls this so per-worker verdict
+  /// counts travel through the same merge path as every other counter.
+  void noteVerifyVerdict(bool Ok) {
+    ++Stats.VerifyChecked;
+    if (!Ok)
+      ++Stats.VerifyMismatches;
+  }
+
   /// Returns the accumulated counters and zeroes them (the batch layer
   /// drains workers this way so nothing is counted twice).
   EngineStats takeStats() {

@@ -46,6 +46,11 @@ struct EngineStats {
   uint64_t BatchValues = 0; ///< Values across all batches.
   uint64_t BatchNanos = 0; ///< Wall-clock ns spent inside batches.
 
+  /// Verdict counters maintained by the verification harness (src/verify/):
+  /// oracle checks executed through this Scratch and how many mismatched.
+  uint64_t VerifyChecked = 0;
+  uint64_t VerifyMismatches = 0;
+
   /// Conversions that ran the exact loop (fallbacks plus ineligibles).
   uint64_t slowPathRuns() const { return FastPathFails + SlowPathDirect; }
 
@@ -66,6 +71,8 @@ struct EngineStats {
     Batches += RHS.Batches;
     BatchValues += RHS.BatchValues;
     BatchNanos += RHS.BatchNanos;
+    VerifyChecked += RHS.VerifyChecked;
+    VerifyMismatches += RHS.VerifyMismatches;
   }
 
   void reset() { *this = EngineStats(); }
@@ -87,6 +94,9 @@ struct EngineStats {
     if (Batches)
       std::fprintf(Out, "  batches            %llu (%llu values, %llu ns)\n",
                    U(Batches), U(BatchValues), U(BatchNanos));
+    if (VerifyChecked)
+      std::fprintf(Out, "  verify verdicts    %llu checked, %llu mismatches\n",
+                   U(VerifyChecked), U(VerifyMismatches));
     std::fprintf(Out, "  slow-path digit-length histogram:\n");
     for (int I = 0; I < DigitBuckets; ++I)
       if (SlowDigitLength[I])

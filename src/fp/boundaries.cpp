@@ -25,9 +25,9 @@ ScaledStart dragon4::makeScaledStartBig(const BigInt &F, int E, int Precision,
 
   ScaledStart Start;
   if (E >= 0) {
-    const BigInt &BToE = cachedPow(InputBase, static_cast<unsigned>(E));
     if (!NarrowBelow) {
       // r = f * b^e * 2, s = 2, m+ = m- = b^e.
+      const BigInt &BToE = cachedPow(InputBase, static_cast<unsigned>(E));
       Start.R = F * BToE;
       Start.R <<= 1;
       Start.S = BigInt(uint64_t(2));
@@ -35,7 +35,10 @@ ScaledStart dragon4::makeScaledStartBig(const BigInt &F, int E, int Precision,
       Start.MMinus = BToE;
     } else {
       // r = f * b^(e+1) * 2, s = b * 2, m+ = b^(e+1), m- = b^e.
+      // Fetch the larger exponent first: growing the cache reallocates its
+      // backing vector, so a b^e reference taken earlier would dangle.
       const BigInt &BToE1 = cachedPow(InputBase, static_cast<unsigned>(E + 1));
+      const BigInt &BToE = cachedPow(InputBase, static_cast<unsigned>(E));
       Start.R = F * BToE1;
       Start.R <<= 1;
       Start.S = BigInt(uint64_t(2) * InputBase);

@@ -61,3 +61,30 @@ std::vector<float> dragon4::randomNormalFloats(size_t Count, uint64_t Seed) {
   }
   return Values;
 }
+
+std::vector<float> dragon4::randomSubnormalFloats(size_t Count, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::vector<float> Values;
+  Values.reserve(Count);
+  while (Values.size() < Count) {
+    uint32_t Mantissa = static_cast<uint32_t>(Rng.next()) & 0x7FFFFFu;
+    if (Mantissa == 0)
+      continue;
+    Values.push_back(std::bit_cast<float>(Mantissa));
+  }
+  return Values;
+}
+
+std::vector<float> dragon4::randomBitsFloats(size_t Count, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::vector<float> Values;
+  Values.reserve(Count);
+  while (Values.size() < Count) {
+    uint32_t Bits = static_cast<uint32_t>(Rng.next()) & 0x7FFFFFFFu;
+    float Value = std::bit_cast<float>(Bits);
+    if (Value == 0.0f || (Bits >> 23) == 255) // Skip zero, inf, NaN.
+      continue;
+    Values.push_back(Value);
+  }
+  return Values;
+}

@@ -63,6 +63,12 @@ std::vector<double> randomBitsDoubles(size_t Count, uint64_t Seed);
 /// exponent).
 std::vector<float> randomNormalFloats(size_t Count, uint64_t Seed);
 
+/// \p Count positive subnormal floats (uniform non-zero stored mantissa).
+std::vector<float> randomSubnormalFloats(size_t Count, uint64_t Seed);
+
+/// \p Count finite positive floats drawn uniformly from raw bit patterns.
+std::vector<float> randomBitsFloats(size_t Count, uint64_t Seed);
+
 } // namespace dragon4
 
 #endif // DRAGON4_TESTGEN_RANDOM_FLOATS_H

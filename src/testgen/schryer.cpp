@@ -21,21 +21,21 @@ constexpr uint64_t StoredMask = (uint64_t(1) << StoredBits) - 1;
 } // namespace
 
 std::vector<uint64_t>
-dragon4::schryerMantissaPatterns(const SchryerParams &Params) {
+dragon4::schryerPatternsForWidth(int Width, bool IncludePerturbations) {
+  D4_ASSERT(Width >= 1 && Width <= 63, "pattern width out of range");
+  const uint64_t Mask = (uint64_t(1) << Width) - 1;
   std::vector<uint64_t> Patterns;
   // Runs of ones at the top (length A) and bottom (length C) of the stored
-  // significand, zeros in between: 1^A 0^(52-A-C) 1^C.
-  for (int A = 0; A <= StoredBits; ++A) {
-    for (int C = 0; C + A <= StoredBits; ++C) {
-      uint64_t Top = A == 0 ? 0
-                            : (((uint64_t(1) << A) - 1)
-                               << (StoredBits - A));
+  // significand, zeros in between: 1^A 0^(Width-A-C) 1^C.
+  for (int A = 0; A <= Width; ++A) {
+    for (int C = 0; C + A <= Width; ++C) {
+      uint64_t Top = A == 0 ? 0 : (((uint64_t(1) << A) - 1) << (Width - A));
       uint64_t Bottom = C == 0 ? 0 : (uint64_t(1) << C) - 1;
       uint64_t Pattern = Top | Bottom;
       Patterns.push_back(Pattern);
-      if (Params.IncludePerturbations) {
-        Patterns.push_back((Pattern + 1) & StoredMask);
-        Patterns.push_back((Pattern - 1) & StoredMask);
+      if (IncludePerturbations) {
+        Patterns.push_back((Pattern + 1) & Mask);
+        Patterns.push_back((Pattern - 1) & Mask);
       }
     }
   }
@@ -43,6 +43,11 @@ dragon4::schryerMantissaPatterns(const SchryerParams &Params) {
   Patterns.erase(std::unique(Patterns.begin(), Patterns.end()),
                  Patterns.end());
   return Patterns;
+}
+
+std::vector<uint64_t>
+dragon4::schryerMantissaPatterns(const SchryerParams &Params) {
+  return schryerPatternsForWidth(StoredBits, Params.IncludePerturbations);
 }
 
 std::vector<double> dragon4::schryerDoubles(const SchryerParams &Params) {
@@ -61,6 +66,28 @@ std::vector<double> dragon4::schryerDoubles(const SchryerParams &Params) {
     for (uint64_t Mantissa : Patterns) {
       uint64_t Bits = (static_cast<uint64_t>(Biased) << StoredBits) | Mantissa;
       Values.push_back(std::bit_cast<double>(Bits));
+    }
+  return Values;
+}
+
+std::vector<float> dragon4::schryerFloats(const SchryerParams &Params) {
+  D4_ASSERT(Params.ExponentStride >= 1, "stride must be positive");
+  std::vector<uint64_t> Patterns =
+      schryerPatternsForWidth(23, Params.IncludePerturbations);
+
+  std::vector<int> Exponents; // Biased exponents of normalized floats.
+  for (int Biased = 1; Biased <= 254; Biased += Params.ExponentStride)
+    Exponents.push_back(Biased);
+  if (Exponents.back() != 254)
+    Exponents.push_back(254);
+
+  std::vector<float> Values;
+  Values.reserve(Patterns.size() * Exponents.size());
+  for (int Biased : Exponents)
+    for (uint64_t Mantissa : Patterns) {
+      uint32_t Bits = (static_cast<uint32_t>(Biased) << 23) |
+                      static_cast<uint32_t>(Mantissa);
+      Values.push_back(std::bit_cast<float>(Bits));
     }
   return Values;
 }

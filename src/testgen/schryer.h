@@ -47,6 +47,18 @@ std::vector<uint64_t> schryerMantissaPatterns(const SchryerParams &Params = {});
 /// crossed with every swept exponent.  Deterministic and duplicate-free.
 std::vector<double> schryerDoubles(const SchryerParams &Params = {});
 
+/// Binary32 counterpart: the same run-of-ones mantissa forms over the
+/// 23-bit stored significand, crossed with a biased-exponent sweep of
+/// 1..254 at the same stride.  Used by the verification harness as the
+/// hard-case stratum of its binary32 sampling.
+std::vector<float> schryerFloats(const SchryerParams &Params = {});
+
+/// Generic pattern generator: runs of ones at the top and bottom of a
+/// \p StoredBits-wide significand (1^A 0^mid 1^C), optionally with the
+/// +/-1 perturbations.  schryerMantissaPatterns() is the 52-bit instance.
+std::vector<uint64_t> schryerPatternsForWidth(int StoredBits,
+                                              bool IncludePerturbations);
+
 } // namespace dragon4
 
 #endif // DRAGON4_TESTGEN_SCHRYER_H

@@ -1,0 +1,128 @@
+//===- tests/reader/reader_fuzz_test.cpp -----------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized decimal-string fuzzing of the reader: 10,000 seeded strings
+/// with varied digit counts, exponents, leading zeros, and signs are each
+/// (1) cross-checked against strtod, and (2) round-tripped
+/// reader -> engine::format -> reader to show the read-print-read cycle is
+/// a fixed point (the second read returns the first read's bits exactly).
+///
+//===----------------------------------------------------------------------===//
+
+#include "reader/reader.h"
+
+#include "engine/engine.h"
+#include "engine/scratch.h"
+#include "fp/ieee_traits.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+using namespace dragon4;
+
+namespace {
+
+constexpr uint64_t FuzzSeed = 424242;
+constexpr int FuzzCount = 10000;
+
+/// A random decimal float literal: optional sign, leading zeros, up to ~25
+/// significant digits, optional fraction, and an exponent spanning well
+/// past both overflow and underflow.
+std::string randomDecimalString(SplitMix64 &Rng) {
+  std::string Text;
+  if (Rng.below(2))
+    Text += '-';
+  for (uint64_t I = Rng.below(3); I > 0; --I)
+    Text += '0'; // Leading zeros must not change the value.
+  size_t IntDigits = Rng.below(20);
+  size_t FracDigits = Rng.below(20);
+  if (IntDigits == 0 && FracDigits == 0)
+    IntDigits = 1;
+  for (size_t I = 0; I < IntDigits; ++I)
+    Text += static_cast<char>('0' + Rng.below(10));
+  if (FracDigits) {
+    Text += '.';
+    for (size_t I = 0; I < FracDigits; ++I)
+      Text += static_cast<char>('0' + Rng.below(10));
+  }
+  switch (Rng.below(4)) {
+  case 0:
+    break; // No exponent.
+  case 1:   // Modest exponent.
+    Text += 'e';
+    Text += std::to_string(static_cast<int64_t>(Rng.below(61)) - 30);
+    break;
+  case 2: // Near the underflow/subnormal regime.
+    Text += "e-";
+    Text += std::to_string(280 + Rng.below(60));
+    break;
+  default: // Near and past overflow.
+    Text += "e+";
+    Text += std::to_string(290 + Rng.below(30));
+    break;
+  }
+  return Text;
+}
+
+TEST(ReaderFuzz, MatchesStrtodAndStableUnderReprint) {
+  SplitMix64 Rng(FuzzSeed);
+  engine::Scratch Scratch;
+  char Buf[64];
+  for (int Iter = 0; Iter < FuzzCount; ++Iter) {
+    std::string Text = randomDecimalString(Rng);
+
+    std::optional<double> Read = readFloat<double>(Text);
+    ASSERT_TRUE(Read.has_value())
+        << "seed " << FuzzSeed << " iter " << Iter << ": rejected \"" << Text
+        << "\"";
+
+    // Oracle 1: the C library agrees bit-for-bit (both are correctly
+    // rounded nearest-even conversions, so they must).
+    double Libc = std::strtod(Text.c_str(), nullptr);
+    EXPECT_EQ(IeeeTraits<double>::toBits(*Read),
+              IeeeTraits<double>::toBits(Libc))
+        << "seed " << FuzzSeed << " iter " << Iter << ": \"" << Text
+        << "\" read as " << *Read << " but strtod says " << Libc;
+
+    // Oracle 2: print the value we read with the engine and read it back;
+    // read(print(read(s))) == read(s) makes read-print a fixed point.
+    if (!std::isfinite(*Read))
+      continue; // engine::format emits "inf"/"nan" spellings; readFloat
+                // accepts them, but overflowed literals are enough here.
+    size_t Len =
+        engine::format(*Read, Buf, sizeof(Buf), PrintOptions{}, Scratch);
+    ASSERT_LE(Len, sizeof(Buf));
+    std::optional<double> Again =
+        readFloat<double>(std::string_view(Buf, Len));
+    ASSERT_TRUE(Again.has_value())
+        << "seed " << FuzzSeed << " iter " << Iter << ": reprint of \""
+        << Text << "\" unreadable";
+    EXPECT_EQ(IeeeTraits<double>::toBits(*Again),
+              IeeeTraits<double>::toBits(*Read))
+        << "seed " << FuzzSeed << " iter " << Iter << ": \"" << Text
+        << "\" -> \"" << std::string_view(Buf, Len) << "\" not a fixed point";
+  }
+}
+
+TEST(ReaderFuzz, FixedPointForFloatsToo) {
+  SplitMix64 Rng(FuzzSeed + 1);
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    std::string Text = randomDecimalString(Rng);
+    std::optional<float> Read = readFloat<float>(Text);
+    ASSERT_TRUE(Read.has_value()) << "iter " << Iter << " \"" << Text << "\"";
+    float Libc = std::strtof(Text.c_str(), nullptr);
+    EXPECT_EQ(IeeeTraits<float>::toBits(*Read), IeeeTraits<float>::toBits(Libc))
+        << "seed " << FuzzSeed + 1 << " iter " << Iter << ": \"" << Text
+        << "\"";
+  }
+}
+
+} // namespace
