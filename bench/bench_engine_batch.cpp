@@ -12,18 +12,28 @@
 ///   * engine::format (char buffer, warm Scratch, arena-backed limbs)
 ///   * BatchEngine::convert at 1, 2, and 4 threads
 ///
-/// Results go to BENCH_engine.json (or argv[1]); the engine stats block is
-/// printed to stdout for the digit-length histogram and fast-path rates.
+/// Results go to BENCH_engine.json (or argv[1]) in the dragon4.bench.v1
+/// schema that tools/bench_check.py compares against a committed baseline;
+/// the engine stats block is printed to stdout for the digit-length
+/// histogram and fast-path rates.
 ///
 ///   ./build/bench/bench_engine_batch [out.json] [count=200000]
+///                                    [--stats-json=FILE] [--trace=FILE]
+///
+/// The telemetry flags enable 1-in-1 obs sampling, which costs a clock
+/// read per conversion -- numbers from such a run are for exploring the
+/// telemetry, not for baseline comparisons.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "dragon4.h"
+#include "obs/export.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -54,9 +64,40 @@ volatile size_t Sink; // Defeats dead-code elimination.
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_engine.json";
-  size_t Count = Argc > 2 ? std::strtoull(Argv[2], nullptr, 10) : 200000;
+  const char *OutPath = "BENCH_engine.json";
+  size_t Count = 200000;
+  std::string StatsJsonPath, TracePath;
+  int Positional = 0;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--stats-json=", 13) == 0) {
+      StatsJsonPath = A + 13;
+    } else if (std::strncmp(A, "--trace=", 8) == 0) {
+      TracePath = A + 8;
+    } else if (A[0] == '-') {
+      std::fprintf(stderr,
+                   "bench_engine_batch: unknown flag %s\nusage: "
+                   "bench_engine_batch [out.json] [count] "
+                   "[--stats-json=FILE] [--trace=FILE]\n",
+                   A);
+      return 2;
+    } else if (Positional == 0) {
+      OutPath = A;
+      ++Positional;
+    } else {
+      Count = std::strtoull(A, nullptr, 10);
+      ++Positional;
+    }
+  }
   constexpr int Reps = 5;
+
+  bool Telemetry = !StatsJsonPath.empty() || !TracePath.empty();
+  if (Telemetry) {
+    obs::config().SampleEvery = 1;
+    obs::config().Trace = !TracePath.empty();
+    std::printf("NOTE: telemetry sampling on -- timings include obs "
+                "overhead; do not use as a baseline\n");
+  }
 
   std::vector<double> Values = randomBitsDoubles(Count, 42);
   unsigned Cores = std::thread::hardware_concurrency();
@@ -101,8 +142,21 @@ int main(int Argc, char **Argv) {
     });
     std::printf("  batch %u thread%s  %8.1f ns/value\n", ThreadCounts[I],
                 ThreadCounts[I] == 1 ? " " : "s", BatchNs[I]);
-    if (ThreadCounts[I] == 4)
-      Engine.stats().print(stdout);
+    if (ThreadCounts[I] == 4) {
+      const obs::Registry *Reg =
+          obs::enabled() ? &Engine.registry() : nullptr;
+      Engine.stats().print(stdout, Reg);
+      if (!StatsJsonPath.empty())
+        obs::writeFile(StatsJsonPath,
+                       obs::renderStatsJson(
+                           obs::makeSnapshot(Engine.stats(), Reg)));
+      if (!TracePath.empty()) {
+        std::vector<obs::SpanEvent> Spans = Engine.takeSpans();
+        obs::writeFile(TracePath, obs::renderChromeTrace(Spans));
+        std::printf("wrote %zu span(s) to %s\n", Spans.size(),
+                    TracePath.c_str());
+      }
+    }
   }
 
   double BufferSpeedup = StringNs / BufferNs;
@@ -115,20 +169,31 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "cannot write %s\n", OutPath);
     return 1;
   }
+  // dragon4.bench.v1: "metrics" holds the comparable numbers (ns/value,
+  // lower is better) that tools/bench_check.py diffs against a committed
+  // baseline; "context" describes the run; "derived" is informational.
   std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"workload\": \"randomBitsDoubles\",\n");
-  std::fprintf(Out, "  \"count\": %zu,\n", Count);
-  std::fprintf(Out, "  \"reps\": %d,\n", Reps);
-  std::fprintf(Out, "  \"hardware_concurrency\": %u,\n", Cores);
-  std::fprintf(Out, "  \"to_shortest_ns_per_value\": %.2f,\n", StringNs);
-  std::fprintf(Out, "  \"engine_format_ns_per_value\": %.2f,\n", BufferNs);
-  std::fprintf(Out, "  \"batch_ns_per_value\": {\n");
-  std::fprintf(Out, "    \"threads_1\": %.2f,\n", BatchNs[0]);
-  std::fprintf(Out, "    \"threads_2\": %.2f,\n", BatchNs[1]);
-  std::fprintf(Out, "    \"threads_4\": %.2f\n", BatchNs[2]);
+  std::fprintf(Out, "  \"schema\": \"%s\",\n", obs::BenchSchemaVersion);
+  std::fprintf(Out, "  \"context\": {\n");
+  std::fprintf(Out, "    \"workload\": \"randomBitsDoubles\",\n");
+  std::fprintf(Out, "    \"count\": %zu,\n", Count);
+  std::fprintf(Out, "    \"reps\": %d,\n", Reps);
+  std::fprintf(Out, "    \"hardware_concurrency\": %u,\n", Cores);
+  std::fprintf(Out, "    \"obs_sampling\": %s\n",
+               Telemetry ? "true" : "false");
   std::fprintf(Out, "  },\n");
-  std::fprintf(Out, "  \"speedup_buffer_vs_string\": %.2f,\n", BufferSpeedup);
-  std::fprintf(Out, "  \"scaling_4t_vs_1t\": %.2f\n", BatchScaling);
+  std::fprintf(Out, "  \"metrics\": {\n");
+  std::fprintf(Out, "    \"to_shortest_ns_per_value\": %.2f,\n", StringNs);
+  std::fprintf(Out, "    \"engine_format_ns_per_value\": %.2f,\n", BufferNs);
+  std::fprintf(Out, "    \"batch_1t_ns_per_value\": %.2f,\n", BatchNs[0]);
+  std::fprintf(Out, "    \"batch_2t_ns_per_value\": %.2f,\n", BatchNs[1]);
+  std::fprintf(Out, "    \"batch_4t_ns_per_value\": %.2f\n", BatchNs[2]);
+  std::fprintf(Out, "  },\n");
+  std::fprintf(Out, "  \"derived\": {\n");
+  std::fprintf(Out, "    \"speedup_buffer_vs_string\": %.2f,\n",
+               BufferSpeedup);
+  std::fprintf(Out, "    \"scaling_4t_vs_1t\": %.2f\n", BatchScaling);
+  std::fprintf(Out, "  }\n");
   std::fprintf(Out, "}\n");
   std::fclose(Out);
   std::printf("wrote %s\n", OutPath);

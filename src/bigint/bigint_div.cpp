@@ -16,6 +16,7 @@
 #include "bigint/bigint.h"
 
 #include "bigint/bigint_kernels.h"
+#include "obs/trace.h"
 #include "support/checks.h"
 
 #include <bit>
@@ -123,6 +124,8 @@ void trimVec(LimbVector &V) {
 void BigInt::divMod(const BigInt &N, const BigInt &D, BigInt &Quotient,
                     BigInt &Remainder) {
   D4_ASSERT(!D.isZero(), "division by zero");
+  if (auto *T = obs::activeTrace())
+    T->noteDivMod(static_cast<uint32_t>(BigIntKernels::limbs(N).size()));
   const bool QNeg = N.isNegative() != D.isNegative();
   const bool RNeg = N.isNegative();
 

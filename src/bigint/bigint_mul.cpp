@@ -16,6 +16,7 @@
 #include "bigint/bigint.h"
 
 #include "bigint/bigint_kernels.h"
+#include "obs/trace.h"
 #include "support/checks.h"
 
 #include <algorithm>
@@ -160,6 +161,9 @@ LimbVector mulRec(Limbs A, Limbs B) {
 } // namespace
 
 BigInt dragon4::operator*(const BigInt &LHS, const BigInt &RHS) {
+  if (auto *T = obs::activeTrace())
+    T->noteMul(static_cast<uint32_t>(std::max(BigIntKernels::limbs(LHS).size(),
+                                              BigIntKernels::limbs(RHS).size())));
   BigInt Result;
   BigIntKernels::limbs(Result) =
       mulRec(BigIntKernels::limbs(LHS), BigIntKernels::limbs(RHS));

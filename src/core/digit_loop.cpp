@@ -6,6 +6,7 @@
 
 #include "core/digit_loop.h"
 
+#include "obs/trace.h"
 #include "support/checks.h"
 #include "support/testhooks.h"
 
@@ -86,6 +87,10 @@ void dragon4::runDigitLoopInto(ScaledState State, unsigned B,
     // one digit earlier), so this stays a valid single digit.
     D4_ASSERT(Result.Digits.back() + 1u < B, "increment would carry");
     ++Result.Digits.back();
+  }
+  if (auto *T = obs::activeTrace()) {
+    T->DigitsEmitted = static_cast<uint32_t>(Result.Digits.size());
+    T->Incremented = Result.Incremented;
   }
   Result.R = std::move(State.R);
   Result.MPlus = std::move(State.MPlus);

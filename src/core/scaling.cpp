@@ -7,6 +7,7 @@
 #include "core/scaling.h"
 
 #include "bigint/power_cache.h"
+#include "obs/trace.h"
 #include "support/checks.h"
 
 #include <array>
@@ -126,6 +127,8 @@ ScaledState dragon4::scaleIterative(ScaledStart Start, unsigned B,
       --K;
       continue;
     }
+    if (auto *T = obs::activeTrace())
+      T->noteScale(obs::ScaleBranch::Iterative, InitialK, K, -1);
     return preMultiplied(std::move(Start), B, K);
   }
 }
@@ -135,7 +138,11 @@ ScaledState dragon4::scaleFloatLog(ScaledStart Start, unsigned B,
   int Est = estimateScaleFloatLog(F, E, B);
   applyScale(Start, B, Est);
   // Figure 2's fixup: an estimate one low pays one multiplication of s.
-  if (scaleTooLow(Start, Flags)) {
+  bool Fixup = scaleTooLow(Start, Flags);
+  if (auto *T = obs::activeTrace())
+    T->noteScale(obs::ScaleBranch::FloatLog, Est, Est + (Fixup ? 1 : 0),
+                 Fixup ? 1 : 0);
+  if (Fixup) {
     Start.S.mulSmall(B);
     return preMultiplied(std::move(Start), B, Est + 1);
   }
@@ -151,7 +158,11 @@ ScaledState dragon4::scaleEstimate(ScaledStart Start, unsigned B,
   // be scaled by a common factor), so when the estimate is one low the
   // un-pre-multiplied state *is* the pre-multiplied state for k = est + 1.
   // The off-by-one case therefore costs nothing at all.
-  if (scaleTooLow(Start, Flags))
+  bool Fixup = scaleTooLow(Start, Flags);
+  if (auto *T = obs::activeTrace())
+    T->noteScale(obs::ScaleBranch::Estimate, Est, Est + (Fixup ? 1 : 0),
+                 Fixup ? 1 : 0);
+  if (Fixup)
     return ScaledState{std::move(Start.R), std::move(Start.S),
                        std::move(Start.MPlus), std::move(Start.MMinus),
                        Est + 1};
@@ -181,7 +192,11 @@ ScaledState dragon4::scaleBig(ScaledStart Start, unsigned B,
   case ScalingAlgorithm::FloatLog: {
     int Est = estimateFloatLogApprox(ApproxF, E, B);
     applyScale(Start, B, Est);
-    if (scaleTooLow(Start, Flags)) {
+    bool Fixup = scaleTooLow(Start, Flags);
+    if (auto *T = obs::activeTrace())
+      T->noteScale(obs::ScaleBranch::FloatLog, Est, Est + (Fixup ? 1 : 0),
+                   Fixup ? 1 : 0);
+    if (Fixup) {
       Start.S.mulSmall(B);
       return preMultiplied(std::move(Start), B, Est + 1);
     }

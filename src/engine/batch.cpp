@@ -31,8 +31,10 @@ unsigned resolveThreads(unsigned Requested) {
 BatchEngine::BatchEngine(unsigned Threads)
     : ThreadCount(resolveThreads(Threads)) {
   Scratches.reserve(ThreadCount);
-  for (unsigned I = 0; I < ThreadCount; ++I)
+  for (unsigned I = 0; I < ThreadCount; ++I) {
     Scratches.push_back(std::make_unique<Scratch>());
+    Scratches.back()->obsState().ThreadIndex = I;
+  }
   Workers.reserve(ThreadCount - 1);
   for (unsigned I = 1; I < ThreadCount; ++I)
     Workers.emplace_back([this, I] { workerMain(I); });
@@ -105,9 +107,12 @@ void BatchEngine::dispatch(Job &J) {
   }
 
   // Workers are quiescent again (blocked on WakeWorkers), so their stats
-  // can be drained without contention.
-  for (std::unique_ptr<Scratch> &S : Scratches)
+  // and observability shards can be drained without contention.
+  for (std::unique_ptr<Scratch> &S : Scratches) {
     Stats.merge(S->takeStats());
+    if (obs::enabled())
+      S->obsState().drainInto(Registry, Spans);
+  }
 }
 
 void BatchEngine::convert(std::span<const double> Values, StringTable &Out,
@@ -128,6 +133,20 @@ void BatchEngine::convert(std::span<const double> Values, StringTable &Out,
   Stats.BatchNanos += static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
           .count());
+
+  if (obs::enabled() && obs::config().Trace) {
+    // One enclosing span per batch on the caller's track; the sampled
+    // per-conversion spans drained from the workers nest underneath it.
+    uint64_t StartNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Start.time_since_epoch())
+            .count());
+    uint64_t DurNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+            .count());
+    Spans.push_back(
+        obs::SpanEvent{"batch", StartNs, DurNs, /*Tid=*/0, Values.size()});
+  }
 }
 
 void BatchEngine::parallelFor(

@@ -121,6 +121,30 @@ public:
   const EngineStats &stats() const { return Stats; }
   void resetStats() { Stats.reset(); }
 
+  /// Sampled observability metrics merged from every worker shard so far
+  /// (empty unless obs sampling is on; see obs::config()).
+  const obs::Registry &registry() const { return Registry; }
+  void resetRegistry() { Registry.reset(); }
+
+  /// Moves out the span events collected so far (batch spans plus sampled
+  /// conversion spans from every worker; only populated when
+  /// obs::config().Trace is set).
+  std::vector<obs::SpanEvent> takeSpans() { return std::move(Spans); }
+
+  /// Per-worker flight recorders, for post-mortem dumps.  Index 0 is the
+  /// calling thread's Scratch.  Valid until the engine is destroyed.
+  const obs::FlightRecorder &flightRecorder(unsigned Thread) const {
+    return Scratches[Thread]->obsState().Recorder;
+  }
+
+  /// Mismatch-flagged conversion records retained by worker \p Thread
+  /// (oldest first); unlike the ring these survive later conversions, so a
+  /// post-sweep report sees every failure up to the configured keep limit.
+  const std::vector<obs::ConversionRecord> &
+  mismatchRecords(unsigned Thread) const {
+    return Scratches[Thread]->obsState().MismatchKept;
+  }
+
 private:
   struct Job {
     // Conversion payload (convert()); unused when Fn is set.
@@ -150,6 +174,8 @@ private:
   Job *Current = nullptr;
 
   EngineStats Stats;
+  obs::Registry Registry;           ///< Merged sampled metrics.
+  std::vector<obs::SpanEvent> Spans; ///< Collected trace spans.
 };
 
 } // namespace dragon4::engine

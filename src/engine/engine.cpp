@@ -19,8 +19,10 @@
 #include "core/free_format.h"
 #include "fastpath/grisu.h"
 #include "format/render.h"
+#include "obs/trace.h"
 #include "support/checks.h"
 
+#include <bit>
 #include <span>
 
 using namespace dragon4;
@@ -242,8 +244,39 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
   EngineStats &Stats = ScratchAccess::stats(S);
   BufWriter W{Buffer, BufferSize};
 
-  if (putSpecial(W, Value, Stats, [&W] { W.put('0'); }))
-    return finish(W, Stats);
+#if DRAGON4_OBS_ENABLED
+  // Sampling decision up front: one branch when sampling is off.  When this
+  // conversion is not sampled the previous active trace (if any -- tests
+  // and the verify harness install their own) is left in place.
+  obs::ObsState &Obs = S.obsState();
+  const bool Sampled = Obs.tick();
+  uint64_t StartNs = 0;
+  if (Sampled) {
+    Obs.Current.reset();
+    StartNs = obs::nowNanos();
+  }
+  obs::ActiveTraceScope TraceScope(Sampled ? &Obs.Current
+                                           : obs::activeTrace());
+  obs::Path PathKind = obs::Path::Unknown;
+  auto ObsEpilogue = [&](size_t Len) {
+    if (Sampled)
+      Obs.finishConversion(Obs.Current, PathKind,
+                           std::bit_cast<uint64_t>(Value), /*BitsHi=*/0,
+                           StartNs, obs::nowNanos() - StartNs,
+                           /*Truncated=*/Len > BufferSize,
+                           /*Mismatch=*/false);
+    return Len;
+  };
+#else
+  auto ObsEpilogue = [](size_t Len) { return Len; };
+#endif
+
+  if (putSpecial(W, Value, Stats, [&W] { W.put('0'); })) {
+#if DRAGON4_OBS_ENABLED
+    PathKind = obs::Path::Special;
+#endif
+    return ObsEpilogue(finish(W, Stats));
+  }
 
   using Traits = IeeeTraits<double>;
   const Decomposed D = decompose(Value);
@@ -260,11 +293,30 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
                         ScratchAccess::fastDigits(S), K)) {
     ++Stats.FastPathHits;
     Digits = ScratchAccess::fastDigits(S);
+#if DRAGON4_OBS_ENABLED
+    PathKind = obs::Path::FastPath;
+    if (auto *T = obs::activeTrace()) {
+      // The fast path bypasses the digit loop's trace point.
+      T->DigitsEmitted = static_cast<uint32_t>(Digits.size());
+      T->FinalK = K;
+    }
+#endif
   } else {
-    if (fastPathEligible(Options, D.F))
+    if (fastPathEligible(Options, D.F)) {
       ++Stats.FastPathFails;
-    else
+#if DRAGON4_OBS_ENABLED
+      PathKind = obs::Path::SlowFallback;
+      if (auto *T = obs::activeTrace())
+        T->FastFail = 1; // Attempted but uncertified.
+#endif
+    } else {
       ++Stats.SlowPathDirect;
+#if DRAGON4_OBS_ENABLED
+      PathKind = obs::Path::SlowDirect;
+      if (auto *T = obs::activeTrace())
+        T->FastFail = 2; // Ineligible for the fast path.
+#endif
+    }
     DigitLoopResult &Loop = ScratchAccess::loop(S);
     K = freeFormatDigitsInto(D.F, D.E, Traits::Precision, Traits::MinExponent,
                              freeOptionsFrom(Options), Loop);
@@ -276,7 +328,7 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
   putAuto(W, Digits, K, /*TrailingMarks=*/0, Negative,
           renderOptionsFrom(Options));
   S.syncArenaStats();
-  return finish(W, Stats);
+  return ObsEpilogue(finish(W, Stats));
 }
 
 size_t dragon4::engine::formatFixed(double Value, int FractionDigits,
@@ -286,14 +338,42 @@ size_t dragon4::engine::formatFixed(double Value, int FractionDigits,
   EngineStats &Stats = ScratchAccess::stats(S);
   BufWriter W{Buffer, BufferSize};
 
+#if DRAGON4_OBS_ENABLED
+  obs::ObsState &Obs = S.obsState();
+  const bool Sampled = Obs.tick();
+  uint64_t StartNs = 0;
+  if (Sampled) {
+    Obs.Current.reset();
+    StartNs = obs::nowNanos();
+  }
+  obs::ActiveTraceScope TraceScope(Sampled ? &Obs.Current
+                                           : obs::activeTrace());
+  obs::Path PathKind = obs::Path::Fixed;
+  auto ObsEpilogue = [&](size_t Len) {
+    if (Sampled)
+      Obs.finishConversion(Obs.Current, PathKind,
+                           std::bit_cast<uint64_t>(Value), /*BitsHi=*/0,
+                           StartNs, obs::nowNanos() - StartNs,
+                           /*Truncated=*/Len > BufferSize,
+                           /*Mismatch=*/false);
+    return Len;
+  };
+#else
+  auto ObsEpilogue = [](size_t Len) { return Len; };
+#endif
+
   if (putSpecial(W, Value, Stats, [&] {
         W.put('0');
         if (FractionDigits > 0) {
           W.put('.');
           W.fill(static_cast<size_t>(FractionDigits), '0');
         }
-      }))
-    return finish(W, Stats);
+      })) {
+#if DRAGON4_OBS_ENABLED
+    PathKind = obs::Path::Special;
+#endif
+    return ObsEpilogue(finish(W, Stats));
+  }
 
   ConversionScope Scope(S);
   // The fixed core's termination logic consumes the loop state in ways the
@@ -308,7 +388,7 @@ size_t dragon4::engine::formatFixed(double Value, int FractionDigits,
   putPositional(W, Digits.Digits, Digits.K, Digits.TrailingMarks,
                 signBit(Value), renderOptionsFrom(Options));
   S.syncArenaStats();
-  return finish(W, Stats);
+  return ObsEpilogue(finish(W, Stats));
 }
 
 size_t dragon4::engine::shortestSlotSize(unsigned Base) {

@@ -26,6 +26,7 @@
 #include "bigint/limb_arena.h"
 #include "core/digit_loop.h"
 #include "engine/stats.h"
+#include "obs/trace.h"
 
 #include <cstdint>
 #include <vector>
@@ -45,6 +46,13 @@ public:
 
   /// Counters accumulated by conversions through this Scratch.
   const EngineStats &stats() const { return Stats; }
+
+  /// This Scratch's observability shard: sampled-metric registry, flight
+  /// recorder, span buffer.  Same ownership contract as the Scratch itself
+  /// (single thread at a time); the batch layer drains it after workers
+  /// join, alongside takeStats().
+  obs::ObsState &obsState() { return Obs; }
+  const obs::ObsState &obsState() const { return Obs; }
 
   /// Records one verification verdict (an oracle check run with this
   /// Scratch).  The verification harness calls this so per-worker verdict
@@ -82,6 +90,7 @@ private:
   DigitLoopResult Loop;          ///< Slow-path loop state, storage recycled.
   std::vector<uint8_t> FastDigits; ///< Grisu digit buffer, recycled.
   EngineStats Stats;
+  obs::ObsState Obs;               ///< Sampled-metrics shard + flight ring.
   uint64_t BlockAllocsDrained = 0; ///< Arena blocks already reported.
 };
 

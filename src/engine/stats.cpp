@@ -1,0 +1,18 @@
+//===- engine/stats.cpp - Engine counter printing ---------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/stats.h"
+
+#include "obs/export.h"
+#include "obs/registry.h"
+
+using namespace dragon4;
+using namespace dragon4::engine;
+
+void EngineStats::print(std::FILE *Out, const obs::Registry *Reg) const {
+  std::fprintf(Out, "engine stats:\n");
+  obs::printHuman(Out, obs::makeSnapshot(*this, Reg));
+}

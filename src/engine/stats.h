@@ -20,6 +20,10 @@
 #include <cstdint>
 #include <cstdio>
 
+namespace dragon4::obs {
+class Registry;
+}
+
 namespace dragon4::engine {
 
 /// Counters for engine conversions.  All counts are cumulative since
@@ -77,33 +81,12 @@ struct EngineStats {
 
   void reset() { *this = EngineStats(); }
 
-  /// Human-readable dump, one counter per line (used by tools/soak and the
-  /// batch benchmark).
-  void print(std::FILE *Out) const {
-    auto U = [](uint64_t V) { return static_cast<unsigned long long>(V); };
-    std::fprintf(Out, "engine stats:\n");
-    std::fprintf(Out, "  conversions        %llu\n", U(Conversions));
-    std::fprintf(Out, "  specials           %llu\n", U(Specials));
-    std::fprintf(Out, "  fast-path hits     %llu\n", U(FastPathHits));
-    std::fprintf(Out, "  fast-path fails    %llu\n", U(FastPathFails));
-    std::fprintf(Out, "  slow-path direct   %llu\n", U(SlowPathDirect));
-    std::fprintf(Out, "  truncated writes   %llu\n", U(Truncated));
-    std::fprintf(Out, "  arena high water   %llu bytes\n",
-                 U(ArenaHighWaterBytes));
-    std::fprintf(Out, "  arena block allocs %llu\n", U(ArenaBlockAllocs));
-    if (Batches)
-      std::fprintf(Out, "  batches            %llu (%llu values, %llu ns)\n",
-                   U(Batches), U(BatchValues), U(BatchNanos));
-    if (VerifyChecked)
-      std::fprintf(Out, "  verify verdicts    %llu checked, %llu mismatches\n",
-                   U(VerifyChecked), U(VerifyMismatches));
-    std::fprintf(Out, "  slow-path digit-length histogram:\n");
-    for (int I = 0; I < DigitBuckets; ++I)
-      if (SlowDigitLength[I])
-        std::fprintf(Out, "    %2d%s digits: %llu\n", I,
-                     I == DigitBuckets - 1 ? "+" : " ",
-                     U(SlowDigitLength[I]));
-  }
+  /// Human-readable dump (tools/soak and the batch benchmark).  A thin
+  /// view over obs::makeSnapshot, so the eyeball rendering and the
+  /// machine-readable exports always agree; batch timing is reported as
+  /// derived values/s and mean ns/value.  When \p Reg is non-null the
+  /// sampled observability metrics are printed alongside the exact ones.
+  void print(std::FILE *Out, const obs::Registry *Reg = nullptr) const;
 };
 
 } // namespace dragon4::engine

@@ -19,6 +19,7 @@
 
 #include "bigint/power_cache.h"
 #include "fastpath/diyfp.h"
+#include "obs/trace.h"
 #include "support/checks.h"
 
 #include <bit>
@@ -38,6 +39,10 @@ constexpr int Gamma = -32;
 /// 10^K10 with a 64-bit correctly rounded significand, straight from the
 /// exact bignum power (negative K10 via a 128-plus-bit division).
 DiyFp computePowerOfTen(int K10) {
+  // Cache warming is per-thread one-time work: its BigInt traffic must not
+  // be charged to whichever conversion happened to touch the power first
+  // (it would skew op counts and break thread-count determinism).
+  D4_OBS_SUPPRESS_TRACE();
   if (K10 >= 0) {
     const BigInt &Exact = cachedPow(10, static_cast<unsigned>(K10));
     int Bits = static_cast<int>(Exact.bitLength());

@@ -1,0 +1,248 @@
+//===- obs/export.cpp - Telemetry exporters ---------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstring>
+
+using namespace dragon4;
+using namespace dragon4::obs;
+
+namespace {
+
+void appendF(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  if (N > 0)
+    Out.append(Buf, static_cast<size_t>(N) < sizeof(Buf) ? static_cast<size_t>(N)
+                                                         : sizeof(Buf) - 1);
+}
+
+/// JSON number rendering for doubles: shortest round-trip is overkill here,
+/// but the output must stay a valid JSON token (no inf/nan, no bare '.').
+void appendJsonDouble(std::string &Out, double V) {
+  if (!std::isfinite(V)) {
+    Out += "null";
+    return;
+  }
+  appendF(Out, "%.17g", V);
+}
+
+/// Metric names are [a-z0-9_] by construction, but escape defensively so a
+/// future name can never corrupt the document.
+void appendJsonString(std::string &Out, const char *S) {
+  Out += '"';
+  for (; *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      appendF(Out, "\\u%04x", C);
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+}
+
+void appendHistogramJson(std::string &Out, const SnapshotHistogram &H,
+                         const char *Indent) {
+  Out += Indent;
+  Out += "{\n";
+  appendF(Out, "%s  \"name\": ", Indent);
+  appendJsonString(Out, H.Name.c_str());
+  appendF(Out, ",\n%s  \"count\": %" PRIu64 ",\n", Indent, H.Count);
+  appendF(Out, "%s  \"sum\": %" PRIu64 ",\n", Indent, H.Sum);
+  appendF(Out, "%s  \"min\": %" PRIu64 ",\n", Indent, H.Min);
+  appendF(Out, "%s  \"max\": %" PRIu64 ",\n", Indent, H.Max);
+  appendF(Out, "%s  \"p50\": ", Indent);
+  appendJsonDouble(Out, H.P50);
+  appendF(Out, ",\n%s  \"p90\": ", Indent);
+  appendJsonDouble(Out, H.P90);
+  appendF(Out, ",\n%s  \"p99\": ", Indent);
+  appendJsonDouble(Out, H.P99);
+  appendF(Out, ",\n%s  \"buckets\": [", Indent);
+  bool First = true;
+  for (const auto &[Le, N] : H.Buckets) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    appendF(Out, "{\"le\": %" PRIu64 ", \"count\": %" PRIu64 "}", Le, N);
+  }
+  Out += "]\n";
+  Out += Indent;
+  Out += '}';
+}
+
+} // namespace
+
+std::string dragon4::obs::renderStatsJson(const Snapshot &Snap) {
+  std::string Out;
+  Out += "{\n";
+  appendF(Out, "  \"schema\": \"%s\",\n", StatsSchemaVersion);
+
+  Out += "  \"counters\": {\n";
+  for (size_t I = 0; I < Snap.Counters.size(); ++I) {
+    Out += "    ";
+    appendJsonString(Out, Snap.Counters[I].first.c_str());
+    appendF(Out, ": %" PRIu64 "%s\n", Snap.Counters[I].second,
+            I + 1 < Snap.Counters.size() ? "," : "");
+  }
+  Out += "  },\n";
+
+  Out += "  \"gauges\": {\n";
+  for (size_t I = 0; I < Snap.Gauges.size(); ++I) {
+    Out += "    ";
+    appendJsonString(Out, Snap.Gauges[I].first.c_str());
+    appendF(Out, ": %" PRIu64 "%s\n", Snap.Gauges[I].second,
+            I + 1 < Snap.Gauges.size() ? "," : "");
+  }
+  Out += "  },\n";
+
+  Out += "  \"derived\": {\n";
+  for (size_t I = 0; I < Snap.Derived.size(); ++I) {
+    Out += "    ";
+    appendJsonString(Out, Snap.Derived[I].first.c_str());
+    Out += ": ";
+    appendJsonDouble(Out, Snap.Derived[I].second);
+    Out += I + 1 < Snap.Derived.size() ? ",\n" : "\n";
+  }
+  Out += "  },\n";
+
+  Out += "  \"histograms\": [\n";
+  for (size_t I = 0; I < Snap.Histograms.size(); ++I) {
+    appendHistogramJson(Out, Snap.Histograms[I], "    ");
+    Out += I + 1 < Snap.Histograms.size() ? ",\n" : "\n";
+  }
+  Out += "  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string dragon4::obs::renderPrometheus(const Snapshot &Snap) {
+  std::string Out;
+  for (const auto &[Name, Value] : Snap.Counters) {
+    appendF(Out, "# TYPE %s counter\n", Name.c_str());
+    appendF(Out, "%s %" PRIu64 "\n", Name.c_str(), Value);
+  }
+  for (const auto &[Name, Value] : Snap.Gauges) {
+    appendF(Out, "# TYPE %s gauge\n", Name.c_str());
+    appendF(Out, "%s %" PRIu64 "\n", Name.c_str(), Value);
+  }
+  for (const auto &[Name, Value] : Snap.Derived) {
+    appendF(Out, "# TYPE %s gauge\n", Name.c_str());
+    appendF(Out, "%s ", Name.c_str());
+    if (std::isfinite(Value))
+      appendF(Out, "%.17g\n", Value);
+    else
+      Out += "NaN\n";
+  }
+  for (const auto &H : Snap.Histograms) {
+    appendF(Out, "# TYPE %s histogram\n", H.Name.c_str());
+    uint64_t Cumulative = 0;
+    for (const auto &[Le, N] : H.Buckets) {
+      Cumulative += N;
+      appendF(Out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+              H.Name.c_str(), Le, Cumulative);
+    }
+    appendF(Out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", H.Name.c_str(),
+            H.Count);
+    appendF(Out, "%s_sum %" PRIu64 "\n", H.Name.c_str(), H.Sum);
+    appendF(Out, "%s_count %" PRIu64 "\n", H.Name.c_str(), H.Count);
+  }
+  return Out;
+}
+
+std::string dragon4::obs::renderChromeTrace(std::span<const SpanEvent> Spans) {
+  // Timestamps are microseconds since the earliest span so the viewport
+  // opens at t=0 rather than at hours-of-uptime.
+  uint64_t Base = UINT64_MAX;
+  for (const SpanEvent &S : Spans)
+    if (S.StartNanos < Base)
+      Base = S.StartNanos;
+  if (Base == UINT64_MAX)
+    Base = 0;
+
+  std::string Out;
+  Out += "{\"traceEvents\": [\n";
+  for (size_t I = 0; I < Spans.size(); ++I) {
+    const SpanEvent &S = Spans[I];
+    double Ts = static_cast<double>(S.StartNanos - Base) / 1000.0;
+    double Dur = static_cast<double>(S.DurNanos) / 1000.0;
+    Out += "  {\"ph\": \"X\", \"name\": ";
+    appendJsonString(Out, S.Name);
+    appendF(Out, ", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+                 "\"args\": {\"arg\": %" PRIu64 "}}%s\n",
+            S.Tid, Ts, Dur, S.Arg, I + 1 < Spans.size() ? "," : "");
+  }
+  Out += "], \"displayTimeUnit\": \"ns\"}\n";
+  return Out;
+}
+
+std::string dragon4::obs::renderHuman(const Snapshot &Snap) {
+  std::string Out;
+  for (const auto &[Name, Value] : Snap.Counters)
+    if (Value)
+      appendF(Out, "  %-44s %" PRIu64 "\n", Name.c_str(), Value);
+  for (const auto &[Name, Value] : Snap.Gauges)
+    if (Value)
+      appendF(Out, "  %-44s %" PRIu64 "\n", Name.c_str(), Value);
+  for (const auto &[Name, Value] : Snap.Derived)
+    appendF(Out, "  %-44s %.4g\n", Name.c_str(), Value);
+  for (const auto &H : Snap.Histograms) {
+    if (H.Count == 0)
+      continue;
+    appendF(Out,
+            "  %-44s count=%" PRIu64 " mean=%.2f p50=%.0f p90=%.0f "
+            "p99=%.0f max=%" PRIu64 "\n",
+            H.Name.c_str(), H.Count,
+            static_cast<double>(H.Sum) / static_cast<double>(H.Count), H.P50,
+            H.P90, H.P99, H.Max);
+  }
+  return Out;
+}
+
+void dragon4::obs::writeStatsJson(std::FILE *Out, const Snapshot &Snap) {
+  std::string S = renderStatsJson(Snap);
+  std::fwrite(S.data(), 1, S.size(), Out);
+}
+
+void dragon4::obs::writePrometheus(std::FILE *Out, const Snapshot &Snap) {
+  std::string S = renderPrometheus(Snap);
+  std::fwrite(S.data(), 1, S.size(), Out);
+}
+
+void dragon4::obs::writeChromeTrace(std::FILE *Out,
+                                    std::span<const SpanEvent> Spans) {
+  std::string S = renderChromeTrace(Spans);
+  std::fwrite(S.data(), 1, S.size(), Out);
+}
+
+void dragon4::obs::printHuman(std::FILE *Out, const Snapshot &Snap) {
+  std::string S = renderHuman(Snap);
+  std::fwrite(S.data(), 1, S.size(), Out);
+}
+
+bool dragon4::obs::writeFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "dragon4 obs: cannot open '%s' for writing\n",
+                 Path.c_str());
+    return false;
+  }
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size() && std::fclose(F) == 0;
+  if (!Ok)
+    std::fprintf(stderr, "dragon4 obs: short write to '%s'\n", Path.c_str());
+  return Ok;
+}

@@ -1,0 +1,62 @@
+//===- obs/export.h - Telemetry exporters ------------------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable renderings of a metric Snapshot and a span buffer:
+///
+///   * renderStatsJson    -- the stable "dragon4.stats.v1" JSON schema
+///     (counters, gauges, derived rates, histogram summaries + buckets);
+///     the --stats-json flag of the tools writes this.
+///   * renderPrometheus   -- Prometheus text exposition format (counters,
+///     gauges, and histograms with cumulative le-buckets).
+///   * renderChromeTrace  -- Chrome trace_event JSON ("X" complete events,
+///     microsecond timestamps); load in chrome://tracing or Perfetto.
+///   * printHuman         -- the human text view; EngineStats::print is a
+///     thin wrapper over this, so eyeball output and machine output are
+///     rendered from the same Snapshot and can never disagree.
+///
+/// All renderers return strings (testable) with FILE* convenience wrappers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_OBS_EXPORT_H
+#define DRAGON4_OBS_EXPORT_H
+
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <span>
+#include <string>
+
+namespace dragon4::obs {
+
+/// Schema identifier embedded in every stats JSON document.
+inline constexpr const char *StatsSchemaVersion = "dragon4.stats.v1";
+
+/// Schema identifier for benchmark result documents (bench/ writes these;
+/// tools/bench_check.py validates and compares them).
+inline constexpr const char *BenchSchemaVersion = "dragon4.bench.v1";
+
+std::string renderStatsJson(const Snapshot &Snap);
+std::string renderPrometheus(const Snapshot &Snap);
+std::string renderChromeTrace(std::span<const SpanEvent> Spans);
+
+/// Human text rendering of \p Snap: one metric per line, histograms as
+/// count/mean/percentile summaries plus their non-empty buckets.
+std::string renderHuman(const Snapshot &Snap);
+
+void writeStatsJson(std::FILE *Out, const Snapshot &Snap);
+void writePrometheus(std::FILE *Out, const Snapshot &Snap);
+void writeChromeTrace(std::FILE *Out, std::span<const SpanEvent> Spans);
+void printHuman(std::FILE *Out, const Snapshot &Snap);
+
+/// Writes \p Text to \p Path, reporting failure on stderr.  Returns true
+/// on success.  Shared by the tools' --stats-json/--trace plumbing.
+bool writeFile(const std::string &Path, const std::string &Text);
+
+} // namespace dragon4::obs
+
+#endif // DRAGON4_OBS_EXPORT_H

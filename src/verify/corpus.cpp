@@ -23,6 +23,24 @@ using namespace dragon4::verify;
 
 std::string dragon4::verify::encodeRecord(const CorpusRecord &Record) {
   std::string Text;
+  if (!Record.FlightDump.empty()) {
+    // One '#' line per dump line, before the detail comment: the loader
+    // keeps only the last comment line before a record, so the dump is
+    // annotation only and the detail stays the replayed record's Comment.
+    Text += "# flight recorder (oldest first):\n";
+    size_t Start = 0;
+    while (Start < Record.FlightDump.size()) {
+      size_t End = Record.FlightDump.find('\n', Start);
+      if (End == std::string::npos)
+        End = Record.FlightDump.size();
+      if (End > Start) {
+        Text += "#   ";
+        Text.append(Record.FlightDump, Start, End - Start);
+        Text += '\n';
+      }
+      Start = End + 1;
+    }
+  }
   if (!Record.Comment.empty()) {
     Text += "# ";
     // Keep the record at two lines even if the detail has embedded breaks.

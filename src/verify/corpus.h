@@ -42,10 +42,16 @@ struct CorpusRecord {
   BitPattern Bits;
   unsigned Oracles = OracleAll; ///< Oracles to re-run on replay.
   std::string Comment;          ///< One-line detail; written as a '#' line.
+
+  /// Optional multi-line flight-recorder excerpt captured when the
+  /// mismatch was found (see obs::FlightRecorder::dumpText).  Written as
+  /// leading '#' lines; replay ignores it (the loader keeps only the last
+  /// comment line before a record), so dumps never affect reproduction.
+  std::string FlightDump;
 };
 
-/// Renders \p Record as corpus text: a '#' comment line (when the record
-/// carries one) followed by the record line.  At most two lines.
+/// Renders \p Record as corpus text: flight-dump '#' lines (when present),
+/// a '#' comment line (when the record carries one), then the record line.
 std::string encodeRecord(const CorpusRecord &Record);
 
 /// Parses one record line (not the comment).  Returns false on malformed

@@ -421,9 +421,10 @@ std::string dragon4::verify::bitsToHex(const BitPattern &Bits) {
   return "0x0";
 }
 
-Verdict dragon4::verify::checkBits(const BitPattern &Bits, unsigned Oracles,
-                                   engine::Scratch *S) {
-  Oracles &= supportedOracles(Bits.Format);
+namespace {
+
+Verdict dispatchChecks(const BitPattern &Bits, unsigned Oracles,
+                       engine::Scratch *S) {
   switch (Bits.Format) {
   case FloatFormat::Binary16:
     return checkValue(BitOps<Binary16>::fromPattern(Bits), Oracles, S);
@@ -435,4 +436,54 @@ Verdict dragon4::verify::checkBits(const BitPattern &Bits, unsigned Oracles,
     return checkValue(BitOps<Binary128>::fromPattern(Bits), Oracles, S);
   }
   return Verdict{};
+}
+
+} // namespace
+
+Verdict dragon4::verify::checkBits(const BitPattern &Bits, unsigned Oracles,
+                                   engine::Scratch *S) {
+  Oracles &= supportedOracles(Bits.Format);
+
+#if DRAGON4_OBS_ENABLED
+  if (S && obs::enabled()) {
+    obs::ObsState &Obs = S->obsState();
+    if (!Obs.tick()) {
+      Verdict V = dispatchChecks(Bits, Oracles, S);
+      if (V.ok())
+        return V;
+      // A mismatch on an unsampled check: re-run it traced (mismatches are
+      // rare, so the duplicated work is irrelevant) so the failing
+      // conversion is archived in the flight recorder with full context.
+      // The re-check is not charged to the verdict counters (S = null).
+      Obs.Current.reset();
+      uint64_t StartNs = obs::nowNanos();
+      {
+        obs::ActiveTraceScope Scope(&Obs.Current);
+        dispatchChecks(Bits, Oracles, nullptr);
+      }
+      Obs.finishConversion(Obs.Current, obs::Path::VerifyCheck, Bits.Lo,
+                           Bits.Hi, StartNs, obs::nowNanos() - StartNs,
+                           /*Truncated=*/false, /*Mismatch=*/true);
+      return V;
+    }
+    // Sampled check: trace the whole oracle bundle as one record.  The
+    // library-level conversions the oracles run (toShortest, the reference
+    // algorithm, the minimality candidates) all feed this trace; an inner
+    // engine::format call that wins its own sampling draw records its own
+    // window separately, exactly as it would outside the harness.
+    Obs.Current.reset();
+    uint64_t StartNs = obs::nowNanos();
+    Verdict V;
+    {
+      obs::ActiveTraceScope Scope(&Obs.Current);
+      V = dispatchChecks(Bits, Oracles, S);
+    }
+    Obs.finishConversion(Obs.Current, obs::Path::VerifyCheck, Bits.Lo, Bits.Hi,
+                         StartNs, obs::nowNanos() - StartNs,
+                         /*Truncated=*/false, /*Mismatch=*/!V.ok());
+    return V;
+  }
+#endif
+
+  return dispatchChecks(Bits, Oracles, S);
 }

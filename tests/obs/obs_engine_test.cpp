@@ -1,0 +1,131 @@
+//===- tests/obs/obs_engine_test.cpp -----------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Engine-level observability: sampled counter totals must be independent
+// of the worker-thread count (the determinism contract), and the traced
+// scale estimator must exhibit the paper's Section 5 claim -- the estimate
+// is always the final k or k-1 -- over the entire binary16 domain.
+//
+// Everything here needs compiled-in trace points, so the whole file is
+// gated on DRAGON4_OBS_ENABLED (the binary still builds and passes with
+// DRAGON4_OBS=OFF; the tests simply vanish).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/trace.h"
+
+#if DRAGON4_OBS_ENABLED
+
+#include "dragon4.h"
+#include "fp/binary16.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace dragon4;
+namespace eng = dragon4::engine;
+
+namespace {
+
+/// Restores the process-global obs config on scope exit.
+struct ConfigGuard {
+  obs::Config Saved = obs::config();
+  ~ConfigGuard() { obs::config() = Saved; }
+};
+
+/// Runs \p Values through a BatchEngine with \p Threads workers at
+/// SampleEvery = 1 and returns the merged registry.
+obs::Registry runBatch(const std::vector<double> &Values, unsigned Threads) {
+  eng::BatchEngine Engine(Threads);
+  eng::StringTable Table;
+  Engine.convert(Values, Table, PrintOptions{});
+  return Engine.registry();
+}
+
+TEST(ObsEngine, CounterTotalsAreThreadCountInvariant) {
+  ConfigGuard Guard;
+  obs::config().SampleEvery = 1;
+  obs::config().Trace = false;
+
+  std::vector<double> Values = randomBitsDoubles(4000, 7);
+  obs::Registry One = runBatch(Values, 1);
+  obs::Registry Four = runBatch(Values, 4);
+
+  for (size_t I = 0; I < static_cast<size_t>(obs::Counter::Count); ++I) {
+    obs::Counter C = static_cast<obs::Counter>(I);
+    EXPECT_EQ(One.get(C), Four.get(C)) << obs::counterName(C);
+  }
+  EXPECT_EQ(One.get(obs::Counter::SampledConversions), Values.size());
+
+  // Work-derived histograms are bucket-for-bucket identical; latency is
+  // wall-clock and only its sample count is deterministic.
+  for (obs::Hist H : {obs::Hist::DigitsEmitted, obs::Hist::DivModLimbs,
+                      obs::Hist::MulLimbs}) {
+    const obs::Log2Histogram &L = One.hist(H);
+    const obs::Log2Histogram &R = Four.hist(H);
+    EXPECT_EQ(L.count(), R.count()) << obs::histName(H);
+    EXPECT_EQ(L.sum(), R.sum()) << obs::histName(H);
+    for (int B = 0; B < obs::Log2Histogram::NumBuckets; ++B)
+      EXPECT_EQ(L.bucketCount(B), R.bucketCount(B))
+          << obs::histName(H) << " bucket " << B;
+  }
+  EXPECT_EQ(One.hist(obs::Hist::LatencyNs).count(),
+            Four.hist(obs::Hist::LatencyNs).count());
+}
+
+TEST(ObsEngine, SamplingRespectsSampleEvery) {
+  ConfigGuard Guard;
+  obs::config().SampleEvery = 4;
+  std::vector<double> Values = randomBitsDoubles(1000, 3);
+  obs::Registry Reg = runBatch(Values, 1);
+  // One conversion in four wins the draw on the single worker.
+  EXPECT_EQ(Reg.get(obs::Counter::SampledConversions), Values.size() / 4);
+}
+
+TEST(ObsEngine, SamplingOffRecordsNothing) {
+  ConfigGuard Guard;
+  obs::config().SampleEvery = 0;
+  std::vector<double> Values = randomBitsDoubles(200, 3);
+  obs::Registry Reg = runBatch(Values, 1);
+  EXPECT_EQ(Reg.get(obs::Counter::SampledConversions), 0u);
+  EXPECT_EQ(Reg.hist(obs::Hist::LatencyNs).count(), 0u);
+}
+
+// The paper's Section 5 invariant, observed rather than proved: over every
+// finite non-zero binary16 encoding, the scale estimator's value is the
+// final k or k-1 -- the fixup fires at most once and only upward.
+TEST(ObsEngine, Binary16EstimatorIsAlwaysKOrKMinus1) {
+  obs::ConversionTrace Trace;
+  obs::ActiveTraceScope Scope(&Trace);
+
+  uint64_t Fixups = 0, Exact = 0;
+  for (uint32_t Bits = 0; Bits < 0x10000; ++Bits) {
+    Binary16 H = Binary16::fromBits(static_cast<uint16_t>(Bits));
+    double Wide = H.toDouble();
+    if (Wide == 0.0 || std::isinf(Wide) || std::isnan(Wide))
+      continue;
+    Trace.reset();
+    DigitString Digits = shortestDigits(H);
+    ASSERT_NE(Trace.Branch, obs::ScaleBranch::None) << "bits " << Bits;
+    int Delta = Trace.FinalK - Trace.EstimatedK;
+    ASSERT_TRUE(Delta == 0 || Delta == 1)
+        << "bits " << Bits << ": estimate " << Trace.EstimatedK
+        << " vs final k " << Trace.FinalK;
+    ASSERT_EQ(Trace.FixupTaken, Delta) << "bits " << Bits;
+    ASSERT_EQ(Trace.FinalK, Digits.K) << "bits " << Bits;
+    (Delta ? Fixups : Exact) += 1;
+  }
+  // Both outcomes occur across the domain (the estimator is genuinely
+  // approximate, and genuinely never off by more than one).
+  EXPECT_GT(Fixups, 0u);
+  EXPECT_GT(Exact, 0u);
+}
+
+} // namespace
+
+#endif // DRAGON4_OBS_ENABLED

@@ -1,0 +1,175 @@
+//===- tests/obs/obs_histogram_test.cpp --------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Log2Histogram: bucket boundary arithmetic, exact count/sum/min/max
+// bookkeeping, and percentile estimates checked against a scalar reference
+// over the raw samples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+using dragon4::obs::Log2Histogram;
+
+namespace {
+
+/// Rank the percentile targets the same way the histogram does: the
+/// 1-based rank ceil(P/100 * N), at least 1.
+size_t percentileRank(double P, size_t N) {
+  double Exact = P / 100.0 * static_cast<double>(N);
+  size_t Rank = static_cast<size_t>(Exact);
+  if (static_cast<double>(Rank) < Exact)
+    ++Rank;
+  return Rank == 0 ? 1 : Rank;
+}
+
+/// Exact value at percentile \p P of \p Samples (sorted copy, rank walk).
+uint64_t referencePercentile(double P, std::vector<uint64_t> Samples) {
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[percentileRank(P, Samples.size()) - 1];
+}
+
+TEST(Log2Histogram, BucketIndexBoundaries) {
+  EXPECT_EQ(Log2Histogram::bucketIndex(0), 0);
+  EXPECT_EQ(Log2Histogram::bucketIndex(1), 1);
+  EXPECT_EQ(Log2Histogram::bucketIndex(2), 2);
+  EXPECT_EQ(Log2Histogram::bucketIndex(3), 2);
+  EXPECT_EQ(Log2Histogram::bucketIndex(4), 3);
+  EXPECT_EQ(Log2Histogram::bucketIndex(UINT64_MAX), 64);
+  for (int Shift = 1; Shift < 64; ++Shift) {
+    uint64_t Pow = uint64_t(1) << Shift;
+    // 2^s opens bucket s+1; 2^s - 1 closes bucket s.
+    EXPECT_EQ(Log2Histogram::bucketIndex(Pow), Shift + 1) << "2^" << Shift;
+    EXPECT_EQ(Log2Histogram::bucketIndex(Pow - 1), Shift) << "2^" << Shift;
+  }
+}
+
+TEST(Log2Histogram, BucketBoundsContainTheirValues) {
+  EXPECT_EQ(Log2Histogram::bucketHigh(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucketHigh(64), UINT64_MAX);
+  const uint64_t Probes[] = {0,  1,  2,   3,   4,     7,          8,
+                             15, 42, 100, 255, 1u << 20, UINT64_MAX};
+  for (uint64_t V : Probes) {
+    int I = Log2Histogram::bucketIndex(V);
+    EXPECT_LE(Log2Histogram::bucketLow(I), V) << V;
+    EXPECT_GE(Log2Histogram::bucketHigh(I), V) << V;
+    if (V > 0)
+      EXPECT_LT(Log2Histogram::bucketHigh(I - 1), V) << V;
+  }
+}
+
+TEST(Log2Histogram, ExactBookkeeping) {
+  Log2Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  const uint64_t Samples[] = {17, 3, 0, 250, 3, 99};
+  uint64_t Sum = 0;
+  for (uint64_t V : Samples) {
+    H.record(V);
+    Sum += V;
+  }
+  EXPECT_EQ(H.count(), 6u);
+  EXPECT_EQ(H.sum(), Sum);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 250u);
+  EXPECT_EQ(H.bucketCount(0), 1u); // The zero sample.
+  EXPECT_EQ(H.bucketCount(2), 2u); // Both 3s.
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.bucketCount(2), 0u);
+}
+
+TEST(Log2Histogram, PercentileIdenticalSamplesIsExact) {
+  // Every sample equal: clamping to the observed range makes every
+  // percentile exact regardless of the bucket's width.
+  Log2Histogram H;
+  for (int I = 0; I < 1000; ++I)
+    H.record(42);
+  for (double P : {1.0, 50.0, 90.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(H.percentile(P), 42.0) << "p" << P;
+}
+
+TEST(Log2Histogram, PercentileSingleValueBucketsAreExact) {
+  // One distinct value per bucket (powers of two >= 4, whose bucketLow is
+  // the value itself): the rank walk plus interpolation must return the
+  // exact sorted-rank sample.
+  std::vector<uint64_t> Samples;
+  for (int Shift = 2; Shift <= 40; ++Shift)
+    Samples.push_back(uint64_t(1) << Shift);
+  Log2Histogram H;
+  for (uint64_t V : Samples)
+    H.record(V);
+  for (double P : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0})
+    EXPECT_DOUBLE_EQ(H.percentile(P),
+                     static_cast<double>(referencePercentile(P, Samples)))
+        << "p" << P;
+}
+
+TEST(Log2Histogram, PercentileLandsInTheReferenceBucket) {
+  // Arbitrary mixed samples: the estimate must sit inside the bucket that
+  // contains the exact rank-selected sample (the log2 resolution bound).
+  std::vector<uint64_t> Samples;
+  uint64_t X = 12345;
+  for (int I = 0; I < 500; ++I) {
+    X = X * 2862933555777941757ull + 3037000493ull; // SplitMix-ish LCG.
+    Samples.push_back(X >> (X % 50));               // Spread across buckets.
+  }
+  Log2Histogram H;
+  for (uint64_t V : Samples)
+    H.record(V);
+  for (double P : {5.0, 50.0, 90.0, 99.0}) {
+    uint64_t Ref = referencePercentile(P, Samples);
+    int Bucket = Log2Histogram::bucketIndex(Ref);
+    double Est = H.percentile(P);
+    EXPECT_GE(Est, static_cast<double>(Log2Histogram::bucketLow(Bucket)))
+        << "p" << P;
+    EXPECT_LE(Est, static_cast<double>(Log2Histogram::bucketHigh(Bucket)))
+        << "p" << P;
+  }
+}
+
+TEST(Log2Histogram, PercentileEdgeCases) {
+  Log2Histogram Empty;
+  EXPECT_DOUBLE_EQ(Empty.percentile(50), 0.0);
+  Log2Histogram H;
+  H.record(7);
+  H.record(900);
+  EXPECT_DOUBLE_EQ(H.percentile(0), 7.0);    // p0 is the min.
+  EXPECT_DOUBLE_EQ(H.percentile(100), 900.0); // p100 is the max.
+}
+
+TEST(Log2Histogram, MergeMatchesCombinedRecording) {
+  Log2Histogram A, B, Combined;
+  for (uint64_t V : {1u, 5u, 800u, 0u}) {
+    A.record(V);
+    Combined.record(V);
+  }
+  for (uint64_t V : {3u, 3u, 1000000u}) {
+    B.record(V);
+    Combined.record(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), Combined.count());
+  EXPECT_EQ(A.sum(), Combined.sum());
+  EXPECT_EQ(A.min(), Combined.min());
+  EXPECT_EQ(A.max(), Combined.max());
+  for (int I = 0; I < Log2Histogram::NumBuckets; ++I)
+    EXPECT_EQ(A.bucketCount(I), Combined.bucketCount(I)) << "bucket " << I;
+  // Merging an empty histogram is the identity.
+  Log2Histogram Zero;
+  A.merge(Zero);
+  EXPECT_EQ(A.count(), Combined.count());
+  EXPECT_EQ(A.min(), Combined.min());
+}
+
+} // namespace

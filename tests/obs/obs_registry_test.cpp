@@ -1,0 +1,117 @@
+//===- tests/obs/obs_registry_test.cpp ---------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Registry shard merging: the batch layer merges per-worker shards in
+// whatever order scheduling produced, so merge must be commutative and
+// associative -- totals may never depend on shard order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+using namespace dragon4::obs;
+
+namespace {
+
+/// Deterministically populates a shard from a seed, touching every metric
+/// kind (counters, the max-merged gauge, histograms).
+Registry makeShard(uint64_t Seed) {
+  Registry R;
+  uint64_t X = Seed * 2654435761u + 1;
+  for (size_t I = 0; I < static_cast<size_t>(Counter::Count); ++I) {
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+    R.add(static_cast<Counter>(I), X % 1000);
+  }
+  R.setMax(Gauge::FlightDepth, Seed * 13 % 97);
+  for (size_t I = 0; I < static_cast<size_t>(Hist::Count); ++I)
+    for (int N = 0; N < 40; ++N) {
+      X = X * 6364136223846793005ull + 1442695040888963407ull;
+      R.record(static_cast<Hist>(I), X >> (X % 56));
+    }
+  return R;
+}
+
+void expectEqual(const Registry &L, const Registry &R) {
+  for (size_t I = 0; I < static_cast<size_t>(Counter::Count); ++I)
+    EXPECT_EQ(L.get(static_cast<Counter>(I)), R.get(static_cast<Counter>(I)))
+        << counterName(static_cast<Counter>(I));
+  for (size_t I = 0; I < static_cast<size_t>(Gauge::Count); ++I)
+    EXPECT_EQ(L.get(static_cast<Gauge>(I)), R.get(static_cast<Gauge>(I)))
+        << gaugeName(static_cast<Gauge>(I));
+  for (size_t I = 0; I < static_cast<size_t>(Hist::Count); ++I) {
+    const Log2Histogram &LH = L.hist(static_cast<Hist>(I));
+    const Log2Histogram &RH = R.hist(static_cast<Hist>(I));
+    EXPECT_EQ(LH.count(), RH.count()) << histName(static_cast<Hist>(I));
+    EXPECT_EQ(LH.sum(), RH.sum());
+    EXPECT_EQ(LH.min(), RH.min());
+    EXPECT_EQ(LH.max(), RH.max());
+    for (int B = 0; B < Log2Histogram::NumBuckets; ++B)
+      EXPECT_EQ(LH.bucketCount(B), RH.bucketCount(B))
+          << histName(static_cast<Hist>(I)) << " bucket " << B;
+  }
+}
+
+TEST(Registry, MergeIsCommutative) {
+  Registry AB = makeShard(1);
+  AB.merge(makeShard(2));
+  Registry BA = makeShard(2);
+  BA.merge(makeShard(1));
+  expectEqual(AB, BA);
+}
+
+TEST(Registry, MergeIsAssociativeAcrossShardOrders) {
+  // Every join order a 3-worker pool could produce.
+  const int Orders[][3] = {{1, 2, 3}, {1, 3, 2}, {2, 1, 3},
+                           {2, 3, 1}, {3, 1, 2}, {3, 2, 1}};
+  Registry Reference = makeShard(Orders[0][0]);
+  Reference.merge(makeShard(Orders[0][1]));
+  Reference.merge(makeShard(Orders[0][2]));
+  for (const auto &Order : Orders) {
+    Registry Merged = makeShard(Order[0]);
+    Merged.merge(makeShard(Order[1]));
+    Merged.merge(makeShard(Order[2]));
+    expectEqual(Merged, Reference);
+  }
+  // Right-associated grouping: A + (B + C).
+  Registry BC = makeShard(2);
+  BC.merge(makeShard(3));
+  Registry Right = makeShard(1);
+  Right.merge(BC);
+  expectEqual(Right, Reference);
+}
+
+TEST(Registry, MergeEmptyIsIdentity) {
+  Registry A = makeShard(5);
+  Registry Reference = makeShard(5);
+  A.merge(Registry());
+  expectEqual(A, Reference);
+  Registry Empty;
+  Empty.merge(makeShard(5));
+  expectEqual(Empty, Reference);
+}
+
+TEST(Registry, GaugesMergeByMax) {
+  Registry A, B;
+  A.setMax(Gauge::FlightDepth, 10);
+  B.setMax(Gauge::FlightDepth, 40);
+  A.merge(B);
+  EXPECT_EQ(A.get(Gauge::FlightDepth), 40u);
+  B.merge(A);
+  EXPECT_EQ(B.get(Gauge::FlightDepth), 40u);
+}
+
+TEST(Registry, ResetClearsEverything) {
+  Registry A = makeShard(9);
+  A.reset();
+  expectEqual(A, Registry());
+}
+
+} // namespace

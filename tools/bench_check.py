@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare a dragon4.bench.v1 result against a committed baseline.
+
+Usage:
+    bench_check.py <current.json> [baseline.json] [--tolerance=0.20]
+
+Both files are bench_engine_batch outputs.  The baseline defaults to the
+committed BENCH_engine.json next to this repository's root.  Every metric in
+the baseline's "metrics" object (ns/value, lower is better) is compared;
+a metric more than `tolerance` slower than the baseline is a regression and
+the script exits 1.  Metrics more than `tolerance` *faster* are reported as
+improvements (exit 0) -- a hint to refresh the committed baseline.
+
+The legacy flat schema (pre-v1, no "schema" key) is accepted for either
+file so older baselines keep working.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA = "dragon4.bench.v1"
+DEFAULT_TOLERANCE = 0.20
+
+
+def load_metrics(path):
+    """Returns (metrics dict, context dict) from either schema."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") == SCHEMA:
+        return doc["metrics"], doc.get("context", {})
+    if "schema" in doc:
+        raise ValueError(f"{path}: unknown schema {doc['schema']!r}")
+    # Legacy flat layout.
+    batch = doc.get("batch_ns_per_value", {})
+    metrics = {
+        "to_shortest_ns_per_value": doc["to_shortest_ns_per_value"],
+        "engine_format_ns_per_value": doc["engine_format_ns_per_value"],
+        "batch_1t_ns_per_value": batch["threads_1"],
+        "batch_2t_ns_per_value": batch["threads_2"],
+        "batch_4t_ns_per_value": batch["threads_4"],
+    }
+    context = {k: doc[k] for k in ("workload", "count", "reps",
+                                   "hardware_concurrency") if k in doc}
+    return metrics, context
+
+
+def main(argv):
+    tolerance = DEFAULT_TOLERANCE
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("-"):
+            sys.exit(__doc__)
+        else:
+            paths.append(arg)
+    if not paths:
+        sys.exit(__doc__)
+
+    current_path = paths[0]
+    baseline_path = (paths[1] if len(paths) > 1 else
+                     os.path.join(os.path.dirname(__file__), os.pardir,
+                                  "BENCH_engine.json"))
+
+    current, current_ctx = load_metrics(current_path)
+    baseline, baseline_ctx = load_metrics(baseline_path)
+
+    if current_ctx.get("obs_sampling"):
+        print("bench_check: WARNING: current run had obs sampling on; "
+              "its timings include telemetry overhead")
+    for key in ("workload", "count", "hardware_concurrency"):
+        if (key in current_ctx and key in baseline_ctx
+                and current_ctx[key] != baseline_ctx[key]):
+            print(f"bench_check: WARNING: {key} differs "
+                  f"(current {current_ctx[key]}, "
+                  f"baseline {baseline_ctx[key]}) -- comparison is "
+                  "apples-to-oranges")
+
+    regressions = []
+    improvements = []
+    width = max(len(k) for k in baseline)
+    for key, base in sorted(baseline.items()):
+        if key not in current:
+            print(f"bench_check: WARNING: {key} missing from current run")
+            continue
+        cur = current[key]
+        ratio = cur / base if base else float("inf")
+        delta = (ratio - 1.0) * 100.0
+        status = "ok"
+        if ratio > 1.0 + tolerance:
+            status = "REGRESSION"
+            regressions.append(key)
+        elif ratio < 1.0 - tolerance:
+            status = "improved"
+            improvements.append(key)
+        print(f"  {key:<{width}}  {base:10.2f} -> {cur:10.2f} ns/value "
+              f"({delta:+6.1f}%)  {status}")
+
+    if regressions:
+        print(f"bench_check: FAIL: {len(regressions)} metric(s) regressed "
+              f"more than {tolerance:.0%}: {', '.join(regressions)}")
+        return 1
+    if improvements:
+        print(f"bench_check: {len(improvements)} metric(s) improved more "
+              f"than {tolerance:.0%} -- consider refreshing the committed "
+              "baseline")
+    print(f"bench_check: OK (tolerance {tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

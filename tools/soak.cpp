@@ -12,10 +12,17 @@
 /// 0 means every property held on every value.
 ///
 ///   ./build/tools/soak [count=1000000] [seed=1]
+///                      [--stats-json=FILE] [--trace=FILE] [--obs-sample=N]
+///
+/// The telemetry flags mirror verify_exhaustive: --stats-json writes the
+/// dragon4.stats.v1 document, --trace writes Chrome trace_event JSON, and
+/// either one turns on 1-in-N conversion sampling (N from --obs-sample,
+/// default 1).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "dragon4.h"
+#include "obs/export.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -88,8 +95,41 @@ void checkValue(double V, Failure &Failures, engine::Scratch &Scratch) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  size_t Count = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 1000000;
-  uint64_t Seed = Argc > 2 ? std::strtoull(Argv[2], nullptr, 10) : 1;
+  size_t Count = 1000000;
+  uint64_t Seed = 1;
+  std::string StatsJsonPath, TracePath;
+  uint64_t ObsSample = 0;
+  int Positional = 0;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--stats-json=", 13) == 0) {
+      StatsJsonPath = A + 13;
+    } else if (std::strncmp(A, "--trace=", 8) == 0) {
+      TracePath = A + 8;
+    } else if (std::strncmp(A, "--obs-sample=", 13) == 0) {
+      ObsSample = std::strtoull(A + 13, nullptr, 0);
+    } else if (A[0] == '-') {
+      std::fprintf(stderr,
+                   "soak: unknown flag %s\nusage: soak [count] [seed] "
+                   "[--stats-json=FILE] [--trace=FILE] [--obs-sample=N]\n",
+                   A);
+      return 2;
+    } else if (Positional == 0) {
+      Count = std::strtoull(A, nullptr, 10);
+      ++Positional;
+    } else {
+      Seed = std::strtoull(A, nullptr, 10);
+      ++Positional;
+    }
+  }
+
+  // Telemetry implies sampling; set the config before the Scratch exists
+  // (its flight-recorder capacity is latched at construction).
+  if (ObsSample)
+    obs::config().SampleEvery = static_cast<uint32_t>(ObsSample);
+  else if (!StatsJsonPath.empty() || !TracePath.empty())
+    obs::config().SampleEvery = 1;
+  obs::config().Trace = !TracePath.empty();
 
   std::printf("soak: %zu values, seed %llu\n", Count,
               static_cast<unsigned long long>(Seed));
@@ -114,6 +154,20 @@ int main(int Argc, char **Argv) {
   std::printf("soak: %zu values checked, %zu failures\n", Done,
               Failures.Count);
   Scratch.syncArenaStats();
-  Scratch.stats().print(stdout);
+
+  obs::Registry Reg;
+  std::vector<obs::SpanEvent> Spans;
+  Scratch.obsState().drainInto(Reg, Spans);
+  const obs::Registry *RegPtr = obs::enabled() ? &Reg : nullptr;
+  Scratch.stats().print(stdout, RegPtr);
+  if (!StatsJsonPath.empty())
+    obs::writeFile(StatsJsonPath,
+                   obs::renderStatsJson(obs::makeSnapshot(Scratch.stats(),
+                                                          RegPtr)));
+  if (!TracePath.empty()) {
+    obs::writeFile(TracePath, obs::renderChromeTrace(Spans));
+    std::fprintf(stderr, "soak: wrote %zu span(s) to %s\n", Spans.size(),
+                 TracePath.c_str());
+  }
   return Failures.Count == 0 ? 0 : 1;
 }

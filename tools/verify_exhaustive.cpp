@@ -17,8 +17,9 @@
 ///   verify_exhaustive --format binary64 --samples 500000 --seed 7
 ///   verify_exhaustive --replay tests/corpus/regressions.rec
 ///
-/// Options:
+/// Options (all accept both `--flag value` and `--flag=value`):
 ///   --format <name>      binary16|binary32|binary64|binary128
+///   --domain <name>      shorthand for --format <name> --all
 ///   --all                exhaustive sweep over every encoding
 ///   --begin/--end N      exhaustive subrange [begin, end), hex or decimal
 ///   --stride N           visit every N-th encoding of the subrange
@@ -32,17 +33,27 @@
 ///   --max-failures N     stop printing/recording after N mismatches (100)
 ///   --progress           live progress/ETA line on stderr
 ///   --json <path>        write a machine-readable summary
+///   --stats-json <path>  write the dragon4.stats.v1 telemetry document
+///   --trace <path>       write Chrome trace_event JSON (Perfetto-loadable)
+///   --obs-sample N       sample 1-in-N conversions (default: 1 when
+///                        --stats-json/--trace is given, else off)
 ///   --inject-bug         flip a digit-loop comparison (harness self-test)
+///
+/// On any mismatch, the per-worker flight recorders' records for the
+/// mismatching conversions are dumped and attached to corpus records.
 ///
 /// Exit code 0 iff every checked value passed every requested oracle.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "engine/batch.h"
+#include "obs/export.h"
 #include "support/testhooks.h"
 #include "verify/corpus.h"
 #include "verify/domain.h"
 #include "verify/verify.h"
+
+#include <map>
 
 #include <algorithm>
 #include <atomic>
@@ -77,6 +88,9 @@ struct Options {
   size_t MaxFailures = 100;
   bool Progress = false;
   std::string JsonPath;
+  std::string StatsJsonPath;
+  std::string TracePath;
+  std::optional<uint64_t> ObsSample;
   bool InjectBug = false;
 };
 
@@ -90,6 +104,9 @@ struct Options {
                "[--corpus path [--minimize]]\n"
                "                         [--max-failures N] [--progress] "
                "[--json path] [--inject-bug]\n"
+               "                         [--stats-json path] [--trace path] "
+               "[--obs-sample N]\n"
+               "       verify_exhaustive --domain <fmt> [...]\n"
                "       verify_exhaustive --replay <corpus-file>\n");
   std::exit(2);
 }
@@ -104,58 +121,77 @@ uint64_t parseUint(const char *Text, const char *Flag) {
 
 Options parseArgs(int Argc, char **Argv) {
   Options Opts;
-  auto Arg = [&](int &I) -> const char * {
-    if (I + 1 >= Argc)
-      usage((std::string(Argv[I]) + " needs an argument").c_str());
-    return Argv[++I];
-  };
   for (int I = 1; I < Argc; ++I) {
-    std::string_view Flag = Argv[I];
-    if (Flag == "--format") {
-      Opts.Format = formatByName(Arg(I));
+    std::string Flag = Argv[I];
+    // Accept --flag=value alongside --flag value.
+    std::optional<std::string> Inline;
+    if (Flag.rfind("--", 0) == 0) {
+      size_t Eq = Flag.find('=');
+      if (Eq != std::string::npos) {
+        Inline = Flag.substr(Eq + 1);
+        Flag.resize(Eq);
+      }
+    }
+    auto Arg = [&]() -> std::string {
+      if (Inline)
+        return *Inline;
+      if (I + 1 >= Argc)
+        usage((Flag + " needs an argument").c_str());
+      return Argv[++I];
+    };
+    if (Flag == "--format" || Flag == "--domain") {
+      Opts.Format = formatByName(Arg());
       if (!Opts.Format)
         usage("unknown format");
+      if (Flag == "--domain") // --domain=binary16 == --format binary16 --all
+        Opts.Exhaustive = true;
     } else if (Flag == "--all") {
       Opts.Exhaustive = true;
     } else if (Flag == "--begin") {
-      Opts.Begin = parseUint(Arg(I), "--begin");
+      Opts.Begin = parseUint(Arg().c_str(), "--begin");
       Opts.Exhaustive = true;
     } else if (Flag == "--end") {
-      Opts.End = parseUint(Arg(I), "--end");
+      Opts.End = parseUint(Arg().c_str(), "--end");
       Opts.Exhaustive = true;
     } else if (Flag == "--stride") {
-      Opts.Stride = parseUint(Arg(I), "--stride");
+      Opts.Stride = parseUint(Arg().c_str(), "--stride");
       if (Opts.Stride == 0)
         usage("--stride must be positive");
     } else if (Flag == "--samples") {
-      Opts.Samples = parseUint(Arg(I), "--samples");
+      Opts.Samples = parseUint(Arg().c_str(), "--samples");
       if (Opts.Samples == 0)
         usage("--samples must be positive");
     } else if (Flag == "--seed") {
-      Opts.Seed = parseUint(Arg(I), "--seed");
+      Opts.Seed = parseUint(Arg().c_str(), "--seed");
     } else if (Flag == "--oracles") {
-      std::optional<unsigned> Mask = parseOracles(Arg(I));
+      std::optional<unsigned> Mask = parseOracles(Arg());
       if (!Mask || *Mask == 0)
         usage("bad --oracles list");
       Opts.Oracles = *Mask;
     } else if (Flag == "--threads") {
-      Opts.Threads = static_cast<unsigned>(parseUint(Arg(I), "--threads"));
+      Opts.Threads = static_cast<unsigned>(parseUint(Arg().c_str(), "--threads"));
     } else if (Flag == "--corpus") {
-      Opts.CorpusPath = Arg(I);
+      Opts.CorpusPath = Arg();
     } else if (Flag == "--minimize") {
       Opts.Minimize = true;
     } else if (Flag == "--replay") {
-      Opts.ReplayPath = Arg(I);
+      Opts.ReplayPath = Arg();
     } else if (Flag == "--max-failures") {
-      Opts.MaxFailures = parseUint(Arg(I), "--max-failures");
+      Opts.MaxFailures = parseUint(Arg().c_str(), "--max-failures");
     } else if (Flag == "--progress") {
       Opts.Progress = true;
     } else if (Flag == "--json") {
-      Opts.JsonPath = Arg(I);
+      Opts.JsonPath = Arg();
+    } else if (Flag == "--stats-json") {
+      Opts.StatsJsonPath = Arg();
+    } else if (Flag == "--trace") {
+      Opts.TracePath = Arg();
+    } else if (Flag == "--obs-sample") {
+      Opts.ObsSample = parseUint(Arg().c_str(), "--obs-sample");
     } else if (Flag == "--inject-bug") {
       Opts.InjectBug = true;
     } else {
-      usage((std::string("unknown flag ") + std::string(Flag)).c_str());
+      usage(("unknown flag " + Flag).c_str());
     }
   }
   if (Opts.ReplayPath.empty() && !Opts.Format)
@@ -332,6 +368,23 @@ void writeJson(const Options &Opts, const SweepResult &Result,
 int main(int Argc, char **Argv) {
   Options Opts = parseArgs(Argc, Argv);
 
+  // Observability: any telemetry output implies sampling (default 1-in-1 so
+  // the exported counters cover the whole sweep); --obs-sample overrides.
+  {
+    obs::Config &Cfg = obs::config();
+    if (Opts.ObsSample)
+      Cfg.SampleEvery = static_cast<uint32_t>(*Opts.ObsSample);
+    else if (!Opts.StatsJsonPath.empty() || !Opts.TracePath.empty())
+      Cfg.SampleEvery = 1;
+    Cfg.Trace = !Opts.TracePath.empty();
+  }
+  if (!obs::enabled() &&
+      (!Opts.StatsJsonPath.empty() || !Opts.TracePath.empty()))
+    std::fprintf(stderr,
+                 "verify_exhaustive: warning: telemetry output requested but "
+                 "observability is compiled out or sampling is 0; documents "
+                 "will carry exact counters only\n");
+
   if (Opts.InjectBug) {
     std::fprintf(stderr,
                  "verify_exhaustive: INJECTED BUG ACTIVE (digit-loop low "
@@ -387,6 +440,35 @@ int main(int Argc, char **Argv) {
                 oracleNames(F.Outcome.Failed).c_str(),
                 F.Outcome.Detail.c_str());
 
+  // Flight recorder post-mortem: every mismatch-flagged record is retained
+  // outside the ring (bounded per worker by MismatchKeepLimit), so this
+  // report sees the failures even after later passing conversions recycled
+  // the rings.  Dump them and index them by encoding so corpus records
+  // carry their conversion context.
+  std::map<std::pair<uint64_t, uint64_t>, std::string> FlightByBits;
+  if (obs::enabled() && Result.TotalFailures > 0) {
+    std::string Dump;
+    size_t DumpedRecords = 0;
+    size_t PrintLimit = Opts.MaxFailures ? Opts.MaxFailures : 100;
+    for (unsigned T = 0; T < Engine.threads(); ++T) {
+      for (const obs::ConversionRecord &Rec : Engine.mismatchRecords(T)) {
+        std::string Line = Rec.toLine();
+        FlightByBits[{Rec.BitsHi, Rec.BitsLo}] = Line;
+        if (DumpedRecords < PrintLimit)
+          Dump += "  [worker " + std::to_string(T) + "] " + Line + '\n';
+        ++DumpedRecords;
+      }
+    }
+    if (DumpedRecords) {
+      std::printf("flight recorder: %zu mismatching conversion record(s) "
+                  "retained:\n%s",
+                  DumpedRecords, Dump.c_str());
+      if (DumpedRecords > PrintLimit)
+        std::printf("  ... %zu more (raise --max-failures to print them)\n",
+                    DumpedRecords - PrintLimit);
+    }
+  }
+
   if (!Opts.CorpusPath.empty() && !Result.Failures.empty()) {
     size_t Recorded = 0;
     for (const Failure &F : Result.Failures) {
@@ -394,6 +476,9 @@ int main(int Argc, char **Argv) {
       Record.Bits = F.Bits;
       Record.Oracles = F.Outcome.Failed;
       Record.Comment = F.Outcome.Detail;
+      if (auto It = FlightByBits.find({F.Bits.Hi, F.Bits.Lo});
+          It != FlightByBits.end())
+        Record.FlightDump = It->second;
       if (Opts.Minimize) {
         CorpusRecord Small = minimizeRecord(Record);
         std::printf("minimized %s -> %s\n", bitsToHex(F.Bits).c_str(),
@@ -424,6 +509,19 @@ int main(int Argc, char **Argv) {
 
   if (!Opts.JsonPath.empty())
     writeJson(Opts, Result, Stats, Mode);
+
+  if (!Opts.StatsJsonPath.empty())
+    obs::writeFile(Opts.StatsJsonPath,
+                   obs::renderStatsJson(
+                       obs::makeSnapshot(Stats, &Engine.registry())));
+  if (!Opts.TracePath.empty()) {
+    std::vector<obs::SpanEvent> Spans = Engine.takeSpans();
+    obs::writeFile(Opts.TracePath, obs::renderChromeTrace(Spans));
+    std::fprintf(stderr,
+                 "verify_exhaustive: wrote %zu span(s) to %s (load in "
+                 "Perfetto / chrome://tracing)\n",
+                 Spans.size(), Opts.TracePath.c_str());
+  }
 
   return Result.TotalFailures == 0 ? 0 : 1;
 }
