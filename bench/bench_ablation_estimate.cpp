@@ -26,12 +26,24 @@
 using namespace dragon4;
 using namespace dragon4::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchOutput Output;
+  for (int I = 1; I < Argc; ++I)
+    if (!Output.consume(Argv[I])) {
+      std::fprintf(stderr,
+                   "usage: bench_ablation_estimate [--bench-json=FILE] "
+                   "[--bench-history=FILE]\n");
+      return 2;
+    }
   std::vector<double> Values = benchWorkload();
   std::printf("Ablation -- scaling-estimate accuracy (est == k vs k-1)\n");
   std::printf("workload: %zu doubles (Schryer-style)\n\n", Values.size());
   std::printf("%6s %16s %16s %18s\n", "base", "estimator k-1 %",
               "float-log k-1 %", "(never above k?)");
+
+  bench::BenchReport Report{"bench_ablation_estimate"};
+  Report.context("workload", "schryerDoubles");
+  Report.context("count", static_cast<uint64_t>(Values.size()));
 
   BoundaryFlags Flags{false, false};
   for (unsigned B : {2u, 8u, 10u, 16u, 36u}) {
@@ -61,8 +73,15 @@ int main() {
                 100.0 * static_cast<double>(LogLow) /
                     static_cast<double>(Values.size()),
                 Bad == 0 ? "yes" : "VIOLATED");
+    char Key[48];
+    std::snprintf(Key, sizeof(Key), "estimator_low_rate_base%u", B);
+    Report.derived(Key, static_cast<double>(EstLow) /
+                            static_cast<double>(Values.size()));
+    std::snprintf(Key, sizeof(Key), "floatlog_low_rate_base%u", B);
+    Report.derived(Key, static_cast<double>(LogLow) /
+                            static_cast<double>(Values.size()));
   }
   std::printf("\npaper: the two-flop estimate is 'frequently k-1'; the "
               "float-log estimate 'almost always k'.\n");
-  return 0;
+  return bench::emitBenchReport(Report, Output);
 }

@@ -86,7 +86,15 @@ uint64_t convertAll(const std::vector<double> &Values, bool Naive,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOutput Output;
+  for (int I = 1; I < Argc; ++I)
+    if (!Output.consume(Argv[I])) {
+      std::fprintf(stderr,
+                   "usage: bench_ablation_fixup [--bench-json=FILE] "
+                   "[--bench-history=FILE]\n");
+      return 2;
+    }
   std::vector<double> Values = benchWorkload();
   std::printf("Ablation -- restructured (free) fixup vs naive fixup\n");
   std::printf("workload: %zu doubles, B = 10, conservative boundaries\n\n",
@@ -102,5 +110,14 @@ int main() {
   std::printf("%-34s %12.3f %10.2f\n", "naive fixup (Fig 2 shape)",
               NaiveFixup, NaiveFixup / FreeFixup);
   std::printf("\noutputs identical: %s\n", HashA == HashB ? "yes" : "NO");
-  return 0;
+
+  BenchReport Report{"bench_ablation_fixup"};
+  Report.context("workload", "schryerDoubles");
+  Report.context("count", static_cast<uint64_t>(Values.size()));
+  const double N = static_cast<double>(Values.size());
+  Report.metric("free_fixup_ns_per_value", FreeFixup * 1e9 / N);
+  Report.metric("naive_fixup_ns_per_value", NaiveFixup * 1e9 / N);
+  Report.derived("naive_over_free", NaiveFixup / FreeFixup);
+  Report.derived("outputs_identical", HashA == HashB ? 1 : 0);
+  return emitBenchReport(Report, Output);
 }

@@ -17,7 +17,7 @@
 #include "core/scaling.h"
 #include "fp/boundaries.h"
 
-#include <benchmark/benchmark.h>
+#include "bench_gbench.h"
 
 #include <bit>
 
@@ -98,4 +98,4 @@ BENCHMARK(BM_ConversionRecomputingPower);
 
 } // namespace
 
-BENCHMARK_MAIN();
+D4_GBENCH_MAIN("bench_ablation_powcache")

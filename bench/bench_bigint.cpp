@@ -14,7 +14,7 @@
 #include "bigint/bigint.h"
 #include "testgen/random_floats.h"
 
-#include <benchmark/benchmark.h>
+#include "bench_gbench.h"
 
 using namespace dragon4;
 
@@ -110,4 +110,4 @@ BENCHMARK(BM_Pow10)->Arg(27)->Arg(325);
 
 } // namespace
 
-BENCHMARK_MAIN();
+D4_GBENCH_MAIN("bench_bigint")

@@ -19,17 +19,24 @@
 ///
 ///   ./build/bench/bench_engine_batch [out.json] [count=200000]
 ///                                    [--stats-json=FILE] [--trace=FILE]
+///                                    [--bench-history=FILE]
+///                                    [--spin-digit-loop=N]
 ///
 /// The telemetry flags enable 1-in-1 obs sampling, which costs a clock
 /// read per conversion -- numbers from such a run are for exploring the
-/// telemetry, not for baseline comparisons.
+/// telemetry, not for baseline comparisons.  --spin-digit-loop injects a
+/// synthetic N-iteration spin per emitted digit through the digit-loop
+/// testhook: the regression the CI self-test plants to prove the
+/// bench_check.py trend gate trips.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench_common.h"
+
 #include "dragon4.h"
 #include "obs/export.h"
+#include "support/testhooks.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,12 +54,7 @@ template <typename Fn>
 double bestNsPerValue(size_t Count, int Reps, Fn &&Run) {
   double Best = 0;
   for (int Rep = 0; Rep < Reps; ++Rep) {
-    auto Start = std::chrono::steady_clock::now();
-    Run();
-    auto End = std::chrono::steady_clock::now();
-    double Nanos = static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
-            .count());
+    double Nanos = bench::timeSeconds(Run) * 1e9;
     if (Rep == 0 || Nanos < Best)
       Best = Nanos;
   }
@@ -67,6 +69,8 @@ int main(int Argc, char **Argv) {
   const char *OutPath = "BENCH_engine.json";
   size_t Count = 200000;
   std::string StatsJsonPath, TracePath;
+  bench::BenchOutput Output;
+  unsigned SpinPerDigit = 0;
   int Positional = 0;
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -74,11 +78,18 @@ int main(int Argc, char **Argv) {
       StatsJsonPath = A + 13;
     } else if (std::strncmp(A, "--trace=", 8) == 0) {
       TracePath = A + 8;
+    } else if (std::strncmp(A, "--spin-digit-loop=", 18) == 0) {
+      SpinPerDigit =
+          static_cast<unsigned>(std::strtoul(A + 18, nullptr, 10));
+    } else if (Output.consume(A)) {
+      // Shared emitter flags.
     } else if (A[0] == '-') {
       std::fprintf(stderr,
                    "bench_engine_batch: unknown flag %s\nusage: "
                    "bench_engine_batch [out.json] [count] "
-                   "[--stats-json=FILE] [--trace=FILE]\n",
+                   "[--stats-json=FILE] [--trace=FILE] "
+                   "[--bench-json=FILE] [--bench-history=FILE] "
+                   "[--spin-digit-loop=N]\n",
                    A);
       return 2;
     } else if (Positional == 0) {
@@ -89,7 +100,16 @@ int main(int Argc, char **Argv) {
       ++Positional;
     }
   }
+  if (Output.JsonPath.empty())
+    Output.JsonPath = OutPath;
   constexpr int Reps = 5;
+
+  if (SpinPerDigit) {
+    testhooks::DigitLoopSyntheticSpinPerDigit = SpinPerDigit;
+    std::printf("NOTE: synthetic digit-loop spin of %u injected -- this "
+                "run should FAIL a regression gate\n",
+                SpinPerDigit);
+  }
 
   bool Telemetry = !StatsJsonPath.empty() || !TracePath.empty();
   if (Telemetry) {
@@ -164,38 +184,24 @@ int main(int Argc, char **Argv) {
   std::printf("  buffer vs string  %.2fx\n", BufferSpeedup);
   std::printf("  4t vs 1t batch    %.2fx\n", BatchScaling);
 
-  std::FILE *Out = std::fopen(OutPath, "w");
-  if (!Out) {
-    std::fprintf(stderr, "cannot write %s\n", OutPath);
-    return 1;
-  }
-  // dragon4.bench.v1: "metrics" holds the comparable numbers (ns/value,
-  // lower is better) that tools/bench_check.py diffs against a committed
-  // baseline; "context" describes the run; "derived" is informational.
-  std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"schema\": \"%s\",\n", obs::BenchSchemaVersion);
-  std::fprintf(Out, "  \"context\": {\n");
-  std::fprintf(Out, "    \"workload\": \"randomBitsDoubles\",\n");
-  std::fprintf(Out, "    \"count\": %zu,\n", Count);
-  std::fprintf(Out, "    \"reps\": %d,\n", Reps);
-  std::fprintf(Out, "    \"hardware_concurrency\": %u,\n", Cores);
-  std::fprintf(Out, "    \"obs_sampling\": %s\n",
-               Telemetry ? "true" : "false");
-  std::fprintf(Out, "  },\n");
-  std::fprintf(Out, "  \"metrics\": {\n");
-  std::fprintf(Out, "    \"to_shortest_ns_per_value\": %.2f,\n", StringNs);
-  std::fprintf(Out, "    \"engine_format_ns_per_value\": %.2f,\n", BufferNs);
-  std::fprintf(Out, "    \"batch_1t_ns_per_value\": %.2f,\n", BatchNs[0]);
-  std::fprintf(Out, "    \"batch_2t_ns_per_value\": %.2f,\n", BatchNs[1]);
-  std::fprintf(Out, "    \"batch_4t_ns_per_value\": %.2f\n", BatchNs[2]);
-  std::fprintf(Out, "  },\n");
-  std::fprintf(Out, "  \"derived\": {\n");
-  std::fprintf(Out, "    \"speedup_buffer_vs_string\": %.2f,\n",
-               BufferSpeedup);
-  std::fprintf(Out, "    \"scaling_4t_vs_1t\": %.2f\n", BatchScaling);
-  std::fprintf(Out, "  }\n");
-  std::fprintf(Out, "}\n");
-  std::fclose(Out);
-  std::printf("wrote %s\n", OutPath);
-  return 0;
+  // dragon4.bench.v1 via the shared emitter: "metrics" holds the
+  // comparable numbers (ns/value, lower is better) that
+  // tools/bench_check.py diffs against a committed baseline; "context"
+  // describes the run; "derived" is informational.
+  bench::BenchReport Report{"bench_engine_batch"};
+  Report.context("workload", "randomBitsDoubles");
+  Report.context("count", static_cast<uint64_t>(Count));
+  Report.context("reps", static_cast<uint64_t>(Reps));
+  Report.context("hardware_concurrency", static_cast<uint64_t>(Cores));
+  Report.context("obs_sampling", Telemetry);
+  if (SpinPerDigit)
+    Report.context("spin_digit_loop", static_cast<uint64_t>(SpinPerDigit));
+  Report.metric("to_shortest_ns_per_value", StringNs);
+  Report.metric("engine_format_ns_per_value", BufferNs);
+  Report.metric("batch_1t_ns_per_value", BatchNs[0]);
+  Report.metric("batch_2t_ns_per_value", BatchNs[1]);
+  Report.metric("batch_4t_ns_per_value", BatchNs[2]);
+  Report.derived("speedup_buffer_vs_string", BufferSpeedup);
+  Report.derived("scaling_4t_vs_1t", BatchScaling);
+  return bench::emitBenchReport(Report, Output);
 }

@@ -16,7 +16,7 @@
 #include "fastpath/fixed_fast.h"
 #include "format/dtoa.h"
 
-#include <benchmark/benchmark.h>
+#include "bench_gbench.h"
 
 using namespace dragon4;
 
@@ -88,4 +88,4 @@ BENCHMARK(BM_ToFixedString);
 
 } // namespace
 
-BENCHMARK_MAIN();
+D4_GBENCH_MAIN("bench_fixedformat")

@@ -16,7 +16,7 @@
 #include "format/dtoa.h"
 #include "fp/binary16.h"
 
-#include <benchmark/benchmark.h>
+#include "bench_gbench.h"
 
 #include <cstdio>
 
@@ -133,4 +133,4 @@ BENCHMARK(BM_SnprintfReference);
 
 } // namespace
 
-BENCHMARK_MAIN();
+D4_GBENCH_MAIN("bench_freeformat")

@@ -1,0 +1,111 @@
+//===- bench/bench_gbench.h - google-benchmark -> bench.v1 bridge -*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replacement for BENCHMARK_MAIN() that keeps the normal console output
+/// but also collects every benchmark's real time per iteration and emits
+/// the shared dragon4.bench.v1 report, so the microbenchmarks feed the
+/// same BENCH_history.jsonl / bench_check.py pipeline as the table
+/// harnesses.  Use:
+///
+///   D4_GBENCH_MAIN("bench_bigint")
+///
+/// The uniform --bench-json= / --bench-history= flags are stripped before
+/// google-benchmark sees the argument list; everything else (--benchmark_*)
+/// passes through.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_BENCH_BENCH_GBENCH_H
+#define DRAGON4_BENCH_BENCH_GBENCH_H
+
+#include "bench_common.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <map>
+
+namespace dragon4::bench {
+
+/// "BM_Mul/128" -> "mul_128_ns": lowercase, [a-z0-9_] only, BM_ prefix
+/// dropped, _ns suffix (the metrics surface is nanosecond costs).
+inline std::string gbenchMetricKey(const std::string &BenchmarkName) {
+  std::string Key;
+  Key.reserve(BenchmarkName.size() + 3);
+  for (char C : BenchmarkName) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (std::isalnum(U))
+      Key += static_cast<char>(std::tolower(U));
+    else if (!Key.empty() && Key.back() != '_')
+      Key += '_';
+  }
+  while (!Key.empty() && Key.back() == '_')
+    Key.pop_back();
+  if (Key.rfind("bm_", 0) == 0)
+    Key.erase(0, 3);
+  return Key + "_ns";
+}
+
+/// ConsoleReporter that additionally records min real ns/iteration per
+/// benchmark (min across repetitions: the same best-of policy the table
+/// harnesses use).
+class CollectingReporter : public benchmark::ConsoleReporter {
+public:
+  std::map<std::string, double> MinNs; ///< name -> ns per iteration.
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.run_type != Run::RT_Iteration || R.error_occurred ||
+          R.iterations <= 0)
+        continue;
+      double Ns = R.real_accumulated_time /
+                  static_cast<double>(R.iterations) * 1e9;
+      auto [It, Inserted] = MinNs.emplace(R.benchmark_name(), Ns);
+      if (!Inserted && Ns < It->second)
+        It->second = Ns;
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+};
+
+/// The shared main: strip our flags, run google-benchmark with the
+/// collecting reporter, emit the v1 report.
+inline int gbenchMain(int Argc, char **Argv, const char *BenchName) {
+  BenchOutput Out;
+  std::vector<char *> Args;
+  Args.reserve(static_cast<size_t>(Argc) + 1);
+  for (int I = 0; I < Argc; ++I)
+    if (I == 0 || !Out.consume(Argv[I]))
+      Args.push_back(Argv[I]);
+  Args.push_back(nullptr);
+  int FilteredArgc = static_cast<int>(Args.size()) - 1;
+
+  benchmark::Initialize(&FilteredArgc, Args.data());
+  CollectingReporter Reporter;
+  size_t Ran = benchmark::RunSpecifiedBenchmarks(&Reporter);
+  if (Ran == 0) {
+    std::fprintf(stderr, "%s: no benchmarks matched\n", BenchName);
+    return 1;
+  }
+
+  BenchReport Report{std::string(BenchName)};
+  Report.context("workload", "google_benchmark");
+  Report.context("benchmarks", static_cast<uint64_t>(Reporter.MinNs.size()));
+  for (const auto &[Name, Ns] : Reporter.MinNs)
+    Report.metric(gbenchMetricKey(Name), Ns);
+  return emitBenchReport(Report, Out);
+}
+
+} // namespace dragon4::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() with v1 emission.
+#define D4_GBENCH_MAIN(NAME)                                                   \
+  int main(int argc, char **argv) {                                            \
+    return ::dragon4::bench::gbenchMain(argc, argv, NAME);                     \
+  }
+
+#endif // DRAGON4_BENCH_BENCH_GBENCH_H

@@ -12,7 +12,7 @@
 
 #include "reader/reader.h"
 
-#include <benchmark/benchmark.h>
+#include "bench_gbench.h"
 
 #include <cstdlib>
 
@@ -86,4 +86,4 @@ BENCHMARK(BM_ReadHexDouble);
 
 } // namespace
 
-BENCHMARK_MAIN();
+D4_GBENCH_MAIN("bench_reader")

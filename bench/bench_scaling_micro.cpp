@@ -15,7 +15,7 @@
 #include "core/scaling.h"
 #include "fp/boundaries.h"
 
-#include <benchmark/benchmark.h>
+#include "bench_gbench.h"
 
 #include <bit>
 #include <cstdio>
@@ -77,4 +77,4 @@ BENCHMARK(BM_ScaleIterative)->DenseRange(0, 6);
 BENCHMARK(BM_EstimatorFlopsOnly);
 BENCHMARK(BM_FloatLogFlopsOnly);
 
-BENCHMARK_MAIN();
+D4_GBENCH_MAIN("bench_scaling_micro")

@@ -72,7 +72,15 @@ double timeScalingOnly(const std::vector<double> &Values,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOutput Output;
+  for (int I = 1; I < Argc; ++I)
+    if (!Output.consume(Argv[I])) {
+      std::fprintf(stderr,
+                   "usage: bench_table2 [--bench-json=FILE] "
+                   "[--bench-history=FILE]\n");
+      return 2;
+    }
   std::vector<double> Values = benchWorkload();
   std::printf("Table 2 -- relative CPU time of the scaling algorithms\n");
   std::printf("workload: %zu positive normalized doubles (Schryer-style), "
@@ -120,5 +128,19 @@ int main() {
               "estimator 1.00, float-log slightly above 1, iterative "
               "almost two orders of magnitude slower.\n");
   Sink.report();
-  return 0;
+
+  BenchReport Report{"bench_table2"};
+  Report.context("workload", "schryerDoubles");
+  Report.context("count", static_cast<uint64_t>(Values.size()));
+  const double N = static_cast<double>(Values.size());
+  const char *Keys[] = {"estimate", "floatlog", "iterative"};
+  for (int I = 0; I < 3; ++I) {
+    Report.metric(std::string("conversion_") + Keys[I] + "_ns_per_value",
+                  FullTimes[I] * 1e9 / N);
+    Report.metric(std::string("scale_only_") + Keys[I] + "_ns_per_value",
+                  ScaleTimes[I] * 1e9 / N);
+  }
+  Report.derived("relative_floatlog", FullTimes[1] / FullTimes[0]);
+  Report.derived("relative_iterative", FullTimes[2] / FullTimes[0]);
+  return emitBenchReport(Report, Output);
 }

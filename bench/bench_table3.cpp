@@ -29,7 +29,15 @@
 using namespace dragon4;
 using namespace dragon4::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOutput Output;
+  for (int I = 1; I < Argc; ++I)
+    if (!Output.consume(Argv[I])) {
+      std::fprintf(stderr,
+                   "usage: bench_table3 [--bench-json=FILE] "
+                   "[--bench-history=FILE]\n");
+      return 2;
+    }
   std::vector<double> Values = benchWorkload();
   std::printf("Table 3 -- free-format vs straightforward fixed-format vs "
               "printf\n");
@@ -92,5 +100,18 @@ int main() {
               "free/fixed 1.66, fixed/printf 1.51, printf misroundings "
               "0 on four systems, up to 6280 elsewhere.\n");
   Sink.report();
-  return 0;
+
+  BenchReport Report{"bench_table3"};
+  Report.context("workload", "schryerDoubles");
+  Report.context("count", static_cast<uint64_t>(Values.size()));
+  const double N = static_cast<double>(Values.size());
+  Report.metric("free_format_ns_per_value", FreeTime * 1e9 / N);
+  Report.metric("fixed17_ns_per_value", FixedTime * 1e9 / N);
+  Report.metric("printf_ns_per_value", PrintfTime * 1e9 / N);
+  Report.derived("free_over_fixed", FreeTime / FixedTime);
+  Report.derived("fixed_over_printf", FixedTime / PrintfTime);
+  Report.derived("printf_misrounded", static_cast<double>(Incorrect));
+  Report.derived("mean_shortest_digits",
+                 static_cast<double>(TotalShortestDigits) / N);
+  return emitBenchReport(Report, Output);
 }

@@ -17,6 +17,7 @@
 
 #include "bigint/bigint_kernels.h"
 #include "obs/trace.h"
+#include "prof/phase.h"
 #include "support/checks.h"
 
 #include <bit>
@@ -124,6 +125,7 @@ void trimVec(LimbVector &V) {
 void BigInt::divMod(const BigInt &N, const BigInt &D, BigInt &Quotient,
                     BigInt &Remainder) {
   D4_ASSERT(!D.isZero(), "division by zero");
+  D4_PROF_SPAN(BigIntDivMod);
   if (auto *T = obs::activeTrace())
     T->noteDivMod(static_cast<uint32_t>(BigIntKernels::limbs(N).size()));
   const bool QNeg = N.isNegative() != D.isNegative();

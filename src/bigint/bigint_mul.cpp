@@ -17,6 +17,7 @@
 
 #include "bigint/bigint_kernels.h"
 #include "obs/trace.h"
+#include "prof/phase.h"
 #include "support/checks.h"
 
 #include <algorithm>
@@ -161,6 +162,7 @@ LimbVector mulRec(Limbs A, Limbs B) {
 } // namespace
 
 BigInt dragon4::operator*(const BigInt &LHS, const BigInt &RHS) {
+  D4_PROF_SPAN(BigIntMul);
   if (auto *T = obs::activeTrace())
     T->noteMul(static_cast<uint32_t>(std::max(BigIntKernels::limbs(LHS).size(),
                                               BigIntKernels::limbs(RHS).size())));

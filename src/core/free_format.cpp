@@ -9,6 +9,7 @@
 #include "core/digit_loop.h"
 #include "core/scaling.h"
 #include "fp/boundaries.h"
+#include "prof/phase.h"
 #include "support/checks.h"
 
 #include <bit>
@@ -16,6 +17,13 @@
 using namespace dragon4;
 
 namespace {
+
+/// Table-1 initial values under the ScaleSetup phase (the scale() branches
+/// open their own Estimator/ScaleSetup/Fixup spans).
+ScaledStart profiledStart(uint64_t F, int E, int Precision, int MinExponent) {
+  D4_PROF_SPAN(ScaleSetup);
+  return makeScaledStart(F, E, Precision, MinExponent);
+}
 
 /// Shared tail: run the loop and package the digits.
 DigitString finishFreeFormat(ScaledState State, const FreeFormatOptions &O,
@@ -39,7 +47,7 @@ DigitString dragon4::freeFormatDigits(uint64_t F, int E, int Precision,
   D4_ASSERT(Options.Base >= 2 && Options.Base <= 36, "base out of range");
 
   BoundaryFlags Flags = BoundaryFlags::resolve(Options.Boundaries, F);
-  ScaledStart Start = makeScaledStart(F, E, Precision, MinExponent);
+  ScaledStart Start = profiledStart(F, E, Precision, MinExponent);
   int BitLength = 64 - std::countl_zero(F);
   ScaledState State = scale(std::move(Start), Options.Base, Flags,
                             Options.Scaling, F, E, BitLength);
@@ -54,7 +62,7 @@ int dragon4::freeFormatDigitsInto(uint64_t F, int E, int Precision,
   D4_ASSERT(Options.Base >= 2 && Options.Base <= 36, "base out of range");
 
   BoundaryFlags Flags = BoundaryFlags::resolve(Options.Boundaries, F);
-  ScaledStart Start = makeScaledStart(F, E, Precision, MinExponent);
+  ScaledStart Start = profiledStart(F, E, Precision, MinExponent);
   int BitLength = 64 - std::countl_zero(F);
   ScaledState State = scale(std::move(Start), Options.Base, Flags,
                             Options.Scaling, F, E, BitLength);

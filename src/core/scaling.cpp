@@ -8,6 +8,7 @@
 
 #include "bigint/power_cache.h"
 #include "obs/trace.h"
+#include "prof/phase.h"
 #include "support/checks.h"
 
 #include <array>
@@ -112,6 +113,9 @@ int dragon4::estimateScaleFloatLog(uint64_t F, int E, unsigned B) {
 
 ScaledState dragon4::scaleIterative(ScaledStart Start, unsigned B,
                                     BoundaryFlags Flags, int InitialK) {
+  // The whole iterative search is scale setup: there is no separate
+  // estimator or fixup to attribute.
+  D4_PROF_SPAN(ScaleSetup);
   int K = InitialK;
   applyScale(Start, B, K);
   for (;;) {
@@ -135,30 +139,51 @@ ScaledState dragon4::scaleIterative(ScaledStart Start, unsigned B,
 
 ScaledState dragon4::scaleFloatLog(ScaledStart Start, unsigned B,
                                    BoundaryFlags Flags, uint64_t F, int E) {
-  int Est = estimateScaleFloatLog(F, E, B);
-  applyScale(Start, B, Est);
+  int Est;
+  {
+    D4_PROF_SPAN(Estimator);
+    Est = estimateScaleFloatLog(F, E, B);
+  }
+  {
+    D4_PROF_SPAN(ScaleSetup);
+    applyScale(Start, B, Est);
+  }
   // Figure 2's fixup: an estimate one low pays one multiplication of s.
-  bool Fixup = scaleTooLow(Start, Flags);
+  bool Fixup;
+  {
+    D4_PROF_SPAN(Fixup);
+    Fixup = scaleTooLow(Start, Flags);
+    if (Fixup)
+      Start.S.mulSmall(B);
+  }
   if (auto *T = obs::activeTrace())
     T->noteScale(obs::ScaleBranch::FloatLog, Est, Est + (Fixup ? 1 : 0),
                  Fixup ? 1 : 0);
-  if (Fixup) {
-    Start.S.mulSmall(B);
-    return preMultiplied(std::move(Start), B, Est + 1);
-  }
-  return preMultiplied(std::move(Start), B, Est);
+  D4_PROF_SPAN(ScaleSetup);
+  return preMultiplied(std::move(Start), B, Fixup ? Est + 1 : Est);
 }
 
 ScaledState dragon4::scaleEstimate(ScaledStart Start, unsigned B,
                                    BoundaryFlags Flags, int E,
                                    int MantissaBitLength) {
-  int Est = estimateScale(E, MantissaBitLength, B);
-  applyScale(Start, B, Est);
+  int Est;
+  {
+    D4_PROF_SPAN(Estimator);
+    Est = estimateScale(E, MantissaBitLength, B);
+  }
+  {
+    D4_PROF_SPAN(ScaleSetup);
+    applyScale(Start, B, Est);
+  }
   // Figure 3's fixup: the loop state is homogeneous (R, S, M+, M- may all
   // be scaled by a common factor), so when the estimate is one low the
   // un-pre-multiplied state *is* the pre-multiplied state for k = est + 1.
   // The off-by-one case therefore costs nothing at all.
-  bool Fixup = scaleTooLow(Start, Flags);
+  bool Fixup;
+  {
+    D4_PROF_SPAN(Fixup);
+    Fixup = scaleTooLow(Start, Flags);
+  }
   if (auto *T = obs::activeTrace())
     T->noteScale(obs::ScaleBranch::Estimate, Est, Est + (Fixup ? 1 : 0),
                  Fixup ? 1 : 0);
@@ -166,6 +191,7 @@ ScaledState dragon4::scaleEstimate(ScaledStart Start, unsigned B,
     return ScaledState{std::move(Start.R), std::move(Start.S),
                        std::move(Start.MPlus), std::move(Start.MMinus),
                        Est + 1};
+  D4_PROF_SPAN(ScaleSetup);
   return preMultiplied(std::move(Start), B, Est);
 }
 
@@ -190,17 +216,27 @@ ScaledState dragon4::scaleBig(ScaledStart Start, unsigned B,
   case ScalingAlgorithm::Iterative:
     return scaleIterative(std::move(Start), B, Flags);
   case ScalingAlgorithm::FloatLog: {
-    int Est = estimateFloatLogApprox(ApproxF, E, B);
-    applyScale(Start, B, Est);
-    bool Fixup = scaleTooLow(Start, Flags);
+    int Est;
+    {
+      D4_PROF_SPAN(Estimator);
+      Est = estimateFloatLogApprox(ApproxF, E, B);
+    }
+    {
+      D4_PROF_SPAN(ScaleSetup);
+      applyScale(Start, B, Est);
+    }
+    bool Fixup;
+    {
+      D4_PROF_SPAN(Fixup);
+      Fixup = scaleTooLow(Start, Flags);
+      if (Fixup)
+        Start.S.mulSmall(B);
+    }
     if (auto *T = obs::activeTrace())
       T->noteScale(obs::ScaleBranch::FloatLog, Est, Est + (Fixup ? 1 : 0),
                    Fixup ? 1 : 0);
-    if (Fixup) {
-      Start.S.mulSmall(B);
-      return preMultiplied(std::move(Start), B, Est + 1);
-    }
-    return preMultiplied(std::move(Start), B, Est);
+    D4_PROF_SPAN(ScaleSetup);
+    return preMultiplied(std::move(Start), B, Fixup ? Est + 1 : Est);
   }
   case ScalingAlgorithm::Estimate:
     return scaleEstimate(std::move(Start), B, Flags, E, MantissaBitLength);

@@ -6,7 +6,7 @@
 
 #include "engine/batch.h"
 
-#include <chrono>
+#include "prof/clock.h"
 
 using namespace dragon4;
 using namespace dragon4::engine;
@@ -119,33 +119,26 @@ void BatchEngine::convert(std::span<const double> Values, StringTable &Out,
                           const PrintOptions &Options) {
   Out.reset(Values.size(), shortestSlotSize(Options.Base));
 
-  const auto Start = std::chrono::steady_clock::now();
+  // All batch timing goes through the prof clock (the same timebase the
+  // obs spans and the steady-clock counter fallback use).
+  const prof::StopWatch Timer;
   Job J;
   J.Values = Values.data();
   J.Count = Values.size();
   J.Options = &Options;
   J.Out = &Out;
   dispatch(J);
-  const auto End = std::chrono::steady_clock::now();
+  const uint64_t DurNs = Timer.elapsedNanos();
 
   ++Stats.Batches;
   Stats.BatchValues += Values.size();
-  Stats.BatchNanos += static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
-          .count());
+  Stats.BatchNanos += DurNs;
 
   if (obs::enabled() && obs::config().Trace) {
     // One enclosing span per batch on the caller's track; the sampled
     // per-conversion spans drained from the workers nest underneath it.
-    uint64_t StartNs = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            Start.time_since_epoch())
-            .count());
-    uint64_t DurNs = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
-            .count());
-    Spans.push_back(
-        obs::SpanEvent{"batch", StartNs, DurNs, /*Tid=*/0, Values.size()});
+    Spans.push_back(obs::SpanEvent{"batch", Timer.startNanos(), DurNs,
+                                   /*Tid=*/0, Values.size()});
   }
 }
 

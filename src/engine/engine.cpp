@@ -20,6 +20,7 @@
 #include "fastpath/grisu.h"
 #include "format/render.h"
 #include "obs/trace.h"
+#include "prof/phase.h"
 #include "support/checks.h"
 
 #include <bit>
@@ -257,6 +258,11 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
   }
   obs::ActiveTraceScope TraceScope(Sampled ? &Obs.Current
                                            : obs::activeTrace());
+  // Phase attribution rides the same sampling decision: sampled
+  // conversions install this Scratch's collector; unsampled ones leave
+  // whatever is installed (tests profile explicitly) in place.
+  prof::PhaseScope ProfScope(Sampled ? &Obs.Phases
+                                     : prof::activePhaseCollector());
   obs::Path PathKind = obs::Path::Unknown;
   auto ObsEpilogue = [&](size_t Len) {
     if (Sampled)
@@ -270,17 +276,24 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
 #else
   auto ObsEpilogue = [](size_t Len) { return Len; };
 #endif
-
-  if (putSpecial(W, Value, Stats, [&W] { W.put('0'); })) {
-#if DRAGON4_OBS_ENABLED
-    PathKind = obs::Path::Special;
-#endif
-    return ObsEpilogue(finish(W, Stats));
-  }
+  D4_PROF_SPAN(Total);
 
   using Traits = IeeeTraits<double>;
-  const Decomposed D = decompose(Value);
-  const bool Negative = signBit(Value);
+  Decomposed D;
+  bool Negative = false;
+  bool Eligible = false;
+  {
+    D4_PROF_SPAN(Decompose);
+    if (putSpecial(W, Value, Stats, [&W] { W.put('0'); })) {
+#if DRAGON4_OBS_ENABLED
+      PathKind = obs::Path::Special;
+#endif
+      return ObsEpilogue(finish(W, Stats));
+    }
+    D = decompose(Value);
+    Negative = signBit(Value);
+    Eligible = fastPathEligible(Options, D.F);
+  }
 
   // All BigInt limbs below come from the Scratch arena; the scope rewinds
   // it on every exit path.
@@ -288,9 +301,12 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
 
   std::span<const uint8_t> Digits;
   int K = 0;
-  if (fastPathEligible(Options, D.F) &&
-      grisuShortestInto(D.F, D.E, Traits::Precision, Traits::MinExponent,
-                        ScratchAccess::fastDigits(S), K)) {
+  // The FastPath phase span lives inside grisuShortestInto itself.
+  const bool FastOk =
+      Eligible && grisuShortestInto(D.F, D.E, Traits::Precision,
+                                    Traits::MinExponent,
+                                    ScratchAccess::fastDigits(S), K);
+  if (FastOk) {
     ++Stats.FastPathHits;
     Digits = ScratchAccess::fastDigits(S);
 #if DRAGON4_OBS_ENABLED
@@ -302,7 +318,7 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
     }
 #endif
   } else {
-    if (fastPathEligible(Options, D.F)) {
+    if (Eligible) {
       ++Stats.FastPathFails;
 #if DRAGON4_OBS_ENABLED
       PathKind = obs::Path::SlowFallback;
@@ -325,8 +341,11 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
   }
   ++Stats.Conversions;
 
-  putAuto(W, Digits, K, /*TrailingMarks=*/0, Negative,
-          renderOptionsFrom(Options));
+  {
+    D4_PROF_SPAN(Render);
+    putAuto(W, Digits, K, /*TrailingMarks=*/0, Negative,
+            renderOptionsFrom(Options));
+  }
   S.syncArenaStats();
   return ObsEpilogue(finish(W, Stats));
 }
@@ -348,6 +367,8 @@ size_t dragon4::engine::formatFixed(double Value, int FractionDigits,
   }
   obs::ActiveTraceScope TraceScope(Sampled ? &Obs.Current
                                            : obs::activeTrace());
+  prof::PhaseScope ProfScope(Sampled ? &Obs.Phases
+                                     : prof::activePhaseCollector());
   obs::Path PathKind = obs::Path::Fixed;
   auto ObsEpilogue = [&](size_t Len) {
     if (Sampled)
@@ -361,6 +382,7 @@ size_t dragon4::engine::formatFixed(double Value, int FractionDigits,
 #else
   auto ObsEpilogue = [](size_t Len) { return Len; };
 #endif
+  D4_PROF_SPAN(Total);
 
   if (putSpecial(W, Value, Stats, [&] {
         W.put('0');
@@ -385,8 +407,11 @@ size_t dragon4::engine::formatFixed(double Value, int FractionDigits,
   ++Stats.SlowPathDirect;
   recordSlowDigits(Stats, Digits.Digits.size());
 
-  putPositional(W, Digits.Digits, Digits.K, Digits.TrailingMarks,
-                signBit(Value), renderOptionsFrom(Options));
+  {
+    D4_PROF_SPAN(Render);
+    putPositional(W, Digits.Digits, Digits.K, Digits.TrailingMarks,
+                  signBit(Value), renderOptionsFrom(Options));
+  }
   S.syncArenaStats();
   return ObsEpilogue(finish(W, Stats));
 }

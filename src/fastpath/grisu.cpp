@@ -20,6 +20,7 @@
 #include "bigint/power_cache.h"
 #include "fastpath/diyfp.h"
 #include "obs/trace.h"
+#include "prof/phase.h"
 #include "support/checks.h"
 
 #include <bit>
@@ -221,6 +222,7 @@ dragon4::grisuShortest(uint64_t F, int E, int Precision, int MinExponent) {
 bool dragon4::grisuShortestInto(uint64_t F, int E, int Precision,
                                 int MinExponent, std::vector<uint8_t> &Digits,
                                 int &K) {
+  D4_PROF_SPAN(FastPath);
   D4_ASSERT(F > 0, "fast path requires a positive mantissa");
   D4_ASSERT(Precision <= 62, "fast path requires p <= 62 (see header)");
   D4_ASSERT(F < (uint64_t(1) << Precision), "mantissa exceeds precision");

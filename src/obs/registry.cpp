@@ -7,6 +7,7 @@
 #include "obs/registry.h"
 
 #include "engine/stats.h"
+#include "prof/perf.h"
 #include "support/checks.h"
 
 using namespace dragon4;
@@ -64,6 +65,11 @@ void Registry::merge(const Registry &RHS) {
       Gauges[I] = RHS.Gauges[I];
   for (size_t I = 0; I < static_cast<size_t>(Hist::Count); ++I)
     Hists[I].merge(RHS.Hists[I]);
+  for (size_t I = 0; I < prof::NumPhases; ++I)
+    Phases[I].merge(RHS.Phases[I]);
+  for (size_t P = 0; P <= prof::NumPhases; ++P)
+    for (size_t C = 0; C < prof::NumPhases; ++C)
+      PhaseParentTicks[P][C] += RHS.PhaseParentTicks[P][C];
 }
 
 const char *dragon4::obs::counterName(Counter C) {
@@ -240,6 +246,37 @@ Snapshot dragon4::obs::makeSnapshot(const engine::EngineStats &Stats,
     for (size_t I = 0; I < static_cast<size_t>(Hist::Count); ++I) {
       Hist H = static_cast<Hist>(I);
       Snap.Histograms.push_back(summarize(histName(H), Reg->hist(H)));
+    }
+
+    // Phase attribution (src/prof/): per-phase self-tick totals and
+    // distributions, plus which counter backend the ticks came from, so
+    // every exporter carries the cost model without knowing about it.
+    Snap.addGauge("dragon4_prof_backend_perf_event",
+                  prof::backendIsPerf() ? 1 : 0);
+    const uint64_t ProfiledValues = Reg->phase(prof::Phase::Total).Spans;
+    for (size_t I = 0; I < prof::NumPhases; ++I) {
+      prof::Phase P = static_cast<prof::Phase>(I);
+      const PhaseStats &S = Reg->phase(P);
+      if (S.Spans == 0 && S.SelfTicksTotal == 0)
+        continue;
+      std::string Base = std::string("dragon4_phase_") + prof::phaseName(P);
+      Snap.addCounter(Base + "_spans_total", S.Spans);
+      Snap.addCounter(Base + "_self_ticks_total", S.SelfTicksTotal);
+      if (S.Instructions)
+        Snap.addCounter(Base + "_instructions_total", S.Instructions);
+      if (S.BranchMisses)
+        Snap.addCounter(Base + "_branch_misses_total", S.BranchMisses);
+      if (S.CacheMisses)
+        Snap.addCounter(Base + "_cache_misses_total", S.CacheMisses);
+      if (ProfiledValues) {
+        Snap.addDerived("phase_" + std::string(prof::phaseName(P)) +
+                            "_ticks_per_value",
+                        static_cast<double>(S.SelfTicksTotal) /
+                            static_cast<double>(ProfiledValues));
+      }
+      if (S.SelfTicks.count())
+        Snap.Histograms.push_back(summarize(Base + "_self_ticks",
+                                            S.SelfTicks));
     }
   }
   return Snap;

@@ -29,6 +29,7 @@
 #define DRAGON4_OBS_REGISTRY_H
 
 #include "obs/obs.h"
+#include "prof/phases.h"
 
 #include <bit>
 #include <cstdint>
@@ -149,6 +150,32 @@ const char *counterName(Counter C);
 const char *gaugeName(Gauge G);
 const char *histName(Hist H);
 
+/// Per-phase cost attribution, fed by the prof/ PhaseCollector.  "Ticks"
+/// are whatever the active counter backend measures: CPU cycles under
+/// perf_event, nanoseconds under the steady-clock fallback (the backend is
+/// stamped into every export alongside these).  Self ticks exclude nested
+/// child spans; gross ticks include them, so for the enclosing Total phase
+/// gross - self is exactly the attributed (covered) cost.
+struct PhaseStats {
+  uint64_t Spans = 0;            ///< Completed spans of this phase.
+  uint64_t SelfTicksTotal = 0;   ///< Sum of per-span self ticks.
+  uint64_t GrossTicksTotal = 0;  ///< Sum of per-span gross ticks.
+  uint64_t Instructions = 0;     ///< Self-attributed instructions retired.
+  uint64_t BranchMisses = 0;     ///< Self-attributed branch misses.
+  uint64_t CacheMisses = 0;      ///< Self-attributed cache misses.
+  Log2Histogram SelfTicks;       ///< Distribution of per-span self ticks.
+
+  void merge(const PhaseStats &RHS) {
+    Spans += RHS.Spans;
+    SelfTicksTotal += RHS.SelfTicksTotal;
+    GrossTicksTotal += RHS.GrossTicksTotal;
+    Instructions += RHS.Instructions;
+    BranchMisses += RHS.BranchMisses;
+    CacheMisses += RHS.CacheMisses;
+    SelfTicks.merge(RHS.SelfTicks);
+  }
+};
+
 /// One shard of sampled metrics.  Plain data; single-writer.
 class Registry {
 public:
@@ -171,6 +198,44 @@ public:
     return Hists[static_cast<size_t>(H)];
   }
 
+  /// Archives one completed phase span: self/gross tick totals, the
+  /// self-tick histogram, and the parent-attribution cell that folded-stack
+  /// output is reconstructed from.  \p ParentIndex is the enclosing phase
+  /// (as size_t) or prof::PhaseRootIndex for a root span.
+  void recordPhaseSpan(prof::Phase P, size_t ParentIndex, uint64_t SelfTicks,
+                       uint64_t GrossTicks, uint64_t Instructions,
+                       uint64_t BranchMisses, uint64_t CacheMisses) {
+    PhaseStats &S = Phases[static_cast<size_t>(P)];
+    ++S.Spans;
+    S.SelfTicksTotal += SelfTicks;
+    S.GrossTicksTotal += GrossTicks;
+    S.Instructions += Instructions;
+    S.BranchMisses += BranchMisses;
+    S.CacheMisses += CacheMisses;
+    S.SelfTicks.record(SelfTicks);
+    PhaseParentTicks[ParentIndex][static_cast<size_t>(P)] += SelfTicks;
+  }
+
+  /// Charges \p Ticks of counter-read cost to the Overhead pseudo-phase
+  /// under \p ParentIndex (no per-event histogram: overhead is a total).
+  void addPhaseOverhead(size_t ParentIndex, uint64_t Ticks) {
+    PhaseStats &S = Phases[static_cast<size_t>(prof::Phase::Overhead)];
+    S.SelfTicksTotal += Ticks;
+    S.GrossTicksTotal += Ticks;
+    PhaseParentTicks[ParentIndex]
+                    [static_cast<size_t>(prof::Phase::Overhead)] += Ticks;
+  }
+
+  const PhaseStats &phase(prof::Phase P) const {
+    return Phases[static_cast<size_t>(P)];
+  }
+
+  /// Self ticks of phase \p Child recorded while directly nested under
+  /// \p ParentIndex (a phase index, or prof::PhaseRootIndex).
+  uint64_t phaseParentTicks(size_t ParentIndex, prof::Phase Child) const {
+    return PhaseParentTicks[ParentIndex][static_cast<size_t>(Child)];
+  }
+
   /// Adds \p RHS into this shard: counters and histogram buckets add,
   /// gauges take the max.  Commutative and associative.
   void merge(const Registry &RHS);
@@ -181,6 +246,9 @@ private:
   uint64_t Counters[static_cast<size_t>(Counter::Count)] = {};
   uint64_t Gauges[static_cast<size_t>(Gauge::Count)] = {};
   Log2Histogram Hists[static_cast<size_t>(Hist::Count)];
+  PhaseStats Phases[prof::NumPhases];
+  /// [parent][child] self ticks; row prof::PhaseRootIndex is "no parent".
+  uint64_t PhaseParentTicks[prof::NumPhases + 1][prof::NumPhases] = {};
 };
 
 /// A histogram flattened for export: explicit inclusive upper bounds per

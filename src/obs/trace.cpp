@@ -6,7 +6,8 @@
 
 #include "obs/trace.h"
 
-#include <chrono>
+#include "prof/clock.h"
+
 #include <cinttypes>
 
 using namespace dragon4;
@@ -22,10 +23,9 @@ bool dragon4::obs::enabled() {
 }
 
 uint64_t dragon4::obs::nowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+  // One clock for the whole tree: obs spans, batch timing, and the prof
+  // fallback backend all read prof::nowNanos(), so timestamps compose.
+  return prof::nowNanos();
 }
 
 const char *dragon4::obs::pathName(Path P) {

@@ -31,6 +31,7 @@
 #define DRAGON4_OBS_TRACE_H
 
 #include "obs/registry.h"
+#include "prof/phase.h"
 
 #include <cstdint>
 #include <cstdio>
@@ -251,10 +252,16 @@ struct SpanEvent {
 /// scratchpad trace.  Single-writer, merged after workers join.
 class ObsState {
 public:
-  ObsState() : Recorder(config().FlightCapacity) { Current.Reg = &Reg; }
+  ObsState() : Recorder(config().FlightCapacity) {
+    Current.Reg = &Reg;
+    Phases.bind(&Reg);
+  }
 
   Registry Reg;
   FlightRecorder Recorder;
+  /// Phase-attribution collector (src/prof/), archiving into this shard's
+  /// Reg.  Installed by the engine (PhaseScope) for sampled conversions.
+  prof::PhaseCollector Phases;
   std::vector<SpanEvent> Spans;
   ConversionTrace Current;
   uint32_t ThreadIndex = 0; ///< Worker index for span track assignment.

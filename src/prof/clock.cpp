@@ -1,0 +1,25 @@
+//===- prof/clock.cpp - The calibrated monotonic time source ----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "prof/clock.h"
+
+using namespace dragon4;
+
+uint64_t dragon4::prof::clockOverheadNanos() {
+  static const uint64_t Overhead = [] {
+    // Minimum of many back-to-back deltas: robust against preemption and a
+    // deliberate underestimate of the typical cost (see header).
+    uint64_t Min = UINT64_MAX;
+    for (int I = 0; I < 256; ++I) {
+      uint64_t A = nowNanos();
+      uint64_t B = nowNanos();
+      if (B - A < Min)
+        Min = B - A;
+    }
+    return Min == UINT64_MAX ? 0 : Min;
+  }();
+  return Overhead;
+}

@@ -1,0 +1,67 @@
+//===- prof/clock.h - The calibrated monotonic time source -------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one monotonic nanosecond clock everything times with: batch timing
+/// (engine/batch.cpp), sampled-conversion latency (obs), phase spans when
+/// the hardware-counter backend is unavailable, and the bench harnesses.
+/// A single source means a "+12% cycles" delta in one report and a
+/// "ns/value" delta in another can never disagree about what a nanosecond
+/// is.
+///
+/// The clock is calibrated once per process: clockOverheadNanos() is the
+/// smallest observed cost of one nowNanos() call, which the phase profiler
+/// subtracts per span boundary so measurement cost is attributed to an
+/// explicit Overhead phase instead of silently inflating its parent.
+///
+/// Header-only reads, no obs dependency: this builds and stays cheap under
+/// DRAGON4_OBS=OFF (the batch timer uses it unconditionally).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_PROF_CLOCK_H
+#define DRAGON4_PROF_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace dragon4::prof {
+
+/// Monotonic nanoseconds (steady_clock; same epoch across threads).
+inline uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Minimum observed cost of one nowNanos() call, measured once per process
+/// (a deliberate underestimate: charging too little overhead keeps the
+/// attribution identity "sum of phases <= total" safe).
+uint64_t clockOverheadNanos();
+
+/// Seconds of wall-clock time spent running \p Body once, on the shared
+/// clock.  The bench harnesses' timing primitive.
+template <typename Fn> double timeSeconds(Fn &&Body) {
+  uint64_t Start = nowNanos();
+  Body();
+  return static_cast<double>(nowNanos() - Start) * 1e-9;
+}
+
+/// Running stopwatch over the shared clock (the batch timer).
+class StopWatch {
+public:
+  StopWatch() : Start(nowNanos()) {}
+  uint64_t elapsedNanos() const { return nowNanos() - Start; }
+  uint64_t startNanos() const { return Start; }
+
+private:
+  uint64_t Start;
+};
+
+} // namespace dragon4::prof
+
+#endif // DRAGON4_PROF_CLOCK_H

@@ -1,0 +1,192 @@
+//===- prof/perf.cpp - Hardware counter groups with fallback ----------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "prof/perf.h"
+
+#include "prof/clock.h"
+#include "support/testhooks.h"
+
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+using namespace dragon4;
+using namespace dragon4::prof;
+
+bool dragon4::testhooks::ForceCounterFallback = false;
+
+namespace {
+
+#ifdef __linux__
+
+int cachedTid() {
+  static thread_local int Tid = static_cast<int>(::syscall(SYS_gettid));
+  return Tid;
+}
+
+int perfEventOpen(perf_event_attr &Attr, int GroupFd) {
+  return static_cast<int>(::syscall(SYS_perf_event_open, &Attr, /*pid=*/0,
+                                    /*cpu=*/-1, GroupFd, /*flags=*/0UL));
+}
+
+perf_event_attr hardwareAttr(uint64_t Config) {
+  perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.type = PERF_TYPE_HARDWARE;
+  Attr.size = sizeof(Attr);
+  Attr.config = Config;
+  Attr.read_format = PERF_FORMAT_GROUP;
+  Attr.exclude_kernel = 1;
+  Attr.exclude_hv = 1;
+  return Attr;
+}
+
+/// One probe per process: can an unprivileged cycles counter open at all?
+bool probePerfEvents() {
+  perf_event_attr Attr = hardwareAttr(PERF_COUNT_HW_CPU_CYCLES);
+  int Fd = perfEventOpen(Attr, -1);
+  if (Fd < 0)
+    return false;
+  ::close(Fd);
+  return true;
+}
+
+#else
+
+int cachedTid() { return 1; }
+bool probePerfEvents() { return false; }
+
+#endif // __linux__
+
+} // namespace
+
+const char *dragon4::prof::backendName(CounterBackend B) {
+  switch (B) {
+  case CounterBackend::PerfEvent:
+    return "perf_event";
+  case CounterBackend::SteadyClock:
+    return "steady_clock";
+  }
+  return "?";
+}
+
+CounterBackend dragon4::prof::backend() {
+  // The testhook wins on every call so tests can force the degradation
+  // path after the probe has already cached a working perf backend.
+  if (testhooks::ForceCounterFallback)
+    return CounterBackend::SteadyClock;
+  static const CounterBackend Detected = probePerfEvents()
+                                             ? CounterBackend::PerfEvent
+                                             : CounterBackend::SteadyClock;
+  return Detected;
+}
+
+bool dragon4::prof::backendIsPerf() {
+  return backend() == CounterBackend::PerfEvent;
+}
+
+uint64_t dragon4::prof::readOverheadTicks() {
+  if (backend() == CounterBackend::SteadyClock)
+    return clockOverheadNanos();
+  static const uint64_t PerfOverhead = [] {
+    PerfGroup Group;
+    CounterSample A, B;
+    uint64_t Min = UINT64_MAX;
+    for (int I = 0; I < 128; ++I) {
+      Group.read(A);
+      Group.read(B);
+      uint64_t Delta = B.Ticks - A.Ticks;
+      if (Delta < Min)
+        Min = Delta;
+    }
+    return Min == UINT64_MAX ? 0 : Min;
+  }();
+  return PerfOverhead;
+}
+
+void PerfGroup::close() {
+#ifdef __linux__
+  if (LeaderFd >= 0)
+    ::close(LeaderFd);
+  for (int &Fd : ExtraFds)
+    if (Fd >= 0)
+      ::close(Fd);
+#endif
+  LeaderFd = -1;
+  ExtraFds[0] = ExtraFds[1] = ExtraFds[2] = -1;
+  OwnerTid = 0;
+}
+
+bool PerfGroup::openOnThisThread() {
+#ifdef __linux__
+  int Tid = cachedTid();
+  if (LeaderFd >= 0 && OwnerTid == Tid)
+    return true;
+  if (OpenFailed)
+    return false;
+  close();
+  perf_event_attr Leader = hardwareAttr(PERF_COUNT_HW_CPU_CYCLES);
+  LeaderFd = perfEventOpen(Leader, -1);
+  if (LeaderFd < 0) {
+    OpenFailed = true;
+    return false;
+  }
+  // The derived counters are best-effort: a PMU without (say) cache-miss
+  // events still profiles cycles; a failed slot just reads zero.
+  static const uint64_t ExtraConfigs[3] = {PERF_COUNT_HW_INSTRUCTIONS,
+                                           PERF_COUNT_HW_BRANCH_MISSES,
+                                           PERF_COUNT_HW_CACHE_MISSES};
+  for (int I = 0; I < 3; ++I) {
+    perf_event_attr Attr = hardwareAttr(ExtraConfigs[I]);
+    ExtraFds[I] = perfEventOpen(Attr, LeaderFd);
+  }
+  OwnerTid = Tid;
+  return true;
+#else
+  return false;
+#endif
+}
+
+void PerfGroup::read(CounterSample &Out) {
+  Out = CounterSample{};
+#ifdef __linux__
+  if (backend() == CounterBackend::PerfEvent && openOnThisThread()) {
+    // PERF_FORMAT_GROUP read: { nr, values[nr] } in the order the events
+    // were added to the group (leader first).
+    struct {
+      uint64_t Nr;
+      uint64_t Values[4];
+    } Buf{};
+    ssize_t N = ::read(LeaderFd, &Buf, sizeof(Buf));
+    if (N >= static_cast<ssize_t>(2 * sizeof(uint64_t)) && Buf.Nr >= 1) {
+      Out.Ticks = Buf.Values[0];
+      // Slot i+1 of the read corresponds to the i-th successfully opened
+      // extra fd; failed opens never joined the group.
+      uint64_t Slot = 1;
+      uint64_t *Dest[3] = {&Out.Instructions, &Out.BranchMisses,
+                           &Out.CacheMisses};
+      for (int I = 0; I < 3; ++I) {
+        if (ExtraFds[I] < 0)
+          continue;
+        if (Slot < Buf.Nr)
+          *Dest[I] = Buf.Values[Slot];
+        ++Slot;
+      }
+      return;
+    }
+    // A failing read (fd revoked, CPU hotplug weirdness) degrades this
+    // group permanently rather than mixing backends mid-span.
+    close();
+    OpenFailed = true;
+  }
+#endif
+  Out.Ticks = nowNanos();
+}

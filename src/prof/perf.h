@@ -1,0 +1,93 @@
+//===- prof/perf.h - Hardware counter groups with fallback -------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counter substrate of the phase profiler.  A PerfGroup wraps one
+/// perf_event_open(2) group -- cycles (the leader), instructions,
+/// branch-misses, cache-misses -- counting the calling thread, read in a
+/// single syscall per sample.  Where perf events are unavailable (seccomp'd
+/// containers, perf_event_paranoid, CI runners) the group degrades to the
+/// shared prof clock: "ticks" become nanoseconds and the derived counters
+/// read zero.  The choice is made once per process (backend()), reported in
+/// every export, and forcible to the fallback via
+/// testhooks::ForceCounterFallback so the degradation path stays tested on
+/// machines where perf works.
+///
+/// Counters are per-thread: a PerfGroup lazily (re)opens itself on the
+/// thread that samples it, so a collector constructed on the main thread
+/// and used by a worker still counts the worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_PROF_PERF_H
+#define DRAGON4_PROF_PERF_H
+
+#include <cstdint>
+
+namespace dragon4::prof {
+
+/// Which counter source phase ticks come from.
+enum class CounterBackend : uint8_t {
+  PerfEvent,   ///< perf_event_open hardware counters; ticks are CPU cycles.
+  SteadyClock, ///< prof::nowNanos() fallback; ticks are nanoseconds.
+};
+
+/// Stable key for exports ("perf_event" / "steady_clock").
+const char *backendName(CounterBackend B);
+
+/// The process-wide backend, detected once by probing perf_event_open (the
+/// testhook forces SteadyClock before anything probes).
+CounterBackend backend();
+
+/// True when backend() == PerfEvent (export convenience).
+bool backendIsPerf();
+
+/// One reading of the group.  With the fallback backend only Ticks is
+/// meaningful (nanoseconds); the rest stay zero.
+struct CounterSample {
+  uint64_t Ticks = 0;        ///< CPU cycles, or nanoseconds on fallback.
+  uint64_t Instructions = 0; ///< Instructions retired.
+  uint64_t BranchMisses = 0;
+  uint64_t CacheMisses = 0;
+};
+
+/// Minimum observed cost, in ticks of the active backend, of one
+/// PerfGroup::read() call.  Calibrated once per process; the collector
+/// charges 2x this per span to the Overhead phase.
+uint64_t readOverheadTicks();
+
+/// One perf_event counter group bound to a single thread.
+class PerfGroup {
+public:
+  PerfGroup() = default;
+  ~PerfGroup() { close(); }
+  PerfGroup(const PerfGroup &) = delete;
+  PerfGroup &operator=(const PerfGroup &) = delete;
+
+  /// Samples the group into \p Out.  Opens (or re-opens, if this group last
+  /// counted a different thread) the perf fds on first use; on the fallback
+  /// backend this is one clock read and never touches the kernel.
+  void read(CounterSample &Out);
+
+  /// True when this group is currently reading hardware counters (false on
+  /// the fallback backend or after a failed open).
+  bool usingPerf() const { return LeaderFd >= 0; }
+
+  void close();
+
+private:
+  bool openOnThisThread();
+
+  int LeaderFd = -1;
+  int ExtraFds[3] = {-1, -1, -1}; ///< instructions, branch-, cache-misses.
+  uint64_t Ids[4] = {};           ///< Group-read ids, leader first.
+  int OwnerTid = 0;               ///< Thread the fds count; 0 = not open.
+  bool OpenFailed = false;        ///< Probe failed once; stop retrying.
+};
+
+} // namespace dragon4::prof
+
+#endif // DRAGON4_PROF_PERF_H

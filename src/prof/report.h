@@ -1,0 +1,45 @@
+//===- prof/report.h - Cost-attribution and folded-stack output --*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Read-side renderers over the per-phase data a Registry accumulated:
+///
+///   * renderCostReport   -- the machine-generated analogue of the paper's
+///     Tables 2-3: ticks/value (cycles or ns, per the active backend) and
+///     instructions/value per algorithm phase, with the share of total and
+///     the attribution-coverage line the acceptance tests gate on.
+///   * renderFoldedStacks -- one "frame;frame;frame weight" line per
+///     attributed (parent, phase) pair, directly loadable by flamegraph
+///     tooling (flamegraph.pl, speedscope, inferno).
+///   * attributionCoverage -- fraction of measured Total ticks attributed
+///     to a named phase (1 - unexplained glue / gross).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_PROF_REPORT_H
+#define DRAGON4_PROF_REPORT_H
+
+#include "obs/registry.h"
+
+#include <string>
+
+namespace dragon4::prof {
+
+/// Fraction (0..1) of the Total phase's gross ticks attributed to child
+/// phases (including explicit measurement Overhead).  0 when nothing was
+/// profiled.
+double attributionCoverage(const obs::Registry &Reg);
+
+/// Human/text cost table (stable enough for the docs to quote; the stats
+/// JSON carries the same numbers machine-readably).
+std::string renderCostReport(const obs::Registry &Reg);
+
+/// Brendan-Gregg folded stack lines, self-weight per full path.
+std::string renderFoldedStacks(const obs::Registry &Reg);
+
+} // namespace dragon4::prof
+
+#endif // DRAGON4_PROF_REPORT_H

@@ -31,6 +31,21 @@ namespace dragon4::testhooks {
 /// boundary values emit one digit too many (minimality failure).
 extern bool FlipDigitLoopLowComparison;
 
+/// When true, the phase profiler (src/prof/) behaves as if
+/// perf_event_open(2) were denied and falls back to the steady-clock
+/// backend, so the degradation path is testable on machines where perf
+/// events work.  Checked on every backend query; do not toggle while a
+/// phase span is open (entry and exit reads must come from one backend).
+/// Defined in prof/perf.cpp.
+extern bool ForceCounterFallback;
+
+/// Iterations of a volatile no-op spin executed per digit-loop iteration:
+/// a synthetic, deterministic slowdown of exactly one algorithm phase.
+/// The CI regression self-test injects this (via bench_engine_batch
+/// --spin-digit-loop=N) and asserts bench_check.py's trend gate flags the
+/// run.  Defined in core/digit_loop.cpp.
+extern unsigned DigitLoopSyntheticSpinPerDigit;
+
 } // namespace dragon4::testhooks
 
 #endif // DRAGON4_SUPPORT_TESTHOOKS_H

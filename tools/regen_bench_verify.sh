@@ -1,0 +1,73 @@
+#!/bin/sh
+# Regenerates the committed BENCH_verify.json: the four standard
+# verification sweeps (the same parameters every time, so runs are
+# comparable), each emitting a dragon4.bench.v1 document, merged into a
+# single v1 document whose metrics bench_check.py gates like any other
+# bench result:
+#
+#   tools/regen_bench_verify.sh [build-dir] [out.json]
+#   python3 tools/bench_check.py new_verify.json BENCH_verify.json
+#
+# All sweeps run single-threaded: chunk boundaries are fixed by the sweep
+# parameters, so results are identical for any --threads value, and one
+# core keeps the throughput numbers comparable across hosts.  The
+# exact-rational reference oracle dominates cost (binary128 boundary
+# samples sit at 2^+/-16000 scale).  A full 2^32 binary32 sweep is ~4
+# days single-core; CI shards it via --begin/--end/--stride in the
+# nightly workflow only, which is why the standard sweep is a slice.
+set -eu
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_verify.json}"
+VERIFY="$BUILD/tools/verify_exhaustive"
+TMP="${TMPDIR:-/tmp}/bench_verify.$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "regen_bench_verify: four standard sweeps, single-threaded" >&2
+"$VERIFY" --format binary16 --all --threads 1 \
+    --json "$TMP/b16.json"
+"$VERIFY" --format binary32 --all --begin 0x3f800000 --end 0x3f810000 \
+    --threads 1 --json "$TMP/b32.json"
+"$VERIFY" --format binary64 --samples 20000 --seed 1 --threads 1 \
+    --json "$TMP/b64.json"
+"$VERIFY" --format binary128 --samples 100 --seed 1 --threads 1 \
+    --json "$TMP/b128.json"
+
+python3 - "$OUT" "$TMP"/b16.json "$TMP"/b32.json "$TMP"/b64.json \
+    "$TMP"/b128.json <<'EOF'
+import json
+import sys
+
+out_path = sys.argv[1]
+merged = {
+    "schema": "dragon4.bench.v1",
+    "bench": "verify_sweeps",
+    "context": {"threads": 1, "sweeps": 0},
+    "metrics": {},
+    "derived": {},
+}
+mismatches = 0
+for path in sys.argv[2:]:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "dragon4.bench.v1", path
+    ctx = doc["context"]
+    mismatches += ctx["mismatches"]
+    merged["context"]["sweeps"] += 1
+    merged["metrics"].update(doc["metrics"])
+    tag = f'{ctx["format"]}_{ctx["mode"]}'
+    merged["derived"][f"{tag}_values_per_second"] = (
+        doc["derived"]["values_per_second"])
+    merged["context"][f"{tag}_oracles"] = ctx["oracles"]
+    merged["context"][f"{tag}_values_checked"] = ctx["values_checked"]
+if mismatches:
+    sys.exit(f"regen_bench_verify: {mismatches} oracle mismatch(es) -- "
+             "refusing to write a baseline from a failing sweep")
+merged["derived"]["mismatches_total"] = 0
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"regen_bench_verify: wrote {out_path} with "
+      f"{len(merged['metrics'])} metric(s)")
+EOF

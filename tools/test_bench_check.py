@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Self-test of tools/bench_check.py: every mode's gating logic and the
+machine-parseability of the --diff table, exercised against synthetic
+documents so the test is deterministic and needs no built binaries.
+
+Run directly or via ctest:  python3 tools/test_bench_check.py
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECK = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "bench_check.py")
+
+
+def bench_doc(bench="bench_x", metrics=None, context=None):
+    return {"schema": "dragon4.bench.v1", "bench": bench,
+            "context": context or {}, "metrics": metrics or {},
+            "derived": {}}
+
+
+def stats_doc(phase_ticks, values, perf=False):
+    counters = {"dragon4_phase_total_spans_total": values}
+    for phase, ticks in phase_ticks.items():
+        counters[f"dragon4_phase_{phase}_self_ticks_total"] = ticks
+        counters[f"dragon4_phase_{phase}_spans_total"] = values
+    return {"schema": "dragon4.stats.v1", "counters": counters,
+            "gauges": {"dragon4_prof_backend_perf_event": int(perf)},
+            "derived": {}, "histograms": []}
+
+
+class BenchCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def path(self, name, doc):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w") as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            else:
+                json.dump(doc, f)
+        return p
+
+    def run_check(self, *args):
+        return subprocess.run([sys.executable, CHECK, *args],
+                              capture_output=True, text=True)
+
+    # --- baseline compare -------------------------------------------------
+
+    def test_baseline_ok_and_regression(self):
+        base = self.path("base.json",
+                         bench_doc(metrics={"a_ns_per_value": 100.0}))
+        ok = self.path("ok.json",
+                       bench_doc(metrics={"a_ns_per_value": 110.0}))
+        bad = self.path("bad.json",
+                        bench_doc(metrics={"a_ns_per_value": 130.0}))
+        self.assertEqual(self.run_check(ok, base).returncode, 0)
+        result = self.run_check(bad, base)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_baseline_verify_schema_metrics_gate(self):
+        # The regenerated BENCH_verify.json shape: verify_* metrics obey
+        # the same lower-is-better logic as every other bench.
+        base = self.path("vbase.json", bench_doc(
+            "verify_sweeps",
+            {"verify_binary16_exhaustive_ns_per_value": 40000.0}))
+        slow = self.path("vslow.json", bench_doc(
+            "verify_sweeps",
+            {"verify_binary16_exhaustive_ns_per_value": 60000.0}))
+        self.assertEqual(self.run_check(slow, base).returncode, 1)
+        self.assertEqual(self.run_check(base, base).returncode, 0)
+
+    # --- history trend gate -----------------------------------------------
+
+    def history(self, *values, bench="bench_x", last_context=None):
+        lines = []
+        for i, v in enumerate(values):
+            ctx = last_context if (last_context and
+                                   i == len(values) - 1) else {}
+            lines.append(json.dumps(
+                bench_doc(bench, {"m_ns_per_value": v}, ctx)))
+        return self.path("history.jsonl", "\n".join(lines) + "\n")
+
+    def test_history_clean_passes(self):
+        h = self.history(100.0, 104.0, 98.0, 101.0)
+        result = self.run_check(f"--history={h}")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("1 bench(es) gated", result.stdout)
+
+    def test_history_detects_trend_regression(self):
+        h = self.history(100.0, 104.0, 98.0, 140.0)
+        result = self.run_check(f"--history={h}")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("REGRESSION", result.stdout)
+        # The median (100) is the comparison point, not any single run.
+        self.assertIn("100.00", result.stdout)
+
+    def test_history_median_sheds_one_off_noise(self):
+        # One noisy spike in the middle must not poison the median.
+        h = self.history(100.0, 500.0, 98.0, 102.0, 103.0)
+        self.assertEqual(self.run_check(f"--history={h}").returncode, 0)
+
+    def test_history_insufficient_runs_not_gated(self):
+        h = self.history(100.0, 130.0)  # Only 1 prior run.
+        result = self.run_check(f"--history={h}")
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("insufficient history", result.stdout)
+
+    def test_history_warns_on_injected_spin(self):
+        h = self.history(100.0, 101.0, 99.0, 150.0,
+                         last_context={"spin_digit_loop": 150})
+        result = self.run_check(f"--history={h}")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("injected", result.stdout)
+
+    def test_history_bench_filter(self):
+        lines = [json.dumps(bench_doc("a", {"m_ns_per_value": v}))
+                 for v in (100.0, 101.0, 99.0, 160.0)]
+        lines += [json.dumps(bench_doc("b", {"m_ns_per_value": v}))
+                  for v in (50.0, 51.0, 49.0, 50.0)]
+        h = self.path("mixed.jsonl", "\n".join(lines) + "\n")
+        self.assertEqual(
+            self.run_check(f"--history={h}", "--bench=b").returncode, 0)
+        self.assertEqual(
+            self.run_check(f"--history={h}", "--bench=a").returncode, 1)
+        self.assertEqual(self.run_check(f"--history={h}").returncode, 1)
+
+    # --- per-phase differential -------------------------------------------
+
+    DIFF_ROW = re.compile(r"^\s+(\w+)\s+([\d.]+)\s+([\d.]+)\s+"
+                          r"([+-][\d.]+)%\s+([\d.]+)% ->\s+([\d.]+)%$")
+
+    def test_diff_table_parses_back(self):
+        before = self.path("before.json", stats_doc(
+            {"total": 100_000, "digit_loop": 500_000,
+             "bigint_divmod": 300_000, "render": 50_000}, 1000))
+        after = self.path("after.json", stats_doc(
+            {"total": 100_000, "digit_loop": 650_000,
+             "bigint_divmod": 300_000, "render": 50_000}, 1000))
+        result = self.run_check("--diff", before, after)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+        rows = {}
+        for line in result.stdout.splitlines():
+            m = self.DIFF_ROW.match(line)
+            if m:
+                rows[m.group(1)] = m.groups()[1:]
+        self.assertIn("digit_loop", rows)
+        before_tpv, after_tpv, delta = rows["digit_loop"][:3]
+        self.assertAlmostEqual(float(before_tpv), 500.0)
+        self.assertAlmostEqual(float(after_tpv), 650.0)
+        self.assertAlmostEqual(float(delta), 30.0)
+        # Unchanged phases read +0.0%, and the backend line is present.
+        self.assertAlmostEqual(float(rows["render"][2]), 0.0)
+        self.assertIn("steady_clock", result.stdout)
+
+    def test_diff_tolerance_gates_major_phase_only(self):
+        before = self.path("b.json", stats_doc(
+            {"digit_loop": 500_000, "render": 1_000}, 1000))
+        # digit_loop +30% (major share) and render +300% (noise share).
+        after = self.path("a.json", stats_doc(
+            {"digit_loop": 650_000, "render": 4_000}, 1000))
+        result = self.run_check("--diff", before, after,
+                                "--tolerance=0.25")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("digit_loop", result.stdout.splitlines()[-1])
+        self.assertNotIn("render", result.stdout.splitlines()[-1])
+        # Within tolerance: the same documents pass a looser gate.
+        self.assertEqual(
+            self.run_check("--diff", before, after,
+                           "--tolerance=0.40").returncode, 0)
+
+    def test_diff_rejects_unprofiled_document(self):
+        empty = self.path("empty.json", stats_doc({}, 0))
+        other = self.path("other.json", stats_doc({"total": 1}, 1))
+        result = self.run_check("--diff", empty, other)
+        self.assertNotEqual(result.returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

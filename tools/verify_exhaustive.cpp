@@ -32,7 +32,10 @@
 ///   --replay <path>      re-run a corpus file instead of sweeping
 ///   --max-failures N     stop printing/recording after N mismatches (100)
 ///   --progress           live progress/ETA line on stderr
-///   --json <path>        write a machine-readable summary
+///   --json <path>        write the dragon4.bench.v1 sweep summary (the
+///                        committed BENCH_verify.json format)
+///   --bench-history <path>  append the summary as one JSONL line for
+///                        bench_check.py's --history trend gate
 ///   --stats-json <path>  write the dragon4.stats.v1 telemetry document
 ///   --trace <path>       write Chrome trace_event JSON (Perfetto-loadable)
 ///   --obs-sample N       sample 1-in-N conversions (default: 1 when
@@ -46,6 +49,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench_common.h"
 #include "engine/batch.h"
 #include "obs/export.h"
 #include "support/testhooks.h"
@@ -88,6 +92,7 @@ struct Options {
   size_t MaxFailures = 100;
   bool Progress = false;
   std::string JsonPath;
+  std::string HistoryPath;
   std::string StatsJsonPath;
   std::string TracePath;
   std::optional<uint64_t> ObsSample;
@@ -103,7 +108,7 @@ struct Options {
                "                         [--oracles list] [--threads N] "
                "[--corpus path [--minimize]]\n"
                "                         [--max-failures N] [--progress] "
-               "[--json path] [--inject-bug]\n"
+               "[--json path] [--bench-history path] [--inject-bug]\n"
                "                         [--stats-json path] [--trace path] "
                "[--obs-sample N]\n"
                "       verify_exhaustive --domain <fmt> [...]\n"
@@ -182,6 +187,8 @@ Options parseArgs(int Argc, char **Argv) {
       Opts.Progress = true;
     } else if (Flag == "--json") {
       Opts.JsonPath = Arg();
+    } else if (Flag == "--bench-history") {
+      Opts.HistoryPath = Arg();
     } else if (Flag == "--stats-json") {
       Opts.StatsJsonPath = Arg();
     } else if (Flag == "--trace") {
@@ -329,38 +336,40 @@ int runReplay(const Options &Opts) {
   return Failed == 0 ? 0 : 1;
 }
 
-void writeJson(const Options &Opts, const SweepResult &Result,
-               const engine::EngineStats &Stats, const char *Mode) {
-  std::FILE *F = std::fopen(Opts.JsonPath.c_str(), "w");
-  if (!F) {
-    std::fprintf(stderr, "verify_exhaustive: cannot write %s\n",
-                 Opts.JsonPath.c_str());
-    return;
-  }
-  double Rate = Result.ElapsedSeconds > 0
-                    ? static_cast<double>(Result.Checked) /
-                          Result.ElapsedSeconds
-                    : 0;
-  std::fprintf(F,
-               "{\n"
-               "  \"format\": \"%s\",\n"
-               "  \"mode\": \"%s\",\n"
-               "  \"oracles\": \"%s\",\n"
-               "  \"values_checked\": %" PRIu64 ",\n"
-               "  \"oracle_verdicts\": %llu,\n"
-               "  \"mismatches\": %" PRIu64 ",\n"
-               "  \"elapsed_seconds\": %.3f,\n"
-               "  \"values_per_second\": %.0f,\n"
-               "  \"threads\": %u\n"
-               "}\n",
-               formatName(*Opts.Format), Mode,
-               oracleNames(Opts.Oracles & supportedOracles(*Opts.Format))
-                   .c_str(),
-               Result.Checked,
-               static_cast<unsigned long long>(Stats.VerifyChecked),
-               Result.TotalFailures, Result.ElapsedSeconds, Rate,
-               Opts.Threads);
-  std::fclose(F);
+/// The sweep summary in the dragon4.bench.v1 schema every bench emits, so
+/// tools/bench_check.py gates verify-sweep throughput with the same
+/// baseline and trend logic it applies to the engine benches.  The one
+/// gated metric is verify_<format>_<mode>_ns_per_value; correctness facts
+/// (mismatches, verdict counts) ride in "context"/"derived".
+int writeBenchReport(const Options &Opts, const SweepResult &Result,
+                     const engine::EngineStats &Stats, const char *Mode) {
+  bench::BenchReport Report{"verify_exhaustive"};
+  Report.context("format", formatName(*Opts.Format));
+  Report.context("mode", Mode);
+  Report.context("oracles",
+                 oracleNames(Opts.Oracles & supportedOracles(*Opts.Format))
+                     .c_str());
+  Report.context("threads", static_cast<uint64_t>(Opts.Threads));
+  Report.context("values_checked", Result.Checked);
+  Report.context("oracle_verdicts",
+                 static_cast<uint64_t>(Stats.VerifyChecked));
+  Report.context("mismatches", Result.TotalFailures);
+  std::string Key = std::string("verify_") + formatName(*Opts.Format) +
+                    "_" + Mode + "_ns_per_value";
+  Report.metric(Key, Result.Checked
+                         ? Result.ElapsedSeconds * 1e9 /
+                               static_cast<double>(Result.Checked)
+                         : 0.0);
+  Report.derived("elapsed_seconds", Result.ElapsedSeconds);
+  Report.derived("values_per_second",
+                 Result.ElapsedSeconds > 0
+                     ? static_cast<double>(Result.Checked) /
+                           Result.ElapsedSeconds
+                     : 0.0);
+  bench::BenchOutput Output;
+  Output.JsonPath = Opts.JsonPath;
+  Output.HistoryPath = Opts.HistoryPath;
+  return bench::emitBenchReport(Report, Output);
 }
 
 } // namespace
@@ -507,8 +516,9 @@ int main(int Argc, char **Argv) {
                 Result.Failures.size());
   std::printf("\n");
 
-  if (!Opts.JsonPath.empty())
-    writeJson(Opts, Result, Stats, Mode);
+  bool EmitFailed = false;
+  if (!Opts.JsonPath.empty() || !Opts.HistoryPath.empty())
+    EmitFailed = writeBenchReport(Opts, Result, Stats, Mode) != 0;
 
   if (!Opts.StatsJsonPath.empty())
     obs::writeFile(Opts.StatsJsonPath,
@@ -523,5 +533,7 @@ int main(int Argc, char **Argv) {
                  Spans.size(), Opts.TracePath.c_str());
   }
 
-  return Result.TotalFailures == 0 ? 0 : 1;
+  if (Result.TotalFailures)
+    return 1;
+  return EmitFailed ? 2 : 0;
 }
