@@ -10,7 +10,15 @@
 ///
 ///   * toShortest (std::string per value, fresh BigInt state per call)
 ///   * engine::format (char buffer, warm Scratch, arena-backed limbs)
-///   * BatchEngine::convert at 1, 2, and 4 threads
+///   * BatchEngine<double>::convert at 1, 2, and 4 threads
+///
+/// The generic pipeline's other first-class batch formats ride along:
+/// BatchEngine<float> over uniform-random binary32 (batch32_* metrics,
+/// Grisu-certified fast path) and BatchEngine<Binary16> over the whole
+/// 65536-encoding half space (batch16_* metrics, pure exact path).  A
+/// default run emits every metric; --format=binary64|binary32|binary16
+/// restricts the run to one suite (its metrics keep their names, so
+/// bench_check.py compares the subset and warns about the rest).
 ///
 /// Results go to BENCH_engine.json (or argv[1]) in the dragon4.bench.v1
 /// schema that tools/bench_check.py compares against a committed baseline;
@@ -18,6 +26,7 @@
 /// histogram and fast-path rates.
 ///
 ///   ./build/bench/bench_engine_batch [out.json] [count=200000]
+///                                    [--format=binary64|binary32|binary16]
 ///                                    [--stats-json=FILE] [--trace=FILE]
 ///                                    [--bench-history=FILE]
 ///                                    [--spin-digit-loop=N]
@@ -63,12 +72,35 @@ double bestNsPerValue(size_t Count, int Reps, Fn &&Run) {
 
 volatile size_t Sink; // Defeats dead-code elimination.
 
+/// Times BatchEngine<T>::convert at 1 and 4 threads over \p Values and
+/// records the two metrics as <prefix>_1t/_4t ns/value.
+template <typename T>
+void benchTypedBatch(const std::vector<T> &Values, const char *Label,
+                     const char *Prefix, int Reps,
+                     bench::BenchReport &Report) {
+  const unsigned ThreadCounts[] = {1, 4};
+  for (unsigned Threads : ThreadCounts) {
+    eng::BatchEngine<T> Engine(Threads);
+    eng::StringTable Table;
+    Engine.convert(Values, Table, PrintOptions{}); // Warm-up pass.
+    double Ns = bestNsPerValue(Values.size(), Reps, [&] {
+      Engine.convert(Values, Table, PrintOptions{});
+      Sink = Table.length(Values.size() - 1);
+    });
+    std::printf("  %s %ut %8.1f ns/value\n", Label, Threads, Ns);
+    char Key[64];
+    std::snprintf(Key, sizeof(Key), "%s_%ut_ns_per_value", Prefix, Threads);
+    Report.metric(Key, Ns);
+  }
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   const char *OutPath = "BENCH_engine.json";
   size_t Count = 200000;
   std::string StatsJsonPath, TracePath;
+  std::string Format = "all";
   bench::BenchOutput Output;
   unsigned SpinPerDigit = 0;
   int Positional = 0;
@@ -78,6 +110,15 @@ int main(int Argc, char **Argv) {
       StatsJsonPath = A + 13;
     } else if (std::strncmp(A, "--trace=", 8) == 0) {
       TracePath = A + 8;
+    } else if (std::strncmp(A, "--format=", 9) == 0) {
+      Format = A + 9;
+      if (Format != "all" && Format != "binary64" && Format != "binary32" &&
+          Format != "binary16") {
+        std::fprintf(stderr,
+                     "bench_engine_batch: --format must be binary64, "
+                     "binary32, binary16, or all\n");
+        return 2;
+      }
     } else if (std::strncmp(A, "--spin-digit-loop=", 18) == 0) {
       SpinPerDigit =
           static_cast<unsigned>(std::strtoul(A + 18, nullptr, 10));
@@ -87,6 +128,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "bench_engine_batch: unknown flag %s\nusage: "
                    "bench_engine_batch [out.json] [count] "
+                   "[--format=binary64|binary32|binary16] "
                    "[--stats-json=FILE] [--trace=FILE] "
                    "[--bench-json=FILE] [--bench-history=FILE] "
                    "[--spin-digit-loop=N]\n",
@@ -100,6 +142,9 @@ int main(int Argc, char **Argv) {
       ++Positional;
     }
   }
+  const bool RunDouble = Format == "all" || Format == "binary64";
+  const bool RunFloat = Format == "all" || Format == "binary32";
+  const bool RunHalf = Format == "all" || Format == "binary16";
   if (Output.JsonPath.empty())
     Output.JsonPath = OutPath;
   constexpr int Reps = 5;
@@ -119,70 +164,14 @@ int main(int Argc, char **Argv) {
                 "overhead; do not use as a baseline\n");
   }
 
-  std::vector<double> Values = randomBitsDoubles(Count, 42);
   unsigned Cores = std::thread::hardware_concurrency();
-  std::printf(
-      "bench_engine_batch: %zu uniform-random doubles, best of %d, %u cores\n",
-      Count, Reps, Cores);
+  std::printf("bench_engine_batch: %zu uniform-random values, format %s, "
+              "best of %d, %u cores\n",
+              Count, Format.c_str(), Reps, Cores);
   if (Cores < 4)
     std::printf("  NOTE: %u-core host -- thread scaling is bounded by the "
                 "hardware, not the engine\n",
                 Cores);
-
-  // Baseline: the std::string convenience API.
-  double StringNs = bestNsPerValue(Count, Reps, [&] {
-    size_t Total = 0;
-    for (double V : Values)
-      Total += toShortest(V).size();
-    Sink = Total;
-  });
-  std::printf("  toShortest        %8.1f ns/value\n", StringNs);
-
-  // The engine's buffer API through one warm Scratch.
-  eng::Scratch Scratch;
-  char Buf[32];
-  double BufferNs = bestNsPerValue(Count, Reps, [&] {
-    size_t Total = 0;
-    for (double V : Values)
-      Total += eng::format(V, Buf, sizeof(Buf), PrintOptions{}, Scratch);
-    Sink = Total;
-  });
-  std::printf("  engine::format    %8.1f ns/value\n", BufferNs);
-
-  // Batch conversion at 1/2/4 threads (persistent pools, warm scratches).
-  const unsigned ThreadCounts[] = {1, 2, 4};
-  double BatchNs[3] = {};
-  for (int I = 0; I < 3; ++I) {
-    eng::BatchEngine Engine(ThreadCounts[I]);
-    eng::StringTable Table;
-    Engine.convert(Values, Table, PrintOptions{}); // Warm-up pass.
-    BatchNs[I] = bestNsPerValue(Count, Reps, [&] {
-      Engine.convert(Values, Table, PrintOptions{});
-      Sink = Table.length(Count - 1);
-    });
-    std::printf("  batch %u thread%s  %8.1f ns/value\n", ThreadCounts[I],
-                ThreadCounts[I] == 1 ? " " : "s", BatchNs[I]);
-    if (ThreadCounts[I] == 4) {
-      const obs::Registry *Reg =
-          obs::enabled() ? &Engine.registry() : nullptr;
-      Engine.stats().print(stdout, Reg);
-      if (!StatsJsonPath.empty())
-        obs::writeFile(StatsJsonPath,
-                       obs::renderStatsJson(
-                           obs::makeSnapshot(Engine.stats(), Reg)));
-      if (!TracePath.empty()) {
-        std::vector<obs::SpanEvent> Spans = Engine.takeSpans();
-        obs::writeFile(TracePath, obs::renderChromeTrace(Spans));
-        std::printf("wrote %zu span(s) to %s\n", Spans.size(),
-                    TracePath.c_str());
-      }
-    }
-  }
-
-  double BufferSpeedup = StringNs / BufferNs;
-  double BatchScaling = BatchNs[0] / BatchNs[2];
-  std::printf("  buffer vs string  %.2fx\n", BufferSpeedup);
-  std::printf("  4t vs 1t batch    %.2fx\n", BatchScaling);
 
   // dragon4.bench.v1 via the shared emitter: "metrics" holds the
   // comparable numbers (ns/value, lower is better) that
@@ -194,14 +183,96 @@ int main(int Argc, char **Argv) {
   Report.context("reps", static_cast<uint64_t>(Reps));
   Report.context("hardware_concurrency", static_cast<uint64_t>(Cores));
   Report.context("obs_sampling", Telemetry);
+  Report.context("format", Format.c_str());
   if (SpinPerDigit)
     Report.context("spin_digit_loop", static_cast<uint64_t>(SpinPerDigit));
-  Report.metric("to_shortest_ns_per_value", StringNs);
-  Report.metric("engine_format_ns_per_value", BufferNs);
-  Report.metric("batch_1t_ns_per_value", BatchNs[0]);
-  Report.metric("batch_2t_ns_per_value", BatchNs[1]);
-  Report.metric("batch_4t_ns_per_value", BatchNs[2]);
-  Report.derived("speedup_buffer_vs_string", BufferSpeedup);
-  Report.derived("scaling_4t_vs_1t", BatchScaling);
+
+  if (RunDouble) {
+    std::vector<double> Values = randomBitsDoubles(Count, 42);
+
+    // Baseline: the std::string convenience API.
+    double StringNs = bestNsPerValue(Count, Reps, [&] {
+      size_t Total = 0;
+      for (double V : Values)
+        Total += toShortest(V).size();
+      Sink = Total;
+    });
+    std::printf("  toShortest        %8.1f ns/value\n", StringNs);
+
+    // The engine's buffer API through one warm Scratch.
+    eng::Scratch Scratch;
+    char Buf[32];
+    double BufferNs = bestNsPerValue(Count, Reps, [&] {
+      size_t Total = 0;
+      for (double V : Values)
+        Total += eng::format(V, Buf, sizeof(Buf), PrintOptions{}, Scratch);
+      Sink = Total;
+    });
+    std::printf("  engine::format    %8.1f ns/value\n", BufferNs);
+
+    // Batch conversion at 1/2/4 threads (persistent pools, warm
+    // scratches).
+    const unsigned ThreadCounts[] = {1, 2, 4};
+    double BatchNs[3] = {};
+    for (int I = 0; I < 3; ++I) {
+      eng::BatchEngine<double> Engine(ThreadCounts[I]);
+      eng::StringTable Table;
+      Engine.convert(Values, Table, PrintOptions{}); // Warm-up pass.
+      BatchNs[I] = bestNsPerValue(Count, Reps, [&] {
+        Engine.convert(Values, Table, PrintOptions{});
+        Sink = Table.length(Count - 1);
+      });
+      std::printf("  batch %u thread%s  %8.1f ns/value\n", ThreadCounts[I],
+                  ThreadCounts[I] == 1 ? " " : "s", BatchNs[I]);
+      if (ThreadCounts[I] == 4) {
+        const obs::Registry *Reg =
+            obs::enabled() ? &Engine.registry() : nullptr;
+        Engine.stats().print(stdout, Reg);
+        if (!StatsJsonPath.empty())
+          obs::writeFile(StatsJsonPath,
+                         obs::renderStatsJson(
+                             obs::makeSnapshot(Engine.stats(), Reg)));
+        if (!TracePath.empty()) {
+          std::vector<obs::SpanEvent> Spans = Engine.takeSpans();
+          obs::writeFile(TracePath, obs::renderChromeTrace(Spans));
+          std::printf("wrote %zu span(s) to %s\n", Spans.size(),
+                      TracePath.c_str());
+        }
+      }
+    }
+
+    double BufferSpeedup = StringNs / BufferNs;
+    double BatchScaling = BatchNs[0] / BatchNs[2];
+    std::printf("  buffer vs string  %.2fx\n", BufferSpeedup);
+    std::printf("  4t vs 1t batch    %.2fx\n", BatchScaling);
+
+    Report.metric("to_shortest_ns_per_value", StringNs);
+    Report.metric("engine_format_ns_per_value", BufferNs);
+    Report.metric("batch_1t_ns_per_value", BatchNs[0]);
+    Report.metric("batch_2t_ns_per_value", BatchNs[1]);
+    Report.metric("batch_4t_ns_per_value", BatchNs[2]);
+    Report.derived("speedup_buffer_vs_string", BufferSpeedup);
+    Report.derived("scaling_4t_vs_1t", BatchScaling);
+  }
+
+  if (RunFloat) {
+    // binary32 through the same generic batch pipeline: the Grisu fast
+    // path is certified here too, so this is the second first-class fast
+    // format.
+    std::vector<float> Values32 = randomBitsFloats(Count, 42);
+    benchTypedBatch(Values32, "batch32", "batch32", Reps, Report);
+  }
+
+  if (RunHalf) {
+    // binary16 over its entire encoding space (65536 values per pass,
+    // repeated to the requested count): all-exact-path traffic.
+    std::vector<Binary16> Values16;
+    size_t HalfCount = Count < (1u << 16) ? Count : (1u << 16);
+    Values16.reserve(HalfCount);
+    for (uint32_t Bits = 0; Bits < HalfCount; ++Bits)
+      Values16.push_back(Binary16::fromBits(static_cast<uint16_t>(Bits)));
+    benchTypedBatch(Values16, "batch16", "batch16", Reps, Report);
+  }
+
   return bench::emitBenchReport(Report, Output);
 }

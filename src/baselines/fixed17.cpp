@@ -25,15 +25,13 @@ struct SimpleScaled {
   int K;
 };
 
-SimpleScaled scaleSimple(uint64_t F, int E, unsigned B) {
-  BigInt R(F);
+SimpleScaled scaleSimpleImpl(BigInt R, int BitLength, int E, unsigned B) {
   BigInt S(uint64_t(1));
   if (E >= 0)
     R <<= static_cast<size_t>(E);
   else
     S <<= static_cast<size_t>(-E);
 
-  int BitLength = 64 - std::countl_zero(F);
   int Est = estimateScale(E, BitLength, B);
   if (Est >= 0)
     S *= cachedPow(B, static_cast<unsigned>(Est));
@@ -47,6 +45,14 @@ SimpleScaled scaleSimple(uint64_t F, int E, unsigned B) {
     R.mulSmall(B);
   }
   return SimpleScaled{std::move(R), std::move(S), K};
+}
+
+SimpleScaled scaleSimple(uint64_t F, int E, unsigned B) {
+  return scaleSimpleImpl(BigInt(F), 64 - std::countl_zero(F), E, B);
+}
+
+SimpleScaled scaleSimpleBig(const BigInt &F, int E, unsigned B) {
+  return scaleSimpleImpl(F, static_cast<int>(F.bitLength()), E, B);
 }
 
 /// Resolves a rounding decision on the remaining fraction R/S against the
@@ -97,15 +103,10 @@ bool emitDigits(SimpleScaled &State, unsigned B, int NumDigits,
   return true;
 }
 
-} // namespace
-
-DigitString dragon4::straightforwardFixed(uint64_t F, int E, unsigned B,
-                                          int NumDigits, TieBreak Ties) {
-  D4_ASSERT(F > 0, "straightforward conversion requires a positive mantissa");
+/// Shared tail of the significant-digits printers.
+DigitString finishFixed(SimpleScaled State, unsigned B, int NumDigits,
+                        TieBreak Ties) {
   D4_ASSERT(NumDigits >= 1, "at least one digit must be generated");
-  D4_ASSERT(B >= 2 && B <= 36, "base out of range");
-
-  SimpleScaled State = scaleSimple(F, E, B);
   DigitString Result;
   Result.K = State.K;
   if (emitDigits(State, B, NumDigits, Ties, Result.Digits))
@@ -114,13 +115,9 @@ DigitString dragon4::straightforwardFixed(uint64_t F, int E, unsigned B,
   return Result;
 }
 
-DigitString dragon4::straightforwardFixedAbsolute(uint64_t F, int E,
-                                                  unsigned B, int Position,
-                                                  TieBreak Ties) {
-  D4_ASSERT(F > 0, "straightforward conversion requires a positive mantissa");
-  D4_ASSERT(B >= 2 && B <= 36, "base out of range");
-
-  SimpleScaled State = scaleSimple(F, E, B);
+/// Shared tail of the absolute-position printers.
+DigitString finishFixedAbsolute(SimpleScaled State, unsigned B, int Position,
+                                TieBreak Ties) {
   int NumDigits = State.K - Position;
   DigitString Result;
 
@@ -148,4 +145,39 @@ DigitString dragon4::straightforwardFixedAbsolute(uint64_t F, int E,
     Result.Digits.push_back(0);
   }
   return Result;
+}
+
+} // namespace
+
+DigitString dragon4::straightforwardFixed(uint64_t F, int E, unsigned B,
+                                          int NumDigits, TieBreak Ties) {
+  D4_ASSERT(F > 0, "straightforward conversion requires a positive mantissa");
+  D4_ASSERT(B >= 2 && B <= 36, "base out of range");
+  return finishFixed(scaleSimple(F, E, B), B, NumDigits, Ties);
+}
+
+DigitString dragon4::straightforwardFixedBig(const BigInt &F, int E,
+                                             unsigned B, int NumDigits,
+                                             TieBreak Ties) {
+  D4_ASSERT(!F.isZero() && !F.isNegative(),
+            "straightforward conversion requires a positive mantissa");
+  D4_ASSERT(B >= 2 && B <= 36, "base out of range");
+  return finishFixed(scaleSimpleBig(F, E, B), B, NumDigits, Ties);
+}
+
+DigitString dragon4::straightforwardFixedAbsolute(uint64_t F, int E,
+                                                  unsigned B, int Position,
+                                                  TieBreak Ties) {
+  D4_ASSERT(F > 0, "straightforward conversion requires a positive mantissa");
+  D4_ASSERT(B >= 2 && B <= 36, "base out of range");
+  return finishFixedAbsolute(scaleSimple(F, E, B), B, Position, Ties);
+}
+
+DigitString dragon4::straightforwardFixedAbsoluteBig(const BigInt &F, int E,
+                                                     unsigned B, int Position,
+                                                     TieBreak Ties) {
+  D4_ASSERT(!F.isZero() && !F.isNegative(),
+            "straightforward conversion requires a positive mantissa");
+  D4_ASSERT(B >= 2 && B <= 36, "base out of range");
+  return finishFixedAbsolute(scaleSimpleBig(F, E, B), B, Position, Ties);
 }

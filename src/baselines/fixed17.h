@@ -22,6 +22,7 @@
 #ifndef DRAGON4_BASELINES_FIXED17_H
 #define DRAGON4_BASELINES_FIXED17_H
 
+#include "bigint/bigint.h"
 #include "core/digits.h"
 #include "core/options.h"
 #include "fp/ieee_traits.h"
@@ -46,13 +47,27 @@ DigitString straightforwardFixedAbsolute(uint64_t F, int E, unsigned B,
                                          int Position,
                                          TieBreak Ties = TieBreak::RoundUp);
 
+/// Wide-mantissa generalizations (binary128 and friends).
+DigitString straightforwardFixedBig(const BigInt &F, int E, unsigned B,
+                                    int NumDigits,
+                                    TieBreak Ties = TieBreak::RoundUp);
+DigitString straightforwardFixedAbsoluteBig(const BigInt &F, int E,
+                                            unsigned B, int Position,
+                                            TieBreak Ties = TieBreak::RoundUp);
+
 /// Convenience overload for a finite non-zero IEEE value (magnitude only).
+/// Wide-significand formats route through decomposeBig (found by ADL).
 template <typename T>
 DigitString straightforwardDigits(T Value, int NumDigits,
                                   unsigned Base = 10,
                                   TieBreak Ties = TieBreak::RoundUp) {
-  Decomposed D = decompose(Value);
-  return straightforwardFixed(D.F, D.E, Base, NumDigits, Ties);
+  if constexpr (IeeeTraits<T>::Precision > 64) {
+    auto D = decomposeBig(Value);
+    return straightforwardFixedBig(D.F, D.E, Base, NumDigits, Ties);
+  } else {
+    Decomposed D = decompose(Value);
+    return straightforwardFixed(D.F, D.E, Base, NumDigits, Ties);
+  }
 }
 
 /// Convenience overload of the absolute-position printer.
@@ -60,8 +75,13 @@ template <typename T>
 DigitString straightforwardDigitsAbsolute(T Value, int Position,
                                           unsigned Base = 10,
                                           TieBreak Ties = TieBreak::RoundUp) {
-  Decomposed D = decompose(Value);
-  return straightforwardFixedAbsolute(D.F, D.E, Base, Position, Ties);
+  if constexpr (IeeeTraits<T>::Precision > 64) {
+    auto D = decomposeBig(Value);
+    return straightforwardFixedAbsoluteBig(D.F, D.E, Base, Position, Ties);
+  } else {
+    Decomposed D = decompose(Value);
+    return straightforwardFixedAbsolute(D.F, D.E, Base, Position, Ties);
+  }
 }
 
 } // namespace dragon4

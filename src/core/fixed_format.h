@@ -62,14 +62,21 @@ DigitString fixedFormatRelativeBig(const BigInt &F, int E, int Precision,
                                    const FixedFormatOptions &Options = {});
 
 /// Absolute-position conversion for a finite non-zero IEEE value
-/// (magnitude only; rendering attaches the sign).
+/// (magnitude only; rendering attaches the sign).  Wide-significand
+/// formats route through their decomposeBig overload (found by ADL).
 template <typename T>
 DigitString fixedDigitsAbsolute(T Value, int Position,
                                 const FixedFormatOptions &Options = {}) {
   using Traits = IeeeTraits<T>;
-  Decomposed D = decompose(Value);
-  return fixedFormatAbsolute(D.F, D.E, Traits::Precision, Traits::MinExponent,
-                             Position, Options);
+  if constexpr (Traits::Precision > 64) {
+    auto D = decomposeBig(Value);
+    return fixedFormatAbsoluteBig(D.F, D.E, Traits::Precision,
+                                  Traits::MinExponent, Position, Options);
+  } else {
+    Decomposed D = decompose(Value);
+    return fixedFormatAbsolute(D.F, D.E, Traits::Precision,
+                               Traits::MinExponent, Position, Options);
+  }
 }
 
 /// Relative-position conversion for a finite non-zero IEEE value.
@@ -77,9 +84,15 @@ template <typename T>
 DigitString fixedDigitsRelative(T Value, int NumDigits,
                                 const FixedFormatOptions &Options = {}) {
   using Traits = IeeeTraits<T>;
-  Decomposed D = decompose(Value);
-  return fixedFormatRelative(D.F, D.E, Traits::Precision, Traits::MinExponent,
-                             NumDigits, Options);
+  if constexpr (Traits::Precision > 64) {
+    auto D = decomposeBig(Value);
+    return fixedFormatRelativeBig(D.F, D.E, Traits::Precision,
+                                  Traits::MinExponent, NumDigits, Options);
+  } else {
+    Decomposed D = decompose(Value);
+    return fixedFormatRelative(D.F, D.E, Traits::Precision,
+                               Traits::MinExponent, NumDigits, Options);
+  }
 }
 
 } // namespace dragon4

@@ -89,3 +89,28 @@ DigitString dragon4::freeFormatDigitsBig(const BigInt &F, int E,
                F.toDouble(), E, BitLength);
   return finishFreeFormat(std::move(State), Options, Flags);
 }
+
+int dragon4::freeFormatDigitsBigInto(const BigInt &F, int E, int Precision,
+                                     int MinExponent,
+                                     const FreeFormatOptions &Options,
+                                     DigitLoopResult &Out) {
+  D4_ASSERT(!F.isZero() && !F.isNegative(),
+            "free-format conversion requires a positive mantissa");
+  D4_ASSERT(Options.Base >= 2 && Options.Base <= 36, "base out of range");
+
+  BoundaryFlags Flags =
+      BoundaryFlags::resolveEven(Options.Boundaries, F.isEven());
+  ScaledStart Start = [&] {
+    D4_PROF_SPAN(ScaleSetup);
+    return makeScaledStartBig(F, E, Precision, MinExponent);
+  }();
+  int BitLength = static_cast<int>(F.bitLength());
+  ScaledState State =
+      scaleBig(std::move(Start), Options.Base, Flags, Options.Scaling,
+               F.toDouble(), E, BitLength);
+  const int K = State.K;
+  runDigitLoopInto(std::move(State), Options.Base, Flags, Options.Ties, Out);
+  D4_ASSERT(!Out.Digits.empty() && Out.Digits.front() != 0,
+            "free-format output must start with a non-zero digit");
+  return K;
+}

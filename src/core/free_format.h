@@ -53,15 +53,28 @@ int freeFormatDigitsInto(uint64_t F, int E, int Precision, int MinExponent,
                          const FreeFormatOptions &Options,
                          DigitLoopResult &Out);
 
+/// Wide-mantissa engine entry point (same contract, BigInt mantissa).
+int freeFormatDigitsBigInto(const BigInt &F, int E, int Precision,
+                            int MinExponent, const FreeFormatOptions &Options,
+                            DigitLoopResult &Out);
+
 /// Converts a finite non-zero value of any supported IEEE type.  The sign
 /// is ignored (digit generation works on the magnitude; rendering attaches
-/// the sign).
+/// the sign).  Formats whose significand exceeds 64 bits take the
+/// BigInt-mantissa path via their decomposeBig overload (found by ADL at
+/// instantiation, so this header stays format-agnostic).
 template <typename T>
 DigitString shortestDigits(T Value, const FreeFormatOptions &Options = {}) {
   using Traits = IeeeTraits<T>;
-  Decomposed D = decompose(Value);
-  return freeFormatDigits(D.F, D.E, Traits::Precision, Traits::MinExponent,
-                          Options);
+  if constexpr (Traits::Precision > 64) {
+    auto D = decomposeBig(Value);
+    return freeFormatDigitsBig(D.F, D.E, Traits::Precision,
+                               Traits::MinExponent, Options);
+  } else {
+    Decomposed D = decompose(Value);
+    return freeFormatDigits(D.F, D.E, Traits::Precision, Traits::MinExponent,
+                            Options);
+  }
 }
 
 } // namespace dragon4

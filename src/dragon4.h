@@ -9,16 +9,30 @@
 /// \file
 /// Convenience umbrella: pulls in the whole public API.
 ///
-/// Layering (each layer only depends on the ones above it):
+/// Layering (each layer only depends on the ones above it).  One
+/// traits-driven pipeline serves all five IEEE formats -- Binary16,
+/// float, double, x87 long double, Binary128 -- from bits to bytes:
+///
 ///   bigint/    arbitrary-precision integers and the B^k cache
 ///   rational/  exact rationals (the Section 2 oracle substrate)
-///   fp/        IEEE-754 traits, decomposition, Table 1 boundaries
+///   fp/        IEEE-754 traits + FormatTraits<T>/FormatId, decomposition
+///              (narrow f:uint64 or wide f:BigInt), Table 1 boundaries
 ///   core/      scaling, free-format, fixed-format, the rational oracle
+///              (uint64 and BigInt digit loops behind one interface)
+///   fastpath/  Grisu3, certified for binary32/64 only (traits-gated)
 ///   reader/    correctly rounded text -> float (verification side)
-///   format/    digit strings -> text; toShortest/toFixed/... convenience
-///   engine/    zero-allocation buffer API, batch conversion, counters
+///   format/    writer-generic digit rendering (render_core.h) under the
+///              toShortest/toFixed/printf templates, all five formats
+///   engine/    format<T>/formatFixed<T> buffer API, BatchEngine<T>,
+///              type-erased AnyBatch, per-format counters and bounds
 ///   baselines/ Steele-White, straightforward fixed-format, printf shim
 ///   testgen/   Schryer-style and random workloads
+///
+/// The pipeline shape, identical for every T:
+///
+///   bits --(fp: decompose/decomposeBig)--> DecomposedFloat
+///        --(core: digit loop; fastpath when certified)--> digits + K
+///        --(format/engine: one render core, string or buffer)--> bytes
 ///
 //===----------------------------------------------------------------------===//
 

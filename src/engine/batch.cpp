@@ -6,7 +6,7 @@
 
 #include "engine/batch.h"
 
-#include "prof/clock.h"
+#include "support/checks.h"
 
 using namespace dragon4;
 using namespace dragon4::engine;
@@ -28,7 +28,7 @@ unsigned resolveThreads(unsigned Requested) {
 
 } // namespace
 
-BatchEngine::BatchEngine(unsigned Threads)
+BatchPool::BatchPool(unsigned Threads)
     : ThreadCount(resolveThreads(Threads)) {
   Scratches.reserve(ThreadCount);
   for (unsigned I = 0; I < ThreadCount; ++I) {
@@ -40,7 +40,7 @@ BatchEngine::BatchEngine(unsigned Threads)
     Workers.emplace_back([this, I] { workerMain(I); });
 }
 
-BatchEngine::~BatchEngine() {
+BatchPool::~BatchPool() {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Shutdown = true;
@@ -50,26 +50,17 @@ BatchEngine::~BatchEngine() {
     Worker.join();
 }
 
-void BatchEngine::runJob(Job &J, Scratch &S) {
-  const size_t Stride = J.Fn ? 0 : J.Out->strideBytes();
+void BatchPool::runJob(Job &J, Scratch &S) {
   for (;;) {
     size_t Begin = J.Next.fetch_add(ChunkSize, std::memory_order_relaxed);
     if (Begin >= J.Count)
       return;
     size_t End = Begin + ChunkSize < J.Count ? Begin + ChunkSize : J.Count;
-    if (J.Fn) {
-      (*J.Fn)(Begin, End, S);
-      continue;
-    }
-    for (size_t I = Begin; I < End; ++I) {
-      size_t Length =
-          format(J.Values[I], J.Out->slot(I), Stride, *J.Options, S);
-      J.Out->setLength(I, Length);
-    }
+    (*J.Fn)(Begin, End, S);
   }
 }
 
-void BatchEngine::workerMain(unsigned WorkerIndex) {
+void BatchPool::workerMain(unsigned WorkerIndex) {
   uint64_t SeenGeneration = 0;
   std::unique_lock<std::mutex> Lock(Mutex);
   for (;;) {
@@ -88,7 +79,7 @@ void BatchEngine::workerMain(unsigned WorkerIndex) {
   }
 }
 
-void BatchEngine::dispatch(Job &J) {
+void BatchPool::dispatch(Job &J) {
   if (ThreadCount == 1 || J.Count <= ChunkSize) {
     // Inline: a pool wake-up costs more than a small batch.
     runJob(J, *Scratches[0]);
@@ -115,40 +106,93 @@ void BatchEngine::dispatch(Job &J) {
   }
 }
 
-void BatchEngine::convert(std::span<const double> Values, StringTable &Out,
-                          const PrintOptions &Options) {
-  Out.reset(Values.size(), shortestSlotSize(Options.Base));
+void BatchPool::parallelFor(
+    size_t Count,
+    const std::function<void(size_t, size_t, Scratch &)> &Fn) {
+  Job J;
+  J.Count = Count;
+  J.Fn = &Fn;
+  dispatch(J);
+}
 
+void BatchPool::runBatch(
+    size_t Count,
+    const std::function<void(size_t, size_t, Scratch &)> &Fn) {
   // All batch timing goes through the prof clock (the same timebase the
   // obs spans and the steady-clock counter fallback use).
   const prof::StopWatch Timer;
   Job J;
-  J.Values = Values.data();
-  J.Count = Values.size();
-  J.Options = &Options;
-  J.Out = &Out;
+  J.Count = Count;
+  J.Fn = &Fn;
   dispatch(J);
   const uint64_t DurNs = Timer.elapsedNanos();
 
   ++Stats.Batches;
-  Stats.BatchValues += Values.size();
+  Stats.BatchValues += Count;
   Stats.BatchNanos += DurNs;
 
   if (obs::enabled() && obs::config().Trace) {
     // One enclosing span per batch on the caller's track; the sampled
     // per-conversion spans drained from the workers nest underneath it.
     Spans.push_back(obs::SpanEvent{"batch", Timer.startNanos(), DurNs,
-                                   /*Tid=*/0, Values.size()});
+                                   /*Tid=*/0, Count});
   }
 }
 
-void BatchEngine::parallelFor(
-    size_t Count,
-    const std::function<void(size_t, size_t, Scratch &)> &Fn) {
-  Job J;
-  J.Count = Count;
-  J.Fn = &Fn;
-  // Not counted as a batch: Batches/BatchValues/BatchNanos describe
-  // convert() traffic, while parallelFor clients keep their own clocks.
-  dispatch(J);
+namespace dragon4::engine {
+
+template <typename T>
+void BatchEngine<T>::convert(std::span<const T> Values, StringTable &Out,
+                             const PrintOptions &Options) {
+  Out.reset(Values.size(), shortestSlotSize<T>(Options.Base));
+  const T *Data = Values.data();
+  const size_t Stride = Out.strideBytes();
+  auto Fn = [Data, Stride, &Out, &Options](size_t Begin, size_t End,
+                                           Scratch &S) {
+    for (size_t I = Begin; I < End; ++I)
+      Out.setLength(I, format(Data[I], Out.slot(I), Stride, Options, S));
+  };
+  runBatch(Values.size(), Fn);
+}
+
+template class BatchEngine<Binary16>;
+template class BatchEngine<float>;
+template class BatchEngine<double>;
+template class BatchEngine<long double>;
+template class BatchEngine<Binary128>;
+
+} // namespace dragon4::engine
+
+void AnyBatch::convert(std::span<const AnyValue> Values, StringTable &Out,
+                       const PrintOptions &Options) {
+  Out.reset(Values.size(), slotSize(Options.Base));
+  const AnyValue *Data = Values.data();
+  const size_t Stride = Out.strideBytes();
+  auto Fn = [Data, Stride, &Out, &Options](size_t Begin, size_t End,
+                                           Scratch &S) {
+    for (size_t I = Begin; I < End; ++I) {
+      const AnyValue &V = Data[I];
+      char *Slot = Out.slot(I);
+      size_t Length = 0;
+      switch (V.Id) {
+      case FormatId::Binary16:
+        Length = format(V.as<Binary16>(), Slot, Stride, Options, S);
+        break;
+      case FormatId::Binary32:
+        Length = format(V.as<float>(), Slot, Stride, Options, S);
+        break;
+      case FormatId::Binary64:
+        Length = format(V.as<double>(), Slot, Stride, Options, S);
+        break;
+      case FormatId::Extended80:
+        Length = format(V.as<long double>(), Slot, Stride, Options, S);
+        break;
+      case FormatId::Binary128:
+        Length = format(V.as<Binary128>(), Slot, Stride, Options, S);
+        break;
+      }
+      Out.setLength(I, Length);
+    }
+  };
+  runBatch(Values.size(), Fn);
 }

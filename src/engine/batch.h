@@ -5,16 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Batch conversion of a span of doubles into a caller-provided arena of
-/// strings.  A BatchEngine owns a small persistent worker pool and one
-/// Scratch per worker; convert() shards the input across the pool with a
-/// chunked work-stealing index.  Because every value has a fixed-stride
-/// slot in the output table and is rendered independently, the output is
-/// byte-identical no matter how many threads run or how chunks interleave.
+/// Batch conversion of spans of floating-point values into a caller-
+/// provided arena of strings.  The machinery is layered:
 ///
-/// Thread-safety contract: a BatchEngine may be used from one thread at a
-/// time (convert() is not reentrant); the internal workers are invisible
-/// to the caller.  Distinct BatchEngines are fully independent.
+///   BatchPool      the persistent worker pool and work-stealing chunk
+///                  index, payload-agnostic (parallelFor).
+///   BatchEngine<T> typed shortest-form batches for one format; explicitly
+///                  instantiated for all five supported formats.
+///   AnyBatch       type-erased batches mixing formats per value.
+///
+/// A pool owns one Scratch per worker; conversion shards the input across
+/// the pool with a chunked work-stealing index.  Because every value has a
+/// fixed-stride slot in the output table and is rendered independently,
+/// the output is byte-identical no matter how many threads run or how
+/// chunks interleave.
+///
+/// Thread-safety contract: a pool may be used from one thread at a time
+/// (convert()/parallelFor() are not reentrant); the internal workers are
+/// invisible to the caller.  Distinct pools are fully independent.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +30,8 @@
 #define DRAGON4_ENGINE_BATCH_H
 
 #include "engine/engine.h"
+#include "prof/clock.h"
+#include "support/checks.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -39,6 +49,11 @@ namespace dragon4::engine {
 /// plus the full required length recorded by the conversion.  The caller
 /// owns one of these and reuses it across batches; reset() only grows the
 /// backing store, so steady-state batches allocate nothing here either.
+///
+/// Deliberately not a template: the table is raw bytes and lengths, and
+/// the per-format knowledge (how wide a slot must be) lives entirely in
+/// shortestSlotSize<T>, which the typed engines apply at reset() time.
+/// One table can therefore be reused across engines of different formats.
 class StringTable {
 public:
   StringTable() = default;
@@ -82,37 +97,34 @@ private:
   size_t Stride = 0;
 };
 
-/// Persistent worker pool converting batches of doubles.  Construction
-/// spawns Threads - 1 workers (the calling thread participates in every
-/// batch, so a 1-thread engine runs inline with no pool at all).
-class BatchEngine {
+/// Persistent worker pool sharding index ranges across threads.
+/// Construction spawns Threads - 1 workers (the calling thread
+/// participates in every batch, so a 1-thread pool runs inline with no
+/// pool at all).  Format-agnostic: the typed BatchEngine<T> and the
+/// type-erased AnyBatch layer their conversion loops on top.
+class BatchPool {
 public:
   /// \p Threads = 0 picks the hardware concurrency.
-  explicit BatchEngine(unsigned Threads = 0);
-  ~BatchEngine();
+  explicit BatchPool(unsigned Threads = 0);
+  ~BatchPool();
 
-  BatchEngine(const BatchEngine &) = delete;
-  BatchEngine &operator=(const BatchEngine &) = delete;
+  BatchPool(const BatchPool &) = delete;
+  BatchPool &operator=(const BatchPool &) = delete;
 
   /// Total conversion threads per batch (workers + the caller).
   unsigned threads() const { return ThreadCount; }
 
-  /// Converts every value in \p Values to shortest form, writing slot I of
-  /// \p Out from Values[I].  \p Out is reset to Values.size() slots of
-  /// shortestSlotSize(Options.Base) bytes.
-  void convert(std::span<const double> Values, StringTable &Out,
-               const PrintOptions &Options = {});
-
   /// Runs \p Fn(Begin, End, Scratch) over chunked subranges of [0, Count)
-  /// using the same persistent pool and work-stealing chunk index as
-  /// convert().  The chunk boundaries are fixed (independent of the thread
-  /// count); only the chunk-to-worker assignment varies, so any computation
-  /// whose per-index results are combined commutatively -- the verification
-  /// sweeps in src/verify/ are the motivating client -- is deterministic
-  /// for every thread count.  \p Fn must be safe to call concurrently on
-  /// disjoint ranges; each invocation owns its Scratch for the duration of
-  /// the chunk.  Worker counters (including verification verdicts) are
-  /// merged into stats() after the pool drains.
+  /// using the persistent pool and work-stealing chunk index.  The chunk
+  /// boundaries are fixed (independent of the thread count); only the
+  /// chunk-to-worker assignment varies, so any computation whose per-index
+  /// results are combined commutatively -- the verification sweeps in
+  /// src/verify/ are the motivating client -- is deterministic for every
+  /// thread count.  \p Fn must be safe to call concurrently on disjoint
+  /// ranges; each invocation owns its Scratch for the duration of the
+  /// chunk.  Worker counters (including verification verdicts) are merged
+  /// into stats() after the pool drains.  Not counted as a batch:
+  /// Batches/BatchValues/BatchNanos describe convert() traffic.
   void parallelFor(size_t Count,
                    const std::function<void(size_t Begin, size_t End,
                                             Scratch &S)> &Fn);
@@ -132,7 +144,7 @@ public:
   std::vector<obs::SpanEvent> takeSpans() { return std::move(Spans); }
 
   /// Per-worker flight recorders, for post-mortem dumps.  Index 0 is the
-  /// calling thread's Scratch.  Valid until the engine is destroyed.
+  /// calling thread's Scratch.  Valid until the pool is destroyed.
   const obs::FlightRecorder &flightRecorder(unsigned Thread) const {
     return Scratches[Thread]->obsState().Recorder;
   }
@@ -145,14 +157,17 @@ public:
     return Scratches[Thread]->obsState().MismatchKept;
   }
 
+protected:
+  /// Shards \p Fn like parallelFor and then accounts it as one batch of
+  /// \p Count values (timing, counters, and the enclosing trace span).
+  /// The conversion layers call this from their convert() entry points.
+  void runBatch(size_t Count,
+                const std::function<void(size_t Begin, size_t End,
+                                         Scratch &S)> &Fn);
+
 private:
   struct Job {
-    // Conversion payload (convert()); unused when Fn is set.
-    const double *Values = nullptr;
     size_t Count = 0;
-    const PrintOptions *Options = nullptr;
-    StringTable *Out = nullptr;
-    // Generic payload (parallelFor()).
     const std::function<void(size_t, size_t, Scratch &)> *Fn = nullptr;
     std::atomic<size_t> Next{0}; ///< Work-stealing chunk index.
   };
@@ -176,6 +191,66 @@ private:
   EngineStats Stats;
   obs::Registry Registry;           ///< Merged sampled metrics.
   std::vector<obs::SpanEvent> Spans; ///< Collected trace spans.
+};
+
+/// Typed batch conversion: every value in the span is one format \p T.
+/// Explicitly instantiated for Binary16, float, double, long double, and
+/// Binary128 (see batch.cpp).
+template <typename T> class BatchEngine : public BatchPool {
+public:
+  using BatchPool::BatchPool;
+
+  /// Converts every value in \p Values to shortest form, writing slot I of
+  /// \p Out from Values[I].  \p Out is reset to Values.size() slots of
+  /// shortestSlotSize<T>(Options.Base) bytes.
+  void convert(std::span<const T> Values, StringTable &Out,
+               const PrintOptions &Options = {});
+};
+
+extern template class BatchEngine<Binary16>;
+extern template class BatchEngine<float>;
+extern template class BatchEngine<double>;
+extern template class BatchEngine<long double>;
+extern template class BatchEngine<Binary128>;
+
+/// One value of any supported format, erased to its raw encoding plus a
+/// FormatId tag.  16 + 8 bytes; build one with AnyValue::of(value).
+struct AnyValue {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  FormatId Id = FormatId::Binary64;
+
+  template <typename T> static AnyValue of(T Value) {
+    AnyValue Erased;
+    FormatTraits<T>::encodingBits(Value, Erased.Lo, Erased.Hi);
+    Erased.Id = FormatTraits<T>::Id;
+    return Erased;
+  }
+
+  /// Recovers the typed value; \p T must match Id.
+  template <typename T> T as() const {
+    D4_ASSERT(FormatTraits<T>::Id == Id, "AnyValue format mismatch");
+    return FormatTraits<T>::fromEncoding(Lo, Hi);
+  }
+};
+
+/// Type-erased batch conversion: values of different formats mixed in one
+/// span, dispatched per value on the FormatId tag.  Slots are sized for
+/// the widest format so any mix fits.
+class AnyBatch : public BatchPool {
+public:
+  using BatchPool::BatchPool;
+
+  /// Slot stride used for mixed batches in \p Base: the widest per-format
+  /// slot (binary128's, as the bounds grow with significand width).
+  static constexpr size_t slotSize(unsigned Base) {
+    return shortestSlotSize<Binary128>(Base);
+  }
+
+  /// Converts every value in \p Values to shortest form, writing slot I of
+  /// \p Out from Values[I].
+  void convert(std::span<const AnyValue> Values, StringTable &Out,
+               const PrintOptions &Options = {});
 };
 
 } // namespace dragon4::engine

@@ -5,11 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The single-value engine layer.  The conversion core is untouched: this
-/// file routes it through reusable storage (Scratch's arena and digit
-/// buffers) and re-renders the resulting digits straight into the caller's
-/// buffer, replicating format/render.cpp symbol for symbol so
-/// engine::format(v) == toShortest(v) holds byte for byte.
+/// The single-value engine layer, one template over all five formats.  The
+/// conversion core is untouched: this file routes it through reusable
+/// storage (Scratch's arena and digit buffers) and renders the resulting
+/// digits straight into the caller's buffer through the same render_core
+/// templates that back format/render.cpp, so engine::format(v) ==
+/// toShortest(v) holds byte for byte for every instantiation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,13 +19,13 @@
 #include "core/fixed_format.h"
 #include "core/free_format.h"
 #include "fastpath/grisu.h"
-#include "format/render.h"
+#include "format/render_core.h"
 #include "obs/trace.h"
 #include "prof/phase.h"
 #include "support/checks.h"
 
-#include <bit>
 #include <span>
+#include <type_traits>
 
 using namespace dragon4;
 using namespace dragon4::engine;
@@ -66,100 +67,6 @@ struct BufWriter {
   }
 };
 
-char digitChar(uint8_t Value, bool Uppercase) {
-  static const char Lower[] = "0123456789abcdefghijklmnopqrstuvwxyz";
-  static const char Upper[] = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
-  return Uppercase ? Upper[Value] : Lower[Value];
-}
-
-/// Symbol for output position \p Index: a digit, or the mark character
-/// past the digits (mirrors render.cpp's appendPosition).
-void putPosition(BufWriter &W, std::span<const uint8_t> Digits, int Index,
-                 const RenderOptions &Options) {
-  if (Index < static_cast<int>(Digits.size())) {
-    W.put(digitChar(Digits[static_cast<size_t>(Index)],
-                    Options.UppercaseDigits));
-    return;
-  }
-  W.put(Options.MarkChar);
-}
-
-/// Decimal exponent with an explicit sign -- the buffer equivalent of
-/// snprintf("%+d", Exponent).
-void putExponent(BufWriter &W, int Exponent) {
-  W.put(Exponent < 0 ? '-' : '+');
-  unsigned Magnitude = Exponent < 0 ? 0u - static_cast<unsigned>(Exponent)
-                                    : static_cast<unsigned>(Exponent);
-  char Reversed[12];
-  int Count = 0;
-  do {
-    Reversed[Count++] = static_cast<char>('0' + Magnitude % 10);
-    Magnitude /= 10;
-  } while (Magnitude != 0);
-  while (Count > 0)
-    W.put(Reversed[--Count]);
-}
-
-/// Buffer twin of renderPositional.
-void putPositional(BufWriter &W, std::span<const uint8_t> Digits, int K,
-                   int TrailingMarks, bool Negative,
-                   const RenderOptions &Options) {
-  const int Width = static_cast<int>(Digits.size()) + TrailingMarks;
-  if (Negative)
-    W.put('-');
-
-  if (K <= 0) {
-    // Pure fraction: 0.000ddd...
-    W.literal("0.");
-    W.fill(static_cast<size_t>(-K), '0');
-    for (int I = 0; I < Width; ++I)
-      putPosition(W, Digits, I, Options);
-    return;
-  }
-
-  // Integer part: positions K-1 down to 0, zero-padded if the conversion
-  // stopped left of the radix point.
-  int Index = 0;
-  for (int Place = K - 1; Place >= 0; --Place, ++Index) {
-    if (Index < Width)
-      putPosition(W, Digits, Index, Options);
-    else
-      W.put('0');
-  }
-  if (Index >= Width)
-    return; // Nothing after the point.
-  W.put('.');
-  for (; Index < Width; ++Index)
-    putPosition(W, Digits, Index, Options);
-}
-
-/// Buffer twin of renderScientific.
-void putScientific(BufWriter &W, std::span<const uint8_t> Digits, int K,
-                   int TrailingMarks, bool Negative,
-                   const RenderOptions &Options) {
-  const int Width = static_cast<int>(Digits.size()) + TrailingMarks;
-  D4_ASSERT(Width > 0, "cannot render an empty digit string");
-  if (Negative)
-    W.put('-');
-  putPosition(W, Digits, 0, Options);
-  if (Width > 1) {
-    W.put('.');
-    for (int I = 1; I < Width; ++I)
-      putPosition(W, Digits, I, Options);
-  }
-  W.put(Options.ExponentMarker);
-  putExponent(W, K - 1);
-}
-
-/// Buffer twin of renderAuto.
-void putAuto(BufWriter &W, std::span<const uint8_t> Digits, int K,
-             int TrailingMarks, bool Negative, const RenderOptions &Options) {
-  if (K > Options.PositionalMinK && K <= Options.PositionalMaxK)
-    putPositional(W, Digits, K, TrailingMarks, Negative, Options);
-  else
-    putScientific(W, Digits, K, TrailingMarks, Negative, Options);
-}
-
 RenderOptions renderOptionsFrom(const PrintOptions &Options) {
   RenderOptions Render;
   Render.Base = Options.Base;
@@ -191,12 +98,12 @@ FixedFormatOptions fixedOptionsFrom(const PrintOptions &Options) {
 /// exactly when the options ask for Conservative, or for NearestEven on a
 /// value with an odd mantissa -- an odd mantissa can never sit on an
 /// inclusive boundary, so NearestEven and Conservative flags coincide.
-bool fastPathEligible(const PrintOptions &Options, uint64_t F) {
+bool fastPathEligible(const PrintOptions &Options, bool OddMantissa) {
   if (Options.Base != 10 || Options.Ties != TieBreak::RoundUp)
     return false;
   if (Options.Boundaries == BoundaryMode::Conservative)
     return true;
-  return Options.Boundaries == BoundaryMode::NearestEven && (F & 1) != 0;
+  return Options.Boundaries == BoundaryMode::NearestEven && OddMantissa;
 }
 
 void recordSlowDigits(EngineStats &Stats, size_t NumDigits) {
@@ -215,8 +122,8 @@ size_t finish(const BufWriter &W, EngineStats &Stats) {
 /// Writes NaN / infinity / zero, or returns false for finite non-zero
 /// values.  \p writeZero emits the format-specific zero text (sign already
 /// written).
-template <typename WriteZero>
-bool putSpecial(BufWriter &W, double Value, EngineStats &Stats,
+template <typename T, typename WriteZero>
+bool putSpecial(BufWriter &W, T Value, EngineStats &Stats,
                 WriteZero writeZero) {
   switch (classify(Value)) {
   case FpClass::NaN:
@@ -240,8 +147,11 @@ bool putSpecial(BufWriter &W, double Value, EngineStats &Stats,
 
 } // namespace
 
-size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
+template <typename T>
+size_t dragon4::engine::format(T Value, char *Buffer, size_t BufferSize,
                                const PrintOptions &Options, Scratch &S) {
+  using Traits = IeeeTraits<T>;
+  using Format = FormatTraits<T>;
   EngineStats &Stats = ScratchAccess::stats(S);
   BufWriter W{Buffer, BufferSize};
 
@@ -265,12 +175,14 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
                                      : prof::activePhaseCollector());
   obs::Path PathKind = obs::Path::Unknown;
   auto ObsEpilogue = [&](size_t Len) {
-    if (Sampled)
-      Obs.finishConversion(Obs.Current, PathKind,
-                           std::bit_cast<uint64_t>(Value), /*BitsHi=*/0,
-                           StartNs, obs::nowNanos() - StartNs,
+    if (Sampled) {
+      uint64_t BitsLo, BitsHi;
+      Format::encodingBits(Value, BitsLo, BitsHi);
+      Obs.finishConversion(Obs.Current, PathKind, BitsLo, BitsHi, StartNs,
+                           obs::nowNanos() - StartNs,
                            /*Truncated=*/Len > BufferSize,
                            /*Mismatch=*/false);
+    }
     return Len;
   };
 #else
@@ -278,10 +190,7 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
 #endif
   D4_PROF_SPAN(Total);
 
-  using Traits = IeeeTraits<double>;
-  Decomposed D;
   bool Negative = false;
-  bool Eligible = false;
   {
     D4_PROF_SPAN(Decompose);
     if (putSpecial(W, Value, Stats, [&W] { W.put('0'); })) {
@@ -290,70 +199,105 @@ size_t dragon4::engine::format(double Value, char *Buffer, size_t BufferSize,
 #endif
       return ObsEpilogue(finish(W, Stats));
     }
-    D = decompose(Value);
     Negative = signBit(Value);
-    Eligible = fastPathEligible(Options, D.F);
   }
 
   // All BigInt limbs below come from the Scratch arena; the scope rewinds
-  // it on every exit path.
+  // it on every exit path.  Wide mantissas (DecomposedBig's BigInt) live
+  // inside the scope so their limbs are arena-backed too -- D is declared
+  // after Scope and therefore destroyed before the arena rewinds.
   ConversionScope Scope(S);
+
+  using DecompT =
+      std::conditional_t<Format::WideMantissa, DecomposedBig, Decomposed>;
+  DecompT D;
+  bool OddMantissa = false;
+  {
+    D4_PROF_SPAN(Decompose);
+    if constexpr (Format::WideMantissa) {
+      D = decomposeBig(Value);
+      OddMantissa = D.F.testBit(0);
+    } else {
+      D = decompose(Value);
+      OddMantissa = (D.F & 1) != 0;
+    }
+  }
+  const bool OptionsAllowFast = fastPathEligible(Options, OddMantissa);
 
   std::span<const uint8_t> Digits;
   int K = 0;
-  // The FastPath phase span lives inside grisuShortestInto itself.
-  const bool FastOk =
-      Eligible && grisuShortestInto(D.F, D.E, Traits::Precision,
-                                    Traits::MinExponent,
-                                    ScratchAccess::fastDigits(S), K);
+  // The FastPath phase span lives inside grisuShortestInto itself.  Only
+  // certified formats (binary32/64) may enter it; the rest are counted as
+  // format-ineligible below rather than silently special-cased.
+  bool FastOk = false;
+  if constexpr (Format::FastPathCertified) {
+    if (OptionsAllowFast)
+      FastOk = grisuShortestInto(D.F, D.E, Traits::Precision,
+                                 Traits::MinExponent,
+                                 ScratchAccess::fastDigits(S), K);
+  }
   if (FastOk) {
     ++Stats.FastPathHits;
     Digits = ScratchAccess::fastDigits(S);
 #if DRAGON4_OBS_ENABLED
     PathKind = obs::Path::FastPath;
-    if (auto *T = obs::activeTrace()) {
+    if (auto *Trace = obs::activeTrace()) {
       // The fast path bypasses the digit loop's trace point.
-      T->DigitsEmitted = static_cast<uint32_t>(Digits.size());
-      T->FinalK = K;
+      Trace->DigitsEmitted = static_cast<uint32_t>(Digits.size());
+      Trace->FinalK = K;
     }
 #endif
   } else {
-    if (Eligible) {
+    if (Format::FastPathCertified && OptionsAllowFast) {
       ++Stats.FastPathFails;
 #if DRAGON4_OBS_ENABLED
       PathKind = obs::Path::SlowFallback;
-      if (auto *T = obs::activeTrace())
-        T->FastFail = 1; // Attempted but uncertified.
+      if (auto *Trace = obs::activeTrace())
+        Trace->FastFail = 1; // Attempted but uncertified.
 #endif
     } else {
       ++Stats.SlowPathDirect;
+      // The format-ineligible dimension is option-independent: for an
+      // uncertified format no option setting could reach the fast path,
+      // so every slow-direct conversion is counted.
+      if (!Format::FastPathCertified)
+        ++Stats.FastPathIneligibleFormat;
 #if DRAGON4_OBS_ENABLED
       PathKind = obs::Path::SlowDirect;
-      if (auto *T = obs::activeTrace())
-        T->FastFail = 2; // Ineligible for the fast path.
+      if (auto *Trace = obs::activeTrace())
+        Trace->FastFail = 2; // Ineligible for the fast path.
 #endif
     }
     DigitLoopResult &Loop = ScratchAccess::loop(S);
-    K = freeFormatDigitsInto(D.F, D.E, Traits::Precision, Traits::MinExponent,
-                             freeOptionsFrom(Options), Loop);
+    if constexpr (Format::WideMantissa)
+      K = freeFormatDigitsBigInto(D.F, D.E, Traits::Precision,
+                                  Traits::MinExponent,
+                                  freeOptionsFrom(Options), Loop);
+    else
+      K = freeFormatDigitsInto(D.F, D.E, Traits::Precision,
+                               Traits::MinExponent, freeOptionsFrom(Options),
+                               Loop);
     Digits = Loop.Digits;
     recordSlowDigits(Stats, Digits.size());
   }
   ++Stats.Conversions;
+  ++Stats.FormatConversions[static_cast<int>(Format::Id)];
 
   {
     D4_PROF_SPAN(Render);
-    putAuto(W, Digits, K, /*TrailingMarks=*/0, Negative,
-            renderOptionsFrom(Options));
+    render_detail::renderAutoInto(W, Digits, K, /*TrailingMarks=*/0, Negative,
+                                  renderOptionsFrom(Options));
   }
   S.syncArenaStats();
   return ObsEpilogue(finish(W, Stats));
 }
 
-size_t dragon4::engine::formatFixed(double Value, int FractionDigits,
-                                    char *Buffer, size_t BufferSize,
+template <typename T>
+size_t dragon4::engine::formatFixed(T Value, int FractionDigits, char *Buffer,
+                                    size_t BufferSize,
                                     const PrintOptions &Options, Scratch &S) {
   D4_ASSERT(FractionDigits >= 0, "negative fraction-digit count");
+  using Format = FormatTraits<T>;
   EngineStats &Stats = ScratchAccess::stats(S);
   BufWriter W{Buffer, BufferSize};
 
@@ -371,12 +315,14 @@ size_t dragon4::engine::formatFixed(double Value, int FractionDigits,
                                      : prof::activePhaseCollector());
   obs::Path PathKind = obs::Path::Fixed;
   auto ObsEpilogue = [&](size_t Len) {
-    if (Sampled)
-      Obs.finishConversion(Obs.Current, PathKind,
-                           std::bit_cast<uint64_t>(Value), /*BitsHi=*/0,
-                           StartNs, obs::nowNanos() - StartNs,
+    if (Sampled) {
+      uint64_t BitsLo, BitsHi;
+      Format::encodingBits(Value, BitsLo, BitsHi);
+      Obs.finishConversion(Obs.Current, PathKind, BitsLo, BitsHi, StartNs,
+                           obs::nowNanos() - StartNs,
                            /*Truncated=*/Len > BufferSize,
                            /*Mismatch=*/false);
+    }
     return Len;
   };
 #else
@@ -404,26 +350,41 @@ size_t dragon4::engine::formatFixed(double Value, int FractionDigits,
   DigitString Digits =
       fixedDigitsAbsolute(Value, -FractionDigits, fixedOptionsFrom(Options));
   ++Stats.Conversions;
+  ++Stats.FormatConversions[static_cast<int>(Format::Id)];
   ++Stats.SlowPathDirect;
   recordSlowDigits(Stats, Digits.Digits.size());
 
   {
     D4_PROF_SPAN(Render);
-    putPositional(W, Digits.Digits, Digits.K, Digits.TrailingMarks,
-                  signBit(Value), renderOptionsFrom(Options));
+    render_detail::renderPositionalInto(W, Digits.Digits, Digits.K,
+                                        Digits.TrailingMarks, signBit(Value),
+                                        renderOptionsFrom(Options));
   }
   S.syncArenaStats();
   return ObsEpilogue(finish(W, Stats));
 }
 
-size_t dragon4::engine::shortestSlotSize(unsigned Base) {
-  D4_ASSERT(Base >= 2 && Base <= 36, "base out of range");
-  // Worst cases (sign + widest positional window or scientific form):
-  // base 10 tops out at 25 bytes ("-d.ddddddddddddddddde-324"); low bases
-  // carry up to 53 significant digits and 4-digit exponents.
-  if (Base >= 10)
-    return 32;
-  if (Base >= 3)
-    return 48;
-  return 64;
-}
+namespace dragon4::engine {
+
+template size_t format<Binary16>(Binary16, char *, size_t,
+                                 const PrintOptions &, Scratch &);
+template size_t format<float>(float, char *, size_t, const PrintOptions &,
+                              Scratch &);
+template size_t format<double>(double, char *, size_t, const PrintOptions &,
+                               Scratch &);
+template size_t format<long double>(long double, char *, size_t,
+                                    const PrintOptions &, Scratch &);
+template size_t format<Binary128>(Binary128, char *, size_t,
+                                  const PrintOptions &, Scratch &);
+template size_t formatFixed<Binary16>(Binary16, int, char *, size_t,
+                                      const PrintOptions &, Scratch &);
+template size_t formatFixed<float>(float, int, char *, size_t,
+                                   const PrintOptions &, Scratch &);
+template size_t formatFixed<double>(double, int, char *, size_t,
+                                    const PrintOptions &, Scratch &);
+template size_t formatFixed<long double>(long double, int, char *, size_t,
+                                         const PrintOptions &, Scratch &);
+template size_t formatFixed<Binary128>(Binary128, int, char *, size_t,
+                                       const PrintOptions &, Scratch &);
+
+} // namespace dragon4::engine

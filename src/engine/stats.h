@@ -17,6 +17,8 @@
 #ifndef DRAGON4_ENGINE_STATS_H
 #define DRAGON4_ENGINE_STATS_H
 
+#include "fp/format_id.h"
+
 #include <cstdint>
 #include <cstdio>
 
@@ -37,8 +39,17 @@ struct EngineStats {
   uint64_t Specials = 0;       ///< NaN / infinity / zero renderings.
   uint64_t FastPathHits = 0;   ///< Grisu certified the result.
   uint64_t FastPathFails = 0;  ///< Grisu attempted but could not certify.
-  uint64_t SlowPathDirect = 0; ///< Fast path not eligible (base/options).
+  uint64_t SlowPathDirect = 0; ///< Fast path not eligible (base/options/fmt).
   uint64_t Truncated = 0;      ///< Outputs that did not fit the buffer.
+
+  /// Conversions per format (indexed by FormatId); sums to Conversions.
+  uint64_t FormatConversions[NumFormatIds] = {};
+
+  /// Subset of SlowPathDirect whose format has no certified cached-power
+  /// table (binary16/extended80/binary128 today), so no option setting
+  /// could have reached the fast path.  The honest counterpart of a Grisu
+  /// table that only covers binary32/64.
+  uint64_t FastPathIneligibleFormat = 0;
 
   /// Digit-count histogram of conversions that ran the exact BigInt loop.
   uint64_t SlowDigitLength[DigitBuckets] = {};
@@ -67,6 +78,9 @@ struct EngineStats {
     FastPathFails += RHS.FastPathFails;
     SlowPathDirect += RHS.SlowPathDirect;
     Truncated += RHS.Truncated;
+    for (int I = 0; I < NumFormatIds; ++I)
+      FormatConversions[I] += RHS.FormatConversions[I];
+    FastPathIneligibleFormat += RHS.FastPathIneligibleFormat;
     for (int I = 0; I < DigitBuckets; ++I)
       SlowDigitLength[I] += RHS.SlowDigitLength[I];
     if (RHS.ArenaHighWaterBytes > ArenaHighWaterBytes)

@@ -74,19 +74,22 @@ void appendExponent(std::string &Out, int Exponent, bool Uppercase) {
   Out += DigitsText;
 }
 
-/// %e / %E body for a finite non-zero magnitude.
-std::string bodyScientific(double Magnitude, int Precision, bool Uppercase,
+/// %e / %E body for a finite non-zero value (the digit machinery is
+/// sign-agnostic, so the sign needs no stripping here).
+template <typename T>
+std::string bodyScientific(T Value, int Precision, bool Uppercase,
                            bool Alternate) {
   DigitString D =
-      straightforwardDigits(Magnitude, Precision + 1, 10, TieBreak::RoundEven);
+      straightforwardDigits(Value, Precision + 1, 10, TieBreak::RoundEven);
   std::string Out = mantissaText(D.Digits, Precision, Alternate);
   appendExponent(Out, D.K - 1, Uppercase);
   return Out;
 }
 
-/// %f / %F body for a finite non-zero magnitude.
-std::string bodyFixed(double Magnitude, int Precision, bool Alternate) {
-  DigitString D = straightforwardDigitsAbsolute(Magnitude, -Precision, 10,
+/// %f / %F body for a finite non-zero value.
+template <typename T>
+std::string bodyFixed(T Value, int Precision, bool Alternate) {
+  DigitString D = straightforwardDigitsAbsolute(Value, -Precision, 10,
                                                 TieBreak::RoundEven);
   // D covers positions D.K-1 down to -Precision.
   std::string Out;
@@ -108,12 +111,13 @@ std::string bodyFixed(double Magnitude, int Precision, bool Alternate) {
   return Out;
 }
 
-/// %g / %G body for a finite non-zero magnitude.
-std::string bodyGeneral(double Magnitude, int Precision, bool Uppercase,
+/// %g / %G body for a finite non-zero value.
+template <typename T>
+std::string bodyGeneral(T Value, int Precision, bool Uppercase,
                         bool Alternate) {
   int Significant = Precision < 1 ? 1 : Precision;
   DigitString D =
-      straightforwardDigits(Magnitude, Significant, 10, TieBreak::RoundEven);
+      straightforwardDigits(Value, Significant, 10, TieBreak::RoundEven);
   int Exponent = D.K - 1;
 
   std::string Out;
@@ -196,7 +200,10 @@ std::string zeroBody(char Conversion, int Precision, bool Alternate) {
 
 } // namespace
 
-std::string dragon4::formatPrintf(double Value, const PrintfSpec &Spec) {
+namespace dragon4 {
+
+template <typename T>
+std::string formatPrintf(T Value, const PrintfSpec &Spec) {
   const char C = Spec.Conversion;
   D4_ASSERT(C == 'e' || C == 'E' || C == 'f' || C == 'F' || C == 'g' ||
                 C == 'G',
@@ -220,25 +227,24 @@ std::string dragon4::formatPrintf(double Value, const PrintfSpec &Spec) {
     break;
   }
 
-  double Magnitude = Negative ? -Value : Value;
   std::string Body;
   switch (C) {
   case 'e':
   case 'E':
-    Body = bodyScientific(Magnitude, Precision, Uppercase, Spec.Alternate);
+    Body = bodyScientific(Value, Precision, Uppercase, Spec.Alternate);
     break;
   case 'f':
   case 'F':
-    Body = bodyFixed(Magnitude, Precision, Spec.Alternate);
+    Body = bodyFixed(Value, Precision, Spec.Alternate);
     break;
   default:
-    Body = bodyGeneral(Magnitude, Precision, Uppercase, Spec.Alternate);
+    Body = bodyGeneral(Value, Precision, Uppercase, Spec.Alternate);
     break;
   }
   return pad(std::move(Sign), std::move(Body), Spec, /*AllowZeroPad=*/true);
 }
 
-std::string dragon4::formatPrintf(double Value, const char *Spec) {
+template <typename T> std::string formatPrintf(T Value, const char *Spec) {
   D4_ASSERT(Spec && *Spec, "empty printf specification");
   PrintfSpec Parsed;
   const char *P = Spec;
@@ -270,3 +276,18 @@ std::string dragon4::formatPrintf(double Value, const char *Spec) {
   Parsed.Conversion = *P;
   return formatPrintf(Value, Parsed);
 }
+
+template std::string formatPrintf<Binary16>(Binary16, const PrintfSpec &);
+template std::string formatPrintf<float>(float, const PrintfSpec &);
+template std::string formatPrintf<double>(double, const PrintfSpec &);
+template std::string formatPrintf<long double>(long double,
+                                               const PrintfSpec &);
+template std::string formatPrintf<Binary128>(Binary128, const PrintfSpec &);
+
+template std::string formatPrintf<Binary16>(Binary16, const char *);
+template std::string formatPrintf<float>(float, const char *);
+template std::string formatPrintf<double>(double, const char *);
+template std::string formatPrintf<long double>(long double, const char *);
+template std::string formatPrintf<Binary128>(Binary128, const char *);
+
+} // namespace dragon4

@@ -17,10 +17,19 @@
 /// with no locale or buffer-size pitfalls, and the test suite gets a
 /// byte-level cross-validation oracle against the C library.
 ///
+/// The formatter is one format-generic template over the traits-driven
+/// digit machinery (baselines/fixed17.h), explicitly instantiated for all
+/// five supported formats; the C library can only cross-check the hardware
+/// types, but the software formats flow through the identical code.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRAGON4_FORMAT_PRINTF_COMPAT_H
 #define DRAGON4_FORMAT_PRINTF_COMPAT_H
+
+#include "fp/binary128.h"
+#include "fp/binary16.h"
+#include "fp/extended80.h"
 
 #include <string>
 
@@ -40,12 +49,29 @@ struct PrintfSpec {
 
 /// Formats \p Value per \p Spec.  Handles NaN/infinity/signed zero with C
 /// semantics ("inf"/"nan", upper-cased for E/F/G).
-std::string formatPrintf(double Value, const PrintfSpec &Spec);
+template <typename T>
+std::string formatPrintf(T Value, const PrintfSpec &Spec);
 
 /// Parses a specification string like "%.17e" or "%+012.3f" (the leading
 /// '%' is optional) and formats.  Asserts on malformed specifications --
 /// this is a programmer-supplied format, not untrusted input.
-std::string formatPrintf(double Value, const char *Spec);
+template <typename T> std::string formatPrintf(T Value, const char *Spec);
+
+extern template std::string formatPrintf<Binary16>(Binary16,
+                                                   const PrintfSpec &);
+extern template std::string formatPrintf<float>(float, const PrintfSpec &);
+extern template std::string formatPrintf<double>(double, const PrintfSpec &);
+extern template std::string formatPrintf<long double>(long double,
+                                                      const PrintfSpec &);
+extern template std::string formatPrintf<Binary128>(Binary128,
+                                                    const PrintfSpec &);
+
+extern template std::string formatPrintf<Binary16>(Binary16, const char *);
+extern template std::string formatPrintf<float>(float, const char *);
+extern template std::string formatPrintf<double>(double, const char *);
+extern template std::string formatPrintf<long double>(long double,
+                                                      const char *);
+extern template std::string formatPrintf<Binary128>(Binary128, const char *);
 
 } // namespace dragon4
 

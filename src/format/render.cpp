@@ -3,95 +3,55 @@
 // Part of libdragon4. SPDX-License-Identifier: MIT
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// std::string front end over the writer-generic renderers in
+/// render_core.h (the char-buffer engine drives the same templates, which
+/// is what keeps engine::format byte-identical to toShortest).
+///
+//===----------------------------------------------------------------------===//
 
 #include "format/render.h"
 
-#include "support/checks.h"
-
-#include <cstdio>
+#include "format/render_core.h"
 
 using namespace dragon4;
 
 namespace {
 
-char digitChar(uint8_t Value, bool Uppercase) {
-  static const char Lower[] = "0123456789abcdefghijklmnopqrstuvwxyz";
-  static const char Upper[] = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
-  return Uppercase ? Upper[Value] : Lower[Value];
-}
+/// render_core Writer over a growing std::string.
+struct StringWriter {
+  std::string Out;
 
-/// Appends the symbol for output position \p Index (0-based from the most
-/// significant end): a digit, or the mark character past the digits.
-void appendPosition(std::string &Out, const DigitString &Digits, int Index,
-                    const RenderOptions &Options) {
-  if (Index < static_cast<int>(Digits.Digits.size())) {
-    Out.push_back(digitChar(Digits.Digits[static_cast<size_t>(Index)],
-                            Options.UppercaseDigits));
-    return;
-  }
-  Out.push_back(Options.MarkChar);
-}
+  void put(char C) { Out.push_back(C); }
+  void fill(size_t Count, char C) { Out.append(Count, C); }
+  void literal(const char *Text) { Out.append(Text); }
+};
 
 } // namespace
 
 std::string dragon4::renderPositional(const DigitString &Digits,
                                       bool Negative,
                                       const RenderOptions &Options) {
-  const int Width = Digits.width();
-  const int K = Digits.K;
-  std::string Out;
-  if (Negative)
-    Out.push_back('-');
-
-  if (K <= 0) {
-    // Pure fraction: 0.000ddd…
-    Out.append("0.");
-    Out.append(static_cast<size_t>(-K), '0');
-    for (int I = 0; I < Width; ++I)
-      appendPosition(Out, Digits, I, Options);
-    return Out;
-  }
-
-  // Integer part: positions K-1 down to max(0, lastPlace); pad with zeros
-  // if the conversion stopped left of the radix point.
-  int Index = 0;
-  for (int Place = K - 1; Place >= 0; --Place, ++Index) {
-    if (Index < Width)
-      appendPosition(Out, Digits, Index, Options);
-    else
-      Out.push_back('0');
-  }
-  if (Index >= Width)
-    return Out; // Nothing after the point.
-  Out.push_back('.');
-  for (; Index < Width; ++Index)
-    appendPosition(Out, Digits, Index, Options);
-  return Out;
+  StringWriter W;
+  render_detail::renderPositionalInto(W, Digits.Digits, Digits.K,
+                                      Digits.TrailingMarks, Negative, Options);
+  return std::move(W.Out);
 }
 
 std::string dragon4::renderScientific(const DigitString &Digits,
                                       bool Negative,
                                       const RenderOptions &Options) {
-  D4_ASSERT(Digits.width() > 0, "cannot render an empty digit string");
-  std::string Out;
-  if (Negative)
-    Out.push_back('-');
-  appendPosition(Out, Digits, 0, Options);
-  if (Digits.width() > 1) {
-    Out.push_back('.');
-    for (int I = 1; I < Digits.width(); ++I)
-      appendPosition(Out, Digits, I, Options);
-  }
-  Out.push_back(Options.ExponentMarker);
-  char ExpBuf[16];
-  std::snprintf(ExpBuf, sizeof(ExpBuf), "%+d", Digits.K - 1);
-  Out.append(ExpBuf);
-  return Out;
+  StringWriter W;
+  render_detail::renderScientificInto(W, Digits.Digits, Digits.K,
+                                      Digits.TrailingMarks, Negative, Options);
+  return std::move(W.Out);
 }
 
 std::string dragon4::renderAuto(const DigitString &Digits, bool Negative,
                                 const RenderOptions &Options) {
-  if (Digits.K > Options.PositionalMinK && Digits.K <= Options.PositionalMaxK)
-    return renderPositional(Digits, Negative, Options);
-  return renderScientific(Digits, Negative, Options);
+  StringWriter W;
+  render_detail::renderAutoInto(W, Digits.Digits, Digits.K,
+                                Digits.TrailingMarks, Negative, Options);
+  return std::move(W.Out);
 }

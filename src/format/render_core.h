@@ -1,0 +1,131 @@
+//===- format/render_core.h - Writer-generic digit rendering -----*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one implementation of positional/scientific/auto rendering, written
+/// against a minimal Writer concept (put/fill/literal) so the std::string
+/// renderers in render.cpp and the zero-allocation char-buffer engine emit
+/// byte-identical text from the same code instead of hand-kept twins.
+///
+/// Writer requirements:
+///   void put(char)                    append one character
+///   void fill(size_t, char)           append a run of one character
+///   void literal(const char *)        append a NUL-terminated literal
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FORMAT_RENDER_CORE_H
+#define DRAGON4_FORMAT_RENDER_CORE_H
+
+#include "format/render.h"
+#include "support/checks.h"
+
+#include <cstdint>
+#include <span>
+
+namespace dragon4::render_detail {
+
+inline char digitChar(uint8_t Value, bool Uppercase) {
+  static const char Lower[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  static const char Upper[] = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  return Uppercase ? Upper[Value] : Lower[Value];
+}
+
+/// Symbol for output position \p Index (0-based from the most significant
+/// end): a digit, or the mark character past the digits.
+template <typename Writer>
+void putPosition(Writer &W, std::span<const uint8_t> Digits, int Index,
+                 const RenderOptions &Options) {
+  if (Index < static_cast<int>(Digits.size())) {
+    W.put(digitChar(Digits[static_cast<size_t>(Index)],
+                    Options.UppercaseDigits));
+    return;
+  }
+  W.put(Options.MarkChar);
+}
+
+/// Decimal exponent with an explicit sign -- snprintf("%+d", Exponent).
+template <typename Writer> void putExponent(Writer &W, int Exponent) {
+  W.put(Exponent < 0 ? '-' : '+');
+  unsigned Magnitude = Exponent < 0 ? 0u - static_cast<unsigned>(Exponent)
+                                    : static_cast<unsigned>(Exponent);
+  char Reversed[12];
+  int Count = 0;
+  do {
+    Reversed[Count++] = static_cast<char>('0' + Magnitude % 10);
+    Magnitude /= 10;
+  } while (Magnitude != 0);
+  while (Count > 0)
+    W.put(Reversed[--Count]);
+}
+
+/// Positional notation, e.g. "123.45", "0.00078", "12300".
+template <typename Writer>
+void renderPositionalInto(Writer &W, std::span<const uint8_t> Digits, int K,
+                          int TrailingMarks, bool Negative,
+                          const RenderOptions &Options) {
+  const int Width = static_cast<int>(Digits.size()) + TrailingMarks;
+  if (Negative)
+    W.put('-');
+
+  if (K <= 0) {
+    // Pure fraction: 0.000ddd...
+    W.literal("0.");
+    W.fill(static_cast<size_t>(-K), '0');
+    for (int I = 0; I < Width; ++I)
+      putPosition(W, Digits, I, Options);
+    return;
+  }
+
+  // Integer part: positions K-1 down to 0, zero-padded if the conversion
+  // stopped left of the radix point.
+  int Index = 0;
+  for (int Place = K - 1; Place >= 0; --Place, ++Index) {
+    if (Index < Width)
+      putPosition(W, Digits, Index, Options);
+    else
+      W.put('0');
+  }
+  if (Index >= Width)
+    return; // Nothing after the point.
+  W.put('.');
+  for (; Index < Width; ++Index)
+    putPosition(W, Digits, Index, Options);
+}
+
+/// Scientific notation "d.ddd...e±x"; the exponent is always decimal.
+template <typename Writer>
+void renderScientificInto(Writer &W, std::span<const uint8_t> Digits, int K,
+                          int TrailingMarks, bool Negative,
+                          const RenderOptions &Options) {
+  const int Width = static_cast<int>(Digits.size()) + TrailingMarks;
+  D4_ASSERT(Width > 0, "cannot render an empty digit string");
+  if (Negative)
+    W.put('-');
+  putPosition(W, Digits, 0, Options);
+  if (Width > 1) {
+    W.put('.');
+    for (int I = 1; I < Width; ++I)
+      putPosition(W, Digits, I, Options);
+  }
+  W.put(Options.ExponentMarker);
+  putExponent(W, K - 1);
+}
+
+/// Chooses positional or scientific per the options' K window.
+template <typename Writer>
+void renderAutoInto(Writer &W, std::span<const uint8_t> Digits, int K,
+                    int TrailingMarks, bool Negative,
+                    const RenderOptions &Options) {
+  if (K > Options.PositionalMinK && K <= Options.PositionalMaxK)
+    renderPositionalInto(W, Digits, K, TrailingMarks, Negative, Options);
+  else
+    renderScientificInto(W, Digits, K, TrailingMarks, Negative, Options);
+}
+
+} // namespace dragon4::render_detail
+
+#endif // DRAGON4_FORMAT_RENDER_CORE_H

@@ -121,26 +121,3 @@ Binary128 Binary128::fromDouble(double Value) {
   return Binary128::fromBits(Magnitude.highBits() | (uint64_t(1) << 63),
                              Magnitude.lowBits());
 }
-
-DigitString dragon4::shortestDigits(Binary128 Value,
-                                    const FreeFormatOptions &Options) {
-  DecomposedBig D = decomposeBig(Value);
-  return freeFormatDigitsBig(D.F, D.E, IeeeTraits<Binary128>::Precision,
-                             IeeeTraits<Binary128>::MinExponent, Options);
-}
-
-DigitString dragon4::fixedDigitsAbsolute(Binary128 Value, int Position,
-                                         const FixedFormatOptions &Options) {
-  DecomposedBig D = decomposeBig(Value);
-  return fixedFormatAbsoluteBig(D.F, D.E, IeeeTraits<Binary128>::Precision,
-                                IeeeTraits<Binary128>::MinExponent, Position,
-                                Options);
-}
-
-DigitString dragon4::fixedDigitsRelative(Binary128 Value, int NumDigits,
-                                         const FixedFormatOptions &Options) {
-  DecomposedBig D = decomposeBig(Value);
-  return fixedFormatRelativeBig(D.F, D.E, IeeeTraits<Binary128>::Precision,
-                                IeeeTraits<Binary128>::MinExponent, NumDigits,
-                                Options);
-}

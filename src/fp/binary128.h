@@ -8,9 +8,11 @@
 /// IEEE-754 binary128 ("quad"), held as its 128-bit encoding.  Its 113-bit
 /// significand does not fit the uint64_t Decomposed form the narrower
 /// formats share, so this header introduces the BigInt-mantissa view
-/// (DecomposedBig) and non-template conversion entry points that route to
-/// the library's *Big generalizations.  No quad arithmetic is provided or
-/// needed: printing and reading only require the encoding.
+/// (DecomposedBig).  The generic conversion templates in core/ detect
+/// Precision > 64 and route through decomposeBig to the library's *Big
+/// generalizations, so no quad-specific conversion entry points exist.  No
+/// quad arithmetic is provided or needed: printing and reading only
+/// require the encoding.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,9 +20,6 @@
 #define DRAGON4_FP_BINARY128_H
 
 #include "bigint/bigint.h"
-#include "core/digits.h"
-#include "core/fixed_format.h"
-#include "core/free_format.h"
 #include "fp/ieee_traits.h"
 
 namespace dragon4 {
@@ -82,18 +81,6 @@ DecomposedBig decomposeBig(Binary128 Value);
 /// Recomposes a positive magnitude (inverse of decomposeBig; accepts
 /// shiftable un-normalized mantissas like the narrow-format compose).
 Binary128 composeBig(BigInt F, int E);
-
-/// Shortest digits of a finite non-zero quad (magnitude only).
-DigitString shortestDigits(Binary128 Value,
-                           const FreeFormatOptions &Options = {});
-
-/// Fixed-format digits of a finite non-zero quad at an absolute position.
-DigitString fixedDigitsAbsolute(Binary128 Value, int Position,
-                                const FixedFormatOptions &Options = {});
-
-/// Fixed-format digits of a finite non-zero quad, NumDigits positions.
-DigitString fixedDigitsRelative(Binary128 Value, int NumDigits,
-                                const FixedFormatOptions &Options = {});
 
 } // namespace dragon4
 

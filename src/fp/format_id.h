@@ -1,0 +1,58 @@
+//===- fp/format_id.h - Runtime format identifiers ---------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny runtime identifier for the five supported IEEE-754 formats, kept
+/// free of any dependency on the format types themselves so low-level
+/// layers (engine counters, exporters) can dimension arrays by format
+/// without pulling in the fp headers.  The compile-time mapping from a
+/// C++ type to its FormatId lives in fp/format_traits.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_FP_FORMAT_ID_H
+#define DRAGON4_FP_FORMAT_ID_H
+
+#include <cstdint>
+
+namespace dragon4 {
+
+/// The supported floating-point formats, in significand-width order.
+/// Used as an array index everywhere a per-format dimension exists
+/// (EngineStats::FormatConversions, the obs per-format counters, AnyValue
+/// dispatch), so the enumerators must stay dense and start at zero.
+enum class FormatId : uint8_t {
+  Binary16,   ///< IEEE binary16 (software Binary16), p = 11.
+  Binary32,   ///< IEEE binary32 (float), p = 24.
+  Binary64,   ///< IEEE binary64 (double), p = 53.
+  Extended80, ///< x87 80-bit extended (long double), p = 64.
+  Binary128,  ///< IEEE binary128 (software Binary128), p = 113.
+};
+
+/// Number of FormatId enumerators (per-format array dimension).
+inline constexpr int NumFormatIds = 5;
+
+/// Lower-case interchange-format name ("binary16", ..., "extended80"),
+/// matching the names the verify harness and the obs exporters use.
+constexpr const char *formatIdName(FormatId Id) {
+  switch (Id) {
+  case FormatId::Binary16:
+    return "binary16";
+  case FormatId::Binary32:
+    return "binary32";
+  case FormatId::Binary64:
+    return "binary64";
+  case FormatId::Extended80:
+    return "extended80";
+  case FormatId::Binary128:
+    return "binary128";
+  }
+  return "?";
+}
+
+} // namespace dragon4
+
+#endif // DRAGON4_FP_FORMAT_ID_H

@@ -198,7 +198,17 @@ Snapshot dragon4::obs::makeSnapshot(const engine::EngineStats &Stats,
   Snap.addCounter("dragon4_fastpath_hits_total", Stats.FastPathHits);
   Snap.addCounter("dragon4_fastpath_fails_total", Stats.FastPathFails);
   Snap.addCounter("dragon4_slowpath_direct_total", Stats.SlowPathDirect);
+  Snap.addCounter("dragon4_fastpath_ineligible_format_total",
+                  Stats.FastPathIneligibleFormat);
   Snap.addCounter("dragon4_truncated_total", Stats.Truncated);
+  // Per-format conversion counts (only formats actually seen, so the
+  // double-only exports stay unchanged byte for byte).
+  for (int I = 0; I < NumFormatIds; ++I)
+    if (Stats.FormatConversions[I])
+      Snap.addCounter(std::string("dragon4_format_") +
+                          formatIdName(static_cast<FormatId>(I)) +
+                          "_conversions_total",
+                      Stats.FormatConversions[I]);
   Snap.addCounter("dragon4_arena_block_allocs_total", Stats.ArenaBlockAllocs);
   Snap.addCounter("dragon4_batches_total", Stats.Batches);
   Snap.addCounter("dragon4_batch_values_total", Stats.BatchValues);

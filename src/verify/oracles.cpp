@@ -252,9 +252,13 @@ bool oracleLibcRead(float Value, std::string &Detail) {
   return true;
 }
 
-bool oracleEngineFormat(double Value, engine::Scratch &S,
-                        std::string &Detail) {
-  char Buf[64];
+/// Engine-vs-string equivalence for any format: the buffer API must be
+/// byte-identical to toShortest through the same traits-driven pipeline.
+/// The buffer is the format's proven worst-case bound, so a length beyond
+/// it is itself a failure (the overflow-impossible contract).
+template <typename T>
+bool oracleEngineFormat(T Value, engine::Scratch &S, std::string &Detail) {
+  char Buf[engine::maxShortestBufferSize<T>(10)];
   size_t Length = engine::format(Value, Buf, sizeof(Buf), PrintOptions{}, S);
   std::string Expected = toShortest(Value);
   if (Length > sizeof(Buf) ||
@@ -309,15 +313,13 @@ Verdict checkValue(T Value, unsigned Oracles, engine::Scratch *S) {
       Record(OracleLibc, oracleLibcRead(Value, Detail), Detail);
     }
   }
-  if constexpr (std::is_same_v<T, double>) {
-    if (Oracles & OracleEngine) {
-      std::string Detail;
-      if (S) {
-        Record(OracleEngine, oracleEngineFormat(Value, *S, Detail), Detail);
-      } else {
-        engine::Scratch Local;
-        Record(OracleEngine, oracleEngineFormat(Value, Local, Detail), Detail);
-      }
+  if (Oracles & OracleEngine) {
+    std::string Detail;
+    if (S) {
+      Record(OracleEngine, oracleEngineFormat(Value, *S, Detail), Detail);
+    } else {
+      engine::Scratch Local;
+      Record(OracleEngine, oracleEngineFormat(Value, Local, Detail), Detail);
     }
   }
   return Result;
@@ -362,15 +364,17 @@ uint64_t dragon4::verify::encodingCount(FloatFormat Format) {
 }
 
 unsigned dragon4::verify::supportedOracles(FloatFormat Format) {
+  // The engine oracle is format-generic (the buffer pipeline is one
+  // traits-driven template), so only libc -- which needs a hardware type
+  // with a C-library reader -- is restricted.
   switch (Format) {
   case FloatFormat::Binary16:
-    return OracleRoundTrip | OracleShortest | OracleReference;
+    return OracleAll & ~OracleLibc;
   case FloatFormat::Binary32:
-    return OracleRoundTrip | OracleShortest | OracleReference | OracleLibc;
   case FloatFormat::Binary64:
     return OracleAll;
   case FloatFormat::Binary128:
-    return OracleRoundTrip | OracleShortest | OracleReference;
+    return OracleAll & ~OracleLibc;
   }
   return 0;
 }

@@ -19,7 +19,8 @@
 ///              implementation sharing no code with the fast path)
 ///   libc       strtod/strtof read-back of our output (an oracle outside
 ///              this codebase entirely; binary32/binary64 only)
-///   engine     engine::format byte-identical to toShortest (binary64)
+///   engine     engine::format byte-identical to toShortest (every format:
+///              the buffer pipeline is one traits-driven template)
 ///
 /// Values are addressed by raw bit pattern, so every mismatch is trivially
 /// replayable (see verify/corpus.h) and exhaustive sweeps are plain
@@ -63,8 +64,8 @@ enum : unsigned {
   OracleAll = (1u << 5) - 1,
 };
 
-/// The subset of OracleAll implemented for \p Format (libc needs a
-/// hardware type, engine is the double-only buffer API).
+/// The subset of OracleAll implemented for \p Format (everything except
+/// libc, which needs a hardware type with a C-library reader).
 unsigned supportedOracles(FloatFormat Format);
 
 /// Comma-separated lower-case names of the oracles in \p Mask.

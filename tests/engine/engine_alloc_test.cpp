@@ -79,6 +79,63 @@ TEST(EngineAlloc, WarmShortestConversionsAllocateNothing) {
   EXPECT_GT(S.stats().ArenaHighWaterBytes, 0u);
 }
 
+/// The per-instantiation guarantee: warm conversions of ANY supported
+/// format allocate nothing.  One helper, five formats -- the same template
+/// the engine itself is built from.
+template <typename T>
+void checkWarmZeroAlloc(const std::vector<T> &Values) {
+  eng::Scratch S;
+  char Buf[64];
+  for (const T &V : Values)
+    eng::format(V, Buf, sizeof(Buf), PrintOptions{}, S);
+
+  uint64_t NewBefore = GlobalNewCount.load(std::memory_order_relaxed);
+  uint64_t LimbHeapBefore = limbHeapAllocCount();
+  for (const T &V : Values)
+    eng::format(V, Buf, sizeof(Buf), PrintOptions{}, S);
+  EXPECT_EQ(GlobalNewCount.load(std::memory_order_relaxed) - NewBefore, 0u);
+  EXPECT_EQ(limbHeapAllocCount() - LimbHeapBefore, 0u);
+  EXPECT_GT(S.stats().Conversions, 0u);
+}
+
+TEST(EngineAlloc, WarmFloatConversionsAllocateNothing) {
+  std::vector<float> Values = randomBitsFloats(384, 0xa110c011);
+  std::vector<float> Sub = randomSubnormalFloats(128, 0xa110c012);
+  Values.insert(Values.end(), Sub.begin(), Sub.end());
+  checkWarmZeroAlloc(Values);
+}
+
+TEST(EngineAlloc, WarmHalfConversionsAllocateNothing) {
+  std::vector<Binary16> Values;
+  for (uint32_t Bits = 1; Bits < 0x7c00; Bits += 61)
+    Values.push_back(Binary16::fromBits(static_cast<uint16_t>(Bits)));
+  checkWarmZeroAlloc(Values);
+}
+
+TEST(EngineAlloc, WarmExtended80ConversionsAllocateNothing) {
+  SplitMix64 Rng(0xa110c013);
+  std::vector<long double> Values;
+  for (int I = 0; I < 384; ++I) {
+    uint64_t F = Rng.next() | (uint64_t(1) << 63);
+    int E = static_cast<int>(Rng.below(8000)) - 4000;
+    Values.push_back(std::ldexp(static_cast<long double>(F), E - 63));
+  }
+  checkWarmZeroAlloc(Values);
+}
+
+TEST(EngineAlloc, WarmBinary128ConversionsAllocateNothing) {
+  // Wide-mantissa decomposition happens inside the conversion scope, so
+  // even the 113-bit significand's limbs are arena-backed.
+  SplitMix64 Rng(0xa110c014);
+  std::vector<Binary128> Values;
+  for (int I = 0; I < 128; ++I) {
+    uint64_t Hi = (Rng.next() & 0x0000FFFFFFFFFFFFull) |
+                  ((1 + Rng.below(0x7FFD)) << 48);
+    Values.push_back(Binary128::fromBits(Hi, Rng.next()));
+  }
+  checkWarmZeroAlloc(Values);
+}
+
 TEST(EngineAlloc, ForcedSlowPathAllocatesNothingWhenWarm) {
   eng::Scratch S;
   std::vector<double> Values = allocCorpus();

@@ -13,6 +13,8 @@
 
 #include "fp/binary128.h"
 
+#include "core/fixed_format.h"
+#include "core/free_format.h"
 #include "core/reference.h"
 #include "format/dtoa.h"
 #include "reader/reader.h"

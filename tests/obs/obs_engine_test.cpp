@@ -41,7 +41,7 @@ struct ConfigGuard {
 /// Runs \p Values through a BatchEngine with \p Threads workers at
 /// SampleEvery = 1 and returns the merged registry.
 obs::Registry runBatch(const std::vector<double> &Values, unsigned Threads) {
-  eng::BatchEngine Engine(Threads);
+  eng::BatchEngine<double> Engine(Threads);
   eng::StringTable Table;
   Engine.convert(Values, Table, PrintOptions{});
   return Engine.registry();

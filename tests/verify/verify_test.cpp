@@ -259,10 +259,10 @@ TEST(VerifyInjection, DigitLoopBugCaughtMinimizedReplayed) {
 /// Runs the binary16 subrange sweep sharded over \p Threads workers and
 /// returns (sorted failing encodings, verdicts checked).
 std::pair<std::vector<uint64_t>, uint64_t> sweepWithThreads(unsigned Threads) {
-  engine::BatchEngine Engine(Threads);
+  engine::BatchPool Pool(Threads);
   std::mutex Mutex;
   std::vector<uint64_t> Failing;
-  Engine.parallelFor(0x2000, [&](size_t Begin, size_t End,
+  Pool.parallelFor(0x2000, [&](size_t Begin, size_t End,
                                  engine::Scratch &S) {
     for (size_t Index = Begin; Index < End; ++Index) {
       BitPattern Bits =
@@ -274,7 +274,7 @@ std::pair<std::vector<uint64_t>, uint64_t> sweepWithThreads(unsigned Threads) {
     }
   });
   std::sort(Failing.begin(), Failing.end());
-  return {Failing, Engine.stats().VerifyChecked};
+  return {Failing, Pool.stats().VerifyChecked};
 }
 
 TEST(VerifySharding, DeterministicForAnyThreadCount) {

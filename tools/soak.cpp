@@ -8,7 +8,9 @@
 /// A deterministic large-scale property checker, for soak runs beyond what
 /// belongs in ctest: millions of values through the core invariants --
 /// round-trip identity, minimality, fast-path agreement, fixed/free
-/// consistency -- with a seed and a count on the command line.  Exit code
+/// consistency -- with a seed and a count on the command line, plus a
+/// worker-sharded batch stage (BatchEngine<float> and a mixed-format
+/// AnyBatch) checked slot-by-slot against the string API.  Exit code
 /// 0 means every property held on every value.
 ///
 ///   ./build/tools/soak [count=1000000] [seed=1]
@@ -150,6 +152,72 @@ int main(int Argc, char **Argv) {
   Run(randomNormalDoubles(Count / 3, Rng.next()));
   Run(randomSubnormalDoubles(Count / 3, Rng.next()));
   Run(randomBitsDoubles(Count - 2 * (Count / 3), Rng.next()));
+
+  // 7. Generic batch stage: the worker-sharded engine over a non-double
+  // format (binary32, typed) and a mixed-format AnyBatch, every slot
+  // checked against the string API.  This is the soak's coverage of the
+  // BatchPool sharding for formats beyond binary64.
+  {
+    size_t BatchCount = Count / 4 ? Count / 4 : 1;
+    std::vector<float> Floats = randomBitsFloats(BatchCount, Rng.next());
+    engine::BatchEngine<float> FloatEngine(4);
+    engine::StringTable Table;
+    FloatEngine.convert(Floats, Table, PrintOptions{});
+    for (size_t I = 0; I < Floats.size(); ++I) {
+      if (std::string(Table.view(I)) != toShortest(Floats[I]))
+        Failures.note("batch32", Floats[I], std::string(Table.view(I)));
+      ++Done;
+    }
+
+    std::vector<engine::AnyValue> Mixed;
+    std::vector<std::string> Expected;
+    size_t MixedCount = BatchCount < 4000 ? BatchCount : 4000;
+    std::vector<double> Doubles = randomBitsDoubles(MixedCount, Rng.next());
+    for (size_t I = 0; I < MixedCount; ++I) {
+      switch (I % 5) {
+      case 0:
+        Mixed.push_back(engine::AnyValue::of(Doubles[I]));
+        Expected.push_back(toShortest(Doubles[I]));
+        break;
+      case 1:
+        Mixed.push_back(engine::AnyValue::of(Floats[I]));
+        Expected.push_back(toShortest(Floats[I]));
+        break;
+      case 2: {
+        Binary16 H = Binary16::fromBits(static_cast<uint16_t>(I * 131));
+        Mixed.push_back(engine::AnyValue::of(H));
+        Expected.push_back(toShortest(H));
+        break;
+      }
+      case 3: {
+        long double E = static_cast<long double>(Doubles[I]) / 3.0L;
+        Mixed.push_back(engine::AnyValue::of(E));
+        Expected.push_back(toShortest(E));
+        break;
+      }
+      default: {
+        Binary128 Q = Binary128::fromDouble(Doubles[I]);
+        Mixed.push_back(engine::AnyValue::of(Q));
+        Expected.push_back(toShortest(Q));
+        break;
+      }
+      }
+    }
+    engine::AnyBatch Any(4);
+    engine::StringTable MixedTable;
+    Any.convert(Mixed, MixedTable, PrintOptions{});
+    for (size_t I = 0; I < Mixed.size(); ++I) {
+      if (std::string(MixedTable.view(I)) != Expected[I])
+        Failures.note("any-batch", static_cast<double>(I),
+                      std::string(MixedTable.view(I)));
+      ++Done;
+    }
+
+    std::printf("soak: batch stage -- binary32 sharded stats:\n");
+    FloatEngine.stats().print(stdout, nullptr);
+    std::printf("soak: batch stage -- mixed-format sharded stats:\n");
+    Any.stats().print(stdout, nullptr);
+  }
 
   std::printf("soak: %zu values checked, %zu failures\n", Done,
               Failures.Count);

@@ -8,7 +8,7 @@
 /// Command-line driver for the src/verify/ harness: runs the pluggable
 /// oracles over exhaustive encoding sweeps (binary16, binary32) or
 /// deterministic stratified samples (binary64, binary128), sharded across
-/// a BatchEngine worker pool.  Mismatches become replayable corpus
+/// a BatchPool worker pool.  Mismatches become replayable corpus
 /// records; --replay re-runs a corpus file and exits nonzero if any record
 /// still fails.
 ///
@@ -282,11 +282,11 @@ struct SweepResult {
 /// sharded over \p Engine.  Deterministic for any thread count: the chunk
 /// boundaries are fixed and failures are sorted by encoding afterwards.
 template <typename BitsAtFn>
-SweepResult runSweep(engine::BatchEngine &Engine, uint64_t Count,
+SweepResult runSweep(engine::BatchPool &Pool, uint64_t Count,
                      const Options &Opts, BitsAtFn BitsAt) {
   SweepState State;
   uint64_t Start = nowNanos();
-  Engine.parallelFor(Count, [&](size_t Begin, size_t End, engine::Scratch &S) {
+  Pool.parallelFor(Count, [&](size_t Begin, size_t End, engine::Scratch &S) {
     for (size_t Index = Begin; Index < End; ++Index) {
       BitPattern Bits = BitsAt(Index);
       Verdict V = checkBits(Bits, Opts.Oracles, &S);
@@ -409,8 +409,8 @@ int main(int Argc, char **Argv) {
   if (Effective == 0)
     usage("none of the requested oracles support this format");
 
-  engine::BatchEngine Engine(Opts.Threads);
-  Opts.Threads = Engine.threads();
+  engine::BatchPool Pool(Opts.Threads);
+  Opts.Threads = Pool.threads();
 
   SweepResult Result;
   const char *Mode;
@@ -428,7 +428,7 @@ int main(int Argc, char **Argv) {
                 " encodings, oracles %s, %u threads\n",
                 formatName(Format), Opts.Begin, End, Opts.Stride, Count,
                 oracleNames(Effective).c_str(), Opts.Threads);
-    Result = runSweep(Engine, Count, Opts, [&](size_t Index) {
+    Result = runSweep(Pool, Count, Opts, [&](size_t Index) {
       return exhaustiveBits(Format, Opts.Begin, Opts.Stride, Index);
     });
   } else {
@@ -439,7 +439,7 @@ int main(int Argc, char **Argv) {
                 "), oracles %s, %u threads\n",
                 formatName(Format), Domain.size(), Opts.Seed,
                 oracleNames(Effective).c_str(), Opts.Threads);
-    Result = runSweep(Engine, Domain.size(), Opts,
+    Result = runSweep(Pool, Domain.size(), Opts,
                       [&](size_t Index) { return Domain[Index]; });
   }
 
@@ -459,8 +459,8 @@ int main(int Argc, char **Argv) {
     std::string Dump;
     size_t DumpedRecords = 0;
     size_t PrintLimit = Opts.MaxFailures ? Opts.MaxFailures : 100;
-    for (unsigned T = 0; T < Engine.threads(); ++T) {
-      for (const obs::ConversionRecord &Rec : Engine.mismatchRecords(T)) {
+    for (unsigned T = 0; T < Pool.threads(); ++T) {
+      for (const obs::ConversionRecord &Rec : Pool.mismatchRecords(T)) {
         std::string Line = Rec.toLine();
         FlightByBits[{Rec.BitsHi, Rec.BitsLo}] = Line;
         if (DumpedRecords < PrintLimit)
@@ -501,7 +501,7 @@ int main(int Argc, char **Argv) {
                 Opts.CorpusPath.c_str());
   }
 
-  const engine::EngineStats &Stats = Engine.stats();
+  const engine::EngineStats &Stats = Pool.stats();
   double Rate = Result.ElapsedSeconds > 0
                     ? static_cast<double>(Result.Checked) /
                           Result.ElapsedSeconds
@@ -523,9 +523,9 @@ int main(int Argc, char **Argv) {
   if (!Opts.StatsJsonPath.empty())
     obs::writeFile(Opts.StatsJsonPath,
                    obs::renderStatsJson(
-                       obs::makeSnapshot(Stats, &Engine.registry())));
+                       obs::makeSnapshot(Stats, &Pool.registry())));
   if (!Opts.TracePath.empty()) {
-    std::vector<obs::SpanEvent> Spans = Engine.takeSpans();
+    std::vector<obs::SpanEvent> Spans = Pool.takeSpans();
     obs::writeFile(Opts.TracePath, obs::renderChromeTrace(Spans));
     std::fprintf(stderr,
                  "verify_exhaustive: wrote %zu span(s) to %s (load in "
