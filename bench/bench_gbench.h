@@ -72,9 +72,16 @@ public:
   }
 };
 
+/// Post-collection hook: runs after the per-benchmark ns metrics are in
+/// the report, with the raw name -> ns map, so a binary can add derived
+/// throughputs (GB/s), cross-benchmark ratios, or context of its own.
+using ReportHook = void (*)(BenchReport &Report,
+                            const std::map<std::string, double> &MinNs);
+
 /// The shared main: strip our flags, run google-benchmark with the
 /// collecting reporter, emit the v1 report.
-inline int gbenchMain(int Argc, char **Argv, const char *BenchName) {
+inline int gbenchMain(int Argc, char **Argv, const char *BenchName,
+                      ReportHook Hook = nullptr) {
   BenchOutput Out;
   std::vector<char *> Args;
   Args.reserve(static_cast<size_t>(Argc) + 1);
@@ -97,6 +104,8 @@ inline int gbenchMain(int Argc, char **Argv, const char *BenchName) {
   Report.context("benchmarks", static_cast<uint64_t>(Reporter.MinNs.size()));
   for (const auto &[Name, Ns] : Reporter.MinNs)
     Report.metric(gbenchMetricKey(Name), Ns);
+  if (Hook)
+    Hook(Report, Reporter.MinNs);
   return emitBenchReport(Report, Out);
 }
 
@@ -106,6 +115,12 @@ inline int gbenchMain(int Argc, char **Argv, const char *BenchName) {
 #define D4_GBENCH_MAIN(NAME)                                                   \
   int main(int argc, char **argv) {                                            \
     return ::dragon4::bench::gbenchMain(argc, argv, NAME);                     \
+  }
+
+/// Like D4_GBENCH_MAIN, with a ReportHook for derived metrics.
+#define D4_GBENCH_MAIN_HOOK(NAME, HOOK)                                        \
+  int main(int argc, char **argv) {                                            \
+    return ::dragon4::bench::gbenchMain(argc, argv, NAME, HOOK);               \
   }
 
 #endif // DRAGON4_BENCH_BENCH_GBENCH_H

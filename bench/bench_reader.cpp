@@ -5,16 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Cost of the exact correctly rounded reader (the verification-side
-/// component), by literal length and magnitude, against strtod.
+/// Cost of text -> float, both sides of the split: the exact correctly
+/// rounded reader (verification side) and the Eisel-Lemire fast parser
+/// (production side), by literal length and magnitude, against strtod.
+/// The read-back pair (BM_ReadBackFastParse / BM_ReadBackExactReader)
+/// parses the same pre-formatted shortest-form corpus with each
+/// implementation -- the derived reader_roundtrip_speedup ratio is the
+/// headline number, and parse_readback_gb_per_s converts the fast
+/// parser's per-literal cost into decimal-text bandwidth.  The fused
+/// round trip (format + parse per value) bounds a full serialize ->
+/// deserialize cycle.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "reader/reader.h"
 
+#include "engine/engine.h"
+#include "engine/scratch.h"
+#include "engine/stats.h"
+#include "parse/parse.h"
+#include "testgen/random_floats.h"
+
 #include "bench_gbench.h"
 
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 using namespace dragon4;
 
@@ -28,6 +44,32 @@ const char *TestLiterals[] = {
     "0.500000000000000166533453693773481063544750213623046875",
 };
 
+/// Shortest-form corpus: uniform-bit-pattern doubles (the fallback-rate
+/// domain from the closure tests) rendered by the engine.  Shared by the
+/// read-back pair so both implementations parse identical bytes.
+const std::vector<std::string> &readBackCorpus() {
+  static const std::vector<std::string> Corpus = [] {
+    engine::Scratch Scratch;
+    char Buf[64];
+    std::vector<std::string> Out;
+    for (double V : randomBitsDoubles(4096, 0xBE7C)) {
+      size_t Len = engine::format(V, Buf, sizeof(Buf), PrintOptions{}, Scratch);
+      Out.emplace_back(Buf, Len);
+    }
+    return Out;
+  }();
+  return Corpus;
+}
+
+/// Mean literal length of the read-back corpus, for the GB/s conversion.
+double readBackMeanBytes() {
+  const auto &Corpus = readBackCorpus();
+  size_t Total = 0;
+  for (const std::string &Text : Corpus)
+    Total += Text.size();
+  return static_cast<double>(Total) / static_cast<double>(Corpus.size());
+}
+
 void BM_ReadDouble(benchmark::State &State) {
   const char *Text = TestLiterals[State.range(0)];
   for (auto _ : State) {
@@ -37,6 +79,18 @@ void BM_ReadDouble(benchmark::State &State) {
   State.SetLabel(Text);
 }
 BENCHMARK(BM_ReadDouble)->DenseRange(0, 4);
+
+void BM_ParseDouble(benchmark::State &State) {
+  // The fast parser over the same literals as BM_ReadDouble: the
+  // per-literal ablation of the production/verification split.
+  const char *Text = TestLiterals[State.range(0)];
+  for (auto _ : State) {
+    auto R = parse::parseFloat<double>(Text);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(Text);
+}
+BENCHMARK(BM_ParseDouble)->DenseRange(0, 4);
 
 void BM_StrtodReference(benchmark::State &State) {
   const char *Text = TestLiterals[State.range(0)];
@@ -76,6 +130,14 @@ void BM_ReadFloat(benchmark::State &State) {
 }
 BENCHMARK(BM_ReadFloat);
 
+void BM_ParseFloat(benchmark::State &State) {
+  for (auto _ : State) {
+    auto R = parse::parseFloat<float>("3.14159");
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ParseFloat);
+
 void BM_ReadHexDouble(benchmark::State &State) {
   for (auto _ : State) {
     auto V = readFloat<double>("1.921fb54442d18^0", 16);
@@ -84,6 +146,86 @@ void BM_ReadHexDouble(benchmark::State &State) {
 }
 BENCHMARK(BM_ReadHexDouble);
 
+void BM_ReadBackFastParse(benchmark::State &State) {
+  // Read-back rate of the fast parser over shortest-form output; one
+  // literal per iteration, cycling the corpus.
+  const auto &Corpus = readBackCorpus();
+  size_t Index = 0;
+  for (auto _ : State) {
+    auto R = parse::parseFloat<double>(Corpus[Index]);
+    benchmark::DoNotOptimize(R);
+    if (++Index == Corpus.size())
+      Index = 0;
+  }
+}
+BENCHMARK(BM_ReadBackFastParse);
+
+void BM_ReadBackExactReader(benchmark::State &State) {
+  // Identical bytes through the exact bignum reader: the denominator of
+  // the reader_roundtrip_speedup acceptance ratio.
+  const auto &Corpus = readBackCorpus();
+  size_t Index = 0;
+  for (auto _ : State) {
+    auto V = readFloat<double>(Corpus[Index]);
+    benchmark::DoNotOptimize(V);
+    if (++Index == Corpus.size())
+      Index = 0;
+  }
+}
+BENCHMARK(BM_ReadBackExactReader);
+
+void BM_RoundTripFused(benchmark::State &State) {
+  // Fused print -> parse: format one double into a stack buffer and parse
+  // it straight back, per iteration.  Bounds a serialize/deserialize
+  // cycle end to end (allocation-free on both sides once warm).
+  static const std::vector<double> Values = randomBitsDoubles(4096, 0xF05E);
+  engine::Scratch Scratch;
+  char Buf[64];
+  size_t Index = 0;
+  for (auto _ : State) {
+    size_t Len = engine::format(Values[Index], Buf, sizeof(Buf),
+                                PrintOptions{}, Scratch);
+    auto R = parse::parseFloat<double>(std::string_view(Buf, Len));
+    benchmark::DoNotOptimize(R);
+    if (++Index == Values.size())
+      Index = 0;
+  }
+}
+BENCHMARK(BM_RoundTripFused);
+
+/// Derived metrics: text bandwidth, the fast/exact read-back ratio, and
+/// the observed fast-path hit rate over the read-back corpus.
+void readerReportHook(bench::BenchReport &Report,
+                      const std::map<std::string, double> &MinNs) {
+  double MeanBytes = readBackMeanBytes();
+  Report.derived("readback_mean_literal_bytes", MeanBytes);
+
+  auto Fast = MinNs.find("BM_ReadBackFastParse");
+  auto Exact = MinNs.find("BM_ReadBackExactReader");
+  if (Fast != MinNs.end() && Fast->second > 0)
+    Report.derived("parse_readback_gb_per_s", MeanBytes / Fast->second);
+  if (Exact != MinNs.end() && Exact->second > 0)
+    Report.derived("read_readback_gb_per_s", MeanBytes / Exact->second);
+  if (Fast != MinNs.end() && Exact != MinNs.end() && Fast->second > 0)
+    // The acceptance ratio: fast parser's read-back rate over the exact
+    // reader's on identical shortest-form bytes (target >= 10x).
+    Report.derived("reader_roundtrip_speedup", Exact->second / Fast->second);
+
+  auto Fused = MinNs.find("BM_RoundTripFused");
+  if (Fused != MinNs.end() && Fused->second > 0)
+    Report.derived("roundtrip_fused_mvalues_per_s", 1e3 / Fused->second);
+
+  // Fast-path hit rate over the corpus (counted outside the timed loops).
+  engine::EngineStats Stats;
+  for (const std::string &Text : readBackCorpus())
+    parse::parseFloat<double>(Text, &Stats);
+  uint64_t Calls = Stats.FastParseHits + Stats.FastParseFallbacks;
+  if (Calls)
+    Report.derived("parse_fastpath_hit_rate",
+                   static_cast<double>(Stats.FastParseHits) /
+                       static_cast<double>(Calls));
+}
+
 } // namespace
 
-D4_GBENCH_MAIN("bench_reader")
+D4_GBENCH_MAIN_HOOK("bench_reader", readerReportHook)

@@ -20,7 +20,9 @@
 ///   core/      scaling, free-format, fixed-format, the rational oracle
 ///              (uint64 and BigInt digit loops behind one interface)
 ///   fastpath/  Grisu3, certified for binary32/64 only (traits-gated)
-///   reader/    correctly rounded text -> float (verification side)
+///   reader/    correctly rounded text -> float (exact; verification side)
+///   parse/     Eisel-Lemire text -> float (production side), certified
+///              fallback to reader/ on the undecidable residue
 ///   format/    writer-generic digit rendering (render_core.h) under the
 ///              toShortest/toFixed/printf templates, all five formats
 ///   engine/    format<T>/formatFixed<T> buffer API, BatchEngine<T>,
@@ -67,6 +69,7 @@
 #include "fp/decomposed.h"
 #include "fp/extended80.h"
 #include "fp/ieee_traits.h"
+#include "parse/parse.h"
 #include "rational/rational.h"
 #include "reader/reader.h"
 #include "testgen/random_floats.h"

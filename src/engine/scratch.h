@@ -47,6 +47,11 @@ public:
   /// Counters accumulated by conversions through this Scratch.
   const EngineStats &stats() const { return Stats; }
 
+  /// Mutable counters block for sibling subsystems (the verify harness's
+  /// parse oracle, parse::parseFloat) that charge their outcomes through
+  /// this Scratch so they ride the normal per-worker merge path.
+  EngineStats &counters() { return Stats; }
+
   /// This Scratch's observability shard: sampled-metric registry, flight
   /// recorder, span buffer.  Same ownership contract as the Scratch itself
   /// (single thread at a time); the batch layer drains it after workers

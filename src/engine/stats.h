@@ -66,6 +66,14 @@ struct EngineStats {
   uint64_t VerifyChecked = 0;
   uint64_t VerifyMismatches = 0;
 
+  /// Outcome counters maintained by the fast parser (src/parse/): calls
+  /// the Eisel-Lemire product decided (specials included), calls that
+  /// fell back to the exact bignum reader, and rejected (malformed)
+  /// inputs.  Hits + Fallbacks + Rejected == parseFloat calls.
+  uint64_t FastParseHits = 0;
+  uint64_t FastParseFallbacks = 0;
+  uint64_t FastParseRejected = 0;
+
   /// Conversions that ran the exact loop (fallbacks plus ineligibles).
   uint64_t slowPathRuns() const { return FastPathFails + SlowPathDirect; }
 
@@ -91,6 +99,9 @@ struct EngineStats {
     BatchNanos += RHS.BatchNanos;
     VerifyChecked += RHS.VerifyChecked;
     VerifyMismatches += RHS.VerifyMismatches;
+    FastParseHits += RHS.FastParseHits;
+    FastParseFallbacks += RHS.FastParseFallbacks;
+    FastParseRejected += RHS.FastParseRejected;
   }
 
   void reset() { *this = EngineStats(); }

@@ -215,6 +215,10 @@ Snapshot dragon4::obs::makeSnapshot(const engine::EngineStats &Stats,
   Snap.addCounter("dragon4_batch_nanos_total", Stats.BatchNanos);
   Snap.addCounter("dragon4_verify_checked_total", Stats.VerifyChecked);
   Snap.addCounter("dragon4_verify_mismatches_total", Stats.VerifyMismatches);
+  Snap.addCounter("dragon4_fastparse_hits_total", Stats.FastParseHits);
+  Snap.addCounter("dragon4_fastparse_fallback_exact_total",
+                  Stats.FastParseFallbacks);
+  Snap.addCounter("dragon4_fastparse_rejected_total", Stats.FastParseRejected);
 
   Snap.addGauge("dragon4_arena_high_water_bytes", Stats.ArenaHighWaterBytes);
 
@@ -226,6 +230,11 @@ Snapshot dragon4::obs::makeSnapshot(const engine::EngineStats &Stats,
                       static_cast<double>(Stats.FastPathHits) /
                           static_cast<double>(Eligible));
   }
+  if (Stats.FastParseHits + Stats.FastParseFallbacks > 0)
+    Snap.addDerived("fastparse_fallback_rate",
+                    static_cast<double>(Stats.FastParseFallbacks) /
+                        static_cast<double>(Stats.FastParseHits +
+                                            Stats.FastParseFallbacks));
   if (Stats.BatchNanos > 0 && Stats.BatchValues > 0) {
     Snap.addDerived("batch_values_per_second",
                     static_cast<double>(Stats.BatchValues) * 1e9 /

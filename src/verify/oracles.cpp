@@ -21,6 +21,7 @@
 #include "format/render.h"
 #include "fp/binary128.h"
 #include "fp/binary16.h"
+#include "parse/parse.h"
 #include "reader/reader.h"
 
 #include <cinttypes>
@@ -40,7 +41,7 @@ struct OracleName {
 constexpr OracleName OracleTable[] = {
     {OracleRoundTrip, "roundtrip"}, {OracleShortest, "shortest"},
     {OracleReference, "reference"}, {OracleLibc, "libc"},
-    {OracleEngine, "engine"},
+    {OracleEngine, "engine"},       {OracleParse, "parse"},
 };
 
 std::string hex(uint64_t Value, int Digits) {
@@ -252,6 +253,70 @@ bool oracleLibcRead(float Value, std::string &Detail) {
   return true;
 }
 
+/// Fast-parser-vs-exact-reader agreement on the shortest output: the
+/// production parser must consume the whole text and land on the same
+/// bits as both the exact reader and the original value.  Outcomes are
+/// charged to the Scratch's fast-parse counters, so sweeps measure the
+/// observed fallback rate for free.
+template <typename T>
+bool oracleParseRead(T Value, engine::Scratch *S, std::string &Detail) {
+  std::string Text = toShortest(Value);
+  parse::ParseResult<T> Fast =
+      parse::parseFloat<T>(Text, S ? &S->counters() : nullptr);
+  if (!Fast.ok() || Fast.Consumed != Text.size()) {
+    Detail = "parse: fast parser consumed " + std::to_string(Fast.Consumed) +
+             " of \"" + Text + "\"";
+    return false;
+  }
+  auto Exact = readFloat<T>(Text);
+  if (!Exact) {
+    Detail = "parse: \"" + Text + "\" rejected by the exact reader";
+    return false;
+  }
+  if (!BitOps<T>::sameBits(Fast.Value, *Exact)) {
+    Detail = "parse: fast parser reads \"" + Text + "\" as " +
+             BitOps<T>::showBits(Fast.Value) + ", exact reader as " +
+             BitOps<T>::showBits(*Exact);
+    return false;
+  }
+  if (!BitOps<T>::sameBits(Fast.Value, Value)) {
+    Detail = "parse: \"" + Text + "\" reads back as " +
+             BitOps<T>::showBits(Fast.Value) + ", not " +
+             BitOps<T>::showBits(Value);
+    return false;
+  }
+  return true;
+}
+
+/// Class/sign-preserving fast parse for NaN, infinity, and zero (the
+/// parse-oracle counterpart of checkSpecial).
+template <typename T>
+bool checkParseSpecial(T Value, FpClass Class, engine::Scratch *S,
+                       std::string &Detail) {
+  std::string Text = toShortest(Value);
+  parse::ParseResult<T> Fast =
+      parse::parseFloat<T>(Text, S ? &S->counters() : nullptr);
+  if (!Fast.ok() || Fast.Consumed != Text.size()) {
+    Detail = "parse: special \"" + Text + "\" not fully consumed";
+    return false;
+  }
+  if (classify(Fast.Value) != Class) {
+    Detail = "parse: special \"" + Text + "\" parses as a different class";
+    return false;
+  }
+  // Same contract as the round-trip oracle: NaN payloads and signs are
+  // not preserved by design; everything else is.
+  if (Class != FpClass::NaN && signBit(Fast.Value) != signBit(Value)) {
+    Detail = "parse: special \"" + Text + "\" loses the sign";
+    return false;
+  }
+  if (Class == FpClass::Zero && !BitOps<T>::sameBits(Fast.Value, Value)) {
+    Detail = "parse: zero \"" + Text + "\" parses as different bits";
+    return false;
+  }
+  return true;
+}
+
 /// Engine-vs-string equivalence for any format: the buffer API must be
 /// byte-identical to toShortest through the same traits-driven pipeline.
 /// The buffer is the format's proven worst-case bound, so a length beyond
@@ -292,7 +357,11 @@ Verdict checkValue(T Value, unsigned Oracles, engine::Scratch *S) {
       std::string Detail;
       Record(OracleRoundTrip, checkSpecial(Value, Class, Detail), Detail);
     }
-    return Result; // The finite-value oracles are vacuous on specials.
+    if (Oracles & OracleParse) {
+      std::string Detail;
+      Record(OracleParse, checkParseSpecial(Value, Class, S, Detail), Detail);
+    }
+    return Result; // The remaining finite-value oracles are vacuous here.
   }
 
   if (Oracles & OracleRoundTrip) {
@@ -321,6 +390,10 @@ Verdict checkValue(T Value, unsigned Oracles, engine::Scratch *S) {
       engine::Scratch Local;
       Record(OracleEngine, oracleEngineFormat(Value, Local, Detail), Detail);
     }
+  }
+  if (Oracles & OracleParse) {
+    std::string Detail;
+    Record(OracleParse, oracleParseRead(Value, S, Detail), Detail);
   }
   return Result;
 }
@@ -364,9 +437,10 @@ uint64_t dragon4::verify::encodingCount(FloatFormat Format) {
 }
 
 unsigned dragon4::verify::supportedOracles(FloatFormat Format) {
-  // The engine oracle is format-generic (the buffer pipeline is one
-  // traits-driven template), so only libc -- which needs a hardware type
-  // with a C-library reader -- is restricted.
+  // The engine and parse oracles are format-generic (the buffer pipeline
+  // is one traits-driven template; parseFloat falls back to the exact
+  // reader where it has no fast path), so only libc -- which needs a
+  // hardware type with a C-library reader -- is restricted.
   switch (Format) {
   case FloatFormat::Binary16:
     return OracleAll & ~OracleLibc;

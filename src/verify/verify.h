@@ -21,6 +21,9 @@
 ///              this codebase entirely; binary32/binary64 only)
 ///   engine     engine::format byte-identical to toShortest (every format:
 ///              the buffer pipeline is one traits-driven template)
+///   parse      parse::parseFloat (the Eisel-Lemire production reader)
+///              agrees bit-for-bit with the exact reader and the original
+///              value on the shortest output, consuming every byte
 ///
 /// Values are addressed by raw bit pattern, so every mismatch is trivially
 /// replayable (see verify/corpus.h) and exhaustive sweeps are plain
@@ -61,7 +64,8 @@ enum : unsigned {
   OracleReference = 1u << 2,
   OracleLibc = 1u << 3,
   OracleEngine = 1u << 4,
-  OracleAll = (1u << 5) - 1,
+  OracleParse = 1u << 5,
+  OracleAll = (1u << 6) - 1,
 };
 
 /// The subset of OracleAll implemented for \p Format (everything except

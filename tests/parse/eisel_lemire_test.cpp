@@ -1,0 +1,131 @@
+//===- tests/parse/eisel_lemire_test.cpp -----------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Eisel-Lemire core against libc: for structured (every exponent in
+/// and beyond the table range crossed with boundary significands) and
+/// random (w, q) pairs, the computed encoding must equal what
+/// strtod/strtof produce for the literal "<w>e<q>" -- both are correctly
+/// rounded nearest-even conversions, so they must agree bit for bit.
+/// Known hard cases (ties, subnormal edges, binade carries, overflow)
+/// are pinned explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parse/eisel_lemire.h"
+
+#include "fp/ieee_traits.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dragon4;
+using namespace dragon4::parse;
+
+namespace {
+
+/// Encoding (sans sign) the core computed for w * 10^q.
+template <typename T> typename IeeeTraits<T>::Bits elBits(int64_t Q, uint64_t W) {
+  AdjustedMantissa Am = eiselLemire<T>(Q, W);
+  using Bits = typename IeeeTraits<T>::Bits;
+  return static_cast<Bits>(Am.Mantissa) |
+         (static_cast<Bits>(Am.Power2) << IeeeTraits<T>::StoredBits);
+}
+
+/// Encoding libc computes for the same value.
+template <typename T> typename IeeeTraits<T>::Bits libcBits(int64_t Q, uint64_t W) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64 "e%lld", W,
+                static_cast<long long>(Q));
+  if constexpr (std::is_same_v<T, double>)
+    return IeeeTraits<double>::toBits(std::strtod(Buf, nullptr));
+  else
+    return IeeeTraits<float>::toBits(std::strtof(Buf, nullptr));
+}
+
+template <typename T> void expectAgree(int64_t Q, uint64_t W) {
+  EXPECT_EQ(elBits<T>(Q, W), libcBits<T>(Q, W))
+      << W << "e" << Q << " (" << (sizeof(T) == 8 ? "double" : "float") << ")";
+}
+
+TEST(EiselLemire, PinnedValues) {
+  // 1.0, and the exact integer grid.
+  EXPECT_EQ(elBits<double>(0, 1), IeeeTraits<double>::toBits(1.0));
+  EXPECT_EQ(elBits<double>(2, 1), IeeeTraits<double>::toBits(100.0));
+  EXPECT_EQ(elBits<float>(0, 1), IeeeTraits<float>::toBits(1.0f));
+
+  // 2^53 + 1 is odd and inexpressible: nearest-even rounds down to 2^53.
+  EXPECT_EQ(elBits<double>(0, 9007199254740993ull),
+            IeeeTraits<double>::toBits(9007199254740992.0));
+  // 2^53 + 3 rounds up to 2^53 + 4 (nearest-even again).
+  EXPECT_EQ(elBits<double>(0, 9007199254740995ull),
+            IeeeTraits<double>::toBits(9007199254740996.0));
+
+  // The classic 1e23 tie: exactly between two doubles, even mantissa wins.
+  EXPECT_EQ(elBits<double>(23, 1), IeeeTraits<double>::toBits(1e23));
+  EXPECT_EQ(elBits<double>(22, 10), IeeeTraits<double>::toBits(1e23));
+
+  // Smallest subnormal, and a value below its half (rounds to zero).
+  EXPECT_EQ(elBits<double>(-324, 5), IeeeTraits<double>::toBits(5e-324));
+  EXPECT_EQ(elBits<double>(-324, 2), 0u);
+  // Largest finite double and the first overflowing literal.
+  EXPECT_EQ(elBits<double>(292, 17976931348623157ull),
+            IeeeTraits<double>::toBits(1.7976931348623157e308));
+  EXPECT_EQ(elBits<double>(309, 1),
+            IeeeTraits<double>::toBits(HUGE_VAL));
+
+  // Decisive clamps outside the table range.
+  EXPECT_EQ(eiselLemire<double>(-400, 1).Power2, 0);
+  EXPECT_EQ(eiselLemire<double>(-400, 1).Mantissa, 0u);
+  EXPECT_EQ(eiselLemire<double>(400, 1).Power2,
+            ElParams<double>::InfinitePower);
+  EXPECT_EQ(eiselLemire<float>(-66, 9999999999999999999ull).Power2, 0);
+  EXPECT_EQ(eiselLemire<float>(39, 1).Power2, ElParams<float>::InfinitePower);
+
+  // Zero significand is zero regardless of exponent.
+  EXPECT_EQ(eiselLemire<double>(100, 0).Power2, 0);
+  EXPECT_EQ(eiselLemire<double>(100, 0).Mantissa, 0u);
+}
+
+TEST(EiselLemire, StructuredSweepAgreesWithLibc) {
+  const uint64_t Significands[] = {
+      1,
+      7,
+      9,
+      10,
+      99,
+      123456789,
+      4503599627370495ull,     // 2^52 - 1
+      4503599627370496ull,     // 2^52
+      9007199254740991ull,     // 2^53 - 1
+      9007199254740993ull,     // 2^53 + 1 (tie)
+      9999999999999999999ull,  // Largest 19-digit significand.
+      18446744073709551615ull, // 2^64 - 1 (core accepts any w < 2^64).
+  };
+  for (int64_t Q = -360; Q <= 330; ++Q) {
+    for (uint64_t W : Significands) {
+      expectAgree<double>(Q, W);
+      expectAgree<float>(Q, W);
+    }
+  }
+}
+
+TEST(EiselLemire, RandomSweepAgreesWithLibc) {
+  SplitMix64 Rng(20260809);
+  for (int Iter = 0; Iter < 50000; ++Iter) {
+    uint64_t W = Rng.next();
+    int64_t Q = static_cast<int64_t>(Rng.below(700)) - 350;
+    expectAgree<double>(Q, W);
+    expectAgree<float>(Q, W % 1000000000ull + 1);
+  }
+}
+
+} // namespace

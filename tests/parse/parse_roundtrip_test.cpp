@@ -1,0 +1,147 @@
+//===- tests/parse/parse_roundtrip_test.cpp --------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Round-trip closure: parseFloat(engine::format(v)) == v bit for bit.
+/// binary16 is closed exhaustively -- every one of the 65,536 encodings is
+/// printed shortest and parsed back (finite values bit-identical, specials
+/// class- and sign-identical).  binary32 and binary64 are closed over
+/// stratified samples (normal, subnormal, and raw-bit-pattern draws) large
+/// enough to exercise every exponent regime; the binary32 full-space sweep
+/// runs under tools/verify_exhaustive's parse oracle.  The double stratum
+/// doubles as the fallback-rate measurement on the uniform-bits domain.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parse/parse.h"
+
+#include "engine/engine.h"
+#include "engine/scratch.h"
+#include "engine/stats.h"
+#include "fp/ieee_traits.h"
+#include "testgen/random_floats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+using namespace dragon4;
+using namespace dragon4::parse;
+
+namespace {
+
+/// format -> parseFloat -> compare bits, charging \p Stats.
+template <typename T>
+void expectClosed(T Value, engine::Scratch &Scratch,
+                  engine::EngineStats *Stats) {
+  char Buf[64];
+  size_t Len = engine::format(Value, Buf, sizeof(Buf), PrintOptions{}, Scratch);
+  ASSERT_LE(Len, sizeof(Buf));
+  std::string_view Text(Buf, Len);
+
+  ParseResult<T> R = parseFloat<T>(Text, Stats);
+  ASSERT_TRUE(R.ok()) << "\"" << Text << "\" rejected";
+  ASSERT_EQ(R.Consumed, Len) << "\"" << Text << "\" partially consumed";
+
+  using Traits = IeeeTraits<T>;
+  FpClass Class = classify(Value);
+  if (Class == FpClass::NaN) {
+    // NaN payloads are not round-tripped; class and that's it.
+    EXPECT_EQ(classify(R.Value), FpClass::NaN) << "\"" << Text << "\"";
+    return;
+  }
+  EXPECT_EQ(Traits::toBits(R.Value), Traits::toBits(Value))
+      << "\"" << Text << "\" -> " << std::hex << uint64_t(Traits::toBits(R.Value))
+      << " want " << uint64_t(Traits::toBits(Value));
+}
+
+TEST(ParseRoundTrip, Binary16ExhaustiveClosure) {
+  engine::Scratch Scratch;
+  engine::EngineStats Stats;
+  for (uint32_t Bits = 0; Bits <= 0xFFFF; ++Bits)
+    expectClosed(Binary16::fromBits(static_cast<uint16_t>(Bits)), Scratch,
+                 &Stats);
+  // binary16 has no hardware fast path: everything lands on the reader.
+  EXPECT_EQ(Stats.FastParseHits, 0u);
+  EXPECT_EQ(Stats.FastParseFallbacks, 65536u);
+  EXPECT_EQ(Stats.FastParseRejected, 0u);
+}
+
+TEST(ParseRoundTrip, Binary32StratifiedClosure) {
+  engine::Scratch Scratch;
+  engine::EngineStats Stats;
+  constexpr size_t PerStratum = 20000;
+  for (float V : randomNormalFloats(PerStratum, 0xF32A))
+    expectClosed(V, Scratch, &Stats);
+  for (float V : randomSubnormalFloats(PerStratum, 0xF32B))
+    expectClosed(V, Scratch, &Stats);
+  for (float V : randomBitsFloats(PerStratum, 0xF32C)) {
+    expectClosed(V, Scratch, &Stats);
+    expectClosed(-V, Scratch, &Stats);
+  }
+  // Shortest output never exceeds 9 significant digits for binary32, so
+  // the fast path is never undecidable: zero fallbacks.
+  EXPECT_EQ(Stats.FastParseFallbacks, 0u);
+  EXPECT_EQ(Stats.FastParseHits, 4 * PerStratum);
+}
+
+TEST(ParseRoundTrip, Binary64StratifiedClosure) {
+  engine::Scratch Scratch;
+  engine::EngineStats Stats;
+  constexpr size_t PerStratum = 20000;
+  for (double V : randomNormalDoubles(PerStratum, 0xF64A))
+    expectClosed(V, Scratch, &Stats);
+  for (double V : randomSubnormalDoubles(PerStratum, 0xF64B))
+    expectClosed(V, Scratch, &Stats);
+  for (double V : randomBitsDoubles(PerStratum, 0xF64C)) {
+    expectClosed(V, Scratch, &Stats);
+    expectClosed(-V, Scratch, &Stats);
+  }
+  // Shortest output never exceeds 17 significant digits for binary64 --
+  // under the 19-digit truncation threshold -- so zero fallbacks here too.
+  EXPECT_EQ(Stats.FastParseFallbacks, 0u);
+  uint64_t Calls = Stats.FastParseHits + Stats.FastParseFallbacks;
+  ASSERT_EQ(Calls, 4 * PerStratum);
+
+  // Record the observed fast-path hit rate for EXPERIMENTS.md: on the
+  // uniform-bits double domain the fallback rate must stay under 1%.
+  double FallbackRate = double(Stats.FastParseFallbacks) / double(Calls);
+  std::printf("[ParseRoundTrip] binary64 fast-path hit rate: %.4f%% "
+              "(fallback rate %.4f%%, %llu calls)\n",
+              100.0 * (1.0 - FallbackRate), 100.0 * FallbackRate,
+              static_cast<unsigned long long>(Calls));
+  EXPECT_LT(FallbackRate, 0.01);
+}
+
+TEST(ParseRoundTrip, SpecialEncodingsClosure) {
+  engine::Scratch Scratch;
+  // Every sign/special combination for the hardware formats.
+  const uint64_t DoubleSpecials[] = {
+      0x0000000000000000ull, 0x8000000000000000ull, // +-0
+      0x7FF0000000000000ull, 0xFFF0000000000000ull, // +-inf
+      0x7FF8000000000000ull,                        // quiet NaN
+      0x0000000000000001ull, 0x800FFFFFFFFFFFFFull, // subnormal edges
+      0x7FEFFFFFFFFFFFFFull,                        // max finite
+  };
+  for (uint64_t Bits : DoubleSpecials)
+    expectClosed(IeeeTraits<double>::fromBits(Bits), Scratch, nullptr);
+  const uint32_t FloatSpecials[] = {
+      0x00000000u, 0x80000000u, 0x7F800000u, 0xFF800000u,
+      0x7FC00000u, 0x00000001u, 0x807FFFFFu, 0x7F7FFFFFu,
+  };
+  for (uint32_t Bits : FloatSpecials)
+    expectClosed(IeeeTraits<float>::fromBits(Bits), Scratch, nullptr);
+
+  // Sign propagation through the parse: -inf keeps its sign bit.
+  ParseResult<double> NegInf = parseFloat<double>("-inf");
+  ASSERT_TRUE(NegInf.ok());
+  EXPECT_TRUE(signBit(NegInf.Value));
+  EXPECT_EQ(classify(NegInf.Value), FpClass::Infinity);
+}
+
+} // namespace

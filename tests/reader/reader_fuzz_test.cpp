@@ -7,9 +7,11 @@
 /// \file
 /// Randomized decimal-string fuzzing of the reader: 10,000 seeded strings
 /// with varied digit counts, exponents, leading zeros, and signs are each
-/// (1) cross-checked against strtod, and (2) round-tripped
-/// reader -> engine::format -> reader to show the read-print-read cycle is
-/// a fixed point (the second read returns the first read's bits exactly).
+/// (1) cross-checked against strtod, (2) cross-checked against the
+/// Eisel-Lemire fast parser (three-way agreement: exact reader, fast
+/// parser, libc), and (3) round-tripped reader -> engine::format -> reader
+/// to show the read-print-read cycle is a fixed point (the second read
+/// returns the first read's bits exactly).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,7 @@
 #include "engine/engine.h"
 #include "engine/scratch.h"
 #include "fp/ieee_traits.h"
+#include "parse/parse.h"
 #include "testgen/random_floats.h"
 
 #include <gtest/gtest.h>
@@ -92,7 +95,19 @@ TEST(ReaderFuzz, MatchesStrtodAndStableUnderReprint) {
         << "seed " << FuzzSeed << " iter " << Iter << ": \"" << Text
         << "\" read as " << *Read << " but strtod says " << Libc;
 
-    // Oracle 2: print the value we read with the engine and read it back;
+    // Oracle 2: the Eisel-Lemire fast parser (with its certified exact
+    // fallback) lands on the same bits -- three independent conversions,
+    // one answer.
+    parse::ParseResult<double> Fast = parse::parseFloat<double>(Text);
+    ASSERT_TRUE(Fast.ok() && Fast.Consumed == Text.size())
+        << "seed " << FuzzSeed << " iter " << Iter << ": parseFloat balked at \""
+        << Text << "\"";
+    EXPECT_EQ(IeeeTraits<double>::toBits(Fast.Value),
+              IeeeTraits<double>::toBits(*Read))
+        << "seed " << FuzzSeed << " iter " << Iter << ": \"" << Text
+        << "\" splits the fast parser from the exact reader";
+
+    // Oracle 3: print the value we read with the engine and read it back;
     // read(print(read(s))) == read(s) makes read-print a fixed point.
     if (!std::isfinite(*Read))
       continue; // engine::format emits "inf"/"nan" spellings; readFloat
@@ -122,6 +137,13 @@ TEST(ReaderFuzz, FixedPointForFloatsToo) {
     EXPECT_EQ(IeeeTraits<float>::toBits(*Read), IeeeTraits<float>::toBits(Libc))
         << "seed " << FuzzSeed + 1 << " iter " << Iter << ": \"" << Text
         << "\"";
+    parse::ParseResult<float> Fast = parse::parseFloat<float>(Text);
+    ASSERT_TRUE(Fast.ok() && Fast.Consumed == Text.size())
+        << "iter " << Iter << " \"" << Text << "\"";
+    EXPECT_EQ(IeeeTraits<float>::toBits(Fast.Value),
+              IeeeTraits<float>::toBits(*Read))
+        << "seed " << FuzzSeed + 1 << " iter " << Iter << ": \"" << Text
+        << "\" splits the fast parser from the exact reader";
   }
 }
 

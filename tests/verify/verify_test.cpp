@@ -68,8 +68,9 @@ TEST(VerifyNames, FormatNamesRoundTrip) {
 TEST(VerifyNames, OracleNamesRoundTrip) {
   for (unsigned Mask : {unsigned(OracleRoundTrip), unsigned(OracleShortest),
                         unsigned(OracleReference), unsigned(OracleLibc),
-                        unsigned(OracleEngine), OracleRoundTrip | OracleLibc,
-                        unsigned(OracleAll)}) {
+                        unsigned(OracleEngine), unsigned(OracleParse),
+                        OracleRoundTrip | OracleLibc,
+                        OracleParse | OracleEngine, unsigned(OracleAll)}) {
     auto Back = parseOracles(oracleNames(Mask));
     ASSERT_TRUE(Back.has_value()) << oracleNames(Mask);
     EXPECT_EQ(*Back, Mask);
@@ -115,9 +116,13 @@ TEST(VerifyOracles, VerdictCountersChargeScratch) {
   uint64_t Before = S.stats().VerifyChecked;
   Verdict Verdict = checkBits(bits64(2.5), OracleAll, &S);
   EXPECT_TRUE(Verdict.ok());
-  // binary64 supports all five oracles; each run charges one verdict.
-  EXPECT_EQ(S.stats().VerifyChecked, Before + 5);
+  // binary64 supports all six oracles; each run charges one verdict.
+  EXPECT_EQ(S.stats().VerifyChecked, Before + 6);
   EXPECT_EQ(S.stats().VerifyMismatches, 0u);
+  // The parse oracle additionally charges its outcome counters ("2.5" is
+  // inside the Eisel-Lemire fast path).
+  EXPECT_EQ(S.stats().FastParseHits, 1u);
+  EXPECT_EQ(S.stats().FastParseFallbacks, 0u);
 }
 
 TEST(VerifyDomain, ExhaustiveIndexing) {

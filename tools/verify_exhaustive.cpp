@@ -361,6 +361,18 @@ int writeBenchReport(const Options &Opts, const SweepResult &Result,
                                static_cast<double>(Result.Checked)
                          : 0.0);
   Report.derived("elapsed_seconds", Result.ElapsedSeconds);
+  // Fast-parser outcome mix (populated when the parse oracle ran): the
+  // observed -- not assumed -- Eisel-Lemire hit rate over this sweep.
+  if (Stats.FastParseHits + Stats.FastParseFallbacks > 0) {
+    double Decided =
+        static_cast<double>(Stats.FastParseHits + Stats.FastParseFallbacks);
+    Report.context("fastparse_hits", Stats.FastParseHits);
+    Report.context("fastparse_fallbacks", Stats.FastParseFallbacks);
+    Report.derived("fastparse_hit_rate",
+                   static_cast<double>(Stats.FastParseHits) / Decided);
+    Report.derived("fastparse_fallback_rate",
+                   static_cast<double>(Stats.FastParseFallbacks) / Decided);
+  }
   Report.derived("values_per_second",
                  Result.ElapsedSeconds > 0
                      ? static_cast<double>(Result.Checked) /
@@ -515,6 +527,14 @@ int main(int Argc, char **Argv) {
     std::printf(" (%zu captured; raise --max-failures for more)",
                 Result.Failures.size());
   std::printf("\n");
+  if (Stats.FastParseHits + Stats.FastParseFallbacks > 0) {
+    double Decided =
+        static_cast<double>(Stats.FastParseHits + Stats.FastParseFallbacks);
+    std::printf("fast parse: %" PRIu64 " hit(s), %" PRIu64
+                " exact fallback(s) (hit rate %.4f%%)\n",
+                Stats.FastParseHits, Stats.FastParseFallbacks,
+                100.0 * static_cast<double>(Stats.FastParseHits) / Decided);
+  }
 
   bool EmitFailed = false;
   if (!Opts.JsonPath.empty() || !Opts.HistoryPath.empty())
