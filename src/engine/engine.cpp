@@ -19,6 +19,7 @@
 #include "core/fixed_format.h"
 #include "core/free_format.h"
 #include "fastpath/grisu.h"
+#include "fastpath/ryu.h"
 #include "format/render_core.h"
 #include "obs/trace.h"
 #include "prof/phase.h"
@@ -226,17 +227,47 @@ size_t dragon4::engine::format(T Value, char *Buffer, size_t BufferSize,
 
   std::span<const uint8_t> Digits;
   int K = 0;
-  // The FastPath phase span lives inside grisuShortestInto itself.  Only
-  // certified formats (binary32/64) may enter it; the rest are counted as
-  // format-ineligible below rather than silently special-cased.
+  // The fallback ladder: Ryu -> Grisu3 -> exact loop.  Ryu is the front
+  // line for every certified narrow format (binary16/32/64) and any
+  // symmetric reader model; its only failures are defensive range checks,
+  // counted as RyuFallbacks.  The RyuPath/FastPath phase spans live
+  // inside the converters themselves.
+  bool RyuOk = false;
+  bool RyuTried = false;
+  if constexpr (!Format::WideMantissa && Format::RyuCertified) {
+    bool AcceptBounds = false;
+    if (ryuEligible(Options.Base, Options.Boundaries, !OddMantissa,
+                    AcceptBounds)) {
+      RyuTried = true;
+      RyuOk = ryuShortestInto(D.F, D.E, Traits::Precision,
+                              Traits::MinExponent, AcceptBounds, Options.Ties,
+                              ScratchAccess::fastDigits(S), K);
+    }
+  }
+  if (RyuTried && !RyuOk)
+    ++Stats.RyuFallbacks;
+  // Only Grisu-certified formats (binary32/64) may enter the Grisu rung;
+  // the rest are counted as format-ineligible below rather than silently
+  // special-cased.
   bool FastOk = false;
   if constexpr (Format::FastPathCertified) {
-    if (OptionsAllowFast)
+    if (!RyuOk && OptionsAllowFast)
       FastOk = grisuShortestInto(D.F, D.E, Traits::Precision,
                                  Traits::MinExponent,
                                  ScratchAccess::fastDigits(S), K);
   }
-  if (FastOk) {
+  if (RyuOk) {
+    ++Stats.RyuHits;
+    Digits = ScratchAccess::fastDigits(S);
+#if DRAGON4_OBS_ENABLED
+    PathKind = obs::Path::Ryu;
+    if (auto *Trace = obs::activeTrace()) {
+      // The fast path bypasses the digit loop's trace point.
+      Trace->DigitsEmitted = static_cast<uint32_t>(Digits.size());
+      Trace->FinalK = K;
+    }
+#endif
+  } else if (FastOk) {
     ++Stats.FastPathHits;
     Digits = ScratchAccess::fastDigits(S);
 #if DRAGON4_OBS_ENABLED

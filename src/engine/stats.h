@@ -37,6 +37,8 @@ struct EngineStats {
 
   uint64_t Conversions = 0;    ///< Finite non-zero values converted.
   uint64_t Specials = 0;       ///< NaN / infinity / zero renderings.
+  uint64_t RyuHits = 0;        ///< Ryu produced the result (front line).
+  uint64_t RyuFallbacks = 0;   ///< Ryu eligible but out of certified range.
   uint64_t FastPathHits = 0;   ///< Grisu certified the result.
   uint64_t FastPathFails = 0;  ///< Grisu attempted but could not certify.
   uint64_t SlowPathDirect = 0; ///< Fast path not eligible (base/options/fmt).
@@ -82,6 +84,8 @@ struct EngineStats {
   void merge(const EngineStats &RHS) {
     Conversions += RHS.Conversions;
     Specials += RHS.Specials;
+    RyuHits += RHS.RyuHits;
+    RyuFallbacks += RHS.RyuFallbacks;
     FastPathHits += RHS.FastPathHits;
     FastPathFails += RHS.FastPathFails;
     SlowPathDirect += RHS.SlowPathDirect;

@@ -8,6 +8,7 @@
 
 #include "core/fixed_format.h"
 #include "core/free_format.h"
+#include "fastpath/ryu.h"
 #include "format/render.h"
 #include "support/checks.h"
 
@@ -69,7 +70,13 @@ std::string dragon4::toShortest(T Value, const PrintOptions &Options) {
   std::string Special;
   if (renderSpecial(Value, "0", Special))
     return Special;
-  DigitString Digits = shortestDigits(Value, freeOptionsFrom(Options));
+  // The same Ryu -> Grisu3 -> exact ladder as engine::format, so the two
+  // APIs stay byte-identical with the fast paths in front.
+  DigitString Digits;
+  if constexpr (FormatTraits<T>::RyuCertified)
+    Digits = shortestDigitsLadder(Value, freeOptionsFrom(Options));
+  else
+    Digits = shortestDigits(Value, freeOptionsFrom(Options));
   return renderAuto(Digits, signBit(Value), renderOptionsFrom(Options));
 }
 

@@ -54,6 +54,10 @@ constexpr int maxShortestDecimalDigits(int Precision) {
 ///                      conversion must take the DecomposedBig path
 ///   FastPathCertified  true when the Grisu cached-power table is certified
 ///                      for the format's (Precision, MinExponent) range
+///   RyuCertified       true when the Ryu 128-bit cached-power table and
+///                      exactness analysis cover the format (Precision <=
+///                      54 and exponents inside the [-342, 342] power
+///                      range); the front rung of the fallback ladder
 ///   MaxShortestDigits  ceil(p log10 2) + 1, the free-format digit bound
 ///   encodingBits       raw encoding as (Lo, Hi) uint64 halves; Hi is zero
 ///                      for formats of 64 bits or fewer
@@ -65,6 +69,7 @@ template <> struct FormatTraits<Binary16> {
   static constexpr const char *Name = "binary16";
   static constexpr bool WideMantissa = false;
   static constexpr bool FastPathCertified = false;
+  static constexpr bool RyuCertified = true;
   static constexpr int MaxShortestDigits =
       fp_detail::maxShortestDecimalDigits(IeeeTraits<Binary16>::Precision);
   static void encodingBits(Binary16 Value, uint64_t &Lo, uint64_t &Hi) {
@@ -81,6 +86,7 @@ template <> struct FormatTraits<float> {
   static constexpr const char *Name = "binary32";
   static constexpr bool WideMantissa = false;
   static constexpr bool FastPathCertified = true;
+  static constexpr bool RyuCertified = true;
   static constexpr int MaxShortestDigits =
       fp_detail::maxShortestDecimalDigits(IeeeTraits<float>::Precision);
   static void encodingBits(float Value, uint64_t &Lo, uint64_t &Hi) {
@@ -97,6 +103,7 @@ template <> struct FormatTraits<double> {
   static constexpr const char *Name = "binary64";
   static constexpr bool WideMantissa = false;
   static constexpr bool FastPathCertified = true;
+  static constexpr bool RyuCertified = true;
   static constexpr int MaxShortestDigits =
       fp_detail::maxShortestDecimalDigits(IeeeTraits<double>::Precision);
   static void encodingBits(double Value, uint64_t &Lo, uint64_t &Hi) {
@@ -113,6 +120,8 @@ template <> struct FormatTraits<long double> {
   static constexpr const char *Name = "extended80";
   static constexpr bool WideMantissa = false;
   static constexpr bool FastPathCertified = false;
+  // 64-bit mantissa: 4F + 2 overflows the Ryu interval arithmetic.
+  static constexpr bool RyuCertified = false;
   static constexpr int MaxShortestDigits =
       fp_detail::maxShortestDecimalDigits(IeeeTraits<long double>::Precision);
   // The x87 encoding occupies the low 10 bytes of the 16-byte storage; the
@@ -140,6 +149,7 @@ template <> struct FormatTraits<Binary128> {
   static constexpr const char *Name = "binary128";
   static constexpr bool WideMantissa = true;
   static constexpr bool FastPathCertified = false;
+  static constexpr bool RyuCertified = false;
   static constexpr int MaxShortestDigits =
       fp_detail::maxShortestDecimalDigits(IeeeTraits<Binary128>::Precision);
   static void encodingBits(Binary128 Value, uint64_t &Lo, uint64_t &Hi) {

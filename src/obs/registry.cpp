@@ -195,6 +195,8 @@ Snapshot dragon4::obs::makeSnapshot(const engine::EngineStats &Stats,
   // Exact counters (maintained unconditionally by the engine).
   Snap.addCounter("dragon4_conversions_total", Stats.Conversions);
   Snap.addCounter("dragon4_specials_total", Stats.Specials);
+  Snap.addCounter("dragon4_ryu_hits_total", Stats.RyuHits);
+  Snap.addCounter("dragon4_ryu_fallback_total", Stats.RyuFallbacks);
   Snap.addCounter("dragon4_fastpath_hits_total", Stats.FastPathHits);
   Snap.addCounter("dragon4_fastpath_fails_total", Stats.FastPathFails);
   Snap.addCounter("dragon4_slowpath_direct_total", Stats.SlowPathDirect);
@@ -223,6 +225,10 @@ Snapshot dragon4::obs::makeSnapshot(const engine::EngineStats &Stats,
   Snap.addGauge("dragon4_arena_high_water_bytes", Stats.ArenaHighWaterBytes);
 
   // Derived rates nobody should have to eyeball out of raw nanoseconds.
+  if (Stats.Conversions > 0 && Stats.RyuHits > 0)
+    Snap.addDerived("ryu_hit_rate",
+                    static_cast<double>(Stats.RyuHits) /
+                        static_cast<double>(Stats.Conversions));
   if (Stats.Conversions + Stats.Specials > 0 && Stats.FastPathHits > 0) {
     uint64_t Eligible = Stats.FastPathHits + Stats.FastPathFails;
     if (Eligible)

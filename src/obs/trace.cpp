@@ -32,6 +32,8 @@ const char *dragon4::obs::pathName(Path P) {
   switch (P) {
   case Path::Unknown:
     return "unknown";
+  case Path::Ryu:
+    return "ryu";
   case Path::FastPath:
     return "fast";
   case Path::SlowFallback:

@@ -43,6 +43,7 @@ namespace dragon4::obs {
 /// Which conversion path a record describes.
 enum class Path : uint8_t {
   Unknown,      ///< Trace never classified (e.g. captured outside engine).
+  Ryu,          ///< Ryu produced the result (the front line).
   FastPath,     ///< Grisu certified the result.
   SlowFallback, ///< Grisu failed; exact BigInt loop ran.
   SlowDirect,   ///< Fast path ineligible; exact loop ran directly.

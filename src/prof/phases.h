@@ -28,6 +28,7 @@ namespace dragon4::prof {
 enum class Phase : uint8_t {
   Total,        ///< The whole conversion (gross; every other span nests).
   Decompose,    ///< Classification, IEEE decomposition, eligibility checks.
+  RyuPath,      ///< The Ryu front line (exact interval digit generation).
   FastPath,     ///< The Grisu3 attempt (certified or not).
   Estimator,    ///< The two-flop / float-log scale estimate.
   ScaleSetup,   ///< Table-1 initial values and the B^k scale application.
@@ -52,6 +53,8 @@ constexpr const char *phaseName(Phase P) {
     return "total";
   case Phase::Decompose:
     return "decompose";
+  case Phase::RyuPath:
+    return "ryu_path";
   case Phase::FastPath:
     return "fast_path";
   case Phase::Estimator:
@@ -83,6 +86,8 @@ constexpr const char *phaseLabel(Phase P) {
     return "total (unattributed glue)";
   case Phase::Decompose:
     return "decompose + classify";
+  case Phase::RyuPath:
+    return "fast path (Ryu)";
   case Phase::FastPath:
     return "fast path (Grisu3)";
   case Phase::Estimator:

@@ -31,6 +31,15 @@ namespace dragon4::testhooks {
 /// boundary values emit one digit too many (minimality failure).
 extern bool FlipDigitLoopLowComparison;
 
+/// When true, the Ryu fast path's digit-removal loop evaluates its
+/// interval-width bound ("the remaining interval still spans a full
+/// decade") inclusively instead of strictly, removing one digit too many
+/// -- outputs land outside the rounding interval (round-trip failures) or
+/// lose minimality.  The Ryu analogue of FlipDigitLoopLowComparison,
+/// planted to prove the exhaustive tier also guards the new front line.
+/// Defined in fastpath/ryu.cpp.
+extern bool FlipRyuBoundComparison;
+
 /// When true, the phase profiler (src/prof/) behaves as if
 /// perf_event_open(2) were denied and falls back to the steady-clock
 /// backend, so the degradation path is testable on machines where perf
@@ -39,11 +48,13 @@ extern bool FlipDigitLoopLowComparison;
 /// Defined in prof/perf.cpp.
 extern bool ForceCounterFallback;
 
-/// Iterations of a volatile no-op spin executed per digit-loop iteration:
-/// a synthetic, deterministic slowdown of exactly one algorithm phase.
-/// The CI regression self-test injects this (via bench_engine_batch
-/// --spin-digit-loop=N) and asserts bench_check.py's trend gate flags the
-/// run.  Defined in core/digit_loop.cpp.
+/// Iterations of a volatile no-op spin executed per emitted digit: a
+/// synthetic, deterministic slowdown of the digit-generation phase,
+/// honored by both the exact digit loop and Ryu's emission loop (so the
+/// slowdown stays visible whichever rung of the ladder serves a
+/// conversion).  The CI regression self-test injects this (via
+/// bench_engine_batch --spin-digit-loop=N) and asserts bench_check.py's
+/// trend gate flags the run.  Defined in core/digit_loop.cpp.
 extern unsigned DigitLoopSyntheticSpinPerDigit;
 
 } // namespace dragon4::testhooks

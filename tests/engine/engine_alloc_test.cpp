@@ -55,26 +55,37 @@ TEST(EngineAlloc, WarmShortestConversionsAllocateNothing) {
   eng::Scratch S;
   std::vector<double> Values = allocCorpus();
   char Buf[64];
+  // Default options ride the Ryu front line; the asymmetric LowInclusive
+  // reader model bypasses both fast rungs, so the exact BigInt path is
+  // held to the same zero-allocation bar.
+  PrintOptions ExactOnly;
+  ExactOnly.Boundaries = BoundaryMode::LowInclusive;
 
   // Warm-up: first pass fills the per-thread power caches, the arena's
   // block, and the reusable digit buffers.
-  for (double V : Values)
+  for (double V : Values) {
     eng::format(V, Buf, sizeof(Buf), PrintOptions{}, S);
+    eng::format(V, Buf, sizeof(Buf), ExactOnly, S);
+  }
 
   // Every subsequent pass over the same values must be allocation-free:
   // no global new, no BigInt limbs from the heap.
   for (int Round = 0; Round < 2; ++Round) {
     uint64_t NewBefore = GlobalNewCount.load(std::memory_order_relaxed);
     uint64_t LimbHeapBefore = limbHeapAllocCount();
-    for (double V : Values)
+    for (double V : Values) {
       eng::format(V, Buf, sizeof(Buf), PrintOptions{}, S);
+      eng::format(V, Buf, sizeof(Buf), ExactOnly, S);
+    }
     EXPECT_EQ(GlobalNewCount.load(std::memory_order_relaxed) - NewBefore, 0u)
         << "round " << Round;
     EXPECT_EQ(limbHeapAllocCount() - LimbHeapBefore, 0u) << "round " << Round;
   }
 
-  // The guarantee is only meaningful if the exact BigInt path actually
-  // ran: even-mantissa values are ineligible for Grisu under NearestEven.
+  // The guarantee is only meaningful if both ends of the ladder actually
+  // ran: Ryu for the default pass, the exact BigInt path for the
+  // LowInclusive pass.
+  EXPECT_GT(S.stats().RyuHits, 0u);
   EXPECT_GT(S.stats().slowPathRuns(), 0u);
   EXPECT_GT(S.stats().ArenaHighWaterBytes, 0u);
 }

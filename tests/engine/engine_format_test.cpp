@@ -160,15 +160,25 @@ TEST(EngineFormat, StatsAccounting) {
   std::vector<double> Values = randomBitsDoubles(500, 0xd1a60407);
   for (double V : Values)
     eng::format(V, Buf, sizeof(Buf), PrintOptions{}, S);
+  // The asymmetric LowInclusive reader model bypasses both fast rungs
+  // (Ryu needs symmetric bounds, Grisu needs Conservative/NearestEven),
+  // so a second pass populates the exact-path side of the accounting.
+  PrintOptions ExactOnly;
+  ExactOnly.Boundaries = BoundaryMode::LowInclusive;
+  for (double V : Values)
+    eng::format(V, Buf, sizeof(Buf), ExactOnly, S);
 
   const eng::EngineStats &Stats = S.stats();
   EXPECT_EQ(Stats.Specials, 3u);
-  EXPECT_EQ(Stats.Conversions, Values.size());
-  EXPECT_EQ(Stats.FastPathHits + Stats.slowPathRuns(), Values.size());
-  // Even-mantissa values are ineligible under NearestEven, so both sides
-  // of the split must be populated on a 500-value corpus.
-  EXPECT_GT(Stats.FastPathHits, 0u);
-  EXPECT_GT(Stats.SlowPathDirect, 0u);
+  EXPECT_EQ(Stats.Conversions, 2 * Values.size());
+  EXPECT_EQ(Stats.RyuHits + Stats.FastPathHits + Stats.slowPathRuns(),
+            2 * Values.size());
+  // Default options all land on the Ryu front line (it certifies every
+  // binary64 conversion); the LowInclusive pass all lands on the exact
+  // loop, so both sides of the split must be fully populated.
+  EXPECT_EQ(Stats.RyuHits, Values.size());
+  EXPECT_EQ(Stats.RyuFallbacks, 0u);
+  EXPECT_EQ(Stats.SlowPathDirect, Values.size());
 
   // The histogram covers exactly the slow-path runs.
   uint64_t HistogramTotal = 0;

@@ -89,12 +89,15 @@ TEST(EngineMultiFormat, Binary16ExhaustiveMatchesToShortest) {
     ASSERT_EQ(viaBoundBuffer(V, PrintOptions{}, S), toShortest(V))
         << "encoding 0x" << std::hex << Bits;
   }
-  // The sweep covered finite values and specials; binary16's slow path is
-  // the only path (no certified Grisu table).
+  // The sweep covered finite values and specials; binary16 has no
+  // certified Grisu table, but the Ryu front line certifies every
+  // conversion, so nothing reaches the exact loop.
   EXPECT_GT(S.stats().Conversions, 0u);
   EXPECT_GT(S.stats().Specials, 0u);
+  EXPECT_EQ(S.stats().RyuHits, S.stats().Conversions);
+  EXPECT_EQ(S.stats().RyuFallbacks, 0u);
   EXPECT_EQ(S.stats().FastPathHits, 0u);
-  EXPECT_EQ(S.stats().FastPathIneligibleFormat, S.stats().Conversions);
+  EXPECT_EQ(S.stats().FastPathIneligibleFormat, 0u);
 }
 
 TEST(EngineMultiFormat, Binary32StratifiedMatchesToShortest) {

@@ -185,11 +185,18 @@ struct ConfigGuard {
 
 /// Runs a Schryer subsample through the engine at SampleEvery = 1 and
 /// returns the scratch whose registry carries the phase attribution.
+/// Each value converts twice -- default options ride the Ryu front line,
+/// the asymmetric LowInclusive reader model bypasses both fast rungs --
+/// so every phase of the ladder records spans (mirrors prof_report).
 void runProfiledWorkload(engine::Scratch &S) {
   char Buf[64];
+  PrintOptions ExactOnly;
+  ExactOnly.Boundaries = BoundaryMode::LowInclusive;
   std::vector<double> Values = schryerDoubles();
-  for (size_t I = 0; I < Values.size(); I += 8)
+  for (size_t I = 0; I < Values.size(); I += 8) {
     engine::format(Values[I], Buf, sizeof(Buf), PrintOptions{}, S);
+    engine::format(Values[I], Buf, sizeof(Buf), ExactOnly, S);
+  }
 }
 
 TEST(ProfReport, AttributionCoversTheSchryerWorkload) {
@@ -209,10 +216,12 @@ TEST(ProfReport, AttributionCoversTheSchryerWorkload) {
   EXPECT_GE(Coverage, 0.90) << "unattributed conversion time";
   EXPECT_LE(Coverage, 1.0);
 
-  // The pipeline phases the paper's cost model names must all appear.
+  // The pipeline phases the paper's cost model names must all appear,
+  // plus the Ryu front line that now serves the default reader model.
   for (prof::Phase P :
        {prof::Phase::DigitLoop, prof::Phase::ScaleSetup,
-        prof::Phase::BigIntDivMod, prof::Phase::Render})
+        prof::Phase::BigIntDivMod, prof::Phase::Render,
+        prof::Phase::RyuPath})
     EXPECT_GT(Reg.phase(P).Spans, 0u)
         << "phase " << prof::phaseName(P) << " never recorded";
 }
@@ -231,7 +240,7 @@ TEST(ProfReport, CostReportNamesPhasesBackendAndCoverage) {
   for (prof::Phase P :
        {prof::Phase::DigitLoop, prof::Phase::ScaleSetup,
         prof::Phase::BigIntDivMod, prof::Phase::Render,
-        prof::Phase::Overhead})
+        prof::Phase::RyuPath, prof::Phase::Overhead})
     EXPECT_NE(Report.find(prof::phaseLabel(P)), std::string::npos)
         << prof::phaseLabel(P);
 }
@@ -250,6 +259,7 @@ TEST(ProfReport, FoldedStacksParseAndNestUnderTotal) {
   std::istringstream Lines(Folded);
   std::string Line;
   bool SawDigitLoop = false;
+  bool SawRyu = false;
   while (std::getline(Lines, Line)) {
     size_t Space = Line.rfind(' ');
     ASSERT_NE(Space, std::string::npos) << Line;
@@ -260,8 +270,11 @@ TEST(ProfReport, FoldedStacksParseAndNestUnderTotal) {
     EXPECT_EQ(Stack.rfind("dragon4", 0), 0u) << Line;
     if (Stack.find("total;digit_loop") != std::string::npos)
       SawDigitLoop = true;
+    if (Stack.find("total;ryu_path") != std::string::npos)
+      SawRyu = true;
   }
   EXPECT_TRUE(SawDigitLoop) << "digit loop missing from folded stacks";
+  EXPECT_TRUE(SawRyu) << "ryu path missing from folded stacks";
 }
 
 #endif // DRAGON4_OBS_ENABLED

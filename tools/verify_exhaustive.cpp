@@ -41,6 +41,7 @@
 ///   --obs-sample N       sample 1-in-N conversions (default: 1 when
 ///                        --stats-json/--trace is given, else off)
 ///   --inject-bug         flip a digit-loop comparison (harness self-test)
+///   --inject-ryu-bug     flip the Ryu removal-loop bound (harness self-test)
 ///
 /// On any mismatch, the per-worker flight recorders' records for the
 /// mismatching conversions are dumped and attached to corpus records.
@@ -97,6 +98,7 @@ struct Options {
   std::string TracePath;
   std::optional<uint64_t> ObsSample;
   bool InjectBug = false;
+  bool InjectRyuBug = false;
 };
 
 [[noreturn]] void usage(const char *Message) {
@@ -108,7 +110,8 @@ struct Options {
                "                         [--oracles list] [--threads N] "
                "[--corpus path [--minimize]]\n"
                "                         [--max-failures N] [--progress] "
-               "[--json path] [--bench-history path] [--inject-bug]\n"
+               "[--json path] [--bench-history path] [--inject-bug] "
+               "[--inject-ryu-bug]\n"
                "                         [--stats-json path] [--trace path] "
                "[--obs-sample N]\n"
                "       verify_exhaustive --domain <fmt> [...]\n"
@@ -197,6 +200,8 @@ Options parseArgs(int Argc, char **Argv) {
       Opts.ObsSample = parseUint(Arg().c_str(), "--obs-sample");
     } else if (Flag == "--inject-bug") {
       Opts.InjectBug = true;
+    } else if (Flag == "--inject-ryu-bug") {
+      Opts.InjectRyuBug = true;
     } else {
       usage(("unknown flag " + Flag).c_str());
     }
@@ -373,6 +378,16 @@ int writeBenchReport(const Options &Opts, const SweepResult &Result,
     Report.derived("fastparse_fallback_rate",
                    static_cast<double>(Stats.FastParseFallbacks) / Decided);
   }
+  // Shortest-path outcome mix: which rung of the Ryu -> Grisu3 -> Dragon4
+  // ladder served the sweep's conversions.
+  if (Stats.RyuHits + Stats.RyuFallbacks > 0) {
+    double Attempted =
+        static_cast<double>(Stats.RyuHits + Stats.RyuFallbacks);
+    Report.context("ryu_hits", Stats.RyuHits);
+    Report.context("ryu_fallbacks", Stats.RyuFallbacks);
+    Report.derived("ryu_hit_rate",
+                   static_cast<double>(Stats.RyuHits) / Attempted);
+  }
   Report.derived("values_per_second",
                  Result.ElapsedSeconds > 0
                      ? static_cast<double>(Result.Checked) /
@@ -411,6 +426,12 @@ int main(int Argc, char **Argv) {
                  "verify_exhaustive: INJECTED BUG ACTIVE (digit-loop low "
                  "comparison flipped)\n");
     testhooks::FlipDigitLoopLowComparison = true;
+  }
+  if (Opts.InjectRyuBug) {
+    std::fprintf(stderr,
+                 "verify_exhaustive: INJECTED BUG ACTIVE (Ryu removal-loop "
+                 "bound flipped)\n");
+    testhooks::FlipRyuBoundComparison = true;
   }
 
   if (!Opts.ReplayPath.empty())
@@ -527,6 +548,14 @@ int main(int Argc, char **Argv) {
     std::printf(" (%zu captured; raise --max-failures for more)",
                 Result.Failures.size());
   std::printf("\n");
+  if (Stats.RyuHits + Stats.RyuFallbacks > 0) {
+    double Attempted =
+        static_cast<double>(Stats.RyuHits + Stats.RyuFallbacks);
+    std::printf("ryu: %" PRIu64 " hit(s), %" PRIu64
+                " fallback(s) to Grisu3/Dragon4 (hit rate %.4f%%)\n",
+                Stats.RyuHits, Stats.RyuFallbacks,
+                100.0 * static_cast<double>(Stats.RyuHits) / Attempted);
+  }
   if (Stats.FastParseHits + Stats.FastParseFallbacks > 0) {
     double Decided =
         static_cast<double>(Stats.FastParseHits + Stats.FastParseFallbacks);
