@@ -164,13 +164,21 @@ int main(int Argc, char **Argv) {
                 "overhead; do not use as a baseline\n");
   }
 
+  // Re-detected on every run, not baked into the baseline: the same
+  // binary may run on a 64-core bench host one day and a 1-core CI
+  // container the next.  When the host has fewer cores than the widest
+  // thread count benchmarked, the multi-thread numbers measure the
+  // hardware, not the engine, and the emitted thread_scaling_valid flag
+  // tells bench_check.py to skip (not silently pass) those comparisons.
   unsigned Cores = std::thread::hardware_concurrency();
+  const bool ThreadScalingValid = Cores >= 4;
   std::printf("bench_engine_batch: %zu uniform-random values, format %s, "
               "best of %d, %u cores\n",
               Count, Format.c_str(), Reps, Cores);
-  if (Cores < 4)
+  if (!ThreadScalingValid)
     std::printf("  NOTE: %u-core host -- thread scaling is bounded by the "
-                "hardware, not the engine\n",
+                "hardware, not the engine; multi-thread metrics are "
+                "flagged non-comparable\n",
                 Cores);
 
   // dragon4.bench.v1 via the shared emitter: "metrics" holds the
@@ -182,6 +190,7 @@ int main(int Argc, char **Argv) {
   Report.context("count", static_cast<uint64_t>(Count));
   Report.context("reps", static_cast<uint64_t>(Reps));
   Report.context("hardware_concurrency", static_cast<uint64_t>(Cores));
+  Report.context("thread_scaling_valid", ThreadScalingValid);
   Report.context("obs_sampling", Telemetry);
   Report.context("format", Format.c_str());
   if (SpinPerDigit)

@@ -179,7 +179,8 @@ size_t dragon4::engine::format(T Value, char *Buffer, size_t BufferSize,
     if (Sampled) {
       uint64_t BitsLo, BitsHi;
       Format::encodingBits(Value, BitsLo, BitsHi);
-      Obs.finishConversion(Obs.Current, PathKind, BitsLo, BitsHi, StartNs,
+      Obs.finishConversion(Obs.Current, PathKind, Format::Id, BitsLo, BitsHi,
+                           StartNs,
                            obs::nowNanos() - StartNs,
                            /*Truncated=*/Len > BufferSize,
                            /*Mismatch=*/false);
@@ -349,7 +350,8 @@ size_t dragon4::engine::formatFixed(T Value, int FractionDigits, char *Buffer,
     if (Sampled) {
       uint64_t BitsLo, BitsHi;
       Format::encodingBits(Value, BitsLo, BitsHi);
-      Obs.finishConversion(Obs.Current, PathKind, BitsLo, BitsHi, StartNs,
+      Obs.finishConversion(Obs.Current, PathKind, Format::Id, BitsLo, BitsHi,
+                           StartNs,
                            obs::nowNanos() - StartNs,
                            /*Truncated=*/Len > BufferSize,
                            /*Mismatch=*/false);

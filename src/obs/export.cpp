@@ -61,6 +61,19 @@ void appendHistogramJson(std::string &Out, const SnapshotHistogram &H,
   Out += "{\n";
   appendF(Out, "%s  \"name\": ", Indent);
   appendJsonString(Out, H.Name.c_str());
+  if (!H.Labels.empty()) {
+    appendF(Out, ",\n%s  \"labels\": {", Indent);
+    bool FirstLabel = true;
+    for (const auto &[Key, Value] : H.Labels) {
+      if (!FirstLabel)
+        Out += ", ";
+      FirstLabel = false;
+      appendJsonString(Out, Key.c_str());
+      Out += ": ";
+      appendJsonString(Out, Value.c_str());
+    }
+    Out += '}';
+  }
   appendF(Out, ",\n%s  \"count\": %" PRIu64 ",\n", Indent, H.Count);
   appendF(Out, "%s  \"sum\": %" PRIu64 ",\n", Indent, H.Sum);
   appendF(Out, "%s  \"min\": %" PRIu64 ",\n", Indent, H.Min);
@@ -69,6 +82,8 @@ void appendHistogramJson(std::string &Out, const SnapshotHistogram &H,
   appendJsonDouble(Out, H.P50);
   appendF(Out, ",\n%s  \"p90\": ", Indent);
   appendJsonDouble(Out, H.P90);
+  appendF(Out, ",\n%s  \"p95\": ", Indent);
+  appendJsonDouble(Out, H.P95);
   appendF(Out, ",\n%s  \"p99\": ", Indent);
   appendJsonDouble(Out, H.P99);
   appendF(Out, ",\n%s  \"buckets\": [", Indent);
@@ -129,18 +144,108 @@ std::string dragon4::obs::renderStatsJson(const Snapshot &Snap) {
   return Out;
 }
 
+std::string dragon4::obs::promEscapeLabelValue(std::string_view Value) {
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    if (C == '\\' || C == '"') {
+      Out += '\\';
+      Out += C;
+    } else if (C == '\n') {
+      Out += "\\n";
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string dragon4::obs::promSeries(
+    std::string_view Name,
+    const std::vector<std::pair<std::string, std::string>> &Labels) {
+  std::string Out(Name);
+  if (Labels.empty())
+    return Out;
+  Out += '{';
+  bool First = true;
+  for (const auto &[Key, Value] : Labels) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += Key;
+    Out += "=\"";
+    Out += promEscapeLabelValue(Value);
+    Out += '"';
+  }
+  Out += '}';
+  return Out;
+}
+
+namespace {
+
+/// Metric family of a series name: everything before the label braces.
+std::string_view promFamily(std::string_view Series) {
+  size_t Brace = Series.find('{');
+  return Brace == std::string_view::npos ? Series : Series.substr(0, Brace);
+}
+
+/// One-line HELP text per family.  The well-known families get real prose;
+/// anything else (per-phase counters, per-format counters) falls back to a
+/// generic pointer at the catalog.
+const char *promFamilyHelp(std::string_view Family) {
+  if (Family == "dragon4_conversions_total")
+    return "Finite values converted to shortest decimal form.";
+  if (Family == "dragon4_ryu_hits_total")
+    return "Conversions resolved by the Ryu front line.";
+  if (Family == "dragon4_fastpath_hits_total")
+    return "Conversions resolved by the certified Grisu fast path.";
+  if (Family == "dragon4_slowpath_direct_total")
+    return "Conversions that ran the exact BigInt loop directly.";
+  if (Family == "dragon4_batch_values_total")
+    return "Values converted through the batch engine.";
+  if (Family == "dragon4_latency_ns")
+    return "Sampled conversion latency by format and path, nanoseconds.";
+  if (Family == "dragon4_conversion_latency_ns")
+    return "Sampled conversion latency, all paths, nanoseconds.";
+  if (Family == "dragon4_slo_breached")
+    return "1 while the named latency SLO is in breach over the window.";
+  if (Family == "dragon4_slo_breaches_total")
+    return "Window evaluations in which the named SLO was in breach.";
+  if (Family == "dragon4_arena_high_water_bytes")
+    return "Deepest limb-arena occupancy observed in any worker.";
+  return "dragon4 metric; see docs/observability.md for the catalog.";
+}
+
+/// Emits the HELP/TYPE header when \p Family starts a new block.  Families
+/// must arrive contiguously (Snapshot construction guarantees it; the
+/// parse-back test enforces it) so each family's header appears exactly
+/// once, before its first sample.
+void promFamilyHeader(std::string &Out, std::string &LastFamily,
+                      std::string_view Family, const char *Type) {
+  if (Family == LastFamily)
+    return;
+  LastFamily.assign(Family);
+  appendF(Out, "# HELP %.*s %s\n", static_cast<int>(Family.size()),
+          Family.data(), promFamilyHelp(Family));
+  appendF(Out, "# TYPE %.*s %s\n", static_cast<int>(Family.size()),
+          Family.data(), Type);
+}
+
+} // namespace
+
 std::string dragon4::obs::renderPrometheus(const Snapshot &Snap) {
   std::string Out;
+  std::string LastFamily;
   for (const auto &[Name, Value] : Snap.Counters) {
-    appendF(Out, "# TYPE %s counter\n", Name.c_str());
+    promFamilyHeader(Out, LastFamily, promFamily(Name), "counter");
     appendF(Out, "%s %" PRIu64 "\n", Name.c_str(), Value);
   }
   for (const auto &[Name, Value] : Snap.Gauges) {
-    appendF(Out, "# TYPE %s gauge\n", Name.c_str());
+    promFamilyHeader(Out, LastFamily, promFamily(Name), "gauge");
     appendF(Out, "%s %" PRIu64 "\n", Name.c_str(), Value);
   }
   for (const auto &[Name, Value] : Snap.Derived) {
-    appendF(Out, "# TYPE %s gauge\n", Name.c_str());
+    promFamilyHeader(Out, LastFamily, promFamily(Name), "gauge");
     appendF(Out, "%s ", Name.c_str());
     if (std::isfinite(Value))
       appendF(Out, "%.17g\n", Value);
@@ -148,17 +253,35 @@ std::string dragon4::obs::renderPrometheus(const Snapshot &Snap) {
       Out += "NaN\n";
   }
   for (const auto &H : Snap.Histograms) {
-    appendF(Out, "# TYPE %s histogram\n", H.Name.c_str());
+    promFamilyHeader(Out, LastFamily, H.Name, "histogram");
+    // Labels render identically on every series of the histogram; le is
+    // appended after them on bucket lines.
+    std::string Labels;
+    for (const auto &[Key, Value] : H.Labels) {
+      Labels += Labels.empty() ? "" : ",";
+      Labels += Key;
+      Labels += "=\"";
+      Labels += promEscapeLabelValue(Value);
+      Labels += '"';
+    }
+    const char *Sep = Labels.empty() ? "" : ",";
     uint64_t Cumulative = 0;
     for (const auto &[Le, N] : H.Buckets) {
       Cumulative += N;
-      appendF(Out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
-              H.Name.c_str(), Le, Cumulative);
+      appendF(Out, "%s_bucket{%s%sle=\"%" PRIu64 "\"} %" PRIu64 "\n",
+              H.Name.c_str(), Labels.c_str(), Sep, Le, Cumulative);
     }
-    appendF(Out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", H.Name.c_str(),
-            H.Count);
-    appendF(Out, "%s_sum %" PRIu64 "\n", H.Name.c_str(), H.Sum);
-    appendF(Out, "%s_count %" PRIu64 "\n", H.Name.c_str(), H.Count);
+    appendF(Out, "%s_bucket{%s%sle=\"+Inf\"} %" PRIu64 "\n", H.Name.c_str(),
+            Labels.c_str(), Sep, H.Count);
+    if (Labels.empty()) {
+      appendF(Out, "%s_sum %" PRIu64 "\n", H.Name.c_str(), H.Sum);
+      appendF(Out, "%s_count %" PRIu64 "\n", H.Name.c_str(), H.Count);
+    } else {
+      appendF(Out, "%s_sum{%s} %" PRIu64 "\n", H.Name.c_str(), Labels.c_str(),
+              H.Sum);
+      appendF(Out, "%s_count{%s} %" PRIu64 "\n", H.Name.c_str(),
+              Labels.c_str(), H.Count);
+    }
   }
   return Out;
 }
@@ -205,7 +328,7 @@ std::string dragon4::obs::renderHuman(const Snapshot &Snap) {
     appendF(Out,
             "  %-44s count=%" PRIu64 " mean=%.2f p50=%.0f p90=%.0f "
             "p99=%.0f max=%" PRIu64 "\n",
-            H.Name.c_str(), H.Count,
+            promSeries(H.Name, H.Labels).c_str(), H.Count,
             static_cast<double>(H.Sum) / static_cast<double>(H.Count), H.P50,
             H.P90, H.P99, H.Max);
   }

@@ -30,6 +30,9 @@
 #include <cstdio>
 #include <span>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace dragon4::obs {
 
@@ -43,6 +46,18 @@ inline constexpr const char *BenchSchemaVersion = "dragon4.bench.v1";
 std::string renderStatsJson(const Snapshot &Snap);
 std::string renderPrometheus(const Snapshot &Snap);
 std::string renderChromeTrace(std::span<const SpanEvent> Spans);
+
+/// Escapes \p Value for use inside a Prometheus label: backslash, double
+/// quote, and newline become \\, \", and \n per the text exposition format.
+std::string promEscapeLabelValue(std::string_view Value);
+
+/// Builds a labeled series name, 'name{k="v",...}' with escaped label
+/// values (or just \p Name when \p Labels is empty).  Layers that add
+/// labeled flat metrics to a Snapshot (the SLO gauges) build their names
+/// with this so the exporter's family grouping sees consistent syntax.
+std::string
+promSeries(std::string_view Name,
+           const std::vector<std::pair<std::string, std::string>> &Labels);
 
 /// Human text rendering of \p Snap: one metric per line, histograms as
 /// count/mean/percentile summaries plus their non-empty buckets.

@@ -1,0 +1,140 @@
+//===- obs/live/slo.cpp - Windowed latency SLO evaluation -------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/live/slo.h"
+
+#include "obs/export.h"
+
+#include <cstdlib>
+
+using namespace dragon4;
+using namespace dragon4::obs;
+using namespace dragon4::obs::live;
+
+void SloSet::evaluate(const WindowView &View) {
+  if (!View.Valid)
+    return;
+  for (SloStatus &S : Statuses) {
+    const SnapshotHistogram *H =
+        View.histogram(S.Rule.Family, S.Rule.Labels);
+    if (!H || H->Count == 0) {
+      S.Evaluated = false;
+      S.Breached = false; // No traffic cannot breach a latency objective.
+      S.Observed = 0;
+      continue;
+    }
+    S.Evaluated = true;
+    ++S.Evaluations;
+    if (S.Rule.Percentile <= 50)
+      S.Observed = H->P50;
+    else if (S.Rule.Percentile <= 90)
+      S.Observed = H->P90;
+    else if (S.Rule.Percentile <= 95)
+      S.Observed = H->P95;
+    else
+      S.Observed = H->P99;
+    S.Breached = S.Observed > S.Rule.MaxValue;
+    if (S.Breached)
+      ++S.Breaches;
+  }
+}
+
+void SloSet::exportInto(Snapshot &Snap) const {
+  // Each family's series are appended consecutively so the Prometheus
+  // exporter emits its HELP/TYPE header exactly once.
+  for (const SloStatus &S : Statuses)
+    Snap.addGauge(promSeries("dragon4_slo_breached", {{"slo", S.Rule.Name}}),
+                  S.Breached ? 1 : 0);
+  for (const SloStatus &S : Statuses)
+    Snap.addCounter(
+        promSeries("dragon4_slo_breaches_total", {{"slo", S.Rule.Name}}),
+        S.Breaches);
+  for (const SloStatus &S : Statuses)
+    Snap.addCounter(
+        promSeries("dragon4_slo_evaluations_total", {{"slo", S.Rule.Name}}),
+        S.Evaluations);
+  for (const SloStatus &S : Statuses)
+    Snap.addDerived(promSeries("slo_threshold", {{"slo", S.Rule.Name}}),
+                    S.Rule.MaxValue);
+  for (const SloStatus &S : Statuses)
+    Snap.addDerived(promSeries("slo_observed", {{"slo", S.Rule.Name}}),
+                    S.Evaluated ? S.Observed : 0);
+}
+
+std::optional<SloRule> SloSet::parse(std::string_view Spec, std::string *Err) {
+  auto Fail = [&](const char *Why) -> std::optional<SloRule> {
+    if (Err)
+      *Err = std::string(Why) + " in SLO spec '" + std::string(Spec) +
+             "' (want NAME:FAMILY[{k=v,...}]:pP:MAX_NS)";
+    return std::nullopt;
+  };
+
+  SloRule Rule;
+  size_t C1 = Spec.find(':');
+  if (C1 == std::string_view::npos || C1 == 0)
+    return Fail("missing name");
+  Rule.Name = std::string(Spec.substr(0, C1));
+  Spec.remove_prefix(C1 + 1);
+
+  // FAMILY with an optional {k=v,...} selector; the closing brace keeps a
+  // label value from hiding the field separator.
+  size_t FamEnd;
+  size_t Brace = Spec.find('{');
+  size_t Colon = Spec.find(':');
+  if (Brace != std::string_view::npos && Brace < Colon) {
+    size_t Close = Spec.find('}', Brace);
+    if (Close == std::string_view::npos)
+      return Fail("unterminated label selector");
+    Rule.Family = std::string(Spec.substr(0, Brace));
+    std::string_view Labels = Spec.substr(Brace + 1, Close - Brace - 1);
+    while (!Labels.empty()) {
+      size_t Comma = Labels.find(',');
+      std::string_view Pair = Labels.substr(0, Comma);
+      size_t Eq = Pair.find('=');
+      if (Eq == std::string_view::npos || Eq == 0)
+        return Fail("malformed label");
+      Rule.Labels.emplace_back(std::string(Pair.substr(0, Eq)),
+                               std::string(Pair.substr(Eq + 1)));
+      if (Comma == std::string_view::npos)
+        break;
+      Labels.remove_prefix(Comma + 1);
+    }
+    FamEnd = Close + 1;
+  } else {
+    if (Colon == std::string_view::npos)
+      return Fail("missing percentile");
+    Rule.Family = std::string(Spec.substr(0, Colon));
+    FamEnd = Colon;
+  }
+  if (Rule.Family.empty())
+    return Fail("missing family");
+  if (FamEnd >= Spec.size() || Spec[FamEnd] != ':')
+    return Fail("missing percentile");
+  Spec.remove_prefix(FamEnd + 1);
+
+  size_t C3 = Spec.find(':');
+  if (C3 == std::string_view::npos)
+    return Fail("missing threshold");
+  std::string_view Pct = Spec.substr(0, C3);
+  if (Pct.size() < 2 || (Pct[0] != 'p' && Pct[0] != 'P'))
+    return Fail("bad percentile");
+  std::string PctDigits(Pct.substr(1));
+  char *End = nullptr;
+  Rule.Percentile = std::strtod(PctDigits.c_str(), &End);
+  if (End == PctDigits.c_str() || *End != '\0')
+    return Fail("bad percentile");
+  if (Rule.Percentile != 50 && Rule.Percentile != 90 &&
+      Rule.Percentile != 95 && Rule.Percentile != 99)
+    return Fail("percentile must be one of p50/p90/p95/p99");
+
+  std::string MaxText(Spec.substr(C3 + 1));
+  if (MaxText.empty())
+    return Fail("missing threshold");
+  Rule.MaxValue = std::strtod(MaxText.c_str(), &End);
+  if (End == MaxText.c_str() || *End != '\0' || Rule.MaxValue < 0)
+    return Fail("bad threshold");
+  return Rule;
+}

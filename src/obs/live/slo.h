@@ -1,0 +1,89 @@
+//===- obs/live/slo.h - Windowed latency SLO evaluation ----------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Latency service-level objectives over the telemetry window: each rule
+/// names a histogram family (optionally narrowed by labels, e.g. one
+/// format × path cell of dragon4_latency_ns), a percentile, and a ceiling.
+/// Every window tick the owning service re-evaluates the rules against
+/// WindowedAggregator::view() and the breach state flips a set of exported
+/// gauges:
+///
+///   dragon4_slo_breached{slo="..."}        1 while in breach, else 0
+///   dragon4_slo_breaches_total{slo="..."}  evaluations spent in breach
+///   slo_threshold{slo="..."} / slo_observed{slo="..."}  the comparison
+///
+/// A window with no samples for the rule's histogram evaluates to "no
+/// data", which is not a breach: an idle service meets its latency SLOs.
+///
+/// Rules parse from the command-line spec the tools accept:
+///
+///   NAME:FAMILY[{key=value,...}]:pP:MAX_NS
+///
+/// e.g.  --slo='ryu64:dragon4_latency_ns{format=binary64,path=ryu}:p99:2000'
+/// with P one of 50, 90, 95, 99.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_OBS_LIVE_SLO_H
+#define DRAGON4_OBS_LIVE_SLO_H
+
+#include "obs/live/window.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dragon4::obs::live {
+
+/// One latency objective: percentile of a (possibly labeled) histogram
+/// family must stay at or below a ceiling.
+struct SloRule {
+  std::string Name;   ///< Exported as the slo="..." label.
+  std::string Family; ///< Histogram family, e.g. "dragon4_latency_ns".
+  std::vector<std::pair<std::string, std::string>> Labels; ///< Selector.
+  double Percentile = 99; ///< One of 50, 90, 95, 99.
+  double MaxValue = 0;    ///< Ceiling in the histogram's unit (ns).
+};
+
+/// The rolling evaluation state of one rule.
+struct SloStatus {
+  SloRule Rule;
+  bool Evaluated = false; ///< Last window had samples for the selector.
+  bool Breached = false;  ///< Last evaluation exceeded the ceiling.
+  double Observed = 0;    ///< Last observed percentile value.
+  uint64_t Evaluations = 0; ///< Windows with data, cumulative.
+  uint64_t Breaches = 0;    ///< Windows in breach, cumulative.
+};
+
+/// The rule set a service evaluates each window tick.
+class SloSet {
+public:
+  void add(SloRule Rule) { Statuses.push_back(SloStatus{std::move(Rule)}); }
+  bool empty() const { return Statuses.empty(); }
+  size_t size() const { return Statuses.size(); }
+  const std::vector<SloStatus> &statuses() const { return Statuses; }
+
+  /// Re-evaluates every rule against \p View (no-op on invalid views, so
+  /// breach state carries across a still-filling ring).
+  void evaluate(const WindowView &View);
+
+  /// Appends the breach gauges/counters/derived comparisons to \p Snap.
+  void exportInto(Snapshot &Snap) const;
+
+  /// Parses one NAME:FAMILY[{k=v,...}]:pP:MAX spec; on failure returns
+  /// nullopt and, when \p Err is non-null, explains why.
+  static std::optional<SloRule> parse(std::string_view Spec,
+                                      std::string *Err = nullptr);
+
+private:
+  std::vector<SloStatus> Statuses;
+};
+
+} // namespace dragon4::obs::live
+
+#endif // DRAGON4_OBS_LIVE_SLO_H

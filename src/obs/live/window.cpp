@@ -1,0 +1,224 @@
+//===- obs/live/window.cpp - Windowed snapshot aggregation ------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/live/window.h"
+
+#include "obs/export.h"
+
+#include <algorithm>
+
+using namespace dragon4;
+using namespace dragon4::obs;
+using namespace dragon4::obs::live;
+
+namespace {
+
+/// Stable lookup key of a histogram: family name plus rendered labels.
+std::string histKey(const SnapshotHistogram &H) {
+  return promSeries(H.Name, H.Labels);
+}
+
+uint64_t counterValue(const Snapshot &Snap, std::string_view Name) {
+  for (const auto &[N, V] : Snap.Counters)
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+const SnapshotHistogram *findHist(const Snapshot &Snap,
+                                  const std::string &Key) {
+  for (const auto &H : Snap.Histograms)
+    if (histKey(H) == Key)
+      return &H;
+  return nullptr;
+}
+
+} // namespace
+
+double dragon4::obs::live::percentileFromBuckets(
+    const std::vector<std::pair<uint64_t, uint64_t>> &Buckets, uint64_t Count,
+    double P) {
+  if (Count == 0)
+    return 0;
+  // Rank of the target sample, 1-based: ceil(P/100 * Count), at least 1 --
+  // the same convention as Log2Histogram::percentile, so windowed and
+  // cumulative summaries agree on full-overlap windows.
+  double Exact = P / 100.0 * static_cast<double>(Count);
+  uint64_t Rank = static_cast<uint64_t>(Exact);
+  if (static_cast<double>(Rank) < Exact)
+    ++Rank;
+  if (Rank == 0)
+    Rank = 1;
+  if (P >= 100)
+    Rank = Count;
+
+  uint64_t Cumulative = 0;
+  uint64_t PrevLe = 0;
+  bool First = true;
+  for (const auto &[Le, N] : Buckets) {
+    if (N == 0) {
+      PrevLe = Le;
+      First = false;
+      continue;
+    }
+    if (Cumulative + N < Rank) {
+      Cumulative += N;
+      PrevLe = Le;
+      First = false;
+      continue;
+    }
+    // The containing bucket spans (PrevLe, Le]; interpolate by the rank's
+    // position among its samples.
+    double Lo = First ? static_cast<double>(Le)
+                      : static_cast<double>(PrevLe) + 1.0;
+    double Hi = static_cast<double>(Le);
+    if (Lo > Hi)
+      Lo = Hi;
+    double Frac = N > 1 ? static_cast<double>(Rank - Cumulative - 1) /
+                              static_cast<double>(N - 1)
+                        : 0.0;
+    return Lo + Frac * (Hi - Lo);
+  }
+  return Buckets.empty() ? 0 : static_cast<double>(Buckets.back().first);
+}
+
+uint64_t WindowView::delta(std::string_view Name) const {
+  for (const auto &[N, V] : Deltas)
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+double WindowView::rate(std::string_view Name) const {
+  for (const auto &[N, V] : Rates)
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+const SnapshotHistogram *WindowView::histogram(
+    std::string_view Name,
+    const std::vector<std::pair<std::string, std::string>> &Labels) const {
+  // Selector semantics, not identity: every requested pair must be
+  // present, extra labels on the histogram are fine.  (Aggregation pairing
+  // above keys on the full rendered series name -- do not unify them.)
+  for (const auto &H : Histograms) {
+    if (H.Name != Name)
+      continue;
+    bool All = true;
+    for (const auto &Pair : Labels)
+      if (std::find(H.Labels.begin(), H.Labels.end(), Pair) ==
+          H.Labels.end()) {
+        All = false;
+        break;
+      }
+    if (All)
+      return &H;
+  }
+  return nullptr;
+}
+
+WindowedAggregator::WindowedAggregator(size_t Capacity)
+    : Ring(Capacity ? Capacity : 1) {}
+
+const WindowedAggregator::Sample &
+WindowedAggregator::at(size_t AgeFromOldest) const {
+  size_t Oldest = (Head + Ring.size() - Filled) % Ring.size();
+  return Ring[(Oldest + AgeFromOldest) % Ring.size()];
+}
+
+const Snapshot &WindowedAggregator::newest() const {
+  return at(Filled - 1).Snap;
+}
+
+void WindowedAggregator::push(uint64_t Nanos, Snapshot Snap) {
+  if (Filled > 0) {
+    // A counter or histogram moving backwards means the producer was
+    // restarted: the cumulative story broke, so the held segment cannot be
+    // subtracted from the new one.  Start a fresh segment.
+    const Snapshot &Prev = newest();
+    bool Reset = false;
+    for (const auto &[Name, Value] : Prev.Counters)
+      if (Value > counterValue(Snap, Name)) {
+        Reset = true;
+        break;
+      }
+    if (!Reset)
+      for (const auto &H : Prev.Histograms) {
+        const SnapshotHistogram *Cur = findHist(Snap, histKey(H));
+        if (H.Count > 0 && (!Cur || Cur->Count < H.Count)) {
+          Reset = true;
+          break;
+        }
+      }
+    if (Reset) {
+      Head = 0;
+      Filled = 0;
+      ++Resets;
+    }
+  }
+  Ring[Head].Nanos = Nanos;
+  Ring[Head].Snap = std::move(Snap);
+  Head = (Head + 1) % Ring.size();
+  if (Filled < Ring.size())
+    ++Filled;
+}
+
+WindowView WindowedAggregator::view() const {
+  WindowView Out;
+  if (Filled < 2)
+    return Out;
+  const Sample &Oldest = at(0);
+  const Sample &Newest = at(Filled - 1);
+  Out.Valid = true;
+  Out.Samples = Filled;
+  Out.SpanNanos =
+      Newest.Nanos > Oldest.Nanos ? Newest.Nanos - Oldest.Nanos : 0;
+
+  for (const auto &[Name, Value] : Newest.Snap.Counters) {
+    // Counters that appear mid-segment (a format first seen after the
+    // oldest sample) start from 0: everything they counted happened
+    // inside the window.
+    uint64_t Base = counterValue(Oldest.Snap, Name);
+    uint64_t Delta = Value >= Base ? Value - Base : 0;
+    Out.Deltas.emplace_back(Name, Delta);
+    if (Delta && Out.SpanNanos)
+      Out.Rates.emplace_back(Name, static_cast<double>(Delta) * 1e9 /
+                                       static_cast<double>(Out.SpanNanos));
+  }
+
+  for (const auto &H : Newest.Snap.Histograms) {
+    const SnapshotHistogram *Base = findHist(Oldest.Snap, histKey(H));
+    SnapshotHistogram W;
+    W.Name = H.Name;
+    W.Labels = H.Labels;
+    for (const auto &[Le, N] : H.Buckets) {
+      uint64_t BaseN = 0;
+      if (Base)
+        for (const auto &[BLe, BN] : Base->Buckets)
+          if (BLe == Le) {
+            BaseN = BN;
+            break;
+          }
+      if (N > BaseN)
+        W.Buckets.emplace_back(Le, N - BaseN);
+    }
+    for (const auto &[Le, N] : W.Buckets)
+      W.Count += N;
+    if (W.Count == 0)
+      continue;
+    uint64_t BaseSum = Base ? Base->Sum : 0;
+    W.Sum = H.Sum >= BaseSum ? H.Sum - BaseSum : 0;
+    W.Min = W.Buckets.front().first;
+    W.Max = W.Buckets.back().first;
+    W.P50 = percentileFromBuckets(W.Buckets, W.Count, 50);
+    W.P90 = percentileFromBuckets(W.Buckets, W.Count, 90);
+    W.P95 = percentileFromBuckets(W.Buckets, W.Count, 95);
+    W.P99 = percentileFromBuckets(W.Buckets, W.Count, 99);
+    Out.Histograms.push_back(std::move(W));
+  }
+  return Out;
+}

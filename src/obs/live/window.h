@@ -1,0 +1,128 @@
+//===- obs/live/window.h - Windowed snapshot aggregation ---------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The live-telemetry window: a time-bucketed ring of cumulative metric
+/// Snapshots with delta/rate derivation over the span the ring covers.
+///
+/// The registry layer is cumulative by design (counters only grow,
+/// histograms only fill); a long-running service wants the *recent* story
+/// -- conversions per second over the last minute, the p99 of the last
+/// window, an SLO that recovers when the traffic does.  WindowedAggregator
+/// turns one into the other without touching the hot path: a sampler
+/// thread pushes a full Snapshot every bucket interval, and view() derives
+///
+///   * per-counter deltas over the window (newest minus oldest, with
+///     counters absent from the oldest sample treated as starting at 0);
+///   * per-second rates (delta scaled by the observed wall-clock span, not
+///     the nominal bucket width, so scheduling jitter cannot skew them);
+///   * windowed histograms: bucket-wise subtraction of the oldest sample
+///     from the newest, with p50/p90/p95/p99 recomputed by the same
+///     rank-walk interpolation the cumulative summaries use.
+///
+/// Counter resets (a worker pool was torn down and restarted, stats were
+/// taken) would make deltas negative; push() detects any counter or
+/// histogram count moving backwards, discards the ring, and starts a new
+/// monotone segment, counting the event in resets().  A window never mixes
+/// two segments, so deltas are always well-defined.
+///
+/// Single-writer, like the rest of the obs tree: the owning service
+/// serializes push()/view() under its own lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_OBS_LIVE_WINDOW_H
+#define DRAGON4_OBS_LIVE_WINDOW_H
+
+#include "obs/registry.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dragon4::obs::live {
+
+/// The derived view over one window: what happened between the oldest and
+/// newest samples in the ring.
+struct WindowView {
+  bool Valid = false;      ///< Ring held >= 2 samples of one segment.
+  uint64_t SpanNanos = 0;  ///< Wall-clock covered (newest - oldest stamp).
+  uint64_t Samples = 0;    ///< Samples the window spans.
+  /// Counter deltas over the window, in snapshot order.
+  std::vector<std::pair<std::string, uint64_t>> Deltas;
+  /// Per-second rates for every counter that moved (delta * 1e9 / span).
+  std::vector<std::pair<std::string, double>> Rates;
+  /// Windowed histograms (newest minus oldest, non-empty only) with
+  /// percentiles recomputed over the window's buckets.
+  std::vector<SnapshotHistogram> Histograms;
+
+  /// Delta of counter \p Name over the window, 0 when absent.
+  uint64_t delta(std::string_view Name) const;
+  /// Per-second rate of counter \p Name over the window, 0 when absent.
+  double rate(std::string_view Name) const;
+  /// Windowed histogram matching the given family name and label
+  /// *selector* -- every given pair must be present on the histogram, in
+  /// any order, so an empty selector matches any cell of the family (the
+  /// first one held).  Aggregation pairing uses exact label-set equality;
+  /// this lookup is deliberately looser because SLO specs may name only
+  /// the labels they care about.
+  const SnapshotHistogram *
+  histogram(std::string_view Name,
+            const std::vector<std::pair<std::string, std::string>> &Labels =
+                {}) const;
+};
+
+/// Fixed-capacity ring of (timestamp, Snapshot) samples over one monotone
+/// counter segment.
+class WindowedAggregator {
+public:
+  /// \p Capacity buckets; with a 1s tick the default covers a minute.
+  explicit WindowedAggregator(size_t Capacity = 60);
+
+  /// Appends a sample stamped \p Nanos.  If any counter or histogram
+  /// count regressed relative to the newest held sample, the ring is
+  /// restarted from this sample (see resets()).
+  void push(uint64_t Nanos, Snapshot Snap);
+
+  /// Derives the delta/rate view between the oldest and newest held
+  /// samples; !Valid until two samples of one segment exist.
+  WindowView view() const;
+
+  size_t size() const { return Filled; }
+  size_t capacity() const { return Ring.size(); }
+  uint64_t resets() const { return Resets; }
+
+  /// Newest held sample (precondition: size() > 0).
+  const Snapshot &newest() const;
+
+private:
+  struct Sample {
+    uint64_t Nanos = 0;
+    Snapshot Snap;
+  };
+
+  const Sample &at(size_t AgeFromOldest) const;
+
+  std::vector<Sample> Ring;
+  size_t Head = 0;   ///< Next write position.
+  size_t Filled = 0; ///< Valid samples (<= capacity).
+  uint64_t Resets = 0;
+};
+
+/// Rank-walk percentile (0..100) over flattened histogram buckets --
+/// (inclusive upper bound, non-cumulative count) pairs, ascending -- with
+/// linear interpolation inside the containing bucket.  Shared by the
+/// window layer and anything else re-deriving percentiles from exported
+/// bucket lists.
+double percentileFromBuckets(
+    const std::vector<std::pair<uint64_t, uint64_t>> &Buckets, uint64_t Count,
+    double P);
+
+} // namespace dragon4::obs::live
+
+#endif // DRAGON4_OBS_LIVE_WINDOW_H

@@ -65,6 +65,9 @@ void Registry::merge(const Registry &RHS) {
       Gauges[I] = RHS.Gauges[I];
   for (size_t I = 0; I < static_cast<size_t>(Hist::Count); ++I)
     Hists[I].merge(RHS.Hists[I]);
+  for (int F = 0; F < NumFormatIds; ++F)
+    for (int P = 0; P < NumPathClasses; ++P)
+      PathLatency[F][P].merge(RHS.PathLatency[F][P]);
   for (size_t I = 0; I < prof::NumPhases; ++I)
     Phases[I].merge(RHS.Phases[I]);
   for (size_t P = 0; P <= prof::NumPhases; ++P)
@@ -102,6 +105,22 @@ const char *dragon4::obs::counterName(Counter C) {
   unreachable("bad counter id");
 }
 
+const char *dragon4::obs::pathClassName(PathClass P) {
+  switch (P) {
+  case PathClass::Ryu:
+    return "ryu";
+  case PathClass::Grisu:
+    return "grisu";
+  case PathClass::Dragon4:
+    return "dragon4";
+  case PathClass::Parse:
+    return "parse";
+  case PathClass::Count:
+    break;
+  }
+  unreachable("bad path class");
+}
+
 const char *dragon4::obs::gaugeName(Gauge G) {
   switch (G) {
   case Gauge::FlightDepth:
@@ -128,16 +147,19 @@ const char *dragon4::obs::histName(Hist H) {
   unreachable("bad histogram id");
 }
 
-SnapshotHistogram dragon4::obs::summarize(std::string Name,
-                                          const Log2Histogram &H) {
+SnapshotHistogram dragon4::obs::summarize(
+    std::string Name, const Log2Histogram &H,
+    std::vector<std::pair<std::string, std::string>> Labels) {
   SnapshotHistogram Out;
   Out.Name = std::move(Name);
+  Out.Labels = std::move(Labels);
   Out.Count = H.count();
   Out.Sum = H.sum();
   Out.Min = H.min();
   Out.Max = H.max();
   Out.P50 = H.percentile(50);
   Out.P90 = H.percentile(90);
+  Out.P95 = H.percentile(95);
   Out.P99 = H.percentile(99);
   for (int I = 0; I < Log2Histogram::NumBuckets; ++I)
     if (H.bucketCount(I))
@@ -182,6 +204,7 @@ SnapshotHistogram summarizeDigitLengths(const engine::EngineStats &Stats) {
   };
   Out.P50 = Percentile(50);
   Out.P90 = Percentile(90);
+  Out.P95 = Percentile(95);
   Out.P99 = Percentile(99);
   return Out;
 }
@@ -272,6 +295,21 @@ Snapshot dragon4::obs::makeSnapshot(const engine::EngineStats &Stats,
       Hist H = static_cast<Hist>(I);
       Snap.Histograms.push_back(summarize(histName(H), Reg->hist(H)));
     }
+
+    // Per-format × per-path sampled latency grid: one labeled series per
+    // non-empty cell, all under the dragon4_latency_ns family (emitted
+    // consecutively so the Prometheus exporter groups them).
+    for (int F = 0; F < NumFormatIds; ++F)
+      for (int P = 0; P < NumPathClasses; ++P) {
+        const Log2Histogram &Cell =
+            Reg->pathLatency(static_cast<FormatId>(F), static_cast<PathClass>(P));
+        if (Cell.count() == 0)
+          continue;
+        Snap.Histograms.push_back(summarize(
+            "dragon4_latency_ns", Cell,
+            {{"format", formatIdName(static_cast<FormatId>(F))},
+             {"path", pathClassName(static_cast<PathClass>(P))}}));
+      }
 
     // Phase attribution (src/prof/): per-phase self-tick totals and
     // distributions, plus which counter backend the ticks came from, so

@@ -28,12 +28,14 @@
 #ifndef DRAGON4_OBS_REGISTRY_H
 #define DRAGON4_OBS_REGISTRY_H
 
+#include "fp/format_id.h"
 #include "obs/obs.h"
 #include "prof/phases.h"
 
 #include <bit>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dragon4::engine {
@@ -150,6 +152,24 @@ const char *counterName(Counter C);
 const char *gaugeName(Gauge G);
 const char *histName(Hist H);
 
+/// Latency attribution classes for the per-format × per-path latency grid.
+/// Coarser than obs::Path on purpose: these are the four *cost tiers* a
+/// value can land in (the SLO surface), not the full trace taxonomy --
+/// Ryu, Grisu, and the exact BigInt loop are the paper's three print
+/// strategies, and parse is the read direction.
+enum class PathClass : uint8_t {
+  Ryu,     ///< Ryu front line produced the digits.
+  Grisu,   ///< Grisu certified the digits.
+  Dragon4, ///< Exact BigInt loop ran (fallback, direct, or fixed-format).
+  Parse,   ///< Text -> float (Eisel-Lemire reader, incl. exact fallback).
+  Count
+};
+
+inline constexpr int NumPathClasses = static_cast<int>(PathClass::Count);
+
+/// Exported label value for \p P ("ryu", "grisu", "dragon4", "parse").
+const char *pathClassName(PathClass P);
+
 /// Per-phase cost attribution, fed by the prof/ PhaseCollector.  "Ticks"
 /// are whatever the active counter backend measures: CPU cycles under
 /// perf_event, nanoseconds under the steady-clock fallback (the backend is
@@ -196,6 +216,15 @@ public:
   }
   const Log2Histogram &hist(Hist H) const {
     return Hists[static_cast<size_t>(H)];
+  }
+
+  /// Records one sampled conversion's wall-clock ns into the per-format ×
+  /// per-path latency grid (the dragon4_latency_ns{format=,path=} family).
+  void recordPathLatency(FormatId Fmt, PathClass P, uint64_t Nanos) {
+    PathLatency[static_cast<size_t>(Fmt)][static_cast<size_t>(P)].record(Nanos);
+  }
+  const Log2Histogram &pathLatency(FormatId Fmt, PathClass P) const {
+    return PathLatency[static_cast<size_t>(Fmt)][static_cast<size_t>(P)];
   }
 
   /// Archives one completed phase span: self/gross tick totals, the
@@ -246,6 +275,7 @@ private:
   uint64_t Counters[static_cast<size_t>(Counter::Count)] = {};
   uint64_t Gauges[static_cast<size_t>(Gauge::Count)] = {};
   Log2Histogram Hists[static_cast<size_t>(Hist::Count)];
+  Log2Histogram PathLatency[NumFormatIds][NumPathClasses];
   PhaseStats Phases[prof::NumPhases];
   /// [parent][child] self ticks; row prof::PhaseRootIndex is "no parent".
   uint64_t PhaseParentTicks[prof::NumPhases + 1][prof::NumPhases] = {};
@@ -255,12 +285,16 @@ private:
 /// non-empty bucket plus a precomputed summary.
 struct SnapshotHistogram {
   std::string Name;
+  /// (key, value) label pairs, raw (unescaped) values; same Name +
+  /// different Labels = one Prometheus family with several series.
+  std::vector<std::pair<std::string, std::string>> Labels;
   uint64_t Count = 0;
   uint64_t Sum = 0;
   uint64_t Min = 0;
   uint64_t Max = 0;
   double P50 = 0;
   double P90 = 0;
+  double P95 = 0;
   double P99 = 0;
   /// (inclusive upper bound, non-cumulative count), ascending, non-empty
   /// buckets only.
@@ -285,8 +319,11 @@ struct Snapshot {
   }
 };
 
-/// Flattens \p H under \p Name with percentile summaries.
-SnapshotHistogram summarize(std::string Name, const Log2Histogram &H);
+/// Flattens \p H under \p Name (and optional \p Labels) with percentile
+/// summaries.
+SnapshotHistogram
+summarize(std::string Name, const Log2Histogram &H,
+          std::vector<std::pair<std::string, std::string>> Labels = {});
 
 /// Builds the full named view: the exact EngineStats counters (including
 /// the slow-path digit-length histogram, with exact percentiles) plus, when

@@ -50,6 +50,24 @@ const char *dragon4::obs::pathName(Path P) {
   return "?";
 }
 
+PathClass dragon4::obs::pathClassFor(Path P) {
+  switch (P) {
+  case Path::Ryu:
+    return PathClass::Ryu;
+  case Path::FastPath:
+    return PathClass::Grisu;
+  case Path::SlowFallback:
+  case Path::SlowDirect:
+  case Path::Fixed:
+    return PathClass::Dragon4;
+  case Path::Unknown:
+  case Path::Special:
+  case Path::VerifyCheck:
+    break;
+  }
+  return PathClass::Count;
+}
+
 const char *dragon4::obs::scaleBranchName(ScaleBranch B) {
   switch (B) {
   case ScaleBranch::None:
@@ -104,12 +122,14 @@ void FlightRecorder::dump(std::FILE *Out, size_t MaxRecords) const {
 }
 
 void ObsState::finishConversion(const ConversionTrace &T, Path P,
-                                uint64_t BitsLo, uint64_t BitsHi,
+                                FormatId Fmt, uint64_t BitsLo, uint64_t BitsHi,
                                 uint64_t StartNanos, uint64_t LatencyNanos,
                                 bool Truncated, bool Mismatch,
                                 const char *SpanName) {
   Reg.add(Counter::SampledConversions);
   Reg.record(Hist::LatencyNs, LatencyNanos);
+  if (PathClass PC = pathClassFor(P); PC != PathClass::Count)
+    Reg.recordPathLatency(Fmt, PC, LatencyNanos);
   if (T.DigitsEmitted)
     Reg.record(Hist::DigitsEmitted, T.DigitsEmitted);
   if (T.Branch != ScaleBranch::None) {

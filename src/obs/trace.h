@@ -58,6 +58,11 @@ enum class ScaleBranch : uint8_t { None, Iterative, FloatLog, Estimate };
 const char *pathName(Path P);
 const char *scaleBranchName(ScaleBranch B);
 
+/// Latency class a record of path \p P is charged to in the per-format ×
+/// per-path grid, or PathClass::Count when it has none (specials, verify
+/// oracle bundles, unclassified captures).
+PathClass pathClassFor(Path P);
+
 /// Scratchpad one traced conversion writes into.  Reset before each use;
 /// the fields mirror ConversionRecord (which is the archived form).
 struct ConversionTrace {
@@ -282,9 +287,10 @@ public:
   }
 
   /// Archives a completed trace into the registry shard and the flight
-  /// recorder; also emits a conversion span when tracing is on.
-  void finishConversion(const ConversionTrace &T, Path P, uint64_t BitsLo,
-                        uint64_t BitsHi, uint64_t StartNanos,
+  /// recorder; also charges LatencyNanos to the \p Fmt × pathClassFor(P)
+  /// latency grid and emits a conversion span when tracing is on.
+  void finishConversion(const ConversionTrace &T, Path P, FormatId Fmt,
+                        uint64_t BitsLo, uint64_t BitsHi, uint64_t StartNanos,
                         uint64_t LatencyNanos, bool Truncated, bool Mismatch,
                         const char *SpanName = "conversion");
 

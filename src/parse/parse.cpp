@@ -22,7 +22,9 @@
 
 #include "parse/parse.h"
 
+#include "engine/scratch.h"
 #include "engine/stats.h"
+#include "fp/format_traits.h"
 #include "fp/ieee_traits.h"
 #include "parse/eisel_lemire.h"
 #include "reader/reader.h"
@@ -260,5 +262,31 @@ template ParseResult<long double>
 parseFloat<long double>(std::string_view, engine::EngineStats *);
 template ParseResult<Binary128> parseFloat<Binary128>(std::string_view,
                                                       engine::EngineStats *);
+
+template <typename T>
+ParseResult<T> parseFloat(std::string_view Text, engine::Scratch &S) {
+#if DRAGON4_OBS_ENABLED
+  obs::ObsState &Obs = S.obsState();
+  if (Obs.tick()) {
+    uint64_t StartNs = obs::nowNanos();
+    ParseResult<T> Result = parseFloatImpl<T>(Text, &S.counters());
+    Obs.Reg.recordPathLatency(FormatTraits<T>::Id, obs::PathClass::Parse,
+                              obs::nowNanos() - StartNs);
+    return Result;
+  }
+#endif
+  return parseFloatImpl<T>(Text, &S.counters());
+}
+
+template ParseResult<double> parseFloat<double>(std::string_view,
+                                                engine::Scratch &);
+template ParseResult<float> parseFloat<float>(std::string_view,
+                                              engine::Scratch &);
+template ParseResult<Binary16> parseFloat<Binary16>(std::string_view,
+                                                    engine::Scratch &);
+template ParseResult<long double> parseFloat<long double>(std::string_view,
+                                                          engine::Scratch &);
+template ParseResult<Binary128> parseFloat<Binary128>(std::string_view,
+                                                      engine::Scratch &);
 
 } // namespace dragon4::parse

@@ -42,7 +42,8 @@
 
 namespace dragon4::engine {
 struct EngineStats;
-}
+class Scratch;
+} // namespace dragon4::engine
 
 namespace dragon4::parse {
 
@@ -88,6 +89,25 @@ extern template ParseResult<long double>
 parseFloat<long double>(std::string_view, engine::EngineStats *);
 extern template ParseResult<Binary128>
 parseFloat<Binary128>(std::string_view, engine::EngineStats *);
+
+/// Scratch-routed variant: charges the outcome counters to \p S and, when
+/// this parse wins the Scratch's obs sampling draw, records its wall-clock
+/// ns into the per-format latency grid under path="parse".  This is the
+/// overload service front-ends should call; the EngineStats* one stays for
+/// callers with no obs shard.
+template <typename T>
+ParseResult<T> parseFloat(std::string_view Text, engine::Scratch &S);
+
+extern template ParseResult<double> parseFloat<double>(std::string_view,
+                                                       engine::Scratch &);
+extern template ParseResult<float> parseFloat<float>(std::string_view,
+                                                     engine::Scratch &);
+extern template ParseResult<Binary16> parseFloat<Binary16>(std::string_view,
+                                                           engine::Scratch &);
+extern template ParseResult<long double>
+parseFloat<long double>(std::string_view, engine::Scratch &);
+extern template ParseResult<Binary128>
+parseFloat<Binary128>(std::string_view, engine::Scratch &);
 
 } // namespace dragon4::parse
 

@@ -31,13 +31,31 @@
 #include "prof/perf.h"
 #include "prof/phases.h"
 
+#include <atomic>
+
 namespace dragon4::prof {
+
+class PhaseCollector;
+
+/// Sampler registry hooks (defined in prof/sampler.cpp): every collector
+/// announces itself so the continuous sampling profiler can sweep the live
+/// span stacks.  Cold path -- construction/destruction only.
+void samplerRegister(PhaseCollector *C);
+void samplerUnregister(PhaseCollector *C);
 
 /// Per-thread span stack + counter group, draining into a Registry shard.
 /// Single-writer, like everything per-Scratch.
 class PhaseCollector {
 public:
   static constexpr int MaxDepth = 8;
+  /// Bits per stack level in the packed live-stack word: holds any phase
+  /// index + 1 (0 = empty level), 5*MaxDepth = 40 bits used.
+  static constexpr int LiveStackBitsPerLevel = 5;
+
+  PhaseCollector() { samplerRegister(this); }
+  ~PhaseCollector() { samplerUnregister(this); }
+  PhaseCollector(const PhaseCollector &) = delete;
+  PhaseCollector &operator=(const PhaseCollector &) = delete;
 
   /// Points archived spans at \p Reg (the owning ObsState's shard).
   void bind(obs::Registry *Reg) { Sink = Reg; }
@@ -51,6 +69,12 @@ public:
     Frame &F = Stack[Depth++];
     F.P = P;
     F.Child = CounterSample{};
+    // Publish the new stack word before the counter read so a concurrent
+    // sampler attributes the span's whole duration.  Relaxed is enough:
+    // the word is self-contained, and a one-sample skew is noise.
+    Packed |= (static_cast<uint64_t>(P) + 1)
+              << (LiveStackBitsPerLevel * (Depth - 1));
+    LiveStack.store(Packed, std::memory_order_relaxed);
     Group.read(F.Entry);
     return true;
   }
@@ -62,6 +86,9 @@ public:
     CounterSample End;
     Group.read(End);
     Frame &F = Stack[--Depth];
+    Packed &= ~(((uint64_t(1) << LiveStackBitsPerLevel) - 1)
+                << (LiveStackBitsPerLevel * Depth));
+    LiveStack.store(Packed, std::memory_order_relaxed);
     const uint64_t Gross = End.Ticks - F.Entry.Ticks;
     const size_t Parent =
         Depth > 0 ? static_cast<size_t>(Stack[Depth - 1].P) : PhaseRootIndex;
@@ -92,6 +119,13 @@ public:
 
   int depth() const { return Depth; }
 
+  /// The packed open-span stack: LiveStackBitsPerLevel bits per level,
+  /// innermost highest, each holding phase index + 1; 0 = no open spans.
+  /// Readable from any thread (the sampler's view of in-flight work).
+  uint64_t liveStackWord() const {
+    return LiveStack.load(std::memory_order_relaxed);
+  }
+
   /// True when this collector's counter group is reading hardware events.
   bool usingPerf() const { return Group.usingPerf(); }
 
@@ -110,6 +144,8 @@ private:
   PerfGroup Group;
   Frame Stack[MaxDepth];
   int Depth = 0;
+  uint64_t Packed = 0; ///< Shadow of LiveStack (single-writer, no reload).
+  std::atomic<uint64_t> LiveStack{0};
 };
 
 #if DRAGON4_OBS_ENABLED

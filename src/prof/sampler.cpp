@@ -1,0 +1,147 @@
+//===- prof/sampler.cpp - Continuous sampling profiler ----------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "prof/sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace dragon4;
+using namespace dragon4::prof;
+
+StackSampler &StackSampler::instance() {
+  // Leaked on purpose: collectors may unregister during static destruction
+  // of test fixtures, and a destructed registry would be worse than a few
+  // bytes held to exit.
+  static StackSampler *Global = new StackSampler();
+  return *Global;
+}
+
+void dragon4::prof::samplerRegister(PhaseCollector *C) {
+  StackSampler::instance().registerCollector(C);
+}
+
+void dragon4::prof::samplerUnregister(PhaseCollector *C) {
+  StackSampler::instance().unregisterCollector(C);
+}
+
+void StackSampler::registerCollector(PhaseCollector *C) {
+  std::lock_guard<std::mutex> Lock(M);
+  Collectors.push_back(C);
+}
+
+void StackSampler::unregisterCollector(PhaseCollector *C) {
+  std::lock_guard<std::mutex> Lock(M);
+  Collectors.erase(std::remove(Collectors.begin(), Collectors.end(), C),
+                   Collectors.end());
+}
+
+void StackSampler::start(uint32_t Hz) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Running)
+    return;
+  if (Hz < 1)
+    Hz = 1;
+  if (Hz > 10000)
+    Hz = 10000;
+  StopRequested = false;
+  Running = true;
+  Thread = std::thread([this, Hz] { timerLoop(Hz); });
+}
+
+void StackSampler::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Running)
+      return;
+    StopRequested = true;
+  }
+  StopCv.notify_all();
+  Thread.join();
+  std::lock_guard<std::mutex> Lock(M);
+  Running = false;
+}
+
+bool StackSampler::running() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Running;
+}
+
+uint64_t StackSampler::samplesTaken() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Samples;
+}
+
+void StackSampler::timerLoop(uint32_t Hz) {
+  const auto Interval =
+      std::chrono::nanoseconds(static_cast<uint64_t>(1e9 / Hz));
+  std::unique_lock<std::mutex> Lock(M);
+  while (!StopRequested) {
+    // Sweep under the lock (collectors cannot unregister mid-sweep), then
+    // sleep interruptibly so stop() returns within one interval.
+    sweepLocked();
+    StopCv.wait_for(Lock, Interval, [this] { return StopRequested; });
+  }
+}
+
+void StackSampler::sampleOnce() {
+  std::lock_guard<std::mutex> Lock(M);
+  sweepLocked();
+}
+
+void StackSampler::sweepLocked() {
+  ++Samples;
+  for (PhaseCollector *C : Collectors)
+    ++PathCounts[C->liveStackWord()];
+}
+
+std::string dragon4::prof::decodeLiveStack(uint64_t Word) {
+  if (Word == 0)
+    return "idle";
+  std::string Out;
+  constexpr uint64_t Mask =
+      (uint64_t(1) << PhaseCollector::LiveStackBitsPerLevel) - 1;
+  for (int Level = 0; Level < PhaseCollector::MaxDepth; ++Level) {
+    uint64_t Slot =
+        (Word >> (PhaseCollector::LiveStackBitsPerLevel * Level)) & Mask;
+    if (Slot == 0)
+      break;
+    if (!Out.empty())
+      Out += ';';
+    uint64_t Index = Slot - 1;
+    Out += Index < NumPhases ? phaseName(static_cast<Phase>(Index)) : "?";
+  }
+  // A non-zero word with an empty level 0 is torn/corrupt; report it as
+  // idle rather than emitting an empty stack line.
+  return Out.empty() ? "idle" : Out;
+}
+
+std::string StackSampler::folded() const {
+  std::lock_guard<std::mutex> Lock(M);
+  // Decode, then merge by decoded string: distinct words can decode to the
+  // same stack only if corrupted, but the merge also gives stable sorted
+  // output for free via the intermediate map.
+  std::map<std::string, uint64_t> Lines;
+  for (const auto &[Word, N] : PathCounts)
+    Lines[decodeLiveStack(Word)] += N;
+  std::string Out;
+  for (const auto &[Stack, N] : Lines) {
+    char Buf[160];
+    int Len = std::snprintf(Buf, sizeof(Buf), "%s %" PRIu64 "\n",
+                            Stack.c_str(), N);
+    if (Len > 0)
+      Out.append(Buf, static_cast<size_t>(Len));
+  }
+  return Out;
+}
+
+void StackSampler::resetCounts() {
+  std::lock_guard<std::mutex> Lock(M);
+  PathCounts.clear();
+  Samples = 0;
+}

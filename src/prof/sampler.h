@@ -1,0 +1,99 @@
+//===- prof/sampler.h - Continuous sampling profiler -------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The always-on profiler for service mode.  The span machinery (prof/
+/// phase.h) gives exact per-phase costs but only for conversions that won
+/// the obs sampling draw and only after their spans close; a long-running
+/// service also wants "what is the fleet doing *right now*" at a cost
+/// independent of the conversion rate.  StackSampler provides that the
+/// classic way: every registered PhaseCollector maintains a packed word
+/// describing its open span stack (one relaxed store per span boundary,
+/// the only hot-path cost), and a timer thread wakes at the configured
+/// rate and reads those words.
+///
+/// Each sweep buckets every collector's stack -- "total;digit_loop" --
+/// or "idle" for collectors with no open span.  folded() renders the
+/// accumulated counts as flamegraph-consumable folded stacks (the same
+/// format prof::renderFoldedStacks emits for exact span data), which is
+/// what the /profile.folded endpoint serves.
+///
+/// Sampling error behaves like any wall-clock profiler's: with N samples
+/// of a phase the share estimate converges as 1/sqrt(N); the tests drive
+/// sampleOnce() deterministically instead of relying on the timer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_PROF_SAMPLER_H
+#define DRAGON4_PROF_SAMPLER_H
+
+#include "prof/phase.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dragon4::prof {
+
+/// The process-wide stack sampler.  Collectors register themselves on
+/// construction (see prof/phase.h); start(Hz) runs the timer thread.
+class StackSampler {
+public:
+  /// The process singleton (collectors register with it from any thread).
+  static StackSampler &instance();
+
+  /// Starts the timer thread at \p Hz sweeps per second (clamped to
+  /// [1, 10000]).  No-op when already running.
+  void start(uint32_t Hz);
+
+  /// Stops and joins the timer thread.  Counts are kept.  Idempotent.
+  void stop();
+
+  bool running() const;
+  uint64_t samplesTaken() const;
+
+  /// One synchronous sweep over every registered collector (what the
+  /// timer thread calls; exposed so tests are deterministic).
+  void sampleOnce();
+
+  /// Flamegraph-consumable folded stacks: "total;digit_loop 42" per line,
+  /// plus an "idle" line for sweeps that found a collector with no open
+  /// span.  Lines are sorted by stack string for stable output.
+  std::string folded() const;
+
+  void resetCounts();
+
+  // Registration (called by PhaseCollector's ctor/dtor via the
+  // samplerRegister/samplerUnregister hooks).
+  void registerCollector(PhaseCollector *C);
+  void unregisterCollector(PhaseCollector *C);
+
+private:
+  void timerLoop(uint32_t Hz);
+  void sweepLocked(); ///< One sweep; caller holds M.
+
+  mutable std::mutex M;
+  std::condition_variable StopCv;
+  bool StopRequested = false;
+  bool Running = false;
+  std::thread Thread;
+  std::vector<PhaseCollector *> Collectors;
+  /// Packed stack word -> sample count ("idle" is the 0 word).
+  std::map<uint64_t, uint64_t> PathCounts;
+  uint64_t Samples = 0;
+};
+
+/// Decodes a packed live-stack word into "total;digit_loop" form ("idle"
+/// for the empty word).  Exposed for the tests.
+std::string decodeLiveStack(uint64_t Word);
+
+} // namespace dragon4::prof
+
+#endif // DRAGON4_PROF_SAMPLER_H

@@ -1,0 +1,364 @@
+//===- support/json_mini.h - Minimal JSON reader -----------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free recursive-descent JSON reader, just big enough for
+/// tools that consume the service's own output (obs_top reading
+/// /stats.json, the exporter round-trip tests).  It is a *reader*, not a
+/// validator suite: numbers parse with strtod, strings handle the escapes
+/// the exporter emits (\" \\ \/ \b \f \n \r \t \uXXXX with basic-plane
+/// code points encoded as UTF-8), and depth is capped so hostile input
+/// cannot blow the stack.  parse() returns nullopt on any malformed
+/// document rather than guessing.
+///
+/// Header-only on purpose: the consumers are leaf tools and tests, and
+/// the parser is small enough that a .cpp would be ceremony.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_SUPPORT_JSON_MINI_H
+#define DRAGON4_SUPPORT_JSON_MINI_H
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dragon4::support {
+
+/// One parsed JSON value.  Objects preserve no duplicate keys (last one
+/// wins, like every practical consumer) and are stored sorted for
+/// deterministic iteration.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return B; }
+  double number() const { return N; }
+  const std::string &string() const { return S; }
+  const std::vector<JsonValue> &array() const { return A; }
+  const std::map<std::string, JsonValue> &object() const { return O; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *find(std::string_view Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = O.find(std::string(Key));
+    return It == O.end() ? nullptr : &It->second;
+  }
+
+  /// Numeric member with a default, the common obs_top access pattern.
+  double numberOr(std::string_view Key, double Default) const {
+    const JsonValue *V = find(Key);
+    return V && V->isNumber() ? V->number() : Default;
+  }
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool V) {
+    JsonValue J;
+    J.K = Kind::Bool;
+    J.B = V;
+    return J;
+  }
+  static JsonValue makeNumber(double V) {
+    JsonValue J;
+    J.K = Kind::Number;
+    J.N = V;
+    return J;
+  }
+  static JsonValue makeString(std::string V) {
+    JsonValue J;
+    J.K = Kind::String;
+    J.S = std::move(V);
+    return J;
+  }
+  static JsonValue makeArray(std::vector<JsonValue> V) {
+    JsonValue J;
+    J.K = Kind::Array;
+    J.A = std::move(V);
+    return J;
+  }
+  static JsonValue makeObject(std::map<std::string, JsonValue> V) {
+    JsonValue J;
+    J.K = Kind::Object;
+    J.O = std::move(V);
+    return J;
+  }
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double N = 0;
+  std::string S;
+  std::vector<JsonValue> A;
+  std::map<std::string, JsonValue> O;
+};
+
+namespace json_detail {
+
+struct Parser {
+  std::string_view Text;
+  size_t Pos = 0;
+  static constexpr int MaxDepth = 64;
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  /// Appends \p Code as UTF-8 (basic plane; surrogate pairs are combined
+  /// by the caller before reaching here).
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  bool hex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return false;
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return false;
+    }
+    return true;
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"'))
+      return std::nullopt;
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return std::nullopt; // Raw control characters are invalid JSON.
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return std::nullopt;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code;
+        if (!hex4(Code))
+          return std::nullopt;
+        // Combine a surrogate pair when one follows; a lone surrogate
+        // becomes U+FFFD rather than invalid UTF-8 output.
+        if (Code >= 0xD800 && Code <= 0xDBFF && Pos + 1 < Text.size() &&
+            Text[Pos] == '\\' && Text[Pos + 1] == 'u') {
+          size_t Save = Pos;
+          Pos += 2;
+          unsigned Low;
+          if (hex4(Low) && Low >= 0xDC00 && Low <= 0xDFFF)
+            Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+          else
+            Pos = Save;
+        }
+        if (Code >= 0xD800 && Code <= 0xDFFF)
+          Code = 0xFFFD;
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return std::nullopt;
+      }
+    }
+    return std::nullopt; // Unterminated.
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    auto Digits = [&] {
+      size_t Before = Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+      return Pos > Before;
+    };
+    // Integer part: "0" alone or a nonzero-led run (JSON forbids "01").
+    size_t IntStart = Pos;
+    if (!Digits())
+      return std::nullopt;
+    if (Text[IntStart] == '0' && Pos - IntStart > 1)
+      return std::nullopt;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (!Digits())
+        return std::nullopt;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (!Digits())
+        return std::nullopt;
+    }
+    std::string Token(Text.substr(Start, Pos - Start));
+    return JsonValue::makeNumber(std::strtod(Token.c_str(), nullptr));
+  }
+
+  std::optional<JsonValue> parseValue(int Depth) {
+    if (Depth > MaxDepth)
+      return std::nullopt;
+    skipWs();
+    if (Pos >= Text.size())
+      return std::nullopt;
+    char C = Text[Pos];
+    if (C == '"') {
+      auto S = parseString();
+      if (!S)
+        return std::nullopt;
+      return JsonValue::makeString(std::move(*S));
+    }
+    if (C == '{') {
+      ++Pos;
+      std::map<std::string, JsonValue> Members;
+      skipWs();
+      if (consume('}'))
+        return JsonValue::makeObject(std::move(Members));
+      while (true) {
+        skipWs();
+        auto Key = parseString();
+        if (!Key)
+          return std::nullopt;
+        skipWs();
+        if (!consume(':'))
+          return std::nullopt;
+        auto Value = parseValue(Depth + 1);
+        if (!Value)
+          return std::nullopt;
+        Members[std::move(*Key)] = std::move(*Value);
+        skipWs();
+        if (consume(','))
+          continue;
+        if (consume('}'))
+          return JsonValue::makeObject(std::move(Members));
+        return std::nullopt;
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      std::vector<JsonValue> Items;
+      skipWs();
+      if (consume(']'))
+        return JsonValue::makeArray(std::move(Items));
+      while (true) {
+        auto Value = parseValue(Depth + 1);
+        if (!Value)
+          return std::nullopt;
+        Items.push_back(std::move(*Value));
+        skipWs();
+        if (consume(','))
+          continue;
+        if (consume(']'))
+          return JsonValue::makeArray(std::move(Items));
+        return std::nullopt;
+      }
+    }
+    if (literal("true"))
+      return JsonValue::makeBool(true);
+    if (literal("false"))
+      return JsonValue::makeBool(false);
+    if (literal("null"))
+      return JsonValue::makeNull();
+    return parseNumber();
+  }
+};
+
+} // namespace json_detail
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).  nullopt on any syntax error.
+inline std::optional<JsonValue> parseJson(std::string_view Text) {
+  json_detail::Parser P{Text};
+  auto V = P.parseValue(0);
+  if (!V)
+    return std::nullopt;
+  P.skipWs();
+  if (P.Pos != Text.size())
+    return std::nullopt;
+  return V;
+}
+
+} // namespace dragon4::support
+
+#endif // DRAGON4_SUPPORT_JSON_MINI_H

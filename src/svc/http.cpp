@@ -1,0 +1,231 @@
+//===- svc/http.cpp - Embedded blocking HTTP/1.1 exporter -------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/http.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+using namespace dragon4;
+using namespace dragon4::svc;
+
+namespace {
+
+const char *statusText(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  default:
+    return "Internal Server Error";
+  }
+}
+
+void setIoTimeout(int Fd, int Millis) {
+  timeval Tv{};
+  Tv.tv_sec = Millis / 1000;
+  Tv.tv_usec = (Millis % 1000) * 1000;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+}
+
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N <= 0)
+      return false;
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool HttpServer::start(uint16_t Port, Handler H, std::string *Err) {
+  auto Fail = [&](const char *What) {
+    if (Err)
+      *Err = std::string(What) + ": " + std::strerror(errno);
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+
+  if (running())
+    return Fail("already running");
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Fail("socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return Fail("bind");
+  if (::listen(ListenFd, 16) != 0)
+    return Fail("listen");
+
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0)
+    return Fail("getsockname");
+  Port_ = ntohs(Addr.sin_port);
+
+  Handler_ = std::move(H);
+  StopFlag.store(false, std::memory_order_relaxed);
+  Thread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running())
+    return;
+  StopFlag.store(true, std::memory_order_relaxed);
+  if (Thread.joinable())
+    Thread.join();
+  ::close(ListenFd);
+  ListenFd = -1;
+  Port_ = 0;
+}
+
+void HttpServer::acceptLoop() {
+  while (!StopFlag.load(std::memory_order_relaxed)) {
+    pollfd Pfd{ListenFd, POLLIN, 0};
+    // The poll timeout bounds how stale the stop flag can get: stop()
+    // joins within ~100ms even if no connection ever arrives.
+    int Ready = ::poll(&Pfd, 1, 100);
+    if (Ready <= 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    serveConnection(Fd);
+    ::close(Fd);
+  }
+}
+
+void HttpServer::serveConnection(int Fd) {
+  setIoTimeout(Fd, 2000);
+
+  // Read until the end of the header block; the endpoints take no bodies.
+  std::string Buf;
+  char Chunk[1024];
+  while (Buf.find("\r\n\r\n") == std::string::npos && Buf.size() < 16384) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      return;
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+
+  HttpRequest Req;
+  size_t LineEnd = Buf.find("\r\n");
+  std::string Line = Buf.substr(0, LineEnd);
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Sp1 == std::string::npos ? std::string::npos
+                                        : Line.find(' ', Sp1 + 1);
+  HttpResponse Resp;
+  if (Sp1 == std::string::npos || Sp2 == std::string::npos) {
+    Resp.Status = 400;
+    Resp.Body = "malformed request line\n";
+  } else {
+    Req.Method = Line.substr(0, Sp1);
+    Req.Target = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+    if (Req.Method != "GET" && Req.Method != "HEAD") {
+      Resp.Status = 405;
+      Resp.Body = "only GET is served here\n";
+    } else {
+      Resp = Handler_(Req);
+    }
+  }
+
+  char Header[256];
+  int N = std::snprintf(Header, sizeof(Header),
+                        "HTTP/1.1 %d %s\r\n"
+                        "Content-Type: %s\r\n"
+                        "Content-Length: %zu\r\n"
+                        "Connection: close\r\n"
+                        "\r\n",
+                        Resp.Status, statusText(Resp.Status),
+                        Resp.ContentType.c_str(), Resp.Body.size());
+  if (N <= 0)
+    return;
+  if (!sendAll(Fd, Header, static_cast<size_t>(N)))
+    return;
+  if (Req.Method != "HEAD")
+    sendAll(Fd, Resp.Body.data(), Resp.Body.size());
+  Served.fetch_add(1, std::memory_order_relaxed);
+}
+
+int dragon4::svc::httpGet(const std::string &Host, uint16_t Port,
+                          const std::string &Target, std::string &Body,
+                          int TimeoutMs) {
+  Body.clear();
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  setIoTimeout(Fd, TimeoutMs);
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    ::close(Fd);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+
+  std::string Req = "GET " + Target + " HTTP/1.1\r\nHost: " + Host +
+                    "\r\nConnection: close\r\n\r\n";
+  if (!sendAll(Fd, Req.data(), Req.size())) {
+    ::close(Fd);
+    return -1;
+  }
+
+  std::string Raw;
+  char Chunk[4096];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      ::close(Fd);
+      return -1;
+    }
+    if (N == 0)
+      break;
+    Raw.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+
+  // "HTTP/1.1 NNN ..." -- the three digits after the first space.
+  size_t Sp = Raw.find(' ');
+  if (Sp == std::string::npos || Sp + 4 > Raw.size())
+    return -1;
+  int Status = std::atoi(Raw.c_str() + Sp + 1);
+  size_t HeaderEnd = Raw.find("\r\n\r\n");
+  if (HeaderEnd != std::string::npos)
+    Body = Raw.substr(HeaderEnd + 4);
+  return Status > 0 ? Status : -1;
+}

@@ -1,0 +1,92 @@
+//===- svc/http.h - Embedded blocking HTTP/1.1 exporter ----------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately tiny HTTP/1.1 server for the telemetry endpoints: one
+/// dedicated accept thread, blocking I/O, GET only, Connection: close on
+/// every response.  Scrapes arrive a few times a second at most, so there
+/// is nothing to win from an event loop -- what matters is that the
+/// server is dependency-free (POSIX sockets only), binds loopback by
+/// default, and shuts down cleanly: the accept loop polls with a short
+/// timeout so stop() never waits on a connection that isn't coming.
+///
+/// httpGet is the matching client, shared by tools/obs_top and the
+/// service tests, so the stack is exercised end-to-end through real
+/// sockets without curl.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_SVC_HTTP_H
+#define DRAGON4_SVC_HTTP_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace dragon4::svc {
+
+struct HttpRequest {
+  std::string Method; ///< "GET" (anything else is answered 405).
+  std::string Target; ///< Request target, e.g. "/metrics".
+};
+
+struct HttpResponse {
+  int Status = 200;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+};
+
+/// The embedded exporter server.  start() binds and spawns the accept
+/// thread; the handler runs on that thread (serialize your own state).
+class HttpServer {
+public:
+  using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+  HttpServer() = default;
+  ~HttpServer() { stop(); }
+  HttpServer(const HttpServer &) = delete;
+  HttpServer &operator=(const HttpServer &) = delete;
+
+  /// Binds 127.0.0.1:\p Port (0 picks an ephemeral port, readable from
+  /// port() afterwards) and starts serving \p H.  Returns false with an
+  /// explanation in \p Err on bind/listen failure.
+  bool start(uint16_t Port, Handler H, std::string *Err = nullptr);
+
+  /// Stops the accept loop and joins the thread.  Idempotent.
+  void stop();
+
+  bool running() const { return ListenFd >= 0; }
+  uint16_t port() const { return Port_; }
+
+  /// Requests served since start() (accept-thread writes, any-thread
+  /// reads; used by tests and the /healthz payload).
+  uint64_t requestsServed() const {
+    return Served.load(std::memory_order_relaxed);
+  }
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd);
+
+  int ListenFd = -1;
+  uint16_t Port_ = 0;
+  Handler Handler_;
+  std::thread Thread;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<uint64_t> Served{0};
+};
+
+/// Blocking HTTP/1.0-style GET of http://\p Host:\p Port\p Target.
+/// Returns the status code (and fills \p Body with the response body), or
+/// -1 on connect/read failure.
+int httpGet(const std::string &Host, uint16_t Port, const std::string &Target,
+            std::string &Body, int TimeoutMs = 5000);
+
+} // namespace dragon4::svc
+
+#endif // DRAGON4_SVC_HTTP_H

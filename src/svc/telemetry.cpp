@@ -1,0 +1,172 @@
+//===- svc/telemetry.cpp - Live telemetry service ---------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/telemetry.h"
+
+#include "obs/export.h"
+#include "prof/sampler.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace dragon4;
+using namespace dragon4::obs;
+using namespace dragon4::svc;
+
+TelemetryService::TelemetryService(TelemetryConfig Cfg_, Source Src_)
+    : Cfg(std::move(Cfg_)), Src(std::move(Src_)),
+      Agg(Cfg.WindowBuckets ? Cfg.WindowBuckets : 1) {
+  for (const obs::live::SloRule &R : Cfg.Slos)
+    Slos.add(R);
+}
+
+TelemetryService::~TelemetryService() { stop(); }
+
+bool TelemetryService::start(std::string *Err) {
+  if (running())
+    return true;
+  StartNanos = obs::nowNanos();
+  if (!Http.start(Cfg.Port, [this](const HttpRequest &R) { return handle(R); },
+                  Err))
+    return false;
+  if (Cfg.ProfileHz)
+    prof::StackSampler::instance().start(Cfg.ProfileHz);
+  // Seed the window so the first real tick already has a baseline to
+  // difference against.
+  tickNow();
+  {
+    std::lock_guard<std::mutex> Lock(TickerM);
+    TickerStop = false;
+  }
+  Ticker = std::thread([this] { tickerLoop(); });
+  return true;
+}
+
+void TelemetryService::stop() {
+  if (Ticker.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(TickerM);
+      TickerStop = true;
+    }
+    TickerCv.notify_all();
+    Ticker.join();
+  }
+  Http.stop();
+  if (Cfg.ProfileHz)
+    prof::StackSampler::instance().stop();
+}
+
+void TelemetryService::tickerLoop() {
+  std::unique_lock<std::mutex> Lock(TickerM);
+  const auto Interval = std::chrono::nanoseconds(Cfg.TickNanos);
+  while (!TickerStop) {
+    if (TickerCv.wait_for(Lock, Interval, [this] { return TickerStop; }))
+      break;
+    Lock.unlock();
+    tickNow();
+    Lock.lock();
+  }
+}
+
+void TelemetryService::tickNow() {
+  Snapshot Snap = Src();
+  std::lock_guard<std::mutex> Lock(M);
+  Agg.push(obs::nowNanos(), std::move(Snap));
+  Slos.evaluate(Agg.view());
+}
+
+std::vector<obs::live::SloStatus> TelemetryService::sloStatuses() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Slos.statuses();
+}
+
+uint64_t TelemetryService::windowResets() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Agg.resets();
+}
+
+obs::Snapshot TelemetryService::liveSnapshot() {
+  // Fresh cumulative state first (scrape-to-scrape counter movement comes
+  // from here, not from the window tick), then the window/SLO view.
+  Snapshot Snap = Src();
+  std::lock_guard<std::mutex> Lock(M);
+  obs::live::WindowView View = Agg.view();
+  Snap.addGauge("dragon4_window_resets", Agg.resets());
+  Snap.addGauge("dragon4_window_samples", View.Samples);
+  if (View.Valid) {
+    Snap.addDerived("window_span_seconds",
+                    static_cast<double>(View.SpanNanos) / 1e9);
+    double Conv = View.rate("dragon4_conversions_total");
+    if (Conv > 0)
+      Snap.addDerived("window_conversions_per_second", Conv);
+    double Values = View.rate("dragon4_batch_values_total");
+    if (Values > 0)
+      Snap.addDerived("window_batch_values_per_second", Values);
+    uint64_t Nanos = View.delta("dragon4_batch_nanos_total");
+    uint64_t NVals = View.delta("dragon4_batch_values_total");
+    if (Nanos && NVals)
+      Snap.addDerived("window_batch_mean_ns_per_value",
+                      static_cast<double>(Nanos) /
+                          static_cast<double>(NVals));
+    // The windowed latency percentiles, one derived triple per labeled
+    // latency cell that saw traffic (the SLO inputs, made scrapable).
+    for (const SnapshotHistogram &H : View.Histograms) {
+      if (H.Name != "dragon4_latency_ns" || H.Count == 0)
+        continue;
+      std::string Key = "window_latency";
+      for (const auto &[K, V] : H.Labels) {
+        Key += '_';
+        Key += V;
+      }
+      Snap.addDerived(Key + "_p50_ns", H.P50);
+      Snap.addDerived(Key + "_p95_ns", H.P95);
+      Snap.addDerived(Key + "_p99_ns", H.P99);
+    }
+  }
+  Slos.exportInto(Snap);
+  return Snap;
+}
+
+HttpResponse TelemetryService::handle(const HttpRequest &Req) {
+  HttpResponse Resp;
+  if (Req.Target == "/metrics") {
+    Resp.ContentType = "text/plain; version=0.0.4; charset=utf-8";
+    Resp.Body = renderPrometheus(liveSnapshot());
+    return Resp;
+  }
+  if (Req.Target == "/stats.json") {
+    Resp.ContentType = "application/json";
+    Resp.Body = renderStatsJson(liveSnapshot());
+    return Resp;
+  }
+  if (Req.Target == "/healthz") {
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf), "ok uptime_seconds=%.1f\n",
+                  static_cast<double>(obs::nowNanos() - StartNanos) / 1e9);
+    Resp.Body = Buf;
+    return Resp;
+  }
+  if (Req.Target == "/profile.folded") {
+    Resp.Body = prof::StackSampler::instance().folded();
+    if (Resp.Body.empty())
+      Resp.Body = Cfg.ProfileHz
+                      ? "idle 0\n"
+                      : "# sampling profiler off (start with --profile-hz)\n";
+    return Resp;
+  }
+  if (Req.Target == "/") {
+    Resp.Body = "dragon4 telemetry service\n"
+                "  /metrics          Prometheus text exposition\n"
+                "  /stats.json       dragon4.stats.v1 JSON\n"
+                "  /healthz          liveness + uptime\n"
+                "  /profile.folded   sampling-profiler folded stacks\n";
+    return Resp;
+  }
+  Resp.Status = 404;
+  Resp.Body = "unknown endpoint; see /\n";
+  return Resp;
+}

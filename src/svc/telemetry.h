@@ -1,0 +1,113 @@
+//===- svc/telemetry.h - Live telemetry service ------------------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running telemetry service over the sharded obs registry: a
+/// ticker thread samples a caller-provided Snapshot source into the
+/// WindowedAggregator and re-evaluates the SLO rules; an embedded
+/// HttpServer serves the live state.  Workers are never stopped or even
+/// slowed -- the source callback is expected to read *published* merged
+/// state (see tools/soak's --serve mode), not to join threads.
+///
+/// Endpoints:
+///
+///   /metrics          Prometheus text exposition (conformant: HELP/TYPE
+///                     once per family, escaped labels)
+///   /stats.json       the dragon4.stats.v1 document
+///   /healthz          "ok" + uptime when the service threads are live
+///   /profile.folded   folded stacks from the continuous sampling profiler
+///   /                 a plain-text index of the above
+///
+/// Both exporter endpoints render liveSnapshot(): a fresh source snapshot
+/// (so counters advance between consecutive scrapes) extended with the
+/// window rates (window_* derived metrics) and the SLO gauge block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_SVC_TELEMETRY_H
+#define DRAGON4_SVC_TELEMETRY_H
+
+#include "obs/live/slo.h"
+#include "obs/live/window.h"
+#include "svc/http.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dragon4::svc {
+
+struct TelemetryConfig {
+  uint16_t Port = 0;             ///< 0 = ephemeral (read back via port()).
+  uint64_t TickNanos = 1000000000; ///< Window bucket width.
+  size_t WindowBuckets = 60;     ///< Ring capacity (TickNanos * this = span).
+  uint32_t ProfileHz = 0;        ///< Sampling profiler rate; 0 = off.
+  std::vector<obs::live::SloRule> Slos;
+};
+
+/// The service: construct with a source that produces the current merged
+/// cumulative Snapshot, then start().
+class TelemetryService {
+public:
+  using Source = std::function<obs::Snapshot()>;
+
+  TelemetryService(TelemetryConfig Cfg, Source Src);
+  ~TelemetryService();
+  TelemetryService(const TelemetryService &) = delete;
+  TelemetryService &operator=(const TelemetryService &) = delete;
+
+  /// Starts the HTTP exporter, the window ticker, and (when configured)
+  /// the sampling profiler.  False + \p Err on bind failure.
+  bool start(std::string *Err = nullptr);
+
+  /// Stops all threads.  Idempotent; the destructor calls it.
+  void stop();
+
+  bool running() const { return Http.running(); }
+  uint16_t port() const { return Http.port(); }
+  uint64_t scrapesServed() const { return Http.requestsServed(); }
+
+  /// The merged live view: a fresh source snapshot plus window-derived
+  /// rates and the SLO block.  Thread-safe.
+  obs::Snapshot liveSnapshot();
+
+  /// Forces one window tick now (sample the source, push, evaluate SLOs);
+  /// the ticker thread calls this on its interval.  Exposed so tests can
+  /// drive window time deterministically.
+  void tickNow();
+
+  /// Snapshot of the current SLO statuses (copy, taken under the lock).
+  std::vector<obs::live::SloStatus> sloStatuses() const;
+
+  /// Window resets observed (worker-pool restarts detected by the
+  /// aggregator).
+  uint64_t windowResets() const;
+
+private:
+  void tickerLoop();
+  HttpResponse handle(const HttpRequest &Req);
+
+  TelemetryConfig Cfg;
+  Source Src;
+  uint64_t StartNanos = 0;
+
+  mutable std::mutex M; ///< Guards Agg + Slos (ticker vs scrape threads).
+  obs::live::WindowedAggregator Agg;
+  obs::live::SloSet Slos;
+
+  HttpServer Http;
+  std::thread Ticker;
+  std::condition_variable TickerCv;
+  std::mutex TickerM;
+  bool TickerStop = false;
+};
+
+} // namespace dragon4::svc
+
+#endif // DRAGON4_SVC_TELEMETRY_H

@@ -501,6 +501,21 @@ std::string dragon4::verify::bitsToHex(const BitPattern &Bits) {
 
 namespace {
 
+/// FormatId of a verify-harness \c BitPattern, for the obs latency grid.
+FormatId formatIdFor(FloatFormat F) {
+  switch (F) {
+  case FloatFormat::Binary16:
+    return FormatId::Binary16;
+  case FloatFormat::Binary32:
+    return FormatId::Binary32;
+  case FloatFormat::Binary64:
+    return FormatId::Binary64;
+  case FloatFormat::Binary128:
+    return FormatId::Binary128;
+  }
+  return FormatId::Binary64;
+}
+
 Verdict dispatchChecks(const BitPattern &Bits, unsigned Oracles,
                        engine::Scratch *S) {
   switch (Bits.Format) {
@@ -539,8 +554,9 @@ Verdict dragon4::verify::checkBits(const BitPattern &Bits, unsigned Oracles,
         obs::ActiveTraceScope Scope(&Obs.Current);
         dispatchChecks(Bits, Oracles, nullptr);
       }
-      Obs.finishConversion(Obs.Current, obs::Path::VerifyCheck, Bits.Lo,
-                           Bits.Hi, StartNs, obs::nowNanos() - StartNs,
+      Obs.finishConversion(Obs.Current, obs::Path::VerifyCheck,
+                           formatIdFor(Bits.Format), Bits.Lo, Bits.Hi, StartNs,
+                           obs::nowNanos() - StartNs,
                            /*Truncated=*/false, /*Mismatch=*/true);
       return V;
     }
@@ -556,8 +572,9 @@ Verdict dragon4::verify::checkBits(const BitPattern &Bits, unsigned Oracles,
       obs::ActiveTraceScope Scope(&Obs.Current);
       V = dispatchChecks(Bits, Oracles, S);
     }
-    Obs.finishConversion(Obs.Current, obs::Path::VerifyCheck, Bits.Lo, Bits.Hi,
-                         StartNs, obs::nowNanos() - StartNs,
+    Obs.finishConversion(Obs.Current, obs::Path::VerifyCheck,
+                         formatIdFor(Bits.Format), Bits.Lo, Bits.Hi, StartNs,
+                         obs::nowNanos() - StartNs,
                          /*Truncated=*/false, /*Mismatch=*/!V.ok());
     return V;
   }

@@ -270,9 +270,9 @@ TEST(ObsState, MismatchRecordsSurviveRingRecycling) {
   ObsState State;
   ConversionTrace T;
   // One mismatch, then enough passing conversions to recycle the ring.
-  State.finishConversion(T, Path::VerifyCheck, 0xBAD, 0, 0, 100, false, true);
+  State.finishConversion(T, Path::VerifyCheck, FormatId::Binary64, 0xBAD, 0, 0, 100, false, true);
   for (uint64_t I = 0; I < 20; ++I)
-    State.finishConversion(T, Path::VerifyCheck, I, 0, 0, 100, false, false);
+    State.finishConversion(T, Path::VerifyCheck, FormatId::Binary64, I, 0, 0, 100, false, false);
   // The ring lost it; the kept list did not.
   bool InRing = false;
   for (size_t Age = 0; Age < State.Recorder.size(); ++Age)
@@ -291,7 +291,7 @@ TEST(ObsState, MismatchKeepLimitBounds) {
   ObsState State;
   ConversionTrace T;
   for (uint64_t I = 0; I < 10; ++I)
-    State.finishConversion(T, Path::VerifyCheck, I, 0, 0, 100, false, true);
+    State.finishConversion(T, Path::VerifyCheck, FormatId::Binary64, I, 0, 0, 100, false, true);
   EXPECT_EQ(State.MismatchKept.size(), 3u);
   // Oldest mismatches win the bounded slots.
   EXPECT_EQ(State.MismatchKept[0].BitsLo, 0u);
@@ -304,7 +304,7 @@ TEST(ObsState, DrainKeepsMismatchRecordsAndFlightHistory) {
   config().DumpOnMismatch = false;
   ObsState State;
   ConversionTrace T;
-  State.finishConversion(T, Path::VerifyCheck, 1, 0, 0, 100, false, true);
+  State.finishConversion(T, Path::VerifyCheck, FormatId::Binary64, 1, 0, 0, 100, false, true);
   Registry Merged;
   std::vector<SpanEvent> Spans;
   State.drainInto(Merged, Spans);

@@ -1,0 +1,219 @@
+//===- tests/obs/obs_window_test.cpp -----------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The windowed aggregation layer under the telemetry service: delta/rate
+// derivation must survive ring wraparound, counter regressions must restart
+// the window (never produce a negative delta), and window totals over a
+// batch workload must be invariant to the worker thread count -- the same
+// property the cumulative registry already guarantees, re-proven here for
+// the windowed view.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/live/window.h"
+
+#include "dragon4.h"
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+using namespace dragon4::obs;
+using namespace dragon4::obs::live;
+
+namespace {
+
+/// A synthetic cumulative snapshot: one counter at \p Conversions, one
+/// latency histogram holding \p HistValues.
+Snapshot makeSnap(uint64_t Conversions,
+                  const std::vector<uint64_t> &HistValues = {}) {
+  Snapshot Snap;
+  Snap.addCounter("dragon4_conversions_total", Conversions);
+  Snap.addCounter("dragon4_specials_total", Conversions / 10);
+  if (!HistValues.empty()) {
+    Log2Histogram H;
+    for (uint64_t V : HistValues)
+      H.record(V);
+    Snap.Histograms.push_back(
+        summarize("dragon4_latency_ns", H,
+                  {{"format", "binary64"}, {"path", "ryu"}}));
+  }
+  return Snap;
+}
+
+TEST(WindowedAggregator, NeedsTwoSamples) {
+  WindowedAggregator Agg(4);
+  EXPECT_FALSE(Agg.view().Valid);
+  Agg.push(1000, makeSnap(10));
+  EXPECT_FALSE(Agg.view().Valid);
+  Agg.push(2000, makeSnap(30));
+  WindowView View = Agg.view();
+  ASSERT_TRUE(View.Valid);
+  EXPECT_EQ(View.SpanNanos, 1000u);
+  EXPECT_EQ(View.delta("dragon4_conversions_total"), 20u);
+}
+
+TEST(WindowedAggregator, DeltaAndRateMath) {
+  WindowedAggregator Agg(8);
+  // 1e9 ns apart: rates come out in counts per second directly.
+  Agg.push(0, makeSnap(0));
+  Agg.push(1000000000ull, makeSnap(500));
+  Agg.push(2000000000ull, makeSnap(1500));
+  WindowView View = Agg.view();
+  ASSERT_TRUE(View.Valid);
+  EXPECT_EQ(View.Samples, 3u);
+  EXPECT_EQ(View.delta("dragon4_conversions_total"), 1500u);
+  EXPECT_DOUBLE_EQ(View.rate("dragon4_conversions_total"), 750.0);
+  // Absent counters read as zero, not as an error.
+  EXPECT_EQ(View.delta("no_such_counter"), 0u);
+  EXPECT_DOUBLE_EQ(View.rate("no_such_counter"), 0.0);
+}
+
+TEST(WindowedAggregator, RingWraparoundKeepsWindowBounded) {
+  // Capacity 4; push 10 samples with the counter growing 100 per tick.
+  // After wraparound the window must cover exactly the newest 4 samples:
+  // delta = 3 ticks * 100.
+  WindowedAggregator Agg(4);
+  for (uint64_t I = 0; I < 10; ++I)
+    Agg.push(I * 1000, makeSnap(I * 100));
+  EXPECT_EQ(Agg.size(), 4u);
+  EXPECT_EQ(Agg.capacity(), 4u);
+  WindowView View = Agg.view();
+  ASSERT_TRUE(View.Valid);
+  EXPECT_EQ(View.Samples, 4u);
+  EXPECT_EQ(View.SpanNanos, 3000u);
+  EXPECT_EQ(View.delta("dragon4_conversions_total"), 300u);
+  EXPECT_EQ(Agg.newest().Counters[0].second, 900u);
+  EXPECT_EQ(Agg.resets(), 0u);
+}
+
+TEST(WindowedAggregator, CounterRegressionRestartsTheWindow) {
+  WindowedAggregator Agg(8);
+  Agg.push(0, makeSnap(1000));
+  Agg.push(1000, makeSnap(2000));
+  ASSERT_TRUE(Agg.view().Valid);
+  // The worker pool restarted: cumulative counters fell back to near zero.
+  // The ring must restart -- one sample, no (negative) delta -- and count
+  // the event.
+  Agg.push(2000, makeSnap(50));
+  EXPECT_EQ(Agg.resets(), 1u);
+  EXPECT_EQ(Agg.size(), 1u);
+  EXPECT_FALSE(Agg.view().Valid);
+  // The new monotone segment accumulates normally from here.
+  Agg.push(3000, makeSnap(150));
+  WindowView View = Agg.view();
+  ASSERT_TRUE(View.Valid);
+  EXPECT_EQ(View.delta("dragon4_conversions_total"), 100u);
+}
+
+TEST(WindowedAggregator, HistogramCountRegressionAlsoResets) {
+  WindowedAggregator Agg(8);
+  Agg.push(0, makeSnap(10, {100, 200, 300}));
+  Agg.push(1000, makeSnap(20, {100, 200, 300, 400}));
+  EXPECT_EQ(Agg.resets(), 0u);
+  // Same counters, but the histogram shrank: still a reset.
+  Agg.push(2000, makeSnap(30, {100}));
+  EXPECT_EQ(Agg.resets(), 1u);
+  EXPECT_EQ(Agg.size(), 1u);
+}
+
+TEST(WindowedAggregator, WindowedHistogramSubtracts) {
+  WindowedAggregator Agg(8);
+  // Oldest: 4 fast samples.  Newest: the same 4 plus 4 slow ones.  The
+  // windowed histogram must contain only the 4 slow samples.
+  std::vector<uint64_t> Old = {100, 110, 120, 130};
+  std::vector<uint64_t> New = Old;
+  for (uint64_t V : {100000, 110000, 120000, 130000})
+    New.push_back(V);
+  Agg.push(0, makeSnap(4, Old));
+  Agg.push(1000000000ull, makeSnap(8, New));
+  WindowView View = Agg.view();
+  ASSERT_TRUE(View.Valid);
+  const SnapshotHistogram *H = View.histogram(
+      "dragon4_latency_ns", {{"path", "ryu"}, {"format", "binary64"}});
+  ASSERT_NE(H, nullptr); // Label match is order-insensitive.
+  EXPECT_EQ(H->Count, 4u);
+  // All window samples live in the high buckets, so the windowed p50 must
+  // sit far above the cumulative p50 (which the old fast half drags down).
+  EXPECT_GE(H->P50, 65536.0);
+  EXPECT_LE(H->P99, 262144.0);
+}
+
+TEST(WindowedAggregator, UnchangedHistogramDropsOut) {
+  WindowedAggregator Agg(8);
+  Agg.push(0, makeSnap(10, {100, 200}));
+  Agg.push(1000, makeSnap(20, {100, 200}));
+  WindowView View = Agg.view();
+  ASSERT_TRUE(View.Valid);
+  // No histogram traffic in the window: the windowed view omits the
+  // family entirely (an SLO sees "no data", not "p99 = 0").
+  EXPECT_EQ(View.histogram("dragon4_latency_ns"), nullptr);
+}
+
+TEST(PercentileFromBuckets, InterpolatesInsideTheBucket) {
+  // 10 samples in (8, 16], nothing else: p0..p100 all land inside that
+  // bucket, interpolated between the previous bound + 1 and the bound.
+  std::vector<std::pair<uint64_t, uint64_t>> Buckets = {{16, 10}};
+  double P50 = percentileFromBuckets(Buckets, 10, 50);
+  EXPECT_GE(P50, 9.0);
+  EXPECT_LE(P50, 16.0);
+  double P99 = percentileFromBuckets(Buckets, 10, 99);
+  EXPECT_GE(P99, P50);
+  EXPECT_LE(P99, 16.0);
+  EXPECT_DOUBLE_EQ(percentileFromBuckets({}, 0, 99), 0.0);
+}
+
+/// Runs the same batch workload at a given thread count with sampling on
+/// and returns the windowed view over (before, after).
+WindowView runBatchWindow(unsigned Threads, uint64_t &HistCount) {
+  engine::BatchEngine<double> Pool(Threads);
+  WindowedAggregator Agg(4);
+  Agg.push(0, makeSnapshot(Pool.stats(), &Pool.registry()));
+  std::vector<double> Values = randomBitsDoubles(4000, 42);
+  engine::StringTable Table;
+  Pool.convert(Values, Table, PrintOptions{});
+  Agg.push(1000000000ull, makeSnapshot(Pool.stats(), &Pool.registry()));
+  WindowView View = Agg.view();
+  HistCount = 0;
+  for (const SnapshotHistogram &H : View.Histograms)
+    if (H.Name == "dragon4_latency_ns")
+      HistCount += H.Count;
+  return View;
+}
+
+TEST(WindowedAggregator, WindowTotalsAreThreadCountInvariant) {
+  // Same workload, 1 worker vs 4: the windowed counter deltas and latency
+  // sample totals must match exactly (sharding is an implementation
+  // detail; the window is derived from merged cumulative state).
+  uint32_t SavedSampleEvery = config().SampleEvery;
+  config().SampleEvery = 1;
+  uint64_t Hist1 = 0, Hist4 = 0;
+  WindowView View1 = runBatchWindow(1, Hist1);
+  WindowView View4 = runBatchWindow(4, Hist4);
+  config().SampleEvery = SavedSampleEvery;
+
+  ASSERT_TRUE(View1.Valid);
+  ASSERT_TRUE(View4.Valid);
+  EXPECT_EQ(View1.delta("dragon4_conversions_total"),
+            View4.delta("dragon4_conversions_total"));
+  EXPECT_EQ(View1.delta("dragon4_batch_values_total"),
+            View4.delta("dragon4_batch_values_total"));
+  EXPECT_EQ(View1.delta("dragon4_ryu_hits_total"),
+            View4.delta("dragon4_ryu_hits_total"));
+  // Gate on the compile-time switch, not enabled(): SampleEvery was
+  // forced to 1 for the runs above but is already restored here.
+  if (DRAGON4_OBS_ENABLED) {
+    ASSERT_GT(Hist1, 0u); // Sampling was on: the latency grid saw traffic.
+    EXPECT_EQ(Hist1, Hist4);
+  } else {
+    // Obs compiled out: the latency grid never fills, but the windowed
+    // counter deltas above must still be thread-count invariant.
+    EXPECT_EQ(Hist1, 0u);
+    EXPECT_EQ(Hist4, 0u);
+  }
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+//===- tests/support/json_mini_test.cpp --------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The minimal JSON reader behind obs_top and the /stats.json parse-back
+// test.  It only needs to read documents this repo emits, but it must
+// never misread or crash on hostile input, so the rejection cases matter
+// as much as the happy path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/json_mini.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace dragon4::support;
+
+namespace {
+
+TEST(JsonMini, Scalars) {
+  EXPECT_TRUE(parseJson("null")->isNull());
+  EXPECT_EQ(parseJson("true")->boolean(), true);
+  EXPECT_EQ(parseJson("false")->boolean(), false);
+  EXPECT_DOUBLE_EQ(parseJson("42")->number(), 42.0);
+  EXPECT_DOUBLE_EQ(parseJson("-0.5e2")->number(), -50.0);
+  EXPECT_EQ(parseJson("\"hi\"")->string(), "hi");
+  EXPECT_EQ(parseJson("  \"ws\"  ")->string(), "ws");
+}
+
+TEST(JsonMini, StringEscapes) {
+  EXPECT_EQ(parseJson(R"("a\\b\"c\nd\te")")->string(), "a\\b\"c\nd\te");
+  EXPECT_EQ(parseJson(R"("Aé")")->string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parseJson(R"("😀")")->string(), "\xf0\x9f\x98\x80");
+  // A lone surrogate decodes to U+FFFD instead of producing broken UTF-8.
+  EXPECT_EQ(parseJson(R"("\ud83d")")->string(), "\xef\xbf\xbd");
+}
+
+TEST(JsonMini, NestedDocument) {
+  auto Doc = parseJson(R"({
+    "schema": "dragon4.stats.v1",
+    "counters": {"dragon4_conversions_total": 123},
+    "histograms": [{"name": "lat", "p95": 7.5}, {"name": "dig"}]
+  })");
+  ASSERT_TRUE(Doc.has_value());
+  const JsonValue *Schema = Doc->find("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->string(), "dragon4.stats.v1");
+  const JsonValue *Counters = Doc->find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_DOUBLE_EQ(Counters->numberOr("dragon4_conversions_total", 0), 123.0);
+  EXPECT_DOUBLE_EQ(Counters->numberOr("absent", -1), -1.0);
+  const JsonValue *Hists = Doc->find("histograms");
+  ASSERT_NE(Hists, nullptr);
+  ASSERT_EQ(Hists->array().size(), 2u);
+  EXPECT_DOUBLE_EQ(Hists->array()[0].numberOr("p95", 0), 7.5);
+  EXPECT_EQ(Doc->find("missing"), nullptr);
+}
+
+TEST(JsonMini, RejectsMalformedInput) {
+  EXPECT_FALSE(parseJson("").has_value());
+  EXPECT_FALSE(parseJson("{").has_value());
+  EXPECT_FALSE(parseJson("[1,]").has_value());
+  EXPECT_FALSE(parseJson("{\"a\":}").has_value());
+  EXPECT_FALSE(parseJson("\"unterminated").has_value());
+  EXPECT_FALSE(parseJson("\"raw\ncontrol\"").has_value());
+  EXPECT_FALSE(parseJson("01").has_value());      // Leading zero.
+  EXPECT_FALSE(parseJson("1 2").has_value());     // Trailing garbage.
+  EXPECT_FALSE(parseJson("nul").has_value());
+  EXPECT_FALSE(parseJson("+1").has_value());
+}
+
+TEST(JsonMini, DepthLimitIsEnforced) {
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  EXPECT_FALSE(parseJson(Deep).has_value()); // 100 > MaxDepth.
+  std::string Ok(30, '[');
+  Ok += "1";
+  Ok += std::string(30, ']');
+  EXPECT_TRUE(parseJson(Ok).has_value());
+}
+
+} // namespace

@@ -47,6 +47,7 @@ baseline-compare files so older baselines keep working.
 
 import json
 import os
+import re
 import statistics
 import sys
 
@@ -61,10 +62,39 @@ DIFF_GATE_MIN_SHARE = 0.05
 
 # Pipeline order for the phase table (matches src/prof/phases.h).
 PHASE_ORDER = [
-    "total", "decompose", "fast_path", "estimator", "scale_setup",
-    "fixup", "digit_loop", "bigint_mul", "bigint_divmod", "render",
-    "overhead",
+    "total", "decompose", "ryu_path", "fast_path", "estimator",
+    "scale_setup", "fixup", "digit_loop", "bigint_mul", "bigint_divmod",
+    "render", "overhead",
 ]
+
+# Multi-thread batch metrics: batch_4t_ns_per_value, batch32_2t_..., etc.
+# These measure the host's parallelism as much as the engine's, so they
+# are only comparable when the run's thread_scaling_valid context flag
+# says the host had enough cores.
+MULTI_THREAD_METRIC = re.compile(r"_([0-9]+)t_")
+# The widest thread count the batch benches use; the fallback for runs
+# predating the explicit flag.
+SCALING_MIN_CORES = 4
+
+
+def is_scaling_metric(key):
+    m = MULTI_THREAD_METRIC.search(key)
+    return m is not None and int(m.group(1)) > 1
+
+
+def thread_scaling_valid(ctx):
+    """Whether a run's multi-thread metrics are comparable.
+
+    Prefers the explicit thread_scaling_valid flag the bench emits after
+    re-detecting the core count at run time; older documents fall back to
+    hardware_concurrency; documents with neither are trusted (legacy
+    baselines from dedicated bench hosts).
+    """
+    if "thread_scaling_valid" in ctx:
+        return bool(ctx["thread_scaling_valid"])
+    if "hardware_concurrency" in ctx:
+        return ctx["hardware_concurrency"] >= SCALING_MIN_CORES
+    return True
 
 
 def load_metrics(path):
@@ -106,14 +136,24 @@ def warn_context(current_ctx, baseline_ctx):
                   "apples-to-oranges")
 
 
-def compare_metrics(current, baseline, tolerance, label=""):
-    """Prints the per-metric table; returns (regressions, improvements)."""
+def compare_metrics(current, baseline, tolerance, label="",
+                    skip_scaling=False):
+    """Prints the per-metric table; returns (regressions, improvements).
+
+    With skip_scaling, multi-thread metrics are reported as SKIPPED
+    rather than compared -- an explicit line per metric, never a silent
+    pass, so a CI log always shows what was not gated and why.
+    """
     regressions = []
     improvements = []
     width = max(len(k) for k in baseline)
     for key, base in sorted(baseline.items()):
         if key not in current:
             print(f"bench_check: WARNING: {key} missing from current run")
+            continue
+        if skip_scaling and is_scaling_metric(key):
+            print(f"  {key:<{width}}  SKIPPED (thread scaling not valid "
+                  "on this host)")
             continue
         cur = current[key]
         ratio = cur / base if base else float("inf")
@@ -139,8 +179,16 @@ def run_baseline(paths, tolerance):
     current, current_ctx = load_metrics(current_path)
     baseline, baseline_ctx = load_metrics(baseline_path)
     warn_context(current_ctx, baseline_ctx)
+    # Either side measured on a core-starved host poisons the comparison.
+    skip_scaling = (not thread_scaling_valid(current_ctx)
+                    or not thread_scaling_valid(baseline_ctx))
+    if skip_scaling:
+        print("bench_check: multi-thread scaling metrics will be SKIPPED "
+              "(thread_scaling_valid is false for this run or the "
+              "baseline)")
     regressions, improvements = compare_metrics(current, baseline,
-                                                tolerance)
+                                                tolerance,
+                                                skip_scaling=skip_scaling)
 
     if regressions:
         print(f"bench_check: FAIL: {len(regressions)} metric(s) regressed "
@@ -217,8 +265,17 @@ def run_history(path, bench_filter, window, tolerance):
         print(f"{bench}: newest vs median of last {len(prior)} run(s)")
         warn_context(current.get("context", {}),
                      prior[-1].get("context", {}))
+        # Any run in the comparison set from a core-starved host poisons
+        # the multi-thread medians too, not just the newest numbers.
+        skip_scaling = any(not thread_scaling_valid(d.get("context", {}))
+                           for d in [current] + prior)
+        if skip_scaling:
+            print(f"{bench}: multi-thread scaling metrics SKIPPED "
+                  "(thread_scaling_valid is false for a run in the "
+                  "window)")
         regressions, _ = compare_metrics(metrics, baseline, tolerance,
-                                         label=f"{bench}:")
+                                         label=f"{bench}:",
+                                         skip_scaling=skip_scaling)
         all_regressions.extend(regressions)
 
     if all_regressions:

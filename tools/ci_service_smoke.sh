@@ -1,0 +1,122 @@
+#!/bin/sh
+# Service-mode smoke: prove `soak --serve` comes up, serves conformant
+# telemetry that *advances* between scrapes, and shuts down cleanly on
+# SIGTERM.  This is the executable form of the PR's acceptance
+# criterion: curl /metrics against a live service twice and watch the
+# counters move.
+#
+#   tools/ci_service_smoke.sh <build-dir> [obs-off]
+#
+# The second argument relaxes the checks that need the sharded registry
+# (the dragon4_latency_ns family), so the same script gates the
+# DRAGON4_OBS=OFF leg: the service must still serve the engine-stats
+# counters with observability compiled out.
+#
+# Exits non-zero with a FAIL line naming the first broken invariant.
+set -u
+
+BUILD_DIR=${1:?usage: ci_service_smoke.sh <build-dir> [obs-off]}
+OBS_MODE=${2:-obs-on}
+SOAK="$BUILD_DIR/tools/soak"
+WORK=$(mktemp -d)
+PORT_FILE="$WORK/port"
+SERVE_LOG="$WORK/serve.log"
+
+fail() {
+    echo "ci_service_smoke: FAIL: $1" >&2
+    [ -f "$SERVE_LOG" ] && sed 's/^/  serve: /' "$SERVE_LOG" >&2
+    kill "$SERVE_PID" 2>/dev/null
+    rm -rf "$WORK"
+    exit 1
+}
+
+fetch() {
+    # curl when available (CI images), else python3 -- both are hard
+    # requirements of other CI steps already.
+    if command -v curl >/dev/null 2>&1; then
+        curl -sSf --max-time 10 "http://127.0.0.1:$PORT$1"
+    else
+        python3 -c "import urllib.request,sys; \
+sys.stdout.write(urllib.request.urlopen(\
+'http://127.0.0.1:$PORT$1', timeout=10).read().decode())"
+    fi
+}
+
+counter() {
+    # First value of an unlabeled counter line: "name 123".
+    awk -v name="$1" '$1 == name { print $2; exit }' "$2"
+}
+
+# -- Launch: ephemeral port, generous duration (we stop it ourselves),
+# an SLO rule and the profiler on so those endpoints carry real content.
+"$SOAK" --serve=0 --serve-duration=60 --serve-tick-ms=200 \
+    --port-file="$PORT_FILE" --profile-hz=97 \
+    --slo="ryu64:dragon4_latency_ns{format=binary64,path=ryu}:p99:50000000" \
+    >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "service exited before binding"
+    sleep 0.1
+done
+[ -s "$PORT_FILE" ] || fail "port file never appeared"
+PORT=$(cat "$PORT_FILE")
+echo "ci_service_smoke: service up on port $PORT (mode: $OBS_MODE)"
+
+# -- /healthz answers while workers are busy.
+fetch /healthz >"$WORK/healthz" || fail "/healthz unreachable"
+grep -q "^ok " "$WORK/healthz" || fail "/healthz did not say ok"
+
+# -- Two /metrics scrapes, a window tick apart.
+fetch /metrics >"$WORK/scrape1" || fail "first /metrics scrape failed"
+sleep 1
+fetch /metrics >"$WORK/scrape2" || fail "second /metrics scrape failed"
+
+# Required families, with HELP/TYPE headers (exporter conformance).
+REQUIRED="dragon4_conversions_total dragon4_batch_values_total"
+[ "$OBS_MODE" = obs-off ] || REQUIRED="$REQUIRED dragon4_latency_ns"
+for FAMILY in $REQUIRED; do
+    grep -q "^# TYPE $FAMILY " "$WORK/scrape2" \
+        || fail "missing # TYPE for $FAMILY"
+    grep -q "^# HELP $FAMILY " "$WORK/scrape2" \
+        || fail "missing # HELP for $FAMILY"
+done
+
+# Non-zero counters that advance between scrapes: the live-service
+# acceptance criterion.
+C1=$(counter dragon4_conversions_total "$WORK/scrape1")
+C2=$(counter dragon4_conversions_total "$WORK/scrape2")
+[ -n "$C1" ] && [ -n "$C2" ] || fail "dragon4_conversions_total not found"
+[ "$C1" -gt 0 ] || fail "dragon4_conversions_total is zero"
+[ "$C2" -gt "$C1" ] || fail \
+    "counters did not advance between scrapes ($C1 -> $C2)"
+echo "ci_service_smoke: counters advanced $C1 -> $C2"
+
+# -- The other endpoints answer with their documented shapes.
+fetch /stats.json >"$WORK/stats" || fail "/stats.json unreachable"
+grep -q '"schema": "dragon4.stats.v1"' "$WORK/stats" \
+    || fail "/stats.json missing schema marker"
+fetch /profile.folded >"$WORK/folded" || fail "/profile.folded unreachable"
+[ -s "$WORK/folded" ] || fail "/profile.folded is empty"
+
+# SLO gauge block rides every scrape when rules are configured.
+grep -q '^dragon4_slo_breached{slo="ryu64"} ' "$WORK/scrape2" \
+    || fail "SLO gauge block missing from /metrics"
+
+# -- Clean shutdown: SIGTERM, prompt exit, status 0.
+kill -TERM "$SERVE_PID"
+WAITED=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    WAITED=$((WAITED + 1))
+    [ "$WAITED" -gt 100 ] && fail "service ignored SIGTERM for 10s"
+    sleep 0.1
+done
+wait "$SERVE_PID"
+STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "service exited with status $STATUS"
+grep -q "serve done" "$SERVE_LOG" || fail "service never printed its summary"
+
+echo "ci_service_smoke: OK (clean shutdown after $((WAITED / 10)).$((WAITED % 10))s)"
+rm -rf "$WORK"
+exit 0

@@ -21,14 +21,38 @@
 /// either one turns on 1-in-N conversion sampling (N from --obs-sample,
 /// default 1).
 ///
+/// Service mode (the live telemetry demo / smoke target):
+///
+///   ./build/tools/soak --serve[=PORT] [--serve-duration=SECONDS]
+///                      [--serve-tick-ms=N] [--slo=SPEC]... [--profile-hz=N]
+///                      [--port-file=FILE]
+///
+/// --serve replaces the one-shot property sweep with a sustained
+/// mixed-format traffic loop (batched conversions across all five formats
+/// plus parse round-trips) while a TelemetryService exports /metrics,
+/// /stats.json, /healthz and /profile.folded on 127.0.0.1.  Workers are
+/// never paused for a scrape: each traffic iteration *publishes* a merged
+/// copy of the cumulative counters under a mutex, and the service source
+/// reads that copy.  PORT 0 (the default) binds an ephemeral port,
+/// printed on stdout and optionally written to --port-file so scripted
+/// scrapers (the CI smoke job) can find it.  The loop runs until
+/// --serve-duration elapses or SIGINT/SIGTERM arrives; either way the
+/// service shuts down cleanly and the exit code still reflects the
+/// round-trip checks performed on the traffic.
+///
 //===----------------------------------------------------------------------===//
 
 #include "dragon4.h"
 #include "obs/export.h"
+#include "obs/live/slo.h"
+#include "svc/telemetry.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 using namespace dragon4;
 
@@ -94,6 +118,164 @@ void checkValue(double V, Failure &Failures, engine::Scratch &Scratch) {
     Failures.note("engine", V, std::string(Buf, std::min(Len, sizeof(Buf))));
 }
 
+//===----------------------------------------------------------------------===//
+// Service mode
+//===----------------------------------------------------------------------===//
+
+volatile std::sig_atomic_t ServeStop = 0;
+void onStopSignal(int) { ServeStop = 1; }
+
+struct ServeOptions {
+  uint16_t Port = 0;           ///< 0 = ephemeral.
+  uint64_t DurationSeconds = 0; ///< 0 = run until SIGINT/SIGTERM.
+  uint64_t TickMillis = 1000;
+  uint32_t ProfileHz = 0;
+  std::vector<obs::live::SloRule> Slos;
+  std::string PortFile;
+  uint64_t Seed = 1;
+  size_t ChunkSize = 4096;
+};
+
+/// The sustained traffic loop behind --serve.  Workers never stop for a
+/// scrape: every iteration publishes a merged copy of the cumulative
+/// counters under PublishM, and the telemetry source reads that copy.
+int runServe(const ServeOptions &Opt) {
+  // The service's latency histograms and SLOs come from the sampled
+  // metrics; default to sample-everything unless the caller chose a rate.
+  if (obs::config().SampleEvery == 0)
+    obs::config().SampleEvery = 1;
+
+  std::mutex PublishM;
+  engine::EngineStats PublishedStats;
+  obs::Registry PublishedReg;
+
+  svc::TelemetryConfig Cfg;
+  Cfg.Port = Opt.Port;
+  Cfg.TickNanos = Opt.TickMillis * 1000000ull;
+  Cfg.ProfileHz = Opt.ProfileHz;
+  Cfg.Slos = Opt.Slos;
+  svc::TelemetryService Service(Cfg, [&] {
+    std::lock_guard<std::mutex> Lock(PublishM);
+    return obs::makeSnapshot(PublishedStats,
+                             obs::enabled() ? &PublishedReg : nullptr);
+  });
+  std::string Err;
+  if (!Service.start(&Err)) {
+    std::fprintf(stderr, "soak: cannot start telemetry service: %s\n",
+                 Err.c_str());
+    return 2;
+  }
+  std::printf("soak: serving on 127.0.0.1:%u\n", Service.port());
+  std::fflush(stdout);
+  if (!Opt.PortFile.empty()) {
+    if (std::FILE *F = std::fopen(Opt.PortFile.c_str(), "w")) {
+      std::fprintf(F, "%u\n", Service.port());
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "soak: cannot write %s\n", Opt.PortFile.c_str());
+      return 2;
+    }
+  }
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+
+  // Traffic sources: a typed binary64 pool, a mixed five-format pool, and
+  // a parse scratch for round-trips of the rendered text.
+  engine::BatchEngine<double> DoublePool(2);
+  engine::AnyBatch MixedPool(2);
+  engine::Scratch ParseScratch;
+  engine::EngineStats ParseStats; ///< Cumulative drains of ParseScratch.
+  obs::Registry ParseReg;
+  std::vector<obs::SpanEvent> ParseSpans;
+  SplitMix64 Rng(Opt.Seed);
+  engine::StringTable Table, MixedTable;
+  size_t Failures = 0, Iterations = 0;
+  uint64_t Converted = 0;
+  const uint64_t DeadlineNs =
+      Opt.DurationSeconds
+          ? obs::nowNanos() + Opt.DurationSeconds * 1000000000ull
+          : 0;
+
+  while (!ServeStop && (DeadlineNs == 0 || obs::nowNanos() < DeadlineNs)) {
+    std::vector<double> Values = randomBitsDoubles(Opt.ChunkSize, Rng.next());
+    DoublePool.convert(Values, Table, PrintOptions{});
+
+    // Round-trip a slice of the rendered text through the scratch-routed
+    // parser: live correctness plus path="parse" latency samples.
+    for (size_t I = 0; I < Values.size(); I += 16) {
+      auto Back = parse::parseFloat<double>(Table.view(I), ParseScratch);
+      bool Same = Back.ok() && (Back.Value == Values[I] ||
+                                (Back.Value != Back.Value &&
+                                 Values[I] != Values[I]));
+      if (!Same && ++Failures <= 20)
+        std::printf("FAIL serve-round-trip: %.17g (%.*s)\n", Values[I],
+                    static_cast<int>(Table.view(I).size()),
+                    Table.view(I).data());
+    }
+
+    // Mixed traffic: all five formats through the type-erased pool.
+    std::vector<engine::AnyValue> Mixed;
+    Mixed.reserve(512);
+    for (size_t I = 0; I < 512; ++I) {
+      double D = Values[I % Values.size()];
+      switch (I % 5) {
+      case 0:
+        Mixed.push_back(engine::AnyValue::of(D));
+        break;
+      case 1:
+        Mixed.push_back(engine::AnyValue::of(static_cast<float>(D)));
+        break;
+      case 2:
+        Mixed.push_back(engine::AnyValue::of(Binary16::fromBits(
+            static_cast<uint16_t>(I * 131 + Iterations))));
+        break;
+      case 3:
+        Mixed.push_back(engine::AnyValue::of(
+            static_cast<long double>(D) / 3.0L));
+        break;
+      default:
+        Mixed.push_back(engine::AnyValue::of(Binary128::fromDouble(D)));
+        break;
+      }
+    }
+    MixedPool.convert(Mixed, MixedTable, PrintOptions{});
+    Converted += Values.size() + Mixed.size();
+
+    // Publish.  Safe to read the pool accessors here: no convert() is in
+    // flight on this (the only) traffic thread, and the service threads
+    // only ever touch the published copies.
+    ParseScratch.syncArenaStats();
+    ParseStats.merge(ParseScratch.takeStats());
+    ParseScratch.obsState().drainInto(ParseReg, ParseSpans);
+    {
+      std::lock_guard<std::mutex> Lock(PublishM);
+      PublishedStats = DoublePool.stats();
+      PublishedStats.merge(MixedPool.stats());
+      PublishedStats.merge(ParseStats);
+      PublishedReg.reset();
+      PublishedReg.merge(DoublePool.registry());
+      PublishedReg.merge(MixedPool.registry());
+      PublishedReg.merge(ParseReg);
+    }
+    ++Iterations;
+    // Pace the loop: a telemetry soak demonstrates liveness, it does not
+    // need to monopolise the host.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  Service.stop();
+  std::printf("soak: serve done -- %zu iterations, %llu values, %llu "
+              "scrapes, %zu failures\n",
+              Iterations, static_cast<unsigned long long>(Converted),
+              static_cast<unsigned long long>(Service.scrapesServed()),
+              Failures);
+  {
+    std::lock_guard<std::mutex> Lock(PublishM);
+    PublishedStats.print(stdout, obs::enabled() ? &PublishedReg : nullptr);
+  }
+  return Failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -101,6 +283,8 @@ int main(int Argc, char **Argv) {
   uint64_t Seed = 1;
   std::string StatsJsonPath, TracePath;
   uint64_t ObsSample = 0;
+  bool Serve = false;
+  ServeOptions ServeOpt;
   int Positional = 0;
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -110,10 +294,38 @@ int main(int Argc, char **Argv) {
       TracePath = A + 8;
     } else if (std::strncmp(A, "--obs-sample=", 13) == 0) {
       ObsSample = std::strtoull(A + 13, nullptr, 0);
+    } else if (std::strcmp(A, "--serve") == 0) {
+      Serve = true;
+    } else if (std::strncmp(A, "--serve=", 8) == 0) {
+      Serve = true;
+      ServeOpt.Port = static_cast<uint16_t>(std::strtoul(A + 8, nullptr, 10));
+    } else if (std::strncmp(A, "--serve-duration=", 17) == 0) {
+      ServeOpt.DurationSeconds = std::strtoull(A + 17, nullptr, 10);
+    } else if (std::strncmp(A, "--serve-tick-ms=", 16) == 0) {
+      ServeOpt.TickMillis = std::strtoull(A + 16, nullptr, 10);
+      if (ServeOpt.TickMillis == 0)
+        ServeOpt.TickMillis = 1;
+    } else if (std::strncmp(A, "--slo=", 6) == 0) {
+      std::string SloErr;
+      auto Rule = obs::live::SloSet::parse(A + 6, &SloErr);
+      if (!Rule) {
+        std::fprintf(stderr, "soak: bad --slo spec: %s\n", SloErr.c_str());
+        return 2;
+      }
+      ServeOpt.Slos.push_back(*Rule);
+    } else if (std::strncmp(A, "--profile-hz=", 13) == 0) {
+      ServeOpt.ProfileHz =
+          static_cast<uint32_t>(std::strtoul(A + 13, nullptr, 10));
+    } else if (std::strncmp(A, "--port-file=", 12) == 0) {
+      ServeOpt.PortFile = A + 12;
     } else if (A[0] == '-') {
       std::fprintf(stderr,
                    "soak: unknown flag %s\nusage: soak [count] [seed] "
-                   "[--stats-json=FILE] [--trace=FILE] [--obs-sample=N]\n",
+                   "[--stats-json=FILE] [--trace=FILE] [--obs-sample=N]\n"
+                   "       soak --serve[=PORT] [--serve-duration=SECONDS] "
+                   "[--serve-tick-ms=N]\n"
+                   "            [--slo=SPEC]... [--profile-hz=N] "
+                   "[--port-file=FILE]\n",
                    A);
       return 2;
     } else if (Positional == 0) {
@@ -132,6 +344,11 @@ int main(int Argc, char **Argv) {
   else if (!StatsJsonPath.empty() || !TracePath.empty())
     obs::config().SampleEvery = 1;
   obs::config().Trace = !TracePath.empty();
+
+  if (Serve) {
+    ServeOpt.Seed = Seed;
+    return runServe(ServeOpt);
+  }
 
   std::printf("soak: %zu values, seed %llu\n", Count,
               static_cast<unsigned long long>(Seed));

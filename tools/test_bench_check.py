@@ -80,6 +80,62 @@ class BenchCheckTest(unittest.TestCase):
         self.assertEqual(self.run_check(slow, base).returncode, 1)
         self.assertEqual(self.run_check(base, base).returncode, 0)
 
+    # --- thread-scaling skip logic ----------------------------------------
+
+    def test_baseline_skips_scaling_when_flag_false(self):
+        # A regressed 4t metric on a core-starved host must be SKIPPED
+        # with an explicit message, while single-thread metrics still gate.
+        metrics = {"batch_1t_ns_per_value": 100.0,
+                   "batch_4t_ns_per_value": 30.0}
+        base = self.path("base.json", bench_doc(
+            metrics=metrics,
+            context={"thread_scaling_valid": True,
+                     "hardware_concurrency": 8}))
+        cur = self.path("cur.json", bench_doc(
+            metrics={"batch_1t_ns_per_value": 101.0,
+                     "batch_4t_ns_per_value": 90.0},  # 3x "regression".
+            context={"thread_scaling_valid": False,
+                     "hardware_concurrency": 1}))
+        result = self.run_check(cur, base)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("SKIPPED", result.stdout)
+        self.assertIn("batch_4t_ns_per_value", result.stdout)
+        # But a 1t regression on the same host still fails.
+        bad = self.path("bad.json", bench_doc(
+            metrics={"batch_1t_ns_per_value": 200.0,
+                     "batch_4t_ns_per_value": 90.0},
+            context={"thread_scaling_valid": False}))
+        self.assertEqual(self.run_check(bad, base).returncode, 1)
+
+    def test_baseline_scaling_fallback_uses_concurrency(self):
+        # Documents predating the flag: hardware_concurrency < 4 implies
+        # the scaling numbers are hardware-bound.
+        base = self.path("base.json", bench_doc(
+            metrics={"batch32_2t_ns_per_value": 50.0}))
+        cur = self.path("cur.json", bench_doc(
+            metrics={"batch32_2t_ns_per_value": 150.0},
+            context={"hardware_concurrency": 2}))
+        result = self.run_check(cur, base)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("SKIPPED", result.stdout)
+        # With neither flag nor concurrency, the run is trusted and the
+        # regression gates.
+        legacy = self.path("legacy.json", bench_doc(
+            metrics={"batch32_2t_ns_per_value": 150.0}))
+        self.assertEqual(self.run_check(legacy, base).returncode, 1)
+
+    def test_history_skips_scaling_when_any_run_invalid(self):
+        lines = [json.dumps(bench_doc(
+            "bench_x", {"batch_4t_ns_per_value": v},
+            {"thread_scaling_valid": True})) for v in (100.0, 101.0, 99.0)]
+        lines.append(json.dumps(bench_doc(
+            "bench_x", {"batch_4t_ns_per_value": 300.0},
+            {"thread_scaling_valid": False})))
+        h = self.path("scaling.jsonl", "\n".join(lines) + "\n")
+        result = self.run_check(f"--history={h}")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("SKIPPED", result.stdout)
+
     # --- history trend gate -----------------------------------------------
 
     def history(self, *values, bench="bench_x", last_context=None):
