@@ -27,9 +27,16 @@
 ///
 ///   ./build/bench/bench_engine_batch [out.json] [count=200000]
 ///                                    [--format=binary64|binary32|binary16]
+///                                    [--corpus=FILE]
 ///                                    [--stats-json=FILE] [--trace=FILE]
 ///                                    [--bench-history=FILE]
 ///                                    [--spin-digit-loop=N]
+///
+/// --corpus=FILE replaces the random workloads entirely: the verify-corpus
+/// records in FILE (e.g. the exemplar corpus tools/exemplar_dump writes
+/// from a live service's tail captures) are decoded per format, tiled up
+/// to the requested count, and batch-converted as corpus64_*/corpus32_*/
+/// corpus16_* metrics -- "how fast are the inputs production found slow".
 ///
 /// The telemetry flags enable 1-in-1 obs sampling, which costs a clock
 /// read per conversion -- numbers from such a run are for exploring the
@@ -45,6 +52,7 @@
 #include "dragon4.h"
 #include "obs/export.h"
 #include "support/testhooks.h"
+#include "verify/corpus.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +79,20 @@ double bestNsPerValue(size_t Count, int Reps, Fn &&Run) {
 }
 
 volatile size_t Sink; // Defeats dead-code elimination.
+
+/// Repeats \p V until the workload is \p Count values long (stable timing
+/// even when the corpus holds only a handful of captures).
+template <typename T>
+std::vector<T> tileTo(const std::vector<T> &V, size_t Count) {
+  std::vector<T> Out;
+  Out.reserve(Count);
+  while (Out.size() < Count) {
+    size_t Take = V.size() < Count - Out.size() ? V.size()
+                                                : Count - Out.size();
+    Out.insert(Out.end(), V.begin(), V.begin() + Take);
+  }
+  return Out;
+}
 
 /// Times BatchEngine<T>::convert at 1 and 4 threads over \p Values and
 /// records the two metrics as <prefix>_1t/_4t ns/value.
@@ -99,7 +121,7 @@ void benchTypedBatch(const std::vector<T> &Values, const char *Label,
 int main(int Argc, char **Argv) {
   const char *OutPath = "BENCH_engine.json";
   size_t Count = 200000;
-  std::string StatsJsonPath, TracePath;
+  std::string StatsJsonPath, TracePath, CorpusPath;
   std::string Format = "all";
   bench::BenchOutput Output;
   unsigned SpinPerDigit = 0;
@@ -119,6 +141,8 @@ int main(int Argc, char **Argv) {
                      "binary32, binary16, or all\n");
         return 2;
       }
+    } else if (std::strncmp(A, "--corpus=", 9) == 0) {
+      CorpusPath = A + 9;
     } else if (std::strncmp(A, "--spin-digit-loop=", 18) == 0) {
       SpinPerDigit =
           static_cast<unsigned>(std::strtoul(A + 18, nullptr, 10));
@@ -129,6 +153,7 @@ int main(int Argc, char **Argv) {
                    "bench_engine_batch: unknown flag %s\nusage: "
                    "bench_engine_batch [out.json] [count] "
                    "[--format=binary64|binary32|binary16] "
+                   "[--corpus=FILE] "
                    "[--stats-json=FILE] [--trace=FILE] "
                    "[--bench-json=FILE] [--bench-history=FILE] "
                    "[--spin-digit-loop=N]\n",
@@ -186,7 +211,8 @@ int main(int Argc, char **Argv) {
   // tools/bench_check.py diffs against a committed baseline; "context"
   // describes the run; "derived" is informational.
   bench::BenchReport Report{"bench_engine_batch"};
-  Report.context("workload", "randomBitsDoubles");
+  Report.context("workload",
+                 CorpusPath.empty() ? "randomBitsDoubles" : "corpus");
   Report.context("count", static_cast<uint64_t>(Count));
   Report.context("reps", static_cast<uint64_t>(Reps));
   Report.context("hardware_concurrency", static_cast<uint64_t>(Cores));
@@ -195,6 +221,71 @@ int main(int Argc, char **Argv) {
   Report.context("format", Format.c_str());
   if (SpinPerDigit)
     Report.context("spin_digit_loop", static_cast<uint64_t>(SpinPerDigit));
+
+  if (!CorpusPath.empty()) {
+    // Corpus workload: the replayable inputs a sweep or the exemplar
+    // pipeline captured, instead of uniform-random bits.
+    std::vector<verify::CorpusRecord> Records;
+    std::string Err;
+    if (!verify::loadCorpus(CorpusPath, Records, &Err)) {
+      std::fprintf(stderr, "bench_engine_batch: %s\n", Err.c_str());
+      return 2;
+    }
+    Report.context("corpus", CorpusPath.c_str());
+    Report.context("corpus_records", static_cast<uint64_t>(Records.size()));
+    std::vector<double> V64;
+    std::vector<float> V32;
+    std::vector<Binary16> V16;
+    size_t Skipped = 0;
+    for (const verify::CorpusRecord &R : Records) {
+      switch (R.Bits.Format) {
+      case verify::FloatFormat::Binary64: {
+        uint64_t Bits = R.Bits.Lo;
+        double V;
+        std::memcpy(&V, &Bits, sizeof(V));
+        V64.push_back(V);
+        break;
+      }
+      case verify::FloatFormat::Binary32: {
+        uint32_t Bits = static_cast<uint32_t>(R.Bits.Lo);
+        float V;
+        std::memcpy(&V, &Bits, sizeof(V));
+        V32.push_back(V);
+        break;
+      }
+      case verify::FloatFormat::Binary16:
+        V16.push_back(
+            Binary16::fromBits(static_cast<uint16_t>(R.Bits.Lo)));
+        break;
+      default:
+        ++Skipped; // binary128 has no first-class batch suite here.
+        break;
+      }
+    }
+    if (Skipped)
+      std::printf("  NOTE: %zu corpus record(s) in formats without a "
+                  "batch suite skipped\n",
+                  Skipped);
+    if (V64.empty() && V32.empty() && V16.empty()) {
+      std::fprintf(stderr, "bench_engine_batch: corpus %s holds no "
+                           "benchable records\n",
+                   CorpusPath.c_str());
+      return 2;
+    }
+    std::printf("  corpus: %zu binary64, %zu binary32, %zu binary16 "
+                "record(s), tiled to %zu values each\n",
+                V64.size(), V32.size(), V16.size(), Count);
+    if (!V64.empty())
+      benchTypedBatch(tileTo(V64, Count), "corpus64", "corpus64", Reps,
+                      Report);
+    if (!V32.empty())
+      benchTypedBatch(tileTo(V32, Count), "corpus32", "corpus32", Reps,
+                      Report);
+    if (!V16.empty())
+      benchTypedBatch(tileTo(V16, Count), "corpus16", "corpus16", Reps,
+                      Report);
+    return bench::emitBenchReport(Report, Output);
+  }
 
   if (RunDouble) {
     std::vector<double> Values = randomBitsDoubles(Count, 42);

@@ -102,7 +102,7 @@ void BatchPool::dispatch(Job &J) {
   for (std::unique_ptr<Scratch> &S : Scratches) {
     Stats.merge(S->takeStats());
     if (obs::enabled())
-      S->obsState().drainInto(Registry, Spans);
+      S->obsState().drainInto(Registry, Spans, &Exemplars);
   }
 }
 

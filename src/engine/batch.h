@@ -138,6 +138,13 @@ public:
   const obs::Registry &registry() const { return Registry; }
   void resetRegistry() { Registry.reset(); }
 
+  /// Tail-latency exemplars merged from every worker shard so far (empty
+  /// unless obs sampling is on); drained alongside registry().
+  const obs::exemplar::ExemplarReservoir &exemplars() const {
+    return Exemplars;
+  }
+  void resetExemplars() { Exemplars.reset(); }
+
   /// Moves out the span events collected so far (batch spans plus sampled
   /// conversion spans from every worker; only populated when
   /// obs::config().Trace is set).
@@ -190,6 +197,7 @@ private:
 
   EngineStats Stats;
   obs::Registry Registry;           ///< Merged sampled metrics.
+  obs::exemplar::ExemplarReservoir Exemplars; ///< Merged tail exemplars.
   std::vector<obs::SpanEvent> Spans; ///< Collected trace spans.
 };
 

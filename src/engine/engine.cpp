@@ -165,6 +165,13 @@ size_t dragon4::engine::format(T Value, char *Buffer, size_t BufferSize,
   uint64_t StartNs = 0;
   if (Sampled) {
     Obs.Current.reset();
+    // Stamp the active options so a tail-exemplar capture can name the
+    // exact configuration that was slow.
+    Obs.Current.noteOptions(
+        Options.Base,
+        obs::exemplar::packOptionsMode(
+            static_cast<unsigned>(Options.Boundaries),
+            static_cast<unsigned>(Options.Ties)));
     StartNs = obs::nowNanos();
   }
   obs::ActiveTraceScope TraceScope(Sampled ? &Obs.Current
@@ -339,6 +346,13 @@ size_t dragon4::engine::formatFixed(T Value, int FractionDigits, char *Buffer,
   uint64_t StartNs = 0;
   if (Sampled) {
     Obs.Current.reset();
+    // Stamp the active options so a tail-exemplar capture can name the
+    // exact configuration that was slow.
+    Obs.Current.noteOptions(
+        Options.Base,
+        obs::exemplar::packOptionsMode(
+            static_cast<unsigned>(Options.Boundaries),
+            static_cast<unsigned>(Options.Ties)));
     StartNs = obs::nowNanos();
   }
   obs::ActiveTraceScope TraceScope(Sampled ? &Obs.Current

@@ -1,0 +1,203 @@
+//===- obs/exemplar/exemplar.cpp - Tail-latency exemplar capture ------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/exemplar/exemplar.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dragon4;
+using namespace dragon4::obs;
+using namespace dragon4::obs::exemplar;
+
+std::string ExemplarRecord::bitsHex() const {
+  char Buf[40];
+  if (BitsHi)
+    std::snprintf(Buf, sizeof(Buf), "0x%016" PRIx64 "%016" PRIx64, BitsHi,
+                  BitsLo);
+  else
+    std::snprintf(Buf, sizeof(Buf), "0x%" PRIx64, BitsLo);
+  return Buf;
+}
+
+namespace {
+
+const char *boundaryTag(unsigned B) {
+  switch (B) {
+  case 0:
+    return "cons";
+  case 1:
+    return "ne";
+  case 2:
+    return "both";
+  case 3:
+    return "low";
+  case 4:
+    return "high";
+  }
+  return "?";
+}
+
+const char *tieTag(unsigned T) {
+  switch (T) {
+  case 0:
+    return "up";
+  case 1:
+    return "even";
+  case 2:
+    return "down";
+  }
+  return "?";
+}
+
+} // namespace
+
+uint8_t dragon4::obs::exemplar::packOptionsMode(unsigned Boundaries,
+                                                unsigned Ties) {
+  return static_cast<uint8_t>(((Boundaries & 0x7) << 2) | (Ties & 0x3));
+}
+
+std::string ExemplarRecord::optionsText() const {
+  // Base 0 marks the parse direction: the input was text, not options.
+  if (OptionsBase == 0)
+    return "-";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "b%u:%s:%s", unsigned(OptionsBase),
+                boundaryTag((OptionsMode >> 2) & 0x7), tieTag(OptionsMode & 0x3));
+  return Buf;
+}
+
+void ExemplarReservoir::consider(const ExemplarRecord &R,
+                                 uint32_t MarginBuckets) {
+  ++Considered_;
+  size_t F = static_cast<size_t>(R.Fmt);
+  Digits_[F].record(R.DigitsEmitted);
+  DecExp_[F].record(R.FinalK < 0 ? uint64_t(-int64_t(R.FinalK))
+                                 : uint64_t(R.FinalK));
+  if (R.PathC == PathClass::Count)
+    return; // Specials / verify bundles characterize but have no cost cell.
+
+  size_t P = static_cast<size_t>(R.PathC);
+  int B = Log2Histogram::bucketIndex(R.LatencyNanos);
+  int &High = HighBucket[F][P];
+  if (B > High)
+    High = B;
+  // Tail test: within MarginBuckets (a factor of 2^margin) of the worst
+  // latency bucket this cell has ever seen.  The first sample of a cell
+  // always qualifies, so a fresh reservoir yields an exemplar immediately.
+  if (B + int(MarginBuckets) < High)
+    return;
+
+  ++Captured_;
+  ExemplarRecord Kept = R;
+  Kept.Valid = true;
+  ExemplarRecord &W = Worst[F][P];
+  if (!W.Valid || Kept.LatencyNanos > W.LatencyNanos)
+    W = Kept;
+  ringPush(Kept);
+}
+
+void ExemplarReservoir::merge(const ExemplarReservoir &RHS) {
+  for (size_t F = 0; F < NumFormatIds; ++F) {
+    for (size_t P = 0; P < NumPathClasses; ++P) {
+      const ExemplarRecord &R = RHS.Worst[F][P];
+      if (R.Valid &&
+          (!Worst[F][P].Valid || R.LatencyNanos > Worst[F][P].LatencyNanos))
+        Worst[F][P] = R;
+      if (RHS.HighBucket[F][P] > HighBucket[F][P])
+        HighBucket[F][P] = RHS.HighBucket[F][P];
+    }
+    Digits_[F].merge(RHS.Digits_[F]);
+    DecExp_[F].merge(RHS.DecExp_[F]);
+  }
+  for (size_t I = RHS.Filled; I-- > 0;) // oldest first keeps ring order.
+    ringPush(RHS.ringRecent(I));
+  Considered_ += RHS.Considered_;
+  Captured_ += RHS.Captured_;
+}
+
+void ExemplarReservoir::reset() {
+  size_t Capacity = Ring.size();
+  *this = ExemplarReservoir(Capacity);
+}
+
+namespace {
+
+SnapshotExemplar flatten(const ExemplarRecord &R, const char *Kind) {
+  SnapshotExemplar E;
+  E.Kind = Kind;
+  E.Format = formatIdName(R.Fmt);
+  E.Path = R.PathC == PathClass::Count ? "-" : pathClassName(R.PathC);
+  E.Bits = R.bitsHex();
+  E.Options = R.optionsText();
+  E.LatencyNanos = R.LatencyNanos;
+  E.DigitsEmitted = R.DigitsEmitted;
+  E.FinalK = R.FinalK;
+  E.TimestampNanos = R.TimestampNanos;
+  return E;
+}
+
+} // namespace
+
+void dragon4::obs::exemplar::attachExemplars(Snapshot &Snap,
+                                             const ExemplarReservoir &Ex) {
+  Snap.addCounter("dragon4_exemplars_considered_total", Ex.considered());
+  Snap.addCounter("dragon4_exemplars_captured_total", Ex.captured());
+
+  // Annotate the matching dragon4_latency_ns series in place: at most one
+  // exemplar per series, and none where nothing was captured.
+  for (SnapshotHistogram &H : Snap.Histograms) {
+    if (H.Name != "dragon4_latency_ns" || H.Labels.size() != 2)
+      continue;
+    const ExemplarRecord *Best = nullptr;
+    for (size_t F = 0; F < NumFormatIds; ++F) {
+      for (size_t P = 0; P < NumPathClasses; ++P) {
+        const ExemplarRecord *R =
+            Ex.worst(static_cast<FormatId>(F), static_cast<PathClass>(P));
+        if (!R)
+          continue;
+        if (H.Labels[0].second == formatIdName(static_cast<FormatId>(F)) &&
+            H.Labels[1].second == pathClassName(static_cast<PathClass>(P)))
+          Best = R;
+      }
+    }
+    if (!Best)
+      continue;
+    H.HasExemplar = true;
+    H.ExemplarLabels = {{"bits", Best->bitsHex()},
+                        {"path", pathClassName(Best->PathC)}};
+    H.ExemplarValue = double(Best->LatencyNanos);
+    H.ExemplarTimestamp = double(Best->TimestampNanos) * 1e-9;
+  }
+
+  // Workload characterization: what the traffic actually looked like.
+  for (size_t F = 0; F < NumFormatIds; ++F) {
+    FormatId Fmt = static_cast<FormatId>(F);
+    if (Ex.digitCount(Fmt).count())
+      Snap.Histograms.push_back(summarize("dragon4_digit_count",
+                                          Ex.digitCount(Fmt),
+                                          {{"format", formatIdName(Fmt)}}));
+  }
+  for (size_t F = 0; F < NumFormatIds; ++F) {
+    FormatId Fmt = static_cast<FormatId>(F);
+    if (Ex.decimalExponentMagnitude(Fmt).count())
+      Snap.Histograms.push_back(
+          summarize("dragon4_decimal_exponent_mag",
+                    Ex.decimalExponentMagnitude(Fmt),
+                    {{"format", formatIdName(Fmt)}}));
+  }
+
+  // The flat record list /exemplars.json renders: worst cells first (the
+  // stable, highest-signal set), then the recent tail ring, newest first.
+  for (size_t F = 0; F < NumFormatIds; ++F)
+    for (size_t P = 0; P < NumPathClasses; ++P)
+      if (const ExemplarRecord *R =
+              Ex.worst(static_cast<FormatId>(F), static_cast<PathClass>(P)))
+        Snap.Exemplars.push_back(flatten(*R, "worst"));
+  for (size_t I = 0; I < Ex.ringSize(); ++I)
+    Snap.Exemplars.push_back(flatten(Ex.ringRecent(I), "recent"));
+}

@@ -205,6 +205,18 @@ const char *promFamilyHelp(std::string_view Family) {
     return "Values converted through the batch engine.";
   if (Family == "dragon4_latency_ns")
     return "Sampled conversion latency by format and path, nanoseconds.";
+  if (Family == "dragon4_digit_count")
+    return "Digits emitted per sampled conversion, by format.";
+  if (Family == "dragon4_decimal_exponent_mag")
+    return "Decimal-exponent magnitude |k| per sampled conversion, by "
+           "format.";
+  if (Family == "dragon4_exemplars_considered_total")
+    return "Sampled conversions offered to the tail-exemplar reservoir.";
+  if (Family == "dragon4_exemplars_captured_total")
+    return "Conversions captured as tail-latency exemplars.";
+  if (Family == "dragon4_path_mix_drift")
+    return "Total-variation distance of the latency-path mix vs the "
+           "previous window.";
   if (Family == "dragon4_conversion_latency_ns")
     return "Sampled conversion latency, all paths, nanoseconds.";
   if (Family == "dragon4_slo_breached")
@@ -271,8 +283,26 @@ std::string dragon4::obs::renderPrometheus(const Snapshot &Snap) {
       appendF(Out, "%s_bucket{%s%sle=\"%" PRIu64 "\"} %" PRIu64 "\n",
               H.Name.c_str(), Labels.c_str(), Sep, Le, Cumulative);
     }
-    appendF(Out, "%s_bucket{%s%sle=\"+Inf\"} %" PRIu64 "\n", H.Name.c_str(),
+    appendF(Out, "%s_bucket{%s%sle=\"+Inf\"} %" PRIu64, H.Name.c_str(),
             Labels.c_str(), Sep, H.Count);
+    // OpenMetrics exemplar annotation: at most one per series, on the
+    // +Inf bucket line (which always exists), omitted when nothing was
+    // captured for this series.
+    if (H.HasExemplar) {
+      Out += " # {";
+      bool FirstEx = true;
+      for (const auto &[Key, Value] : H.ExemplarLabels) {
+        if (!FirstEx)
+          Out += ',';
+        FirstEx = false;
+        Out += Key;
+        Out += "=\"";
+        Out += promEscapeLabelValue(Value);
+        Out += '"';
+      }
+      appendF(Out, "} %.17g %.9f", H.ExemplarValue, H.ExemplarTimestamp);
+    }
+    Out += '\n';
     if (Labels.empty()) {
       appendF(Out, "%s_sum %" PRIu64 "\n", H.Name.c_str(), H.Sum);
       appendF(Out, "%s_count %" PRIu64 "\n", H.Name.c_str(), H.Count);
@@ -283,6 +313,35 @@ std::string dragon4::obs::renderPrometheus(const Snapshot &Snap) {
               Labels.c_str(), H.Count);
     }
   }
+  return Out;
+}
+
+std::string dragon4::obs::renderExemplarsJson(const Snapshot &Snap) {
+  std::string Out;
+  Out += "{\n";
+  appendF(Out, "  \"schema\": \"%s\",\n", ExemplarsSchemaVersion);
+  appendF(Out, "  \"record_count\": %zu,\n", Snap.Exemplars.size());
+  Out += "  \"records\": [\n";
+  for (size_t I = 0; I < Snap.Exemplars.size(); ++I) {
+    const SnapshotExemplar &E = Snap.Exemplars[I];
+    Out += "    {\"kind\": ";
+    appendJsonString(Out, E.Kind.c_str());
+    Out += ", \"format\": ";
+    appendJsonString(Out, E.Format.c_str());
+    Out += ", \"path\": ";
+    appendJsonString(Out, E.Path.c_str());
+    Out += ", \"bits\": ";
+    appendJsonString(Out, E.Bits.c_str());
+    Out += ", \"options\": ";
+    appendJsonString(Out, E.Options.c_str());
+    appendF(Out,
+            ", \"latency_ns\": %" PRIu64 ", \"digits\": %u, \"k\": %d, "
+            "\"timestamp_ns\": %" PRIu64 "}%s\n",
+            E.LatencyNanos, E.DigitsEmitted, E.FinalK, E.TimestampNanos,
+            I + 1 < Snap.Exemplars.size() ? "," : "");
+  }
+  Out += "  ]\n";
+  Out += "}\n";
   return Out;
 }
 

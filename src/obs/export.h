@@ -43,9 +43,18 @@ inline constexpr const char *StatsSchemaVersion = "dragon4.stats.v1";
 /// tools/bench_check.py validates and compares them).
 inline constexpr const char *BenchSchemaVersion = "dragon4.bench.v1";
 
+/// Schema identifier for the captured-exemplar document that
+/// /exemplars.json serves and tools/exemplar_dump consumes.
+inline constexpr const char *ExemplarsSchemaVersion = "dragon4.exemplars.v1";
+
 std::string renderStatsJson(const Snapshot &Snap);
 std::string renderPrometheus(const Snapshot &Snap);
 std::string renderChromeTrace(std::span<const SpanEvent> Spans);
+
+/// The "dragon4.exemplars.v1" JSON document: the Snapshot's captured
+/// worst-case records ({kind, format, path, bits, options, latency_ns,
+/// digits, k, timestamp_ns}), replayable offline via tools/exemplar_dump.
+std::string renderExemplarsJson(const Snapshot &Snap);
 
 /// Escapes \p Value for use inside a Prometheus label: backslash, double
 /// quote, and newline become \\, \", and \n per the text exposition format.

@@ -9,6 +9,7 @@
 #include "obs/export.h"
 
 #include <algorithm>
+#include <cmath>
 
 using namespace dragon4;
 using namespace dragon4::obs;
@@ -119,6 +120,52 @@ const SnapshotHistogram *WindowView::histogram(
       return &H;
   }
   return nullptr;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+WindowView::seriesCounts(std::string_view Name) const {
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  for (const auto &H : Histograms) {
+    if (H.Name != Name || H.Count == 0)
+      continue;
+    std::string Key;
+    for (const auto &[K, V] : H.Labels) {
+      if (!Key.empty())
+        Key += '/';
+      Key += V;
+    }
+    Out.emplace_back(std::move(Key), H.Count);
+  }
+  return Out;
+}
+
+double dragon4::obs::live::mixDrift(
+    const std::vector<std::pair<std::string, uint64_t>> &Prev,
+    const std::vector<std::pair<std::string, uint64_t>> &Cur) {
+  uint64_t PrevTotal = 0, CurTotal = 0;
+  for (const auto &[K, N] : Prev)
+    PrevTotal += N;
+  for (const auto &[K, N] : Cur)
+    CurTotal += N;
+  if (PrevTotal == 0 || CurTotal == 0)
+    return 0;
+  auto shareIn = [](const std::vector<std::pair<std::string, uint64_t>> &V,
+                    const std::string &Key, uint64_t Total) {
+    for (const auto &[K, N] : V)
+      if (K == Key)
+        return static_cast<double>(N) / static_cast<double>(Total);
+    return 0.0;
+  };
+  // Half the L1 distance over the union of keys; keys only in Cur are
+  // covered by walking Cur, keys only in Prev by walking Prev's leftovers.
+  double L1 = 0;
+  for (const auto &[K, N] : Cur)
+    L1 += std::abs(static_cast<double>(N) / static_cast<double>(CurTotal) -
+                   shareIn(Prev, K, PrevTotal));
+  for (const auto &[K, N] : Prev)
+    if (shareIn(Cur, K, CurTotal) == 0.0)
+      L1 += static_cast<double>(N) / static_cast<double>(PrevTotal);
+  return L1 / 2;
 }
 
 WindowedAggregator::WindowedAggregator(size_t Capacity)

@@ -75,7 +75,20 @@ struct WindowView {
   histogram(std::string_view Name,
             const std::vector<std::pair<std::string, std::string>> &Labels =
                 {}) const;
+
+  /// Windowed sample counts of every series of family \p Name, keyed by
+  /// the joined label values ("binary64/ryu"); empty-count cells are
+  /// skipped.  The workload-characterization drift gauge differences
+  /// consecutive windows of these.
+  std::vector<std::pair<std::string, uint64_t>>
+  seriesCounts(std::string_view Name) const;
 };
+
+/// Total-variation distance (0..1) between two series-count distributions:
+/// half the L1 distance of the normalized shares over the union of keys.
+/// 0 when either side is empty (no basis for drift yet).
+double mixDrift(const std::vector<std::pair<std::string, uint64_t>> &Prev,
+                const std::vector<std::pair<std::string, uint64_t>> &Cur);
 
 /// Fixed-capacity ring of (timestamp, Snapshot) samples over one monotone
 /// counter segment.

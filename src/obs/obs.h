@@ -80,6 +80,16 @@ struct Config {
   /// (up to this many per thread), so a post-sweep report can show every
   /// failing conversion even after passing conversions recycled the ring.
   uint32_t MismatchKeepLimit = 256;
+
+  /// Ring capacity of each per-thread tail-exemplar reservoir (recent
+  /// captures kept beside the per-{format, path} worst records).  Applied
+  /// when a Scratch is constructed; 0 keeps only the worst records.
+  uint32_t ExemplarRingCapacity = 64;
+
+  /// A sampled conversion is captured as a tail exemplar when its
+  /// log2-latency bucket is within this many buckets of the highest bucket
+  /// its {format, path} cell has seen (0 = only new high-water marks).
+  uint32_t ExemplarMarginBuckets = 1;
 };
 
 /// The mutable global config.  Tools write it once at startup.

@@ -7,6 +7,7 @@
 #include "obs/registry.h"
 
 #include "engine/stats.h"
+#include "obs/exemplar/exemplar.h"
 #include "prof/perf.h"
 #include "support/checks.h"
 
@@ -212,7 +213,8 @@ SnapshotHistogram summarizeDigitLengths(const engine::EngineStats &Stats) {
 } // namespace
 
 Snapshot dragon4::obs::makeSnapshot(const engine::EngineStats &Stats,
-                                    const Registry *Reg) {
+                                    const Registry *Reg,
+                                    const exemplar::ExemplarReservoir *Ex) {
   Snapshot Snap;
 
   // Exact counters (maintained unconditionally by the engine).
@@ -342,5 +344,10 @@ Snapshot dragon4::obs::makeSnapshot(const engine::EngineStats &Stats,
                                             S.SelfTicks));
     }
   }
+
+  // Exemplar annotations ride after the latency grid exists so they can
+  // attach to the series they explain.
+  if (Ex)
+    exemplar::attachExemplars(Snap, *Ex);
   return Snap;
 }

@@ -42,6 +42,10 @@ namespace dragon4::engine {
 struct EngineStats;
 }
 
+namespace dragon4::obs::exemplar {
+class ExemplarReservoir;
+}
+
 namespace dragon4::obs {
 
 /// Power-of-two-bucketed histogram of uint64 samples.  Bucket 0 holds the
@@ -299,6 +303,28 @@ struct SnapshotHistogram {
   /// (inclusive upper bound, non-cumulative count), ascending, non-empty
   /// buckets only.
   std::vector<std::pair<uint64_t, uint64_t>> Buckets;
+
+  /// OpenMetrics exemplar for this series (at most one; the Prometheus
+  /// exporter attaches it to the +Inf bucket line).  Omitted from every
+  /// rendering when HasExemplar is false.
+  bool HasExemplar = false;
+  std::vector<std::pair<std::string, std::string>> ExemplarLabels;
+  double ExemplarValue = 0;
+  double ExemplarTimestamp = 0; ///< Seconds on the monotonic obs clock.
+};
+
+/// One captured worst-case input, flattened to strings for export (see
+/// obs/exemplar/exemplar.h for the live reservoir form).
+struct SnapshotExemplar {
+  std::string Kind;   ///< "worst" (per-cell max) or "recent" (tail ring).
+  std::string Format; ///< formatIdName value.
+  std::string Path;   ///< pathClassName value, or "-".
+  std::string Bits;   ///< Hex encoding, replayable.
+  std::string Options; ///< Compact print options ("-" for parse captures).
+  uint64_t LatencyNanos = 0;
+  uint32_t DigitsEmitted = 0;
+  int32_t FinalK = 0;
+  uint64_t TimestampNanos = 0;
 };
 
 /// The merged, named view every exporter consumes.
@@ -307,6 +333,7 @@ struct Snapshot {
   std::vector<std::pair<std::string, uint64_t>> Gauges;
   std::vector<std::pair<std::string, double>> Derived; ///< Ratios, rates.
   std::vector<SnapshotHistogram> Histograms;
+  std::vector<SnapshotExemplar> Exemplars; ///< /exemplars.json payload.
 
   void addCounter(std::string Name, uint64_t Value) {
     Counters.emplace_back(std::move(Name), Value);
@@ -327,10 +354,13 @@ summarize(std::string Name, const Log2Histogram &H,
 
 /// Builds the full named view: the exact EngineStats counters (including
 /// the slow-path digit-length histogram, with exact percentiles) plus, when
-/// \p Reg is non-null, the sampled registry metrics.  This is the single
-/// source every exporter and EngineStats::print renders from.
+/// \p Reg is non-null, the sampled registry metrics, plus, when \p Ex is
+/// non-null, the exemplar annotations and workload-characterization
+/// families (obs/exemplar/).  This is the single source every exporter and
+/// EngineStats::print renders from.
 Snapshot makeSnapshot(const engine::EngineStats &Stats,
-                      const Registry *Reg = nullptr);
+                      const Registry *Reg = nullptr,
+                      const exemplar::ExemplarReservoir *Ex = nullptr);
 
 } // namespace dragon4::obs
 

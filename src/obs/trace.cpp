@@ -158,6 +158,24 @@ void ObsState::finishConversion(const ConversionTrace &T, Path P,
   Reg.add(Counter::DivModOps, T.DivModOps);
   Reg.add(Counter::MulOps, T.MulOps);
 
+  // Tail-exemplar offer: every sampled conversion feeds the workload
+  // histograms; only records near a cell's latency high-water mark are
+  // captured (the reservoir applies the policy).
+  {
+    exemplar::ExemplarRecord Ex;
+    Ex.BitsLo = BitsLo;
+    Ex.BitsHi = BitsHi;
+    Ex.LatencyNanos = LatencyNanos;
+    Ex.TimestampNanos = StartNanos + LatencyNanos;
+    Ex.FinalK = T.FinalK;
+    Ex.DigitsEmitted = T.DigitsEmitted;
+    Ex.Fmt = Fmt;
+    Ex.PathC = pathClassFor(P);
+    Ex.OptionsBase = T.OptionsBase;
+    Ex.OptionsMode = T.OptionsMode;
+    Exemplars.consider(Ex, config().ExemplarMarginBuckets);
+  }
+
   ConversionRecord Record;
   Record.fromTrace(T);
   Record.PathTaken = P;
@@ -197,9 +215,14 @@ void ObsState::finishConversion(const ConversionTrace &T, Path P,
   }
 }
 
-void ObsState::drainInto(Registry &Out, std::vector<SpanEvent> &Spans_) {
+void ObsState::drainInto(Registry &Out, std::vector<SpanEvent> &Spans_,
+                         exemplar::ExemplarReservoir *ExOut) {
   Out.merge(Reg);
   Reg.reset();
+  if (ExOut) {
+    ExOut->merge(Exemplars);
+    Exemplars.reset();
+  }
   if (!Spans.empty()) {
     Spans_.insert(Spans_.end(), Spans.begin(), Spans.end());
     Spans.clear();

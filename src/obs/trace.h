@@ -30,6 +30,7 @@
 #ifndef DRAGON4_OBS_TRACE_H
 #define DRAGON4_OBS_TRACE_H
 
+#include "obs/exemplar/exemplar.h"
 #include "obs/registry.h"
 #include "prof/phase.h"
 
@@ -76,6 +77,8 @@ struct ConversionTrace {
   int8_t FixupTaken = -1; ///< 1 fixup fired, 0 estimate exact, -1 n/a.
   uint8_t FastFail = 0;   ///< 0 none, 1 uncertified, 2 ineligible.
   bool Incremented = false; ///< Digit loop bumped its final digit.
+  uint8_t OptionsBase = 0;  ///< PrintOptions::Base (0 = none recorded).
+  uint8_t OptionsMode = 0;  ///< Packed boundary/tie knobs (exemplar.h).
   uint32_t DigitsEmitted = 0;
   uint32_t DivModOps = 0;
   uint32_t MulOps = 0;
@@ -104,6 +107,13 @@ struct ConversionTrace {
       MaxMulLimbs = Limbs;
     if (Reg)
       Reg->record(Hist::MulLimbs, Limbs);
+  }
+
+  /// Options hook: the engine stamps the active PrintOptions so exemplar
+  /// captures can name the exact configuration that was slow.
+  void noteOptions(unsigned Base, uint8_t Mode) {
+    OptionsBase = static_cast<uint8_t>(Base);
+    OptionsMode = Mode;
   }
 
   /// Scaling hook, one call per conversion from whichever branch ran.
@@ -258,13 +268,18 @@ struct SpanEvent {
 /// scratchpad trace.  Single-writer, merged after workers join.
 class ObsState {
 public:
-  ObsState() : Recorder(config().FlightCapacity) {
+  ObsState()
+      : Recorder(config().FlightCapacity),
+        Exemplars(config().ExemplarRingCapacity) {
     Current.Reg = &Reg;
     Phases.bind(&Reg);
   }
 
   Registry Reg;
   FlightRecorder Recorder;
+  /// Tail-latency exemplar reservoir (obs/exemplar/): worst sampled inputs
+  /// per {format, path} plus workload-characterization histograms.
+  exemplar::ExemplarReservoir Exemplars;
   /// Phase-attribution collector (src/prof/), archiving into this shard's
   /// Reg.  Installed by the engine (PhaseScope) for sampled conversions.
   prof::PhaseCollector Phases;
@@ -296,8 +311,11 @@ public:
 
   /// Merges this shard's registry into \p Out and moves the span buffer to
   /// the back of \p Spans, leaving this state empty (the flight recorder
-  /// keeps its history: it is context, not a metric).
-  void drainInto(Registry &Out, std::vector<SpanEvent> &Spans);
+  /// keeps its history: it is context, not a metric).  When \p ExOut is
+  /// non-null the exemplar reservoir drains into it the same way; callers
+  /// that pass null keep exemplars in the shard for later inspection.
+  void drainInto(Registry &Out, std::vector<SpanEvent> &Spans,
+                 exemplar::ExemplarReservoir *ExOut = nullptr);
 
 private:
   uint64_t SampleTick = 0;

@@ -270,8 +270,24 @@ ParseResult<T> parseFloat(std::string_view Text, engine::Scratch &S) {
   if (Obs.tick()) {
     uint64_t StartNs = obs::nowNanos();
     ParseResult<T> Result = parseFloatImpl<T>(Text, &S.counters());
+    uint64_t LatencyNs = obs::nowNanos() - StartNs;
     Obs.Reg.recordPathLatency(FormatTraits<T>::Id, obs::PathClass::Parse,
-                              obs::nowNanos() - StartNs);
+                              LatencyNs);
+    if (Result.ok()) {
+      // Parse-side exemplar: the resulting encoding is the replayable
+      // identity (the parse oracle round-trips it back through the
+      // reader); digit count approximates input length, OptionsBase 0
+      // marks the parse direction.
+      obs::exemplar::ExemplarRecord Ex;
+      FormatTraits<T>::encodingBits(Result.Value, Ex.BitsLo, Ex.BitsHi);
+      Ex.LatencyNanos = LatencyNs;
+      Ex.TimestampNanos = StartNs + LatencyNs;
+      Ex.DigitsEmitted = static_cast<uint32_t>(Result.Consumed);
+      Ex.Fmt = FormatTraits<T>::Id;
+      Ex.PathC = obs::PathClass::Parse;
+      Ex.OptionsBase = 0;
+      Obs.Exemplars.consider(Ex, obs::config().ExemplarMarginBuckets);
+    }
     return Result;
   }
 #endif

@@ -9,10 +9,12 @@
 /// tools that consume the service's own output (obs_top reading
 /// /stats.json, the exporter round-trip tests).  It is a *reader*, not a
 /// validator suite: numbers parse with strtod, strings handle the escapes
-/// the exporter emits (\" \\ \/ \b \f \n \r \t \uXXXX with basic-plane
-/// code points encoded as UTF-8), and depth is capped so hostile input
-/// cannot blow the stack.  parse() returns nullopt on any malformed
-/// document rather than guessing.
+/// the exporter emits (\" \\ \/ \b \f \n \r \t \uXXXX encoded as UTF-8;
+/// a \uXXXX\uXXXX surrogate pair combines into its supplementary-plane
+/// code point, and a lone surrogate half decodes to U+FFFD rather than
+/// producing invalid UTF-8), and depth is capped so hostile input cannot
+/// blow the stack.  parse() returns nullopt on any malformed document
+/// rather than guessing.
 ///
 /// Header-only on purpose: the consumers are leaf tools and tests, and
 /// the parser is small enough that a .cpp would be ceremony.

@@ -76,7 +76,16 @@ void TelemetryService::tickNow() {
   Snapshot Snap = Src();
   std::lock_guard<std::mutex> Lock(M);
   Agg.push(obs::nowNanos(), std::move(Snap));
-  Slos.evaluate(Agg.view());
+  obs::live::WindowView View = Agg.view();
+  Slos.evaluate(View);
+  // Workload drift: how far the latency-path mix of this window moved from
+  // the previous tick's window (total-variation distance of the shares).
+  if (View.Valid) {
+    std::vector<std::pair<std::string, uint64_t>> Mix =
+        View.seriesCounts("dragon4_latency_ns");
+    PathMixDrift = obs::live::mixDrift(PrevPathMix, Mix);
+    PrevPathMix = std::move(Mix);
+  }
 }
 
 std::vector<obs::live::SloStatus> TelemetryService::sloStatuses() const {
@@ -126,6 +135,7 @@ obs::Snapshot TelemetryService::liveSnapshot() {
       Snap.addDerived(Key + "_p95_ns", H.P95);
       Snap.addDerived(Key + "_p99_ns", H.P99);
     }
+    Snap.addDerived("dragon4_path_mix_drift", PathMixDrift);
   }
   Slos.exportInto(Snap);
   return Snap;
@@ -141,6 +151,11 @@ HttpResponse TelemetryService::handle(const HttpRequest &Req) {
   if (Req.Target == "/stats.json") {
     Resp.ContentType = "application/json";
     Resp.Body = renderStatsJson(liveSnapshot());
+    return Resp;
+  }
+  if (Req.Target == "/exemplars.json") {
+    Resp.ContentType = "application/json";
+    Resp.Body = renderExemplarsJson(liveSnapshot());
     return Resp;
   }
   if (Req.Target == "/healthz") {
@@ -162,6 +177,7 @@ HttpResponse TelemetryService::handle(const HttpRequest &Req) {
     Resp.Body = "dragon4 telemetry service\n"
                 "  /metrics          Prometheus text exposition\n"
                 "  /stats.json       dragon4.stats.v1 JSON\n"
+                "  /exemplars.json   dragon4.exemplars.v1 worst-case list\n"
                 "  /healthz          liveness + uptime\n"
                 "  /profile.folded   sampling-profiler folded stacks\n";
     return Resp;

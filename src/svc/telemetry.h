@@ -15,8 +15,10 @@
 /// Endpoints:
 ///
 ///   /metrics          Prometheus text exposition (conformant: HELP/TYPE
-///                     once per family, escaped labels)
+///                     once per family, escaped labels, OpenMetrics
+///                     exemplars on the latency series)
 ///   /stats.json       the dragon4.stats.v1 document
+///   /exemplars.json   the dragon4.exemplars.v1 captured worst-case list
 ///   /healthz          "ok" + uptime when the service threads are live
 ///   /profile.folded   folded stacks from the continuous sampling profiler
 ///   /                 a plain-text index of the above
@@ -100,6 +102,11 @@ private:
   mutable std::mutex M; ///< Guards Agg + Slos (ticker vs scrape threads).
   obs::live::WindowedAggregator Agg;
   obs::live::SloSet Slos;
+  /// Workload-characterization drift: the previous tick's windowed
+  /// latency-path mix and the total-variation distance of the current one
+  /// against it (the dragon4_path_mix_drift gauge).
+  std::vector<std::pair<std::string, uint64_t>> PrevPathMix;
+  double PathMixDrift = 0;
 
   HttpServer Http;
   std::thread Ticker;

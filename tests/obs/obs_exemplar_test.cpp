@@ -1,0 +1,213 @@
+//===- tests/obs/obs_exemplar_test.cpp ---------------------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The tail-latency exemplar reservoir: capture policy (first sample always
+// captures, then only within the margin of the cell's high-water bucket),
+// per-cell worst selection, ring bounds, shard merge, reset, and the
+// snapshot attachment (series annotation + workload families + flat list).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/exemplar/exemplar.h"
+
+#include "engine/stats.h"
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+using namespace dragon4;
+using namespace dragon4::obs;
+using namespace dragon4::obs::exemplar;
+
+namespace {
+
+ExemplarRecord record(uint64_t Bits, uint64_t LatencyNs,
+                      FormatId Fmt = FormatId::Binary64,
+                      PathClass P = PathClass::Ryu) {
+  ExemplarRecord R;
+  R.BitsLo = Bits;
+  R.LatencyNanos = LatencyNs;
+  R.TimestampNanos = 1000000 + LatencyNs;
+  R.FinalK = -3;
+  R.DigitsEmitted = 17;
+  R.Fmt = Fmt;
+  R.PathC = P;
+  R.OptionsBase = 10;
+  R.OptionsMode = packOptionsMode(1, 1); // NearestEven / RoundEven.
+  return R;
+}
+
+TEST(ExemplarReservoir, FirstSampleAlwaysCaptures) {
+  ExemplarReservoir Res(8);
+  Res.consider(record(0x1234, 100), 1);
+  EXPECT_EQ(Res.considered(), 1u);
+  EXPECT_EQ(Res.captured(), 1u);
+  const ExemplarRecord *W = Res.worst(FormatId::Binary64, PathClass::Ryu);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->BitsLo, 0x1234u);
+  EXPECT_TRUE(W->Valid);
+}
+
+TEST(ExemplarReservoir, MarginGatesCaptureButNotCharacterization) {
+  ExemplarReservoir Res(8);
+  // Establish a high-water bucket far above the follow-ups.
+  Res.consider(record(0xA, 1 << 20), 1);
+  // Way below the margin: considered (characterized) but not captured.
+  Res.consider(record(0xB, 100), 1);
+  Res.consider(record(0xC, 200), 1);
+  EXPECT_EQ(Res.considered(), 3u);
+  EXPECT_EQ(Res.captured(), 1u);
+  EXPECT_EQ(Res.ringSize(), 1u);
+  // The workload histograms saw every offer.
+  EXPECT_EQ(Res.digitCount(FormatId::Binary64).count(), 3u);
+  EXPECT_EQ(Res.decimalExponentMagnitude(FormatId::Binary64).count(), 3u);
+  // Within one bucket of the high water: captured.
+  Res.consider(record(0xD, (1 << 20) - 1000), 1);
+  EXPECT_EQ(Res.captured(), 2u);
+  // The worst cell still names the slowest input.
+  const ExemplarRecord *W = Res.worst(FormatId::Binary64, PathClass::Ryu);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->BitsLo, 0xAu);
+}
+
+TEST(ExemplarReservoir, CountPathCharacterizesOnly) {
+  ExemplarReservoir Res(8);
+  Res.consider(record(0x1, 100, FormatId::Binary32, PathClass::Count), 1);
+  EXPECT_EQ(Res.considered(), 1u);
+  EXPECT_EQ(Res.captured(), 0u);
+  EXPECT_EQ(Res.ringSize(), 0u);
+  EXPECT_EQ(Res.digitCount(FormatId::Binary32).count(), 1u);
+}
+
+TEST(ExemplarReservoir, RingIsBounded) {
+  ExemplarReservoir Res(4);
+  for (uint64_t I = 0; I < 10; ++I)
+    Res.consider(record(I, 1000 + I), 8); // Wide margin: all capture.
+  EXPECT_EQ(Res.captured(), 10u);
+  EXPECT_EQ(Res.ringSize(), 4u);
+  EXPECT_EQ(Res.ringCapacity(), 4u);
+  // Newest first.
+  EXPECT_EQ(Res.ringRecent(0).BitsLo, 9u);
+  EXPECT_EQ(Res.ringRecent(3).BitsLo, 6u);
+}
+
+TEST(ExemplarReservoir, MergeKeepsWorstAndAddsHistograms) {
+  ExemplarReservoir A(8), B(8);
+  A.consider(record(0xAAAA, 5000), 1);
+  B.consider(record(0xBBBB, 9000), 1);
+  B.consider(record(0xCCCC, 100, FormatId::Binary32, PathClass::Dragon4), 1);
+  A.merge(B);
+  const ExemplarRecord *W = A.worst(FormatId::Binary64, PathClass::Ryu);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->BitsLo, 0xBBBBu);
+  ASSERT_NE(A.worst(FormatId::Binary32, PathClass::Dragon4), nullptr);
+  EXPECT_EQ(A.considered(), 3u);
+  EXPECT_EQ(A.captured(), 3u);
+  EXPECT_EQ(A.digitCount(FormatId::Binary64).count(), 2u);
+  EXPECT_EQ(A.ringSize(), 3u);
+  // B's ring rode in after A's existing record, oldest first.
+  EXPECT_EQ(A.ringRecent(0).BitsLo, 0xCCCCu);
+  EXPECT_EQ(A.ringRecent(2).BitsLo, 0xAAAAu);
+}
+
+TEST(ExemplarReservoir, ResetClearsButKeepsCapacity) {
+  ExemplarReservoir Res(4);
+  Res.consider(record(0x1, 100), 1);
+  Res.reset();
+  EXPECT_EQ(Res.considered(), 0u);
+  EXPECT_EQ(Res.captured(), 0u);
+  EXPECT_EQ(Res.ringSize(), 0u);
+  EXPECT_EQ(Res.ringCapacity(), 4u);
+  EXPECT_EQ(Res.worst(FormatId::Binary64, PathClass::Ryu), nullptr);
+  // And the high-water history is gone: the next sample captures again.
+  Res.consider(record(0x2, 50), 1);
+  EXPECT_EQ(Res.captured(), 1u);
+}
+
+TEST(ExemplarReservoir, BitsHexAndOptionsText) {
+  ExemplarRecord R = record(0x3ff0000000000000, 10);
+  EXPECT_EQ(R.bitsHex(), "0x3ff0000000000000");
+  EXPECT_EQ(R.optionsText(), "b10:ne:even");
+  R.BitsHi = 0x3fff;
+  R.BitsLo = 5;
+  EXPECT_EQ(R.bitsHex(), "0x0000000000003fff0000000000000005");
+  R.OptionsBase = 0; // Parse side.
+  EXPECT_EQ(R.optionsText(), "-");
+}
+
+TEST(ExemplarAttach, AnnotatesMatchingSeriesAndEmitsWorkloadFamilies) {
+  engine::EngineStats Stats;
+  Stats.Conversions = 10;
+  Registry Reg;
+  for (uint64_t I = 1; I <= 20; ++I)
+    Reg.recordPathLatency(FormatId::Binary64, PathClass::Ryu, 100 + I);
+  Reg.recordPathLatency(FormatId::Binary32, PathClass::Dragon4, 5000);
+
+  ExemplarReservoir Res(8);
+  Res.consider(record(0xDEAD, 4000), 1);
+
+  Snapshot Snap = makeSnapshot(Stats, &Reg, &Res);
+
+  // The binary64/ryu series is annotated; the binary32/dragon4 one (no
+  // capture) is not.
+  bool SawAnnotated = false;
+  for (const SnapshotHistogram &H : Snap.Histograms) {
+    if (H.Name != "dragon4_latency_ns")
+      continue;
+    bool IsRyu64 = H.Labels.size() == 2 && H.Labels[0].second == "binary64" &&
+                   H.Labels[1].second == "ryu";
+    EXPECT_EQ(H.HasExemplar, IsRyu64);
+    if (!IsRyu64)
+      continue;
+    SawAnnotated = true;
+    ASSERT_EQ(H.ExemplarLabels.size(), 2u);
+    EXPECT_EQ(H.ExemplarLabels[0].first, "bits");
+    EXPECT_EQ(H.ExemplarLabels[0].second, "0xdead");
+    EXPECT_EQ(H.ExemplarLabels[1].first, "path");
+    EXPECT_EQ(H.ExemplarLabels[1].second, "ryu");
+    EXPECT_EQ(H.ExemplarValue, 4000.0);
+    EXPECT_GT(H.ExemplarTimestamp, 0.0);
+  }
+  EXPECT_TRUE(SawAnnotated);
+
+  // Workload families present for the formats that saw traffic.
+  bool SawDigits = false, SawDecExp = false;
+  for (const SnapshotHistogram &H : Snap.Histograms) {
+    if (H.Name == "dragon4_digit_count")
+      SawDigits = true;
+    if (H.Name == "dragon4_decimal_exponent_mag")
+      SawDecExp = true;
+  }
+  EXPECT_TRUE(SawDigits);
+  EXPECT_TRUE(SawDecExp);
+
+  // Counters and the flat record list ride along.
+  bool SawConsidered = false;
+  for (const auto &[Name, Value] : Snap.Counters)
+    if (Name == "dragon4_exemplars_considered_total" && Value == 1)
+      SawConsidered = true;
+  EXPECT_TRUE(SawConsidered);
+  ASSERT_EQ(Snap.Exemplars.size(), 2u); // One worst cell + one ring record.
+  EXPECT_EQ(Snap.Exemplars[0].Kind, "worst");
+  EXPECT_EQ(Snap.Exemplars[0].Bits, "0xdead");
+  EXPECT_EQ(Snap.Exemplars[1].Kind, "recent");
+}
+
+TEST(ExemplarAttach, EmptyReservoirAddsNothingButCounters) {
+  engine::EngineStats Stats;
+  Registry Reg;
+  Reg.recordPathLatency(FormatId::Binary64, PathClass::Ryu, 100);
+  ExemplarReservoir Res(8);
+  Snapshot Snap = makeSnapshot(Stats, &Reg, &Res);
+  for (const SnapshotHistogram &H : Snap.Histograms) {
+    EXPECT_FALSE(H.HasExemplar) << H.Name;
+    EXPECT_NE(H.Name, "dragon4_digit_count");
+    EXPECT_NE(H.Name, "dragon4_decimal_exponent_mag");
+  }
+  EXPECT_TRUE(Snap.Exemplars.empty());
+}
+
+} // namespace

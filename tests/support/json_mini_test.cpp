@@ -13,6 +13,9 @@
 
 #include "support/json_mini.h"
 
+#include "obs/export.h"
+#include "obs/registry.h"
+
 #include <gtest/gtest.h>
 
 #include <string>
@@ -35,9 +38,69 @@ TEST(JsonMini, StringEscapes) {
   EXPECT_EQ(parseJson(R"("a\\b\"c\nd\te")")->string(), "a\\b\"c\nd\te");
   EXPECT_EQ(parseJson(R"("Aé")")->string(), "A\xc3\xa9");
   // Surrogate pair: U+1F600.
-  EXPECT_EQ(parseJson(R"("😀")")->string(), "\xf0\x9f\x98\x80");
+  EXPECT_EQ(parseJson(R"("\ud83d\ude00")")->string(), "\xf0\x9f\x98\x80");
   // A lone surrogate decodes to U+FFFD instead of producing broken UTF-8.
   EXPECT_EQ(parseJson(R"("\ud83d")")->string(), "\xef\xbf\xbd");
+}
+
+TEST(JsonMini, SurrogateEscapes) {
+  // Raw (unescaped) supplementary-plane UTF-8 passes through untouched.
+  EXPECT_EQ(parseJson(R"("😀")")->string(), "\xf0\x9f\x98\x80");
+  // Basic-plane escapes across the 1/2/3-byte UTF-8 widths.
+  EXPECT_EQ(parseJson(R"("\u0041\u00e9\u20ac")")->string(),
+            "A\xc3\xa9\xe2\x82\xac");
+  // Lone halves (either order) decode to U+FFFD, never broken UTF-8.
+  EXPECT_EQ(parseJson(R"("\ude00")")->string(), "\xef\xbf\xbd");
+  EXPECT_EQ(parseJson(R"("\ud83dX")")->string(), "\xef\xbf\xbdX");
+  // A high surrogate chased by a non-surrogate escape: the half becomes
+  // U+FFFD and the follower survives intact.
+  EXPECT_EQ(parseJson(R"("\ud83dA")")->string(), "\xef\xbf\xbd"
+                                                      "A");
+}
+
+TEST(JsonMini, RejectsBadUnicodeEscapes) {
+  EXPECT_FALSE(parseJson(R"("\u12")").has_value());   // Short hex run.
+  EXPECT_FALSE(parseJson(R"("\u123")").has_value());
+  EXPECT_FALSE(parseJson(R"("\uZZZZ")").has_value()); // Non-hex digits.
+  EXPECT_FALSE(parseJson(R"("\u00G1")").has_value());
+  EXPECT_FALSE(parseJson(R"("\x41")").has_value());   // Unknown escape.
+}
+
+TEST(JsonMini, ExporterOutputRoundTrips) {
+  // The reader's actual job: every string the exporters emit -- including
+  // escaped quotes, backslashes, and control characters -- must parse
+  // back byte-identical.
+  using namespace dragon4;
+  obs::Snapshot Snap;
+  Snap.addCounter("dragon4_conversions_total", 7);
+  obs::SnapshotExemplar Ex;
+  Ex.Kind = "worst";
+  Ex.Format = "binary64";
+  Ex.Path = "ryu";
+  Ex.Bits = "0x7fefffffffffffff";
+  Ex.Options = "hostile \"quote\" back\\slash \n tab\t end";
+  Ex.LatencyNanos = 1234;
+  Ex.DigitsEmitted = 17;
+  Ex.FinalK = -3;
+  Ex.TimestampNanos = 5;
+  Snap.Exemplars.push_back(Ex);
+  auto Doc = parseJson(obs::renderExemplarsJson(Snap));
+  ASSERT_TRUE(Doc.has_value());
+  const JsonValue *Records = Doc->find("records");
+  ASSERT_NE(Records, nullptr);
+  ASSERT_EQ(Records->array().size(), 1u);
+  const JsonValue &R = Records->array()[0];
+  ASSERT_NE(R.find("options"), nullptr);
+  EXPECT_EQ(R.find("options")->string(), Ex.Options);
+  EXPECT_EQ(R.find("bits")->string(), Ex.Bits);
+  EXPECT_DOUBLE_EQ(R.numberOr("latency_ns", 0), 1234.0);
+  EXPECT_DOUBLE_EQ(R.numberOr("k", 0), -3.0);
+
+  auto Stats = parseJson(obs::renderStatsJson(Snap));
+  ASSERT_TRUE(Stats.has_value());
+  const JsonValue *Counters = Stats->find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_DOUBLE_EQ(Counters->numberOr("dragon4_conversions_total", 0), 7.0);
 }
 
 TEST(JsonMini, NestedDocument) {

@@ -1,0 +1,93 @@
+#!/bin/sh
+# Exemplar pipeline round-trip: prove the tail-latency captures are
+# *replayable identities*, end to end --
+#
+#   soak --serve  ->  GET /exemplars.json  ->  exemplar_dump (corpus)
+#     ->  verify_exhaustive --replay (zero mismatches)
+#     ->  bench_engine_batch --corpus= (the workload runs)
+#
+# i.e. a bit pattern the observability layer flagged as a latency outlier
+# in a live service becomes, with no human in the loop, a corpus record
+# that reproduces and verifies.  Only meaningful with DRAGON4_OBS=ON (the
+# reservoir is compiled out otherwise); the ctest registration gates on
+# that.
+#
+#   tools/ci_exemplar_roundtrip.sh <build-dir>
+#
+# Exits non-zero with a FAIL line naming the first broken link.
+set -u
+
+BUILD_DIR=${1:?usage: ci_exemplar_roundtrip.sh <build-dir>}
+SOAK="$BUILD_DIR/tools/soak"
+DUMP="$BUILD_DIR/tools/exemplar_dump"
+VERIFY="$BUILD_DIR/tools/verify_exhaustive"
+BENCH="$BUILD_DIR/bench/bench_engine_batch"
+WORK=$(mktemp -d)
+PORT_FILE="$WORK/port"
+SERVE_LOG="$WORK/serve.log"
+SERVE_PID=""
+
+fail() {
+    echo "ci_exemplar_roundtrip: FAIL: $1" >&2
+    [ -f "$SERVE_LOG" ] && sed 's/^/  serve: /' "$SERVE_LOG" >&2
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
+    rm -rf "$WORK"
+    exit 1
+}
+
+# -- 1. A live service with exemplar capture on (soak --serve samples
+# every conversion by default).
+"$SOAK" --serve=0 --serve-duration=60 --serve-tick-ms=200 \
+    --port-file="$PORT_FILE" >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "service exited before binding"
+    sleep 0.1
+done
+[ -s "$PORT_FILE" ] || fail "port file never appeared"
+PORT=$(cat "$PORT_FILE")
+echo "ci_exemplar_roundtrip: service up on port $PORT"
+
+# -- 2. Wait for the published reservoir to hold at least one capture
+# (the publish interval merges worker reservoirs every iteration).
+GOT=""
+for _ in $(seq 1 150); do
+    if "$DUMP" --host=127.0.0.1 --port="$PORT" --include-recent \
+        --out="$WORK/tail.corpus" 2>"$WORK/dump.log"; then
+        GOT=yes
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$GOT" ] || { sed 's/^/  dump: /' "$WORK/dump.log" >&2; \
+    fail "no exemplar record appeared within 30s"; }
+RECORDS=$(grep -c '^binary' "$WORK/tail.corpus" || true)
+echo "ci_exemplar_roundtrip: dumped $RECORDS corpus record(s)"
+[ "$RECORDS" -gt 0 ] || fail "corpus file holds no record lines"
+
+# The service has served its purpose; stop it before the replay so a
+# hang there cannot mask a shutdown bug.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || fail "service exited non-zero on SIGTERM"
+SERVE_PID=""
+
+# -- 3. Replay: every captured worst case must verify clean (a capture
+# is a latency outlier, never a correctness exception).
+"$VERIFY" --replay "$WORK/tail.corpus" >"$WORK/replay.log" 2>&1 \
+    || { sed 's/^/  replay: /' "$WORK/replay.log" >&2; \
+         fail "replay found mismatches"; }
+grep -q ", 0 failing" "$WORK/replay.log" \
+    || fail "replay summary did not report zero failures"
+echo "ci_exemplar_roundtrip: replay clean"
+
+# -- 4. The same corpus drives the batch bench as a workload.
+"$BENCH" "$WORK/bench.json" 20000 --corpus="$WORK/tail.corpus" \
+    >"$WORK/bench.log" 2>&1 \
+    || { sed 's/^/  bench: /' "$WORK/bench.log" >&2; \
+         fail "bench_engine_batch --corpus failed"; }
+grep -q '"corpus' "$WORK/bench.json" \
+    || fail "bench report missing corpus metrics"
+echo "ci_exemplar_roundtrip: OK (capture -> corpus -> replay -> bench)"
+rm -rf "$WORK"
+exit 0

@@ -100,6 +100,17 @@ grep -q '"schema": "dragon4.stats.v1"' "$WORK/stats" \
 fetch /profile.folded >"$WORK/folded" || fail "/profile.folded unreachable"
 [ -s "$WORK/folded" ] || fail "/profile.folded is empty"
 
+# /exemplars.json always parses; with observability compiled in, warmup
+# traffic must already have captured at least one worst-case record.
+fetch /exemplars.json >"$WORK/exemplars" || fail "/exemplars.json unreachable"
+grep -q '"schema": "dragon4.exemplars.v1"' "$WORK/exemplars" \
+    || fail "/exemplars.json missing schema marker"
+if [ "$OBS_MODE" != obs-off ]; then
+    grep -q '"bits":' "$WORK/exemplars" \
+        || fail "/exemplars.json holds no captured record after warmup"
+    echo "ci_service_smoke: exemplars captured"
+fi
+
 # SLO gauge block rides every scrape when rules are configured.
 grep -q '^dragon4_slo_breached{slo="ryu64"} ' "$WORK/scrape2" \
     || fail "SLO gauge block missing from /metrics"

@@ -19,7 +19,14 @@
 /// (what the docs transcript and the smoke test use); --no-ansi keeps the
 /// loop but prints frames sequentially, for dumb terminals and typescript
 /// capture.  Exit: 0 on a clean Ctrl-C, 2 when the first fetch fails
-/// (nothing is listening), 1 when a previously-healthy service goes away.
+/// (nothing is listening).  A scrape that fails *after* the first success
+/// (connection refused mid-refresh, truncated body) does not exit: the
+/// last good frame is kept on screen under a STALE banner and polling
+/// continues until the service comes back or the user interrupts.
+///
+/// When the service exposes /exemplars.json (obs-enabled builds), a tail
+/// pane lists the worst captured inputs per {format, path} with their raw
+/// bit patterns -- the replayable identities of the latency outliers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -81,6 +88,12 @@ struct Frame {
     double Observed = 0, Threshold = 0;
   };
   std::vector<SloRow> Slos;
+  /// Worst captured inputs from /exemplars.json (tail pane), worst first.
+  struct ExemplarRow {
+    std::string Format, Path, Bits, Options;
+    double LatencyNs = 0, Digits = 0, K = 0;
+  };
+  std::vector<ExemplarRow> Exemplars;
 };
 
 double counterOf(const JsonValue &Doc, const char *Section, const char *Key) {
@@ -167,6 +180,43 @@ Frame decode(const std::string &Body) {
   return F;
 }
 
+/// Best-effort decode of /exemplars.json: the "worst" records (the stable
+/// per-cell maxima), sorted by latency descending, capped for the pane.
+std::vector<Frame::ExemplarRow> decodeExemplars(const std::string &Body) {
+  std::vector<Frame::ExemplarRow> Out;
+  auto Doc = parseJson(Body);
+  if (!Doc || !Doc->isObject())
+    return Out;
+  const JsonValue *Records = Doc->find("records");
+  if (!Records || !Records->isArray())
+    return Out;
+  for (const JsonValue &R : Records->array()) {
+    const JsonValue *Kind = R.find("kind");
+    if (!Kind || !Kind->isString() || Kind->string() != "worst")
+      continue;
+    Frame::ExemplarRow Row;
+    if (const JsonValue *V = R.find("format"); V && V->isString())
+      Row.Format = V->string();
+    if (const JsonValue *V = R.find("path"); V && V->isString())
+      Row.Path = V->string();
+    if (const JsonValue *V = R.find("bits"); V && V->isString())
+      Row.Bits = V->string();
+    if (const JsonValue *V = R.find("options"); V && V->isString())
+      Row.Options = V->string();
+    Row.LatencyNs = R.numberOr("latency_ns", 0);
+    Row.Digits = R.numberOr("digits", 0);
+    Row.K = R.numberOr("k", 0);
+    Out.push_back(std::move(Row));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const Frame::ExemplarRow &A, const Frame::ExemplarRow &B) {
+              return A.LatencyNs > B.LatencyNs;
+            });
+  if (Out.size() > 8)
+    Out.resize(8);
+  return Out;
+}
+
 /// Renders 12345678 as "12.3M" so the columns stay narrow.
 std::string human(double V) {
   char Buf[32];
@@ -191,8 +241,11 @@ std::string pct(double Part, double Whole) {
   return Buf;
 }
 
+/// \p StaleSeconds > 0 renders the stale-data banner: the frame shown is
+/// the last good one, not a fresh scrape.
 void render(const Frame &F, const Frame &Prev, double DtSeconds,
-            const std::string &Where) {
+            const std::string &Where, double StaleSeconds = 0,
+            const std::string &StaleWhy = {}) {
   // Scrape-to-scrape rates (client side, independent of the service's own
   // window so a stalled ticker is visible as diverging numbers).
   auto RateOf = [&](double Now, double Before) {
@@ -203,6 +256,10 @@ void render(const Frame &F, const Frame &Prev, double DtSeconds,
   double ConvRate = RateOf(F.Conversions, Prev.Conversions);
 
   std::printf("dragon4 obs_top -- %s\n", Where.c_str());
+  if (StaleSeconds > 0)
+    std::printf("** STALE DATA -- last scrape failed (%s); showing frame "
+                "from %.0fs ago, retrying **\n",
+                StaleWhy.c_str(), StaleSeconds);
   std::printf("conversions %-9s (%s/s scrape, %s/s window)   specials %s\n",
               human(F.Conversions).c_str(), human(ConvRate).c_str(),
               human(F.WindowConvPerSec).c_str(), human(F.Specials).c_str());
@@ -239,6 +296,16 @@ void render(const Frame &F, const Frame &Prev, double DtSeconds,
       std::printf("  %-16s %s  observed %.0f ns / max %.0f ns\n",
                   Row.Name.c_str(), Row.Breached ? "BREACHED" : "ok",
                   Row.Observed, Row.Threshold);
+  }
+  if (!F.Exemplars.empty()) {
+    std::printf("\nworst captured inputs (tail exemplars):\n");
+    std::printf("%-10s %-8s %-34s %8s %7s %6s  %s\n", "format", "path",
+                "bits", "lat ns", "digits", "k", "options");
+    for (const Frame::ExemplarRow &Row : F.Exemplars)
+      std::printf("%-10s %-8s %-34s %8s %7.0f %6.0f  %s\n",
+                  Row.Format.c_str(), Row.Path.c_str(), Row.Bits.c_str(),
+                  human(Row.LatencyNs).c_str(), Row.Digits, Row.K,
+                  Row.Options.c_str());
   }
 }
 
@@ -278,22 +345,49 @@ int main(int Argc, char **Argv) {
   std::string Where = Host + ":" + std::to_string(Port);
 
   Frame Prev;
+  Frame LastGood;
   auto PrevTime = std::chrono::steady_clock::now();
+  auto LastGoodTime = PrevTime;
   bool EverFetched = false;
   while (!Interrupted) {
     std::string Body;
+    std::string FailWhy;
     int Status = dragon4::svc::httpGet(Host, Port, "/stats.json", Body);
+    Frame F;
     if (Status != 200) {
-      std::fprintf(stderr, "obs_top: GET http://%s/stats.json failed (%d)\n",
-                   Where.c_str(), Status);
-      return EverFetched ? 1 : 2;
-    }
-    Frame F = decode(Body);
-    if (!F.Valid) {
-      std::fprintf(stderr, "obs_top: malformed /stats.json payload\n");
-      return EverFetched ? 1 : 2;
+      FailWhy = "GET /stats.json returned " + std::to_string(Status);
+    } else {
+      F = decode(Body);
+      if (!F.Valid)
+        FailWhy = "malformed /stats.json payload";
     }
     auto Now = std::chrono::steady_clock::now();
+    if (!F.Valid) {
+      // Mid-refresh failure: the service restarting, a truncated body, a
+      // connection refused.  Keep the last good frame on screen under a
+      // stale banner and keep polling; only a cold start with nothing
+      // listening is fatal.
+      if (!EverFetched) {
+        std::fprintf(stderr, "obs_top: http://%s unreachable (%s)\n",
+                     Where.c_str(), FailWhy.c_str());
+        return 2;
+      }
+      double StaleFor =
+          std::chrono::duration<double>(Now - LastGoodTime).count();
+      if (Ansi && !Once)
+        std::printf("\x1b[2J\x1b[H");
+      render(LastGood, Prev, 0, Where, StaleFor, FailWhy);
+      std::fflush(stdout);
+      for (uint64_t Slept = 0; Slept < IntervalMs && !Interrupted;
+           Slept += 50)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    // Exemplars are best-effort decoration: absent on obs-off builds and
+    // older services, and never worth failing the refresh over.
+    std::string ExBody;
+    if (dragon4::svc::httpGet(Host, Port, "/exemplars.json", ExBody) == 200)
+      F.Exemplars = decodeExemplars(ExBody);
     double Dt = std::chrono::duration<double>(Now - PrevTime).count();
     if (Ansi && !Once)
       std::printf("\x1b[2J\x1b[H"); // Clear + home: redraw in place.
@@ -303,7 +397,9 @@ int main(int Argc, char **Argv) {
       return 0;
     EverFetched = true;
     Prev = F;
+    LastGood = F;
     PrevTime = Now;
+    LastGoodTime = Now;
     for (uint64_t Slept = 0; Slept < IntervalMs && !Interrupted; Slept += 50)
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }

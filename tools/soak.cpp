@@ -148,6 +148,7 @@ int runServe(const ServeOptions &Opt) {
   std::mutex PublishM;
   engine::EngineStats PublishedStats;
   obs::Registry PublishedReg;
+  obs::exemplar::ExemplarReservoir PublishedExemplars;
 
   svc::TelemetryConfig Cfg;
   Cfg.Port = Opt.Port;
@@ -157,7 +158,8 @@ int runServe(const ServeOptions &Opt) {
   svc::TelemetryService Service(Cfg, [&] {
     std::lock_guard<std::mutex> Lock(PublishM);
     return obs::makeSnapshot(PublishedStats,
-                             obs::enabled() ? &PublishedReg : nullptr);
+                             obs::enabled() ? &PublishedReg : nullptr,
+                             obs::enabled() ? &PublishedExemplars : nullptr);
   });
   std::string Err;
   if (!Service.start(&Err)) {
@@ -186,6 +188,7 @@ int runServe(const ServeOptions &Opt) {
   engine::Scratch ParseScratch;
   engine::EngineStats ParseStats; ///< Cumulative drains of ParseScratch.
   obs::Registry ParseReg;
+  obs::exemplar::ExemplarReservoir ParseExemplars;
   std::vector<obs::SpanEvent> ParseSpans;
   SplitMix64 Rng(Opt.Seed);
   engine::StringTable Table, MixedTable;
@@ -246,7 +249,7 @@ int runServe(const ServeOptions &Opt) {
     // only ever touch the published copies.
     ParseScratch.syncArenaStats();
     ParseStats.merge(ParseScratch.takeStats());
-    ParseScratch.obsState().drainInto(ParseReg, ParseSpans);
+    ParseScratch.obsState().drainInto(ParseReg, ParseSpans, &ParseExemplars);
     {
       std::lock_guard<std::mutex> Lock(PublishM);
       PublishedStats = DoublePool.stats();
@@ -256,6 +259,10 @@ int runServe(const ServeOptions &Opt) {
       PublishedReg.merge(DoublePool.registry());
       PublishedReg.merge(MixedPool.registry());
       PublishedReg.merge(ParseReg);
+      PublishedExemplars.reset();
+      PublishedExemplars.merge(DoublePool.exemplars());
+      PublishedExemplars.merge(MixedPool.exemplars());
+      PublishedExemplars.merge(ParseExemplars);
     }
     ++Iterations;
     // Pace the loop: a telemetry soak demonstrates liveness, it does not
