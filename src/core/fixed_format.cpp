@@ -93,29 +93,33 @@ int exactScaleFor(const BigInt &F, int E, int Precision, int MinExponent,
 }
 
 /// Runs the conversion for absolute position \p J given a prepared setup.
-DigitString convertAtPosition(FixedStart Setup, unsigned B, TieBreak Ties,
-                              int J) {
+/// The loop runs in \p Loop and the result lands in \p Out, both with
+/// their digit storage cleared but capacity retained, so a warm caller
+/// allocates nothing.  \p Loop's BigInt tails are consumed in place.
+void convertAtPositionInto(FixedStart Setup, unsigned B, TieBreak Ties, int J,
+                           DigitLoopResult &Loop, DigitString &Out) {
   ScaledState State =
       scaleIterative(std::move(Setup.Start), B, Setup.Flags, Setup.SeedK);
   const int K = State.K;
 
-  DigitString Result;
+  Out.Digits.clear();
+  Out.TrailingMarks = 0;
 
   // The entire value rounds away at this precision: high <= B^K <= B^J, so
   // the correctly rounded output is a single zero at position J.  It is
   // always significant: any non-zero digit at position J yields at least
   // B^J >= high, outside the rounding range.
   if (K <= J) {
-    Result.Digits.push_back(0);
-    Result.K = J + 1;
-    return Result;
+    Out.Digits.push_back(0);
+    Out.K = J + 1;
+    return;
   }
 
-  DigitLoopResult Loop = runDigitLoop(std::move(State), B, Setup.Flags, Ties);
-  Result.Digits = std::move(Loop.Digits);
-  Result.K = K;
+  runDigitLoopInto(std::move(State), B, Setup.Flags, Ties, Loop);
+  Out.Digits.assign(Loop.Digits.begin(), Loop.Digits.end());
+  Out.K = K;
 
-  int Position = K - static_cast<int>(Result.Digits.size());
+  int Position = K - static_cast<int>(Out.Digits.size());
   D4_ASSERT(Position >= J,
             "digit loop overshot the requested position (range too narrow)");
 
@@ -123,20 +127,28 @@ DigitString convertAtPosition(FixedStart Setup, unsigned B, TieBreak Ties,
   // high - V in units of the current position: while it is below one unit,
   // a non-zero digit here would overshoot high, so a zero is significant;
   // from the first position where it reaches one unit, anything goes ('#').
-  BigInt RTail = std::move(Loop.R);
+  BigInt &RTail = Loop.R;
   RTail += Loop.MPlus;
   if (Loop.Incremented)
     RTail -= Loop.S;
   D4_ASSERT(!RTail.isNegative(), "increment chosen but out of range");
   while (Position > J) {
     if (RTail >= Loop.S) {
-      Result.TrailingMarks = Position - J;
+      Out.TrailingMarks = Position - J;
       break;
     }
-    Result.Digits.push_back(0);
+    Out.Digits.push_back(0);
     --Position;
     RTail.mulSmall(B);
   }
+}
+
+/// By-value convenience over convertAtPositionInto.
+DigitString convertAtPosition(FixedStart Setup, unsigned B, TieBreak Ties,
+                              int J) {
+  DigitLoopResult Loop;
+  DigitString Result;
+  convertAtPositionInto(std::move(Setup), B, Ties, J, Loop, Result);
   return Result;
 }
 
@@ -153,6 +165,20 @@ DigitString dragon4::fixedFormatAbsoluteBig(const BigInt &F, int E,
                                 Options.Boundaries, Position);
   return convertAtPosition(std::move(Setup), Options.Base, Options.Ties,
                            Position);
+}
+
+void dragon4::fixedFormatAbsoluteBigInto(const BigInt &F, int E, int Precision,
+                                         int MinExponent, int Position,
+                                         const FixedFormatOptions &Options,
+                                         DigitLoopResult &Loop,
+                                         DigitString &Out) {
+  D4_ASSERT(!F.isZero() && !F.isNegative(),
+            "fixed-format conversion requires a positive mantissa");
+  D4_ASSERT(Options.Base >= 2 && Options.Base <= 36, "base out of range");
+  FixedStart Setup = setupFixed(F, E, Precision, MinExponent, Options.Base,
+                                Options.Boundaries, Position);
+  convertAtPositionInto(std::move(Setup), Options.Base, Options.Ties, Position,
+                        Loop, Out);
 }
 
 DigitString dragon4::fixedFormatAbsolute(uint64_t F, int E, int Precision,

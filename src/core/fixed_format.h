@@ -23,6 +23,7 @@
 #define DRAGON4_CORE_FIXED_FORMAT_H
 
 #include "bigint/bigint.h"
+#include "core/digit_loop.h"
 #include "core/digits.h"
 #include "core/options.h"
 #include "fp/ieee_traits.h"
@@ -61,6 +62,17 @@ DigitString fixedFormatRelativeBig(const BigInt &F, int E, int Precision,
                                    int MinExponent, int NumDigits,
                                    const FixedFormatOptions &Options = {});
 
+/// Zero-allocation absolute-position variant, mirroring runDigitLoopInto:
+/// the loop runs in \p Loop and the positional result lands in \p Out,
+/// both caller-owned with their digit storage cleared but capacity kept.
+/// With a limb arena active and both warm, the conversion performs no
+/// heap traffic.  \p Loop's BigInt tails are consumed in place; it holds
+/// nothing meaningful afterwards.
+void fixedFormatAbsoluteBigInto(const BigInt &F, int E, int Precision,
+                                int MinExponent, int Position,
+                                const FixedFormatOptions &Options,
+                                DigitLoopResult &Loop, DigitString &Out);
+
 /// Absolute-position conversion for a finite non-zero IEEE value
 /// (magnitude only; rendering attaches the sign).  Wide-significand
 /// formats route through their decomposeBig overload (found by ADL).
@@ -76,6 +88,26 @@ DigitString fixedDigitsAbsolute(T Value, int Position,
     Decomposed D = decompose(Value);
     return fixedFormatAbsolute(D.F, D.E, Traits::Precision,
                                Traits::MinExponent, Position, Options);
+  }
+}
+
+/// Zero-allocation absolute-position conversion for a finite non-zero
+/// IEEE value; see fixedFormatAbsoluteBigInto for the storage contract.
+template <typename T>
+void fixedDigitsAbsoluteInto(T Value, int Position,
+                             const FixedFormatOptions &Options,
+                             DigitLoopResult &Loop, DigitString &Out) {
+  using Traits = IeeeTraits<T>;
+  if constexpr (Traits::Precision > 64) {
+    auto D = decomposeBig(Value);
+    fixedFormatAbsoluteBigInto(D.F, D.E, Traits::Precision,
+                               Traits::MinExponent, Position, Options, Loop,
+                               Out);
+  } else {
+    Decomposed D = decompose(Value);
+    fixedFormatAbsoluteBigInto(BigInt(D.F), D.E, Traits::Precision,
+                               Traits::MinExponent, Position, Options, Loop,
+                               Out);
   }
 }
 

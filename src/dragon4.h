@@ -19,14 +19,22 @@
 ///              (narrow f:uint64 or wide f:BigInt), Table 1 boundaries
 ///   core/      scaling, free-format, fixed-format, the rational oracle
 ///              (uint64 and BigInt digit loops behind one interface)
-///   fastpath/  Grisu3, certified for binary32/64 only (traits-gated)
+///   fastpath/  Grisu3, certified for binary32/64 only (traits-gated);
+///              Ryu's digit emission reuses render_core's digit store (the
+///              one accepted fastpath -> format edge: render_core.h itself
+///              depends only on core/ and support/, so there is no cycle)
 ///   reader/    correctly rounded text -> float (exact; verification side)
 ///   parse/     Eisel-Lemire text -> float (production side), certified
 ///              fallback to reader/ on the undecidable residue
-///   format/    writer-generic digit rendering (render_core.h) under the
-///              toShortest/toFixed/printf templates, all five formats
-///   engine/    format<T>/formatFixed<T> buffer API, BatchEngine<T>,
+///   format/    the Sink concept (sink.h) and the writer-generic digit
+///              rendering core (render_core.h) under the toShortest/
+///              toFixed/printf templates, all five formats
+///   engine/    formatInto<T, Sink> -- the one conversion body every
+///              surface instantiates -- plus format<T>/formatFixed<T>,
+///              RecordStream (push-style streaming), BatchEngine<T>,
 ///              type-erased AnyBatch, per-format counters and bounds
+///   abi/       the stable C ABI (dragon4_to_chars.h): hardened, locale-
+///              and allocation-free C99 entry points over engine/ + parse/
 ///   baselines/ Steele-White, straightforward fixed-format, printf shim
 ///   testgen/   Schryer-style and random workloads
 ///
@@ -34,7 +42,7 @@
 ///
 ///   bits --(fp: decompose/decomposeBig)--> DecomposedFloat
 ///        --(core: digit loop; fastpath when certified)--> digits + K
-///        --(format/engine: one render core, string or buffer)--> bytes
+///        --(format/engine: one render core over one Sink concept)--> bytes
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,10 +60,12 @@
 #include "core/options.h"
 #include "core/reference.h"
 #include "core/scaling.h"
+#include "abi/dragon4_to_chars.h"
 #include "engine/batch.h"
 #include "engine/engine.h"
 #include "engine/scratch.h"
 #include "engine/stats.h"
+#include "engine/stream.h"
 #include "fastpath/diyfp.h"
 #include "fastpath/fixed_fast.h"
 #include "fastpath/grisu.h"
@@ -63,6 +73,7 @@
 #include "format/printf_compat.h"
 #include "format/render.h"
 #include "format/scheme_notation.h"
+#include "format/sink.h"
 #include "fp/binary128.h"
 #include "fp/binary16.h"
 #include "fp/boundaries.h"

@@ -5,12 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The single-value engine layer, one template over all five formats.  The
-/// conversion core is untouched: this file routes it through reusable
-/// storage (Scratch's arena and digit buffers) and renders the resulting
-/// digits straight into the caller's buffer through the same render_core
-/// templates that back format/render.cpp, so engine::format(v) ==
-/// toShortest(v) holds byte for byte for every instantiation.
+/// The single-value engine layer, one template over all five formats and
+/// every output sink.  The conversion core is untouched: this file routes
+/// it through reusable storage (Scratch's arena and digit buffers) and
+/// renders the resulting digits through the same render_core templates
+/// that back format/render.cpp, so engine::format(v) == toShortest(v)
+/// holds byte for byte for every instantiation.  formatInto is the one
+/// writer-generic body; format() (BufferSink), the StringTable batch path
+/// (format() per slot), and RecordStream::push (StreamSink) are its
+/// instantiations.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,34 +42,12 @@ struct ScratchAccess {
   static EngineStats &stats(Scratch &S) { return S.Stats; }
   static std::vector<uint8_t> &fastDigits(Scratch &S) { return S.FastDigits; }
   static DigitLoopResult &loop(Scratch &S) { return S.Loop; }
+  static DigitString &fixedDigits(Scratch &S) { return S.FixedDigits; }
 };
 
 } // namespace dragon4::engine
 
 namespace {
-
-/// Bounded buffer writer with snprintf-like overflow behaviour: put()
-/// drops bytes past the capacity but keeps counting, so Pos ends at the
-/// full required length.
-struct BufWriter {
-  char *Buf;
-  size_t Cap;
-  size_t Pos = 0;
-
-  void put(char C) {
-    if (Pos < Cap)
-      Buf[Pos] = C;
-    ++Pos;
-  }
-  void fill(size_t Count, char C) {
-    for (size_t I = 0; I < Count; ++I)
-      put(C);
-  }
-  void literal(const char *Text) {
-    for (; *Text; ++Text)
-      put(*Text);
-  }
-};
 
 RenderOptions renderOptionsFrom(const PrintOptions &Options) {
   RenderOptions Render;
@@ -113,29 +94,21 @@ void recordSlowDigits(EngineStats &Stats, size_t NumDigits) {
   ++Stats.SlowDigitLength[Bucket];
 }
 
-/// Closes out one call: counts truncation and returns the full length.
-size_t finish(const BufWriter &W, EngineStats &Stats) {
-  if (W.Pos > W.Cap)
-    ++Stats.Truncated;
-  return W.Pos;
-}
-
 /// Writes NaN / infinity / zero, or returns false for finite non-zero
 /// values.  \p writeZero emits the format-specific zero text (sign already
 /// written).
-template <typename T, typename WriteZero>
-bool putSpecial(BufWriter &W, T Value, EngineStats &Stats,
-                WriteZero writeZero) {
+template <typename T, Sink W, typename WriteZero>
+bool putSpecial(W &Out, T Value, EngineStats &Stats, WriteZero writeZero) {
   switch (classify(Value)) {
   case FpClass::NaN:
-    W.literal("nan");
+    Out.literal("nan");
     break;
   case FpClass::Infinity:
-    W.literal(signBit(Value) ? "-inf" : "inf");
+    Out.literal(signBit(Value) ? "-inf" : "inf");
     break;
   case FpClass::Zero:
     if (signBit(Value))
-      W.put('-');
+      Out.put('-');
     writeZero();
     break;
   case FpClass::Normal:
@@ -148,13 +121,22 @@ bool putSpecial(BufWriter &W, T Value, EngineStats &Stats,
 
 } // namespace
 
-template <typename T>
-size_t dragon4::engine::format(T Value, char *Buffer, size_t BufferSize,
-                               const PrintOptions &Options, Scratch &S) {
+template <typename T, typename W>
+size_t dragon4::engine::formatInto(T Value, const PrintOptions &Options,
+                                   Scratch &S, W &Out) {
   using Traits = IeeeTraits<T>;
   using Format = FormatTraits<T>;
   EngineStats &Stats = ScratchAccess::stats(S);
-  BufWriter W{Buffer, BufferSize};
+  // A StreamSink arrives mid-stream; everything below reports lengths
+  // relative to this call's first byte.
+  const size_t Start = Out.written();
+  // Closes out one call: counts truncation (bounded sinks only -- an
+  // unbounded sink never overflows) and returns this call's length.
+  auto Finish = [&]() -> size_t {
+    if (sinkOverflowed(Out))
+      ++Stats.Truncated;
+    return Out.written() - Start;
+  };
 
 #if DRAGON4_OBS_ENABLED
   // Sampling decision up front: one branch when sampling is off.  When this
@@ -189,7 +171,7 @@ size_t dragon4::engine::format(T Value, char *Buffer, size_t BufferSize,
       Obs.finishConversion(Obs.Current, PathKind, Format::Id, BitsLo, BitsHi,
                            StartNs,
                            obs::nowNanos() - StartNs,
-                           /*Truncated=*/Len > BufferSize,
+                           /*Truncated=*/sinkOverflowed(Out),
                            /*Mismatch=*/false);
     }
     return Len;
@@ -202,11 +184,11 @@ size_t dragon4::engine::format(T Value, char *Buffer, size_t BufferSize,
   bool Negative = false;
   {
     D4_PROF_SPAN(Decompose);
-    if (putSpecial(W, Value, Stats, [&W] { W.put('0'); })) {
+    if (putSpecial(Out, Value, Stats, [&Out] { Out.put('0'); })) {
 #if DRAGON4_OBS_ENABLED
       PathKind = obs::Path::Special;
 #endif
-      return ObsEpilogue(finish(W, Stats));
+      return ObsEpilogue(Finish());
     }
     Negative = signBit(Value);
   }
@@ -324,11 +306,18 @@ size_t dragon4::engine::format(T Value, char *Buffer, size_t BufferSize,
 
   {
     D4_PROF_SPAN(Render);
-    render_detail::renderAutoInto(W, Digits, K, /*TrailingMarks=*/0, Negative,
-                                  renderOptionsFrom(Options));
+    render_detail::renderAutoInto(Out, Digits, K, /*TrailingMarks=*/0,
+                                  Negative, renderOptionsFrom(Options));
   }
   S.syncArenaStats();
-  return ObsEpilogue(finish(W, Stats));
+  return ObsEpilogue(Finish());
+}
+
+template <typename T>
+size_t dragon4::engine::format(T Value, char *Buffer, size_t BufferSize,
+                               const PrintOptions &Options, Scratch &S) {
+  BufferSink Out(Buffer, BufferSize);
+  return formatInto(Value, Options, S, Out);
 }
 
 template <typename T>
@@ -338,7 +327,12 @@ size_t dragon4::engine::formatFixed(T Value, int FractionDigits, char *Buffer,
   D4_ASSERT(FractionDigits >= 0, "negative fraction-digit count");
   using Format = FormatTraits<T>;
   EngineStats &Stats = ScratchAccess::stats(S);
-  BufWriter W{Buffer, BufferSize};
+  BufferSink Out(Buffer, BufferSize);
+  auto Finish = [&]() -> size_t {
+    if (Out.overflowed())
+      ++Stats.Truncated;
+    return Out.required();
+  };
 
 #if DRAGON4_OBS_ENABLED
   obs::ObsState &Obs = S.obsState();
@@ -367,7 +361,7 @@ size_t dragon4::engine::formatFixed(T Value, int FractionDigits, char *Buffer,
       Obs.finishConversion(Obs.Current, PathKind, Format::Id, BitsLo, BitsHi,
                            StartNs,
                            obs::nowNanos() - StartNs,
-                           /*Truncated=*/Len > BufferSize,
+                           /*Truncated=*/Out.overflowed(),
                            /*Mismatch=*/false);
     }
     return Len;
@@ -377,25 +371,26 @@ size_t dragon4::engine::formatFixed(T Value, int FractionDigits, char *Buffer,
 #endif
   D4_PROF_SPAN(Total);
 
-  if (putSpecial(W, Value, Stats, [&] {
-        W.put('0');
+  if (putSpecial(Out, Value, Stats, [&] {
+        Out.put('0');
         if (FractionDigits > 0) {
-          W.put('.');
-          W.fill(static_cast<size_t>(FractionDigits), '0');
+          Out.put('.');
+          Out.fill(static_cast<size_t>(FractionDigits), '0');
         }
       })) {
 #if DRAGON4_OBS_ENABLED
     PathKind = obs::Path::Special;
 #endif
-    return ObsEpilogue(finish(W, Stats));
+    return ObsEpilogue(Finish());
   }
 
   ConversionScope Scope(S);
-  // The fixed core's termination logic consumes the loop state in ways the
-  // shortest path does not; its small DigitString is the one remaining
-  // allocation on this path (the BigInt limbs still come from the arena).
-  DigitString Digits =
-      fixedDigitsAbsolute(Value, -FractionDigits, fixedOptionsFrom(Options));
+  // Scratch-resident loop state and positional result: warm calls reuse
+  // both digit buffers, so the fixed path is allocation-free like the
+  // shortest path (the BigInt limbs come from the arena).
+  DigitString &Digits = ScratchAccess::fixedDigits(S);
+  fixedDigitsAbsoluteInto(Value, -FractionDigits, fixedOptionsFrom(Options),
+                          ScratchAccess::loop(S), Digits);
   ++Stats.Conversions;
   ++Stats.FormatConversions[static_cast<int>(Format::Id)];
   ++Stats.SlowPathDirect;
@@ -403,15 +398,42 @@ size_t dragon4::engine::formatFixed(T Value, int FractionDigits, char *Buffer,
 
   {
     D4_PROF_SPAN(Render);
-    render_detail::renderPositionalInto(W, Digits.Digits, Digits.K,
+    render_detail::renderPositionalInto(Out, Digits.Digits, Digits.K,
                                         Digits.TrailingMarks, signBit(Value),
                                         renderOptionsFrom(Options));
   }
   S.syncArenaStats();
-  return ObsEpilogue(finish(W, Stats));
+  return ObsEpilogue(Finish());
 }
 
 namespace dragon4::engine {
+
+template size_t formatInto<Binary16, BufferSink>(Binary16,
+                                                 const PrintOptions &,
+                                                 Scratch &, BufferSink &);
+template size_t formatInto<float, BufferSink>(float, const PrintOptions &,
+                                              Scratch &, BufferSink &);
+template size_t formatInto<double, BufferSink>(double, const PrintOptions &,
+                                               Scratch &, BufferSink &);
+template size_t formatInto<long double, BufferSink>(long double,
+                                                    const PrintOptions &,
+                                                    Scratch &, BufferSink &);
+template size_t formatInto<Binary128, BufferSink>(Binary128,
+                                                  const PrintOptions &,
+                                                  Scratch &, BufferSink &);
+template size_t formatInto<Binary16, StreamSink>(Binary16,
+                                                 const PrintOptions &,
+                                                 Scratch &, StreamSink &);
+template size_t formatInto<float, StreamSink>(float, const PrintOptions &,
+                                              Scratch &, StreamSink &);
+template size_t formatInto<double, StreamSink>(double, const PrintOptions &,
+                                               Scratch &, StreamSink &);
+template size_t formatInto<long double, StreamSink>(long double,
+                                                    const PrintOptions &,
+                                                    Scratch &, StreamSink &);
+template size_t formatInto<Binary128, StreamSink>(Binary128,
+                                                  const PrintOptions &,
+                                                  Scratch &, StreamSink &);
 
 template size_t format<Binary16>(Binary16, char *, size_t,
                                  const PrintOptions &, Scratch &);

@@ -38,11 +38,22 @@
 #include "engine/scratch.h"
 #include "format/dtoa.h"
 #include "format/render.h"
+#include "format/sink.h"
 #include "fp/format_traits.h"
 
 #include <cstddef>
 
 namespace dragon4::engine {
+
+/// The writer-generic conversion core: renders the shortest round-tripping
+/// form of \p Value into any Sink and returns the characters the sink
+/// accepted (for a BufferSink this is the full required length -- bytes
+/// past the capacity are dropped by the sink, never by the engine).  The
+/// public surfaces are instantiations of this one template: format() is
+/// formatInto over a BufferSink, RecordStream::push is formatInto over a
+/// StreamSink, and the StringTable batch path is format() per slot.
+template <typename T, typename W>
+size_t formatInto(T Value, const PrintOptions &Options, Scratch &S, W &Out);
 
 /// Shortest round-tripping rendering of \p Value (the buffer counterpart
 /// of toShortest): writes up to \p BufferSize bytes at \p Buffer and
@@ -85,6 +96,39 @@ extern template size_t formatFixed<long double>(long double, int, char *,
                                                 Scratch &);
 extern template size_t formatFixed<Binary128>(Binary128, int, char *, size_t,
                                               const PrintOptions &, Scratch &);
+
+extern template size_t formatInto<Binary16, BufferSink>(Binary16,
+                                                        const PrintOptions &,
+                                                        Scratch &, BufferSink &);
+extern template size_t formatInto<float, BufferSink>(float,
+                                                     const PrintOptions &,
+                                                     Scratch &, BufferSink &);
+extern template size_t formatInto<double, BufferSink>(double,
+                                                      const PrintOptions &,
+                                                      Scratch &, BufferSink &);
+extern template size_t
+formatInto<long double, BufferSink>(long double, const PrintOptions &,
+                                    Scratch &, BufferSink &);
+extern template size_t formatInto<Binary128, BufferSink>(Binary128,
+                                                         const PrintOptions &,
+                                                         Scratch &,
+                                                         BufferSink &);
+extern template size_t formatInto<Binary16, StreamSink>(Binary16,
+                                                        const PrintOptions &,
+                                                        Scratch &, StreamSink &);
+extern template size_t formatInto<float, StreamSink>(float,
+                                                     const PrintOptions &,
+                                                     Scratch &, StreamSink &);
+extern template size_t formatInto<double, StreamSink>(double,
+                                                      const PrintOptions &,
+                                                      Scratch &, StreamSink &);
+extern template size_t
+formatInto<long double, StreamSink>(long double, const PrintOptions &,
+                                    Scratch &, StreamSink &);
+extern template size_t formatInto<Binary128, StreamSink>(Binary128,
+                                                         const PrintOptions &,
+                                                         Scratch &,
+                                                         StreamSink &);
 
 namespace engine_detail {
 

@@ -25,6 +25,7 @@
 
 #include "bigint/limb_arena.h"
 #include "core/digit_loop.h"
+#include "core/digits.h"
 #include "engine/stats.h"
 #include "obs/trace.h"
 
@@ -94,6 +95,7 @@ private:
   LimbArena Arena;               ///< Backing store for all conversion BigInts.
   DigitLoopResult Loop;          ///< Slow-path loop state, storage recycled.
   std::vector<uint8_t> FastDigits; ///< Grisu digit buffer, recycled.
+  DigitString FixedDigits;       ///< Fixed-path positional result, recycled.
   EngineStats Stats;
   obs::ObsState Obs;               ///< Sampled-metrics shard + flight ring.
   uint64_t BlockAllocsDrained = 0; ///< Arena blocks already reported.

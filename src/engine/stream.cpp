@@ -1,0 +1,47 @@
+//===- engine/stream.cpp - Push-style streaming conversion ------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/stream.h"
+
+#include "support/checks.h"
+
+using namespace dragon4;
+using namespace dragon4::engine;
+
+namespace dragon4::engine {
+
+template <typename T> size_t RecordStream::push(T Value) {
+  if (Count > 0)
+    Store.push_back(Separator);
+  ++Count;
+  StreamSink Out(Store);
+  return formatInto(Value, Options, S, Out);
+}
+
+size_t RecordStream::push(const AnyValue &Value) {
+  switch (Value.Id) {
+  case FormatId::Binary16:
+    return push(Value.as<Binary16>());
+  case FormatId::Binary32:
+    return push(Value.as<float>());
+  case FormatId::Binary64:
+    return push(Value.as<double>());
+  case FormatId::Extended80:
+    return push(Value.as<long double>());
+  case FormatId::Binary128:
+    return push(Value.as<Binary128>());
+  }
+  D4_ASSERT(false, "unknown FormatId in AnyValue");
+  return 0;
+}
+
+template size_t RecordStream::push<Binary16>(Binary16);
+template size_t RecordStream::push<float>(float);
+template size_t RecordStream::push<double>(double);
+template size_t RecordStream::push<long double>(long double);
+template size_t RecordStream::push<Binary128>(Binary128);
+
+} // namespace dragon4::engine

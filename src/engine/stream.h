@@ -1,0 +1,88 @@
+//===- engine/stream.h - Push-style streaming conversion ---------*- C++ -*-===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The streaming counterpart of AnyBatch: mixed-format records pushed one
+/// at a time flow straight into a single contiguous byte stream with
+/// separators -- no per-batch std::vector<AnyValue> materialization, no
+/// fixed-stride slots.  Each push is one formatInto over a StreamSink, so
+/// the bytes come from the same writer-generic render core as every other
+/// surface and a stream's records are byte-identical to the corresponding
+/// toShortest/engine::format outputs.
+///
+/// Intended for record emitters (CSV/JSON-lines writers, log lines) that
+/// know values one at a time: where AnyBatch wants the whole span up
+/// front and pays a slot stride per value, a RecordStream appends exactly
+/// the bytes of each record.  Steady state allocates nothing: the byte
+/// store's capacity is retained across clear(), and the conversions draw
+/// from the caller's Scratch.
+///
+/// Thread-safety contract: one stream, one thread (it shares the caller's
+/// Scratch).  Shard work across threads with one RecordStream + Scratch
+/// per worker and concatenate the byte stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRAGON4_ENGINE_STREAM_H
+#define DRAGON4_ENGINE_STREAM_H
+
+#include "engine/batch.h"
+#include "engine/engine.h"
+
+#include <string_view>
+#include <vector>
+
+namespace dragon4::engine {
+
+/// Push-style streaming sink over the unified render core.
+class RecordStream {
+public:
+  /// Records pushed after the first are preceded by \p Separator (so the
+  /// stream never ends with one and a single record has none).
+  explicit RecordStream(Scratch &S, char Separator = '\n',
+                        const PrintOptions &Options = {})
+      : S(S), Options(Options), Separator(Separator) {}
+
+  RecordStream(const RecordStream &) = delete;
+  RecordStream &operator=(const RecordStream &) = delete;
+
+  /// Appends the shortest-form rendering of \p Value as one record and
+  /// returns its length in bytes (excluding the separator).
+  template <typename T> size_t push(T Value);
+
+  /// Type-erased push, dispatched on the FormatId tag: the streaming
+  /// equivalent of one AnyBatch slot.
+  size_t push(const AnyValue &Value);
+
+  /// The bytes of every record pushed since the last clear().
+  std::string_view bytes() const { return {Store.data(), Store.size()}; }
+  size_t records() const { return Count; }
+
+  /// Discards the contents but keeps the byte store's capacity, so a
+  /// reused stream allocates nothing once warm.
+  void clear() {
+    Store.clear();
+    Count = 0;
+  }
+  void reserve(size_t Bytes) { Store.reserve(Bytes); }
+
+private:
+  Scratch &S;
+  PrintOptions Options;
+  std::vector<char> Store;
+  size_t Count = 0;
+  char Separator;
+};
+
+extern template size_t RecordStream::push<Binary16>(Binary16);
+extern template size_t RecordStream::push<float>(float);
+extern template size_t RecordStream::push<double>(double);
+extern template size_t RecordStream::push<long double>(long double);
+extern template size_t RecordStream::push<Binary128>(Binary128);
+
+} // namespace dragon4::engine
+
+#endif // DRAGON4_ENGINE_STREAM_H

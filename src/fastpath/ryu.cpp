@@ -25,6 +25,7 @@
 
 #include "fastpath/grisu.h"
 #include "fastpath/ryu_pow5.h"
+#include "format/render_core.h"
 #include "prof/phase.h"
 #include "support/checks.h"
 #include "support/testhooks.h"
@@ -256,24 +257,13 @@ bool dragon4::ryuShortestInto(uint64_t F, int E, int Precision,
   }
 
   // v = Output * 10^(E10 + Removed); in the library's digit convention
-  // v = 0.d1...dn * 10^K.
+  // v = 0.d1...dn * 10^K.  Emission goes through the unified render core's
+  // digit store, which honors the CI regression self-test's synthetic
+  // per-digit slowdown so the planted regression stays visible now that
+  // Ryu fronts the conversion.
   const int Length = decimalLength(Output);
   K = E10 + Removed + Length;
-  Digits.clear();
-  Digits.resize(static_cast<size_t>(Length));
-  for (int Index = Length - 1; Index >= 0; --Index) {
-    if (unsigned Spin = testhooks::DigitLoopSyntheticSpinPerDigit)
-        [[unlikely]] {
-      // CI regression self-test: the same per-digit synthetic slowdown the
-      // exact digit loop injects, honored here so the planted regression
-      // stays visible now that Ryu fronts the conversion (volatile so the
-      // loop survives -O2).
-      for (volatile unsigned I = 0; I < Spin; ++I) {
-      }
-    }
-    Digits[static_cast<size_t>(Index)] = static_cast<uint8_t>(Output % 10);
-    Output /= 10;
-  }
+  render_detail::storeDecimalDigits(Output, Length, Digits);
   return true;
 }
 

@@ -7,11 +7,13 @@
 #include "format/printf_compat.h"
 
 #include "baselines/fixed17.h"
+#include "format/sink.h"
 #include "fp/ieee_traits.h"
 #include "support/checks.h"
 
 #include <algorithm>
 #include <cctype>
+#include <string_view>
 
 using namespace dragon4;
 
@@ -28,20 +30,33 @@ std::string signPrefix(bool Negative, const PrintfSpec &Spec) {
   return "";
 }
 
-/// Applies width/justification: spaces outside, or zeros between the sign
-/// and the body when '0' is given (and '-' is not).
-std::string pad(std::string Sign, std::string Body, const PrintfSpec &Spec,
-                bool AllowZeroPad) {
+/// Applies width/justification into any sink: spaces outside, or zeros
+/// between the sign and the body when '0' is given (and '-' is not).  The
+/// string and caller-buffer surfaces are two instantiations of this one
+/// emitter, so their bytes cannot drift.
+template <Sink W>
+void emitPadded(W &Out, std::string_view Sign, std::string_view Body,
+                const PrintfSpec &Spec, bool AllowZeroPad) {
+  auto putText = [&Out](std::string_view Text) {
+    for (char C : Text)
+      Out.put(C);
+  };
   size_t Have = Sign.size() + Body.size();
   size_t Want = static_cast<size_t>(Spec.Width > 0 ? Spec.Width : 0);
-  if (Have >= Want)
-    return Sign + Body;
-  size_t Fill = Want - Have;
-  if (Spec.LeftJustify)
-    return Sign + Body + std::string(Fill, ' ');
-  if (Spec.ZeroPad && AllowZeroPad)
-    return Sign + std::string(Fill, '0') + Body;
-  return std::string(Fill, ' ') + Sign + Body;
+  size_t Fill = Have >= Want ? 0 : Want - Have;
+  if (Spec.LeftJustify) {
+    putText(Sign);
+    putText(Body);
+    Out.fill(Fill, ' ');
+  } else if (Spec.ZeroPad && AllowZeroPad) {
+    putText(Sign);
+    Out.fill(Fill, '0');
+    putText(Body);
+  } else {
+    Out.fill(Fill, ' ');
+    putText(Sign);
+    putText(Body);
+  }
 }
 
 char digitChar(uint8_t Digit) { return static_cast<char>('0' + Digit); }
@@ -198,12 +213,11 @@ std::string zeroBody(char Conversion, int Precision, bool Alternate) {
   }
 }
 
-} // namespace
-
-namespace dragon4 {
-
-template <typename T>
-std::string formatPrintf(T Value, const PrintfSpec &Spec) {
+/// One printf conversion rendered into any sink: computes the sign and
+/// body (the digit machinery behind the body builders is shared with the
+/// baselines layer) and drives the sink-generic padding emitter.
+template <typename T, Sink W>
+void printfInto(W &Out, T Value, const PrintfSpec &Spec) {
   const char C = Spec.Conversion;
   D4_ASSERT(C == 'e' || C == 'E' || C == 'f' || C == 'F' || C == 'g' ||
                 C == 'G',
@@ -217,11 +231,16 @@ std::string formatPrintf(T Value, const PrintfSpec &Spec) {
   case FpClass::NaN:
     // C prints NaN unsigned for positive, "-nan" style is allowed but
     // glibc prints the sign of the NaN; match glibc.
-    return pad(Sign, Uppercase ? "NAN" : "nan", Spec, /*AllowZeroPad=*/false);
+    emitPadded(Out, Sign, Uppercase ? "NAN" : "nan", Spec,
+               /*AllowZeroPad=*/false);
+    return;
   case FpClass::Infinity:
-    return pad(Sign, Uppercase ? "INF" : "inf", Spec, /*AllowZeroPad=*/false);
+    emitPadded(Out, Sign, Uppercase ? "INF" : "inf", Spec,
+               /*AllowZeroPad=*/false);
+    return;
   case FpClass::Zero:
-    return pad(Sign, zeroBody(C, Precision, Spec.Alternate), Spec, true);
+    emitPadded(Out, Sign, zeroBody(C, Precision, Spec.Alternate), Spec, true);
+    return;
   case FpClass::Normal:
   case FpClass::Subnormal:
     break;
@@ -241,10 +260,10 @@ std::string formatPrintf(T Value, const PrintfSpec &Spec) {
     Body = bodyGeneral(Value, Precision, Uppercase, Spec.Alternate);
     break;
   }
-  return pad(std::move(Sign), std::move(Body), Spec, /*AllowZeroPad=*/true);
+  emitPadded(Out, Sign, Body, Spec, /*AllowZeroPad=*/true);
 }
 
-template <typename T> std::string formatPrintf(T Value, const char *Spec) {
+PrintfSpec parseSpec(const char *Spec) {
   D4_ASSERT(Spec && *Spec, "empty printf specification");
   PrintfSpec Parsed;
   const char *P = Spec;
@@ -274,7 +293,36 @@ template <typename T> std::string formatPrintf(T Value, const char *Spec) {
   }
   D4_ASSERT(*P && P[1] == '\0', "malformed printf specification");
   Parsed.Conversion = *P;
-  return formatPrintf(Value, Parsed);
+  return Parsed;
+}
+
+} // namespace
+
+namespace dragon4 {
+
+template <typename T>
+std::string formatPrintf(T Value, const PrintfSpec &Spec) {
+  StringSink Out;
+  printfInto(Out, Value, Spec);
+  return std::move(Out.Out);
+}
+
+template <typename T> std::string formatPrintf(T Value, const char *Spec) {
+  return formatPrintf(Value, parseSpec(Spec));
+}
+
+template <typename T>
+size_t formatPrintf(T Value, const PrintfSpec &Spec, char *Buffer,
+                    size_t BufferSize) {
+  BufferSink Out(Buffer, BufferSize);
+  printfInto(Out, Value, Spec);
+  return Out.required();
+}
+
+template <typename T>
+size_t formatPrintf(T Value, const char *Spec, char *Buffer,
+                    size_t BufferSize) {
+  return formatPrintf(Value, parseSpec(Spec), Buffer, BufferSize);
 }
 
 template std::string formatPrintf<Binary16>(Binary16, const PrintfSpec &);
@@ -289,5 +337,25 @@ template std::string formatPrintf<float>(float, const char *);
 template std::string formatPrintf<double>(double, const char *);
 template std::string formatPrintf<long double>(long double, const char *);
 template std::string formatPrintf<Binary128>(Binary128, const char *);
+
+template size_t formatPrintf<Binary16>(Binary16, const PrintfSpec &, char *,
+                                       size_t);
+template size_t formatPrintf<float>(float, const PrintfSpec &, char *,
+                                    size_t);
+template size_t formatPrintf<double>(double, const PrintfSpec &, char *,
+                                     size_t);
+template size_t formatPrintf<long double>(long double, const PrintfSpec &,
+                                          char *, size_t);
+template size_t formatPrintf<Binary128>(Binary128, const PrintfSpec &, char *,
+                                        size_t);
+
+template size_t formatPrintf<Binary16>(Binary16, const char *, char *,
+                                       size_t);
+template size_t formatPrintf<float>(float, const char *, char *, size_t);
+template size_t formatPrintf<double>(double, const char *, char *, size_t);
+template size_t formatPrintf<long double>(long double, const char *, char *,
+                                          size_t);
+template size_t formatPrintf<Binary128>(Binary128, const char *, char *,
+                                        size_t);
 
 } // namespace dragon4

@@ -57,6 +57,21 @@ std::string formatPrintf(T Value, const PrintfSpec &Spec);
 /// this is a programmer-supplied format, not untrusted input.
 template <typename T> std::string formatPrintf(T Value, const char *Spec);
 
+/// Caller-buffer surface: snprintf semantics minus the NUL.  Writes at
+/// most \p BufferSize bytes at \p Buffer and returns the full required
+/// length (a return greater than BufferSize means the output was
+/// truncated; the written prefix is the first BufferSize characters).
+/// Byte-identical to the std::string overloads by construction: both are
+/// sink instantiations of one emitter (see format/sink.h).
+template <typename T>
+size_t formatPrintf(T Value, const PrintfSpec &Spec, char *Buffer,
+                    size_t BufferSize);
+
+/// Spec-string counterpart of the caller-buffer surface.
+template <typename T>
+size_t formatPrintf(T Value, const char *Spec, char *Buffer,
+                    size_t BufferSize);
+
 extern template std::string formatPrintf<Binary16>(Binary16,
                                                    const PrintfSpec &);
 extern template std::string formatPrintf<float>(float, const PrintfSpec &);
@@ -72,6 +87,29 @@ extern template std::string formatPrintf<double>(double, const char *);
 extern template std::string formatPrintf<long double>(long double,
                                                       const char *);
 extern template std::string formatPrintf<Binary128>(Binary128, const char *);
+
+extern template size_t formatPrintf<Binary16>(Binary16, const PrintfSpec &,
+                                              char *, size_t);
+extern template size_t formatPrintf<float>(float, const PrintfSpec &, char *,
+                                           size_t);
+extern template size_t formatPrintf<double>(double, const PrintfSpec &,
+                                            char *, size_t);
+extern template size_t formatPrintf<long double>(long double,
+                                                 const PrintfSpec &, char *,
+                                                 size_t);
+extern template size_t formatPrintf<Binary128>(Binary128, const PrintfSpec &,
+                                               char *, size_t);
+
+extern template size_t formatPrintf<Binary16>(Binary16, const char *, char *,
+                                              size_t);
+extern template size_t formatPrintf<float>(float, const char *, char *,
+                                           size_t);
+extern template size_t formatPrintf<double>(double, const char *, char *,
+                                            size_t);
+extern template size_t formatPrintf<long double>(long double, const char *,
+                                                 char *, size_t);
+extern template size_t formatPrintf<Binary128>(Binary128, const char *,
+                                               char *, size_t);
 
 } // namespace dragon4
 

@@ -6,7 +6,8 @@
 ///
 /// \file
 /// std::string front end over the writer-generic renderers in
-/// render_core.h (the char-buffer engine drives the same templates, which
+/// render_core.h: a StringSink instantiation of the same templates the
+/// char-buffer engine, the batch slots, and the record stream drive (which
 /// is what keeps engine::format byte-identical to toShortest).
 ///
 //===----------------------------------------------------------------------===//
@@ -14,26 +15,14 @@
 #include "format/render.h"
 
 #include "format/render_core.h"
+#include "format/sink.h"
 
 using namespace dragon4;
-
-namespace {
-
-/// render_core Writer over a growing std::string.
-struct StringWriter {
-  std::string Out;
-
-  void put(char C) { Out.push_back(C); }
-  void fill(size_t Count, char C) { Out.append(Count, C); }
-  void literal(const char *Text) { Out.append(Text); }
-};
-
-} // namespace
 
 std::string dragon4::renderPositional(const DigitString &Digits,
                                       bool Negative,
                                       const RenderOptions &Options) {
-  StringWriter W;
+  StringSink W;
   render_detail::renderPositionalInto(W, Digits.Digits, Digits.K,
                                       Digits.TrailingMarks, Negative, Options);
   return std::move(W.Out);
@@ -42,7 +31,7 @@ std::string dragon4::renderPositional(const DigitString &Digits,
 std::string dragon4::renderScientific(const DigitString &Digits,
                                       bool Negative,
                                       const RenderOptions &Options) {
-  StringWriter W;
+  StringSink W;
   render_detail::renderScientificInto(W, Digits.Digits, Digits.K,
                                       Digits.TrailingMarks, Negative, Options);
   return std::move(W.Out);
@@ -50,7 +39,7 @@ std::string dragon4::renderScientific(const DigitString &Digits,
 
 std::string dragon4::renderAuto(const DigitString &Digits, bool Negative,
                                 const RenderOptions &Options) {
-  StringWriter W;
+  StringSink W;
   render_detail::renderAutoInto(W, Digits.Digits, Digits.K,
                                 Digits.TrailingMarks, Negative, Options);
   return std::move(W.Out);

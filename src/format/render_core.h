@@ -6,14 +6,16 @@
 ///
 /// \file
 /// The one implementation of positional/scientific/auto rendering, written
-/// against a minimal Writer concept (put/fill/literal) so the std::string
-/// renderers in render.cpp and the zero-allocation char-buffer engine emit
-/// byte-identical text from the same code instead of hand-kept twins.
+/// against the Sink concept (format/sink.h) so every surface -- the
+/// std::string renderers in render.cpp, the zero-allocation char-buffer
+/// engine, the fixed-stride StringTable batch slots, and the push-style
+/// RecordStream -- emits byte-identical text from the same code instead of
+/// hand-kept twins.
 ///
-/// Writer requirements:
-///   void put(char)                    append one character
-///   void fill(size_t, char)           append a run of one character
-///   void literal(const char *)        append a NUL-terminated literal
+/// The digit side is shared too: storeDecimalDigits() is the single
+/// uint64->digit-array emitter, used both by Ryu's emission loop and by any
+/// future fast path, so the CI regression self-test's synthetic per-digit
+/// spin hook is honored in exactly one place.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,10 +23,13 @@
 #define DRAGON4_FORMAT_RENDER_CORE_H
 
 #include "format/render.h"
+#include "format/sink.h"
 #include "support/checks.h"
+#include "support/testhooks.h"
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace dragon4::render_detail {
 
@@ -34,9 +39,32 @@ inline char digitChar(uint8_t Value, bool Uppercase) {
   return Uppercase ? Upper[Value] : Lower[Value];
 }
 
+/// Stores the \p Length base-10 digits of \p Value into \p Digits, most
+/// significant first (Digits is cleared; capacity is reused, so a warm
+/// vector allocates nothing).  The one place the CI regression self-test's
+/// synthetic per-digit slowdown (testhooks::DigitLoopSyntheticSpinPerDigit)
+/// is honored on the fast-path side, mirroring the exact digit loop's
+/// injection point -- volatile so the spin survives -O2.
+inline void storeDecimalDigits(uint64_t Value, int Length,
+                               std::vector<uint8_t> &Digits) {
+  Digits.clear();
+  Digits.resize(static_cast<size_t>(Length));
+  for (int Index = Length - 1; Index >= 0; --Index) {
+    if (unsigned Spin = testhooks::DigitLoopSyntheticSpinPerDigit)
+        [[unlikely]] {
+      [[maybe_unused]] volatile unsigned Observed = 0;
+      for (unsigned I = 0; I < Spin; ++I) {
+        Observed = I;
+      }
+    }
+    Digits[static_cast<size_t>(Index)] = static_cast<uint8_t>(Value % 10);
+    Value /= 10;
+  }
+}
+
 /// Symbol for output position \p Index (0-based from the most significant
 /// end): a digit, or the mark character past the digits.
-template <typename Writer>
+template <Sink Writer>
 void putPosition(Writer &W, std::span<const uint8_t> Digits, int Index,
                  const RenderOptions &Options) {
   if (Index < static_cast<int>(Digits.size())) {
@@ -48,7 +76,7 @@ void putPosition(Writer &W, std::span<const uint8_t> Digits, int Index,
 }
 
 /// Decimal exponent with an explicit sign -- snprintf("%+d", Exponent).
-template <typename Writer> void putExponent(Writer &W, int Exponent) {
+template <Sink Writer> void putExponent(Writer &W, int Exponent) {
   W.put(Exponent < 0 ? '-' : '+');
   unsigned Magnitude = Exponent < 0 ? 0u - static_cast<unsigned>(Exponent)
                                     : static_cast<unsigned>(Exponent);
@@ -63,7 +91,7 @@ template <typename Writer> void putExponent(Writer &W, int Exponent) {
 }
 
 /// Positional notation, e.g. "123.45", "0.00078", "12300".
-template <typename Writer>
+template <Sink Writer>
 void renderPositionalInto(Writer &W, std::span<const uint8_t> Digits, int K,
                           int TrailingMarks, bool Negative,
                           const RenderOptions &Options) {
@@ -97,7 +125,7 @@ void renderPositionalInto(Writer &W, std::span<const uint8_t> Digits, int K,
 }
 
 /// Scientific notation "d.ddd...e±x"; the exponent is always decimal.
-template <typename Writer>
+template <Sink Writer>
 void renderScientificInto(Writer &W, std::span<const uint8_t> Digits, int K,
                           int TrailingMarks, bool Negative,
                           const RenderOptions &Options) {
@@ -116,7 +144,7 @@ void renderScientificInto(Writer &W, std::span<const uint8_t> Digits, int K,
 }
 
 /// Chooses positional or scientific per the options' K window.
-template <typename Writer>
+template <Sink Writer>
 void renderAutoInto(Writer &W, std::span<const uint8_t> Digits, int K,
                     int TrailingMarks, bool Negative,
                     const RenderOptions &Options) {

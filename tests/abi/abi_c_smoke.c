@@ -1,0 +1,173 @@
+/*===- tests/abi/abi_c_smoke.c - The ABI from plain C -------------*- C -*-===*
+ *
+ * Part of libdragon4. SPDX-License-Identifier: MIT
+ *
+ *===----------------------------------------------------------------------===*
+ *
+ * Compiled as C99 (no C++ runtime in this translation unit) and linked
+ * against the library: the proof that src/abi/dragon4_to_chars.h really
+ * is a C header and the entry points really are callable from C.  The
+ * checks are deliberately self-contained -- fixed expected strings for
+ * values whose shortest forms are unambiguous -- because no C++ oracle
+ * is reachable from here.
+ *
+ * Exit status 0 on success; any failure prints the case and returns 1.
+ *
+ *===----------------------------------------------------------------------===*/
+
+#include "abi/dragon4_to_chars.h"
+
+#include <stdio.h>
+#include <string.h>
+
+static int Failures = 0;
+
+static void expect_str(const char *Label, const char *Buf, size_t Len,
+                       const char *Want) {
+  if (Len != strlen(Want) || memcmp(Buf, Want, Len) != 0) {
+    fprintf(stderr, "FAIL %s: got \"%.*s\" want \"%s\"\n", Label, (int)Len,
+            Buf, Want);
+    ++Failures;
+  }
+}
+
+static void expect_status(const char *Label, dragon4_status Got,
+                          dragon4_status Want) {
+  if (Got != Want) {
+    fprintf(stderr, "FAIL %s: status %d want %d\n", Label, (int)Got,
+            (int)Want);
+    ++Failures;
+  }
+}
+
+int main(void) {
+  char Buf[DRAGON4_MAX_CHARS10];
+  size_t Len = 0;
+
+  /* 0.1 is the canonical shortest-form witness: bits 0x3FB999999999999A. */
+  expect_status("to_chars(0.1)",
+                dragon4_to_chars(DRAGON4_FORMAT_BINARY64,
+                                 0x3FB999999999999AULL, 0, NULL, Buf,
+                                 sizeof(Buf), &Len),
+                DRAGON4_OK);
+  expect_str("to_chars(0.1)", Buf, Len, "0.1");
+
+  /* Typed convenience + parse round-trip, no bit fiddling needed. */
+  expect_status("double_to_chars",
+                dragon4_double_to_chars(1.5, Buf, sizeof(Buf), &Len),
+                DRAGON4_OK);
+  expect_str("double_to_chars", Buf, Len, "1.5");
+  {
+    double Value = 0.0;
+    size_t Consumed = 0;
+    expect_status("chars_to_double",
+                  dragon4_chars_to_double("2.5e1", 5, &Value, &Consumed),
+                  DRAGON4_OK);
+    if (Value != 25.0 || Consumed != 5) {
+      fprintf(stderr, "FAIL chars_to_double: %f consumed %zu\n", Value,
+              Consumed);
+      ++Failures;
+    }
+  }
+
+  /* Zero-initialized options are the documented defaults. */
+  {
+    dragon4_options Options = DRAGON4_OPTIONS_INIT;
+    expect_status("zeroed options",
+                  dragon4_to_chars(DRAGON4_FORMAT_BINARY64,
+                                   0x3FB999999999999AULL, 0, &Options, Buf,
+                                   sizeof(Buf), &Len),
+                  DRAGON4_OK);
+    expect_str("zeroed options", Buf, Len, "0.1");
+  }
+
+  /* The no-truncation contract: a too-small buffer reports the size. */
+  {
+    char Tiny[2];
+    Len = 0;
+    expect_status("err-size",
+                  dragon4_to_chars(DRAGON4_FORMAT_BINARY64,
+                                   0x3FB999999999999AULL, 0, NULL, Tiny,
+                                   sizeof(Tiny), &Len),
+                  DRAGON4_ERR_SIZE);
+    if (Len != 3) {
+      fprintf(stderr, "FAIL err-size: required %zu want 3\n", Len);
+      ++Failures;
+    }
+  }
+
+  /* Binary16 1.0 (0x3C00): smaller formats address the same entry point. */
+  expect_status("binary16",
+                dragon4_to_chars(DRAGON4_FORMAT_BINARY16, 0x3C00, 0, NULL,
+                                 Buf, sizeof(Buf), &Len),
+                DRAGON4_OK);
+  expect_str("binary16", Buf, Len, "1");
+
+  /* Fixed-precision: 1.5 to 3 places. */
+  expect_status("to_chars_fixed",
+                dragon4_to_chars_fixed(DRAGON4_FORMAT_BINARY64,
+                                       0x3FF8000000000000ULL, 0, 3, NULL,
+                                       Buf, sizeof(Buf), &Len),
+                DRAGON4_OK);
+  expect_str("to_chars_fixed", Buf, Len, "1.500");
+
+  /* from_chars: longest valid prefix, bits returned. */
+  {
+    uint64_t Lo = 0, Hi = 0;
+    size_t Consumed = 0;
+    expect_status("from_chars",
+                  dragon4_from_chars(DRAGON4_FORMAT_BINARY64, "0.1junk", 7,
+                                     &Lo, &Hi, &Consumed),
+                  DRAGON4_OK);
+    if (Lo != 0x3FB999999999999AULL || Hi != 0 || Consumed != 3) {
+      fprintf(stderr, "FAIL from_chars: lo %llx consumed %zu\n",
+              (unsigned long long)Lo, Consumed);
+      ++Failures;
+    }
+    expect_status("from_chars malformed",
+                  dragon4_from_chars(DRAGON4_FORMAT_BINARY64, "junk", 4, &Lo,
+                                     &Hi, &Consumed),
+                  DRAGON4_ERR_MALFORMED);
+  }
+
+  /* Caller-owned scratch lifecycle. */
+  {
+    dragon4_scratch *Scratch = dragon4_scratch_create();
+    if (!Scratch) {
+      fprintf(stderr, "FAIL scratch_create\n");
+      ++Failures;
+    } else {
+      expect_status("to_chars_scratch",
+                    dragon4_to_chars_scratch(Scratch, DRAGON4_FORMAT_BINARY64,
+                                             0x3FB999999999999AULL, 0, NULL,
+                                             Buf, sizeof(Buf), &Len),
+                    DRAGON4_OK);
+      expect_str("to_chars_scratch", Buf, Len, "0.1");
+      dragon4_scratch_destroy(Scratch);
+    }
+  }
+
+  /* Validation rejects without crashing. */
+  expect_status("bad format",
+                dragon4_to_chars((dragon4_format)99, 0, 0, NULL, Buf,
+                                 sizeof(Buf), &Len),
+                DRAGON4_ERR_BAD_ARGUMENT);
+  expect_status("bad length ptr",
+                dragon4_to_chars(DRAGON4_FORMAT_BINARY64, 0, 0, NULL, Buf,
+                                 sizeof(Buf), NULL),
+                DRAGON4_ERR_BAD_ARGUMENT);
+
+  /* Bound table sanity from the C side. */
+  if (dragon4_max_chars(DRAGON4_FORMAT_BINARY64, 10) !=
+      DRAGON4_MAX_CHARS10_BINARY64) {
+    fprintf(stderr, "FAIL max_chars\n");
+    ++Failures;
+  }
+
+  if (Failures) {
+    fprintf(stderr, "%d failure(s)\n", Failures);
+    return 1;
+  }
+  printf("abi_c_smoke: all checks passed\n");
+  return 0;
+}

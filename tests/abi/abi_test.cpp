@@ -1,0 +1,479 @@
+//===- tests/abi/abi_test.cpp - The C ABI contract ---------------------------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The documented contract of src/abi/dragon4_to_chars.h, checked from the
+// C++ side (the pure-C compile check is tests/abi/abi_c_smoke.c):
+//
+//   * byte identity with toShortest/toFixed/engine::format for every
+//     format and a sweep of option mappings;
+//   * the no-truncation contract: DRAGON4_ERR_SIZE with the required
+//     length, exact-bound and one-byte-short boundary cases;
+//   * argument validation -> DRAGON4_ERR_BAD_ARGUMENT, never a crash;
+//   * dragon4_from_chars against parse::parseFloat, plus round-trips;
+//   * deterministic per-call output under 4-thread interleaving.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dragon4.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dragon4;
+namespace eng = dragon4::engine;
+
+namespace {
+
+template <typename T> std::string abiShortest(T Value) {
+  uint64_t Lo = 0, Hi = 0;
+  FormatTraits<T>::encodingBits(Value, Lo, Hi);
+  char Buf[DRAGON4_MAX_CHARS10];
+  size_t Len = 0;
+  dragon4_status Status =
+      dragon4_to_chars(static_cast<dragon4_format>(FormatTraits<T>::Id), Lo,
+                       Hi, nullptr, Buf, sizeof(Buf), &Len);
+  EXPECT_EQ(Status, DRAGON4_OK);
+  return std::string(Buf, Len);
+}
+
+TEST(AbiToChars, MatchesToShortestAcrossFormats) {
+  for (double V : randomBitsDoubles(4096, 0xab1d0001))
+    ASSERT_EQ(abiShortest(V), toShortest(V)) << std::hexfloat << V;
+  for (float V : randomBitsFloats(4096, 0xab1d0002))
+    ASSERT_EQ(abiShortest(V), toShortest(V));
+  for (uint32_t Bits = 0; Bits < 0x10000; Bits += 7)
+    ASSERT_EQ(abiShortest(Binary16::fromBits(static_cast<uint16_t>(Bits))),
+              toShortest(Binary16::fromBits(static_cast<uint16_t>(Bits))))
+        << "bits " << Bits;
+}
+
+TEST(AbiToChars, MatchesToShortestForWideFormats) {
+  SplitMix64 Rng(0xab1d0003);
+  for (int I = 0; I < 512; ++I) {
+    long double V =
+        std::ldexp(static_cast<long double>(Rng.next() | (1ull << 63)),
+                   static_cast<int>(Rng.below(8000)) - 4000 - 63);
+    ASSERT_EQ(abiShortest(V), toShortest(V));
+  }
+  for (int I = 0; I < 512; ++I) {
+    uint64_t Hi = (Rng.next() & 0x0000FFFFFFFFFFFFull) |
+                  ((1 + Rng.below(0x7FFD)) << 48);
+    Binary128 V = Binary128::fromBits(Hi, Rng.next());
+    ASSERT_EQ(abiShortest(V), toShortest(V));
+  }
+}
+
+TEST(AbiToChars, ZeroedOptionsAreTheDefaults) {
+  // DRAGON4_OPTIONS_INIT (all zeros) must mean exactly "no options":
+  // this is what makes C-side zero-initialization safe.
+  dragon4_options Zeroed = DRAGON4_OPTIONS_INIT;
+  for (double V : randomBitsDoubles(256, 0xab1d0004)) {
+    uint64_t Lo = 0, Hi = 0;
+    FormatTraits<double>::encodingBits(V, Lo, Hi);
+    char A[64], B[64];
+    size_t LenA = 0, LenB = 0;
+    ASSERT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, &Zeroed, A,
+                               sizeof(A), &LenA),
+              DRAGON4_OK);
+    ASSERT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, nullptr, B,
+                               sizeof(B), &LenB),
+              DRAGON4_OK);
+    ASSERT_EQ(std::string(A, LenA), std::string(B, LenB));
+  }
+}
+
+TEST(AbiToChars, OptionMappingMatchesPrintOptions) {
+  // Every C enum value against the C++ option it documents, over a
+  // corpus wide enough to hit digits where the settings matter.
+  struct Case {
+    dragon4_options C;
+    PrintOptions Cpp;
+  };
+  std::vector<Case> Cases;
+  {
+    Case Marks;
+    Marks.C.base = 2;
+    Marks.C.marks_as_zeros = 1;
+    Marks.Cpp.Base = 2;
+    Marks.Cpp.Marks = MarkStyle::Zeros;
+    Cases.push_back(Marks);
+    Case Upper;
+    Upper.C.base = 16;
+    Upper.C.uppercase_digits = 1;
+    Upper.C.exponent_marker = '^';
+    Upper.Cpp.Base = 16;
+    Upper.Cpp.UppercaseDigits = true;
+    Upper.Cpp.ExponentMarker = '^';
+    Cases.push_back(Upper);
+    const dragon4_boundaries AllBoundaries[] = {
+        DRAGON4_BOUNDARIES_NEAREST_EVEN, DRAGON4_BOUNDARIES_CONSERVATIVE,
+        DRAGON4_BOUNDARIES_BOTH_INCLUSIVE, DRAGON4_BOUNDARIES_LOW_INCLUSIVE,
+        DRAGON4_BOUNDARIES_HIGH_INCLUSIVE};
+    const BoundaryMode CppBoundaries[] = {
+        BoundaryMode::NearestEven, BoundaryMode::Conservative,
+        BoundaryMode::BothInclusive, BoundaryMode::LowInclusive,
+        BoundaryMode::HighInclusive};
+    for (int I = 0; I < 5; ++I) {
+      Case C;
+      C.C.boundaries = static_cast<uint8_t>(AllBoundaries[I]);
+      C.Cpp.Boundaries = CppBoundaries[I];
+      Cases.push_back(C);
+    }
+    const dragon4_ties AllTies[] = {DRAGON4_TIES_ROUND_UP,
+                                    DRAGON4_TIES_ROUND_EVEN,
+                                    DRAGON4_TIES_ROUND_DOWN};
+    const TieBreak CppTies[] = {TieBreak::RoundUp, TieBreak::RoundEven,
+                                TieBreak::RoundDown};
+    for (int I = 0; I < 3; ++I) {
+      Case C;
+      C.C.ties = static_cast<uint8_t>(AllTies[I]);
+      C.C.boundaries = DRAGON4_BOUNDARIES_BOTH_INCLUSIVE; // Ties matter here.
+      C.Cpp.Ties = CppTies[I];
+      C.Cpp.Boundaries = BoundaryMode::BothInclusive;
+      Cases.push_back(C);
+    }
+  }
+  std::vector<double> Values = randomBitsDoubles(512, 0xab1d0005);
+  eng::Scratch S;
+  for (const Case &C : Cases) {
+    for (double V : Values) {
+      uint64_t Lo = 0, Hi = 0;
+      FormatTraits<double>::encodingBits(V, Lo, Hi);
+      char Abi[128], Ref[128];
+      size_t AbiLen = 0;
+      ASSERT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, &C.C, Abi,
+                                 sizeof(Abi), &AbiLen),
+                DRAGON4_OK);
+      size_t RefLen = eng::format(V, Ref, sizeof(Ref), C.Cpp, S);
+      ASSERT_EQ(std::string(Abi, AbiLen), std::string(Ref, RefLen))
+          << "base " << int(C.C.base) << " boundaries "
+          << int(C.C.boundaries) << " ties " << int(C.C.ties);
+    }
+  }
+}
+
+TEST(AbiToChars, ExactBoundAndOneByteShort) {
+  // The committed worst case for binary64 base 10 is 24 characters; at
+  // exactly maxShortestBufferSize the conversion must succeed, one byte
+  // short it must report ERR_SIZE with the true required length.
+  const double Witness = -1.7976931348623157e+308;
+  ASSERT_EQ(toShortest(Witness).size(), size_t(DRAGON4_MAX_CHARS10_BINARY64));
+  uint64_t Lo = 0, Hi = 0;
+  FormatTraits<double>::encodingBits(Witness, Lo, Hi);
+
+  char Exact[DRAGON4_MAX_CHARS10_BINARY64];
+  size_t Len = 0;
+  EXPECT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, nullptr, Exact,
+                             sizeof(Exact), &Len),
+            DRAGON4_OK);
+  EXPECT_EQ(Len, sizeof(Exact));
+  EXPECT_EQ(std::string(Exact, Len), toShortest(Witness));
+
+  char Short[DRAGON4_MAX_CHARS10_BINARY64 - 1];
+  Len = 0;
+  EXPECT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, nullptr, Short,
+                             sizeof(Short), &Len),
+            DRAGON4_ERR_SIZE);
+  EXPECT_EQ(Len, size_t(DRAGON4_MAX_CHARS10_BINARY64));
+}
+
+TEST(AbiToChars, SizeQueryThenRetryIdiom) {
+  uint64_t Lo = 0, Hi = 0;
+  FormatTraits<double>::encodingBits(0.1, Lo, Hi);
+  size_t Len = 0;
+  // NULL buffer with zero capacity: pure size query.
+  EXPECT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, nullptr,
+                             nullptr, 0, &Len),
+            DRAGON4_ERR_SIZE);
+  ASSERT_EQ(Len, toShortest(0.1).size());
+  std::vector<char> Buf(Len);
+  EXPECT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, nullptr,
+                             Buf.data(), Buf.size(), &Len),
+            DRAGON4_OK);
+  EXPECT_EQ(std::string(Buf.data(), Len), "0.1");
+}
+
+TEST(AbiToChars, EveryFormatFitsItsDocumentedBound) {
+  // dragon4_max_chars must agree with the compile-time table, and a
+  // buffer of that size must never see ERR_SIZE (spot-checked on the
+  // adversarial extremes per format).
+  EXPECT_EQ(dragon4_max_chars(DRAGON4_FORMAT_BINARY16, 10),
+            size_t(DRAGON4_MAX_CHARS10_BINARY16));
+  EXPECT_EQ(dragon4_max_chars(DRAGON4_FORMAT_BINARY32, 0),
+            size_t(DRAGON4_MAX_CHARS10_BINARY32));
+  EXPECT_EQ(dragon4_max_chars(DRAGON4_FORMAT_BINARY64, 10),
+            size_t(DRAGON4_MAX_CHARS10_BINARY64));
+  EXPECT_EQ(dragon4_max_chars(DRAGON4_FORMAT_EXTENDED80, 10),
+            size_t(DRAGON4_MAX_CHARS10_EXTENDED80));
+  EXPECT_EQ(dragon4_max_chars(DRAGON4_FORMAT_BINARY128, 10),
+            size_t(DRAGON4_MAX_CHARS10_BINARY128));
+  EXPECT_EQ(dragon4_max_chars(DRAGON4_FORMAT_BINARY64, 1), 0u);
+  EXPECT_EQ(dragon4_max_chars(DRAGON4_FORMAT_BINARY64, 37), 0u);
+  EXPECT_GE(dragon4_max_chars(DRAGON4_FORMAT_BINARY64, 2),
+            size_t(DRAGON4_MAX_CHARS10_BINARY64));
+}
+
+TEST(AbiToChars, BadArgumentsAreRejectedNotCrashes) {
+  uint64_t Lo = 0, Hi = 0;
+  FormatTraits<double>::encodingBits(1.0, Lo, Hi);
+  char Buf[64];
+  size_t Len = 0;
+
+  EXPECT_EQ(dragon4_to_chars(static_cast<dragon4_format>(99), Lo, Hi,
+                             nullptr, Buf, sizeof(Buf), &Len),
+            DRAGON4_ERR_BAD_ARGUMENT);
+  EXPECT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, nullptr, Buf,
+                             sizeof(Buf), nullptr),
+            DRAGON4_ERR_BAD_ARGUMENT);
+  EXPECT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, nullptr,
+                             nullptr, 8, &Len),
+            DRAGON4_ERR_BAD_ARGUMENT);
+
+  dragon4_options Bad = DRAGON4_OPTIONS_INIT;
+  Bad.base = 1;
+  EXPECT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, &Bad, Buf,
+                             sizeof(Buf), &Len),
+            DRAGON4_ERR_BAD_ARGUMENT);
+  Bad = dragon4_options DRAGON4_OPTIONS_INIT;
+  Bad.base = 37;
+  EXPECT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, &Bad, Buf,
+                             sizeof(Buf), &Len),
+            DRAGON4_ERR_BAD_ARGUMENT);
+  Bad = dragon4_options DRAGON4_OPTIONS_INIT;
+  Bad.boundaries = 5;
+  EXPECT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, &Bad, Buf,
+                             sizeof(Buf), &Len),
+            DRAGON4_ERR_BAD_ARGUMENT);
+  Bad = dragon4_options DRAGON4_OPTIONS_INIT;
+  Bad.ties = 3;
+  EXPECT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, &Bad, Buf,
+                             sizeof(Buf), &Len),
+            DRAGON4_ERR_BAD_ARGUMENT);
+
+  EXPECT_EQ(dragon4_to_chars_fixed(DRAGON4_FORMAT_BINARY64, Lo, Hi, -1,
+                                   nullptr, Buf, sizeof(Buf), &Len),
+            DRAGON4_ERR_BAD_ARGUMENT);
+  EXPECT_EQ(dragon4_to_chars_scratch(nullptr, DRAGON4_FORMAT_BINARY64, Lo,
+                                     Hi, nullptr, Buf, sizeof(Buf), &Len),
+            DRAGON4_ERR_BAD_ARGUMENT);
+}
+
+TEST(AbiToCharsFixed, MatchesToFixed) {
+  eng::Scratch S;
+  std::vector<double> Values = randomNormalDoubles(512, 0xab1d0006);
+  const int Precisions[] = {0, 1, 6, 17, 40};
+  for (double V : Values) {
+    uint64_t Lo = 0, Hi = 0;
+    FormatTraits<double>::encodingBits(V, Lo, Hi);
+    for (int P : Precisions) {
+      char Abi[512], Ref[512];
+      size_t AbiLen = 0;
+      ASSERT_EQ(dragon4_to_chars_fixed(DRAGON4_FORMAT_BINARY64, Lo, Hi, P,
+                                       nullptr, Abi, sizeof(Abi), &AbiLen),
+                DRAGON4_OK);
+      size_t RefLen =
+          eng::formatFixed(V, P, Ref, sizeof(Ref), PrintOptions{}, S);
+      ASSERT_EQ(std::string(Abi, AbiLen), std::string(Ref, RefLen))
+          << std::hexfloat << V << " precision " << P;
+      ASSERT_EQ(std::string(Abi, AbiLen), toFixed(V, P))
+          << std::hexfloat << V << " precision " << P;
+    }
+  }
+}
+
+TEST(AbiToCharsFixed, ReportsRequiredSizeOnOverflow) {
+  uint64_t Lo = 0, Hi = 0;
+  FormatTraits<double>::encodingBits(1.0 / 3.0, Lo, Hi);
+  size_t Required = 0;
+  ASSERT_EQ(dragon4_to_chars_fixed(DRAGON4_FORMAT_BINARY64, Lo, Hi, 30,
+                                   nullptr, nullptr, 0, &Required),
+            DRAGON4_ERR_SIZE);
+  ASSERT_EQ(Required, toFixed(1.0 / 3.0, 30).size());
+
+  std::vector<char> Buf(Required);
+  size_t Len = 0;
+  EXPECT_EQ(dragon4_to_chars_fixed(DRAGON4_FORMAT_BINARY64, Lo, Hi, 30,
+                                   nullptr, Buf.data(), Buf.size(), &Len),
+            DRAGON4_OK);
+  EXPECT_EQ(Len, Required);
+
+  EXPECT_EQ(dragon4_to_chars_fixed(DRAGON4_FORMAT_BINARY64, Lo, Hi, 30,
+                                   nullptr, Buf.data(), Buf.size() - 1, &Len),
+            DRAGON4_ERR_SIZE);
+  EXPECT_EQ(Len, Required);
+}
+
+TEST(AbiFromChars, MatchesParseFloatAndRoundTrips) {
+  // Textual cases with known encodings plus shortest-form round-trips.
+  for (double V : randomBitsDoubles(2048, 0xab1d0007)) {
+    if (V != V)
+      continue; // NaN payloads are not preserved through text.
+    std::string Text = toShortest(V);
+    uint64_t Lo = 0, Hi = 0;
+    size_t Consumed = 0;
+    ASSERT_EQ(dragon4_from_chars(DRAGON4_FORMAT_BINARY64, Text.data(),
+                                 Text.size(), &Lo, &Hi, &Consumed),
+              DRAGON4_OK)
+        << Text;
+    ASSERT_EQ(Consumed, Text.size()) << Text;
+    ASSERT_EQ(FormatTraits<double>::fromEncoding(Lo, Hi), V) << Text;
+
+    parse::ParseResult<double> Ref = parse::parseFloat<double>(Text);
+    ASSERT_EQ(FormatTraits<double>::fromEncoding(Lo, Hi), Ref.Value) << Text;
+  }
+}
+
+TEST(AbiFromChars, LongestPrefixAndMalformed) {
+  uint64_t Lo = 0, Hi = 0;
+  size_t Consumed = 0;
+  ASSERT_EQ(dragon4_from_chars(DRAGON4_FORMAT_BINARY64, "1.5e2xyz", 8, &Lo,
+                               &Hi, &Consumed),
+            DRAGON4_OK);
+  EXPECT_EQ(Consumed, 5u);
+  EXPECT_EQ(FormatTraits<double>::fromEncoding(Lo, Hi), 150.0);
+
+  EXPECT_EQ(dragon4_from_chars(DRAGON4_FORMAT_BINARY64, "xyz", 3, &Lo, &Hi,
+                               &Consumed),
+            DRAGON4_ERR_MALFORMED);
+  EXPECT_EQ(Consumed, 0u);
+  EXPECT_EQ(dragon4_from_chars(DRAGON4_FORMAT_BINARY64, nullptr, 3, &Lo, &Hi,
+                               &Consumed),
+            DRAGON4_ERR_BAD_ARGUMENT);
+  EXPECT_EQ(dragon4_from_chars(DRAGON4_FORMAT_BINARY64, "1.0", 3, nullptr,
+                               &Hi, &Consumed),
+            DRAGON4_ERR_BAD_ARGUMENT);
+
+  // Empty text with a NULL pointer is a valid (malformed) query.
+  EXPECT_EQ(dragon4_from_chars(DRAGON4_FORMAT_BINARY64, nullptr, 0, &Lo, &Hi,
+                               nullptr),
+            DRAGON4_ERR_MALFORMED);
+}
+
+TEST(AbiConveniences, TypedWrappersRoundTrip) {
+  char Buf[DRAGON4_MAX_CHARS10];
+  size_t Len = 0;
+  ASSERT_EQ(dragon4_double_to_chars(0.1, Buf, sizeof(Buf), &Len), DRAGON4_OK);
+  EXPECT_EQ(std::string(Buf, Len), "0.1");
+  double D = 0;
+  ASSERT_EQ(dragon4_chars_to_double(Buf, Len, &D, nullptr), DRAGON4_OK);
+  EXPECT_EQ(D, 0.1);
+
+  ASSERT_EQ(dragon4_float_to_chars(0.25f, Buf, sizeof(Buf), &Len),
+            DRAGON4_OK);
+  EXPECT_EQ(std::string(Buf, Len), "0.25");
+  float F = 0;
+  ASSERT_EQ(dragon4_chars_to_float(Buf, Len, &F, nullptr), DRAGON4_OK);
+  EXPECT_EQ(F, 0.25f);
+}
+
+TEST(AbiScratch, CallerOwnedScratchMatchesThreadLocal) {
+  dragon4_scratch *Scratch = dragon4_scratch_create();
+  ASSERT_NE(Scratch, nullptr);
+  for (double V : randomBitsDoubles(512, 0xab1d0008)) {
+    uint64_t Lo = 0, Hi = 0;
+    FormatTraits<double>::encodingBits(V, Lo, Hi);
+    char A[64], B[64];
+    size_t LenA = 0, LenB = 0;
+    ASSERT_EQ(dragon4_to_chars_scratch(Scratch, DRAGON4_FORMAT_BINARY64, Lo,
+                                       Hi, nullptr, A, sizeof(A), &LenA),
+              DRAGON4_OK);
+    ASSERT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, nullptr, B,
+                               sizeof(B), &LenB),
+              DRAGON4_OK);
+    ASSERT_EQ(std::string(A, LenA), std::string(B, LenB));
+  }
+  dragon4_scratch_destroy(Scratch);
+  dragon4_scratch_destroy(nullptr); // Must be a safe no-op.
+}
+
+TEST(AbiThreads, FourThreadsInterleavedFormatsStayDeterministic) {
+  // Four threads hammer the thread-local entry points with interleaved
+  // formats and option sets; every call must produce exactly the output
+  // the same call produces single-threaded.  This is the reentrancy
+  // proof for the default (thread-local scratch) path.
+  constexpr int ThreadCount = 4;
+  constexpr int PerThread = 4000;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int TI = 0; TI < ThreadCount; ++TI) {
+    Threads.emplace_back([TI, &Failures] {
+      SplitMix64 Rng(0xab1d1000 + static_cast<uint64_t>(TI));
+      dragon4_options Hex = DRAGON4_OPTIONS_INIT;
+      Hex.base = 16;
+      for (int I = 0; I < PerThread; ++I) {
+        char Buf[DRAGON4_MAX_CHARS10 * 2];
+        size_t Len = 0;
+        switch (I % 4) {
+        case 0: {
+          double V = FormatTraits<double>::fromEncoding(Rng.next(), 0);
+          if (dragon4_to_chars(DRAGON4_FORMAT_BINARY64,
+                               std::bit_cast<uint64_t>(V), 0, nullptr, Buf,
+                               sizeof(Buf), &Len) != DRAGON4_OK ||
+              std::string(Buf, Len) != toShortest(V))
+            ++Failures;
+          break;
+        }
+        case 1: {
+          float V = FormatTraits<float>::fromEncoding(
+              static_cast<uint32_t>(Rng.next()), 0);
+          uint64_t Lo = 0, Hi = 0;
+          FormatTraits<float>::encodingBits(V, Lo, Hi);
+          if (dragon4_to_chars(DRAGON4_FORMAT_BINARY32, Lo, Hi, &Hex, Buf,
+                               sizeof(Buf), &Len) != DRAGON4_OK) {
+            ++Failures;
+            break;
+          }
+          PrintOptions HexOpts;
+          HexOpts.Base = 16;
+          if (std::string(Buf, Len) != toShortest(V, HexOpts))
+            ++Failures;
+          break;
+        }
+        case 2: {
+          uint16_t Bits = static_cast<uint16_t>(Rng.next());
+          Binary16 V = Binary16::fromBits(Bits);
+          if (dragon4_to_chars(DRAGON4_FORMAT_BINARY16, Bits, 0, nullptr,
+                               Buf, sizeof(Buf), &Len) != DRAGON4_OK ||
+              std::string(Buf, Len) != toShortest(V))
+            ++Failures;
+          break;
+        }
+        case 3: {
+          double V = FormatTraits<double>::fromEncoding(Rng.next(), 0);
+          if (V != V)
+            break; // toFixed of NaN covered elsewhere.
+          uint64_t Lo = 0, Hi = 0;
+          FormatTraits<double>::encodingBits(V, Lo, Hi);
+          size_t Required = 0;
+          if (dragon4_to_chars_fixed(DRAGON4_FORMAT_BINARY64, Lo, Hi, 6,
+                                     nullptr, nullptr, 0, &Required) ==
+              DRAGON4_ERR_BAD_ARGUMENT) {
+            ++Failures;
+            break;
+          }
+          std::vector<char> Big(Required);
+          if (dragon4_to_chars_fixed(DRAGON4_FORMAT_BINARY64, Lo, Hi, 6,
+                                     nullptr, Big.data(), Big.size(),
+                                     &Len) != DRAGON4_OK ||
+              std::string(Big.data(), Len) != toFixed(V, 6))
+            ++Failures;
+          break;
+        }
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+} // namespace

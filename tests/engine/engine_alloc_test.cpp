@@ -177,12 +177,150 @@ TEST(EngineAlloc, FixedPathKeepsLimbsOnArenaWhenWarm) {
   for (double V : Values)
     eng::formatFixed(V, 17, Buf, sizeof(Buf), PrintOptions{}, S);
 
-  // The fixed path still returns a DigitString (a small digit vector), so
-  // only the limb traffic is asserted to be arena-resident.
+  // The positional result lives in the Scratch (capacity recycled) and
+  // the limbs on the arena, so warm fixed conversions are allocation-free
+  // end to end, exactly like the shortest path.
+  uint64_t NewBefore = GlobalNewCount.load(std::memory_order_relaxed);
   uint64_t LimbHeapBefore = limbHeapAllocCount();
   for (double V : Values)
     eng::formatFixed(V, 17, Buf, sizeof(Buf), PrintOptions{}, S);
+  EXPECT_EQ(GlobalNewCount.load(std::memory_order_relaxed) - NewBefore, 0u);
   EXPECT_EQ(limbHeapAllocCount() - LimbHeapBefore, 0u);
+}
+
+TEST(EngineAlloc, AbiToCharsAllocatesNothingWhenWarm) {
+  // The C ABI's promise: after the thread-local scratch warms up, every
+  // entry point is allocation-free -- shortest, fixed, both scratch
+  // flavours, across formats and the exact-only option set.
+  std::vector<double> Values = allocCorpus();
+  char Buf[512];
+  size_t Len = 0;
+  dragon4_options ExactOnly = DRAGON4_OPTIONS_INIT;
+  ExactOnly.boundaries = DRAGON4_BOUNDARIES_LOW_INCLUSIVE;
+
+  auto RunAll = [&] {
+    for (double V : Values) {
+      uint64_t Lo = 0, Hi = 0;
+      FormatTraits<double>::encodingBits(V, Lo, Hi);
+      ASSERT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, nullptr,
+                                 Buf, sizeof(Buf), &Len),
+                DRAGON4_OK);
+      ASSERT_EQ(dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, &ExactOnly,
+                                 Buf, sizeof(Buf), &Len),
+                DRAGON4_OK);
+      ASSERT_EQ(dragon4_to_chars_fixed(DRAGON4_FORMAT_BINARY64, Lo, Hi, 17,
+                                       nullptr, Buf, sizeof(Buf), &Len),
+                DRAGON4_OK);
+    }
+    // The undersized path must be allocation-free too: ERR_SIZE comes
+    // from the sink's counting, not from staging the output anywhere.
+    uint64_t Lo = 0, Hi = 0;
+    FormatTraits<double>::encodingBits(Values[0], Lo, Hi);
+    dragon4_to_chars(DRAGON4_FORMAT_BINARY64, Lo, Hi, nullptr, Buf, 1, &Len);
+  };
+
+  RunAll(); // Warm-up: thread-local scratch caches and arena blocks.
+  uint64_t NewBefore = GlobalNewCount.load(std::memory_order_relaxed);
+  uint64_t LimbHeapBefore = limbHeapAllocCount();
+  RunAll();
+  EXPECT_EQ(GlobalNewCount.load(std::memory_order_relaxed) - NewBefore, 0u);
+  EXPECT_EQ(limbHeapAllocCount() - LimbHeapBefore, 0u);
+}
+
+TEST(EngineAlloc, AbiCallerScratchAllocatesNothingWhenWarm) {
+  dragon4_scratch *Scratch = dragon4_scratch_create();
+  ASSERT_NE(Scratch, nullptr);
+  std::vector<double> Values = allocCorpus();
+  char Buf[64];
+  size_t Len = 0;
+
+  auto RunAll = [&] {
+    for (double V : Values) {
+      uint64_t Lo = 0, Hi = 0;
+      FormatTraits<double>::encodingBits(V, Lo, Hi);
+      ASSERT_EQ(dragon4_to_chars_scratch(Scratch, DRAGON4_FORMAT_BINARY64,
+                                         Lo, Hi, nullptr, Buf, sizeof(Buf),
+                                         &Len),
+                DRAGON4_OK);
+    }
+  };
+  RunAll();
+  uint64_t NewBefore = GlobalNewCount.load(std::memory_order_relaxed);
+  uint64_t LimbHeapBefore = limbHeapAllocCount();
+  RunAll();
+  EXPECT_EQ(GlobalNewCount.load(std::memory_order_relaxed) - NewBefore, 0u);
+  EXPECT_EQ(limbHeapAllocCount() - LimbHeapBefore, 0u);
+  dragon4_scratch_destroy(Scratch);
+}
+
+TEST(EngineAlloc, AbiFromCharsFastPathAllocatesNothing) {
+  // The decisive Eisel-Lemire path: short shortest-form literals are
+  // always decidable, so parsing them back must allocate nothing.  (The
+  // documented exception -- the truncated-literal residue -- goes
+  // through the exact reader and may allocate.)
+  std::vector<std::string> Texts;
+  for (double V : allocCorpus())
+    if (V == V) // NaN text parses but its payload is not interesting here.
+      Texts.push_back(toShortest(V));
+  uint64_t Lo = 0, Hi = 0;
+  size_t Consumed = 0;
+
+  for (const std::string &T : Texts) // Warm-up (none expected, but fair).
+    dragon4_from_chars(DRAGON4_FORMAT_BINARY64, T.data(), T.size(), &Lo, &Hi,
+                       &Consumed);
+  uint64_t NewBefore = GlobalNewCount.load(std::memory_order_relaxed);
+  uint64_t LimbHeapBefore = limbHeapAllocCount();
+  for (const std::string &T : Texts)
+    ASSERT_EQ(dragon4_from_chars(DRAGON4_FORMAT_BINARY64, T.data(), T.size(),
+                                 &Lo, &Hi, &Consumed),
+              DRAGON4_OK);
+  EXPECT_EQ(GlobalNewCount.load(std::memory_order_relaxed) - NewBefore, 0u);
+  EXPECT_EQ(limbHeapAllocCount() - LimbHeapBefore, 0u);
+}
+
+TEST(EngineAlloc, RecordStreamAllocatesNothingWhenWarm) {
+  // The StreamSink surface: after one pass (byte-store capacity and
+  // scratch both warm), clear() + re-push of the same records must be
+  // allocation-free.
+  eng::Scratch S;
+  eng::RecordStream Stream(S);
+  std::vector<double> Values = allocCorpus();
+
+  for (double V : Values)
+    Stream.push(V);
+  for (int Round = 0; Round < 2; ++Round) {
+    uint64_t NewBefore = GlobalNewCount.load(std::memory_order_relaxed);
+    uint64_t LimbHeapBefore = limbHeapAllocCount();
+    Stream.clear();
+    for (double V : Values)
+      Stream.push(V);
+    EXPECT_EQ(GlobalNewCount.load(std::memory_order_relaxed) - NewBefore, 0u)
+        << "round " << Round;
+    EXPECT_EQ(limbHeapAllocCount() - LimbHeapBefore, 0u)
+        << "round " << Round;
+  }
+  EXPECT_EQ(Stream.records(), Values.size());
+}
+
+TEST(EngineAlloc, BoundedSinksThemselvesNeverAllocate) {
+  // BufferSink and CountingSink are the engine's bounded instantiations;
+  // driving them directly (no conversion, pure sink traffic) must not
+  // touch the heap even cold.
+  uint64_t NewBefore = GlobalNewCount.load(std::memory_order_relaxed);
+  char Buf[16];
+  BufferSink Bounded(Buf, sizeof(Buf));
+  CountingSink Counter;
+  for (int I = 0; I < 1000; ++I) {
+    Bounded.put('x');
+    Bounded.fill(3, '0');
+    Bounded.literal("e+308");
+    Counter.put('x');
+    Counter.fill(3, '0');
+    Counter.literal("e+308");
+  }
+  EXPECT_TRUE(Bounded.overflowed());
+  EXPECT_EQ(Bounded.required(), Counter.written());
+  EXPECT_EQ(GlobalNewCount.load(std::memory_order_relaxed) - NewBefore, 0u);
 }
 
 TEST(EngineAlloc, ArenaHighWaterIsBounded) {

@@ -1,0 +1,136 @@
+//===- tests/engine/engine_stream_test.cpp - Push-style streaming -----------===//
+//
+// Part of libdragon4. SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// RecordStream: each pushed record must be byte-identical to the
+// corresponding toShortest output, separators appear between (never
+// after) records, the type-erased push dispatches like the typed one,
+// and clear() permits reuse without losing the contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dragon4.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace dragon4;
+namespace eng = dragon4::engine;
+
+namespace {
+
+TEST(RecordStream, RecordsMatchToShortestWithSeparatorsBetween) {
+  eng::Scratch S;
+  eng::RecordStream Stream(S);
+  std::vector<double> Values = randomBitsDoubles(512, 0x57e4a);
+
+  std::string Expected;
+  for (size_t I = 0; I < Values.size(); ++I) {
+    if (I)
+      Expected += '\n';
+    std::string One = toShortest(Values[I]);
+    size_t Len = Stream.push(Values[I]);
+    EXPECT_EQ(Len, One.size()) << "value " << I;
+    Expected += One;
+  }
+  EXPECT_EQ(Stream.records(), Values.size());
+  EXPECT_EQ(std::string(Stream.bytes()), Expected);
+}
+
+TEST(RecordStream, SingleRecordHasNoSeparator) {
+  eng::Scratch S;
+  eng::RecordStream Stream(S, ',');
+  Stream.push(1.5);
+  EXPECT_EQ(std::string(Stream.bytes()), "1.5");
+  Stream.push(2.5);
+  EXPECT_EQ(std::string(Stream.bytes()), "1.5,2.5");
+}
+
+TEST(RecordStream, MixedFormatsStreamThroughOneStore) {
+  eng::Scratch S;
+  eng::RecordStream Stream(S, ',');
+  Stream.push(Binary16::fromBits(0x3c00)); // 1.0
+  Stream.push(0.5f);
+  Stream.push(0.1);
+  Stream.push(2.0L);
+  Stream.push(Binary128::fromBits(0x3fff000000000000ull, 0)); // 1.0
+  std::string Expected = toShortest(Binary16::fromBits(0x3c00)) + "," +
+                         toShortest(0.5f) + "," + toShortest(0.1) + "," +
+                         toShortest(2.0L) + "," +
+                         toShortest(Binary128::fromBits(0x3fff000000000000ull,
+                                                        0));
+  EXPECT_EQ(std::string(Stream.bytes()), Expected);
+  EXPECT_EQ(Stream.records(), 5u);
+}
+
+TEST(RecordStream, TypeErasedPushMatchesTypedPush) {
+  eng::Scratch S1, S2;
+  eng::RecordStream Typed(S1, ';');
+  eng::RecordStream Erased(S2, ';');
+
+  std::vector<eng::AnyValue> Values;
+  for (double V : randomBitsDoubles(64, 0xe4a5))
+    Values.push_back(eng::AnyValue::of(V));
+  for (float V : randomBitsFloats(64, 0xe4a6))
+    Values.push_back(eng::AnyValue::of(V));
+  for (uint32_t Bits = 0; Bits < 0x10000; Bits += 619)
+    Values.push_back(eng::AnyValue::of(
+        Binary16::fromBits(static_cast<uint16_t>(Bits))));
+
+  for (const eng::AnyValue &V : Values) {
+    size_t Len = Erased.push(V);
+    size_t TypedLen = 0;
+    switch (V.Id) {
+    case FormatId::Binary16:
+      TypedLen = Typed.push(V.as<Binary16>());
+      break;
+    case FormatId::Binary32:
+      TypedLen = Typed.push(V.as<float>());
+      break;
+    case FormatId::Binary64:
+      TypedLen = Typed.push(V.as<double>());
+      break;
+    default:
+      FAIL() << "unexpected format in this corpus";
+    }
+    EXPECT_EQ(Len, TypedLen);
+  }
+  EXPECT_EQ(std::string(Erased.bytes()), std::string(Typed.bytes()));
+}
+
+TEST(RecordStream, ClearRetainsCapacityAndRestartsSeparators) {
+  eng::Scratch S;
+  eng::RecordStream Stream(S);
+  for (double V : randomBitsDoubles(256, 0xc1ea4))
+    Stream.push(V);
+  std::string FirstPass(Stream.bytes());
+
+  Stream.clear();
+  EXPECT_EQ(Stream.records(), 0u);
+  EXPECT_TRUE(Stream.bytes().empty());
+
+  // Reuse must restart the separator logic (no leading '\n') and
+  // reproduce the identical bytes.
+  for (double V : randomBitsDoubles(256, 0xc1ea4))
+    Stream.push(V);
+  EXPECT_EQ(std::string(Stream.bytes()), FirstPass);
+  EXPECT_FALSE(FirstPass.empty());
+  EXPECT_NE(FirstPass.front(), '\n');
+  EXPECT_NE(FirstPass.back(), '\n');
+}
+
+TEST(RecordStream, HonorsPrintOptions) {
+  eng::Scratch S;
+  PrintOptions Hex;
+  Hex.Base = 16;
+  Hex.ExponentMarker = '^';
+  eng::RecordStream Stream(S, '\n', Hex);
+  Stream.push(255.0);
+  EXPECT_EQ(std::string(Stream.bytes()), toShortest(255.0, Hex));
+}
+
+} // namespace

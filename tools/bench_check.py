@@ -15,6 +15,11 @@ Three modes:
       `tolerance` *faster* are reported as improvements (exit 0) -- a
       hint to refresh the committed baseline.
 
+      Both this mode and the history gate additionally apply the
+      within-run RATIO_GATES (e.g. the C ABI surface may cost at most
+      10% over engine::format in the same document); a violated ratio
+      fails the gate exactly like a regressed metric.
+
   History trend gate
       bench_check.py --history=BENCH_history.jsonl [--bench=NAME]
                      [--last=5] [--tolerance=0.20]
@@ -59,6 +64,18 @@ MIN_PRIOR_RUNS = 2
 # A phase must carry at least this share of total self ticks before a
 # --diff regression in it can fail the gate; tiny phases are pure noise.
 DIFF_GATE_MIN_SHARE = 0.05
+
+# Within-run ratio gates: (numerator metric, denominator metric, limit).
+# Both metrics come from the *same* document, so the gate is immune to
+# host-speed drift between runs: it bounds an architectural overhead, not
+# an absolute time.  The C ABI shim (encoding split, option mapping,
+# ERR_SIZE bookkeeping) may cost at most 10% over engine::format, the
+# surface it wraps; a ratio far *below* 1 is reported as a warning, since
+# it means the two measurements are not measuring comparable work.
+RATIO_GATES = [
+    ("to_chars_ns_per_value", "engine_format_ns_per_value", 1.10),
+]
+RATIO_SKEW_FLOOR = 0.90
 
 # Pipeline order for the phase table (matches src/prof/phases.h).
 PHASE_ORDER = [
@@ -170,6 +187,30 @@ def compare_metrics(current, baseline, tolerance, label="",
     return regressions, improvements
 
 
+def check_ratio_gates(metrics, label=""):
+    """Applies RATIO_GATES to one run's metrics; returns failure labels.
+
+    Gates whose metrics are absent are skipped silently (most benches
+    simply do not emit them).
+    """
+    failures = []
+    for num, den, limit in RATIO_GATES:
+        if num not in metrics or den not in metrics:
+            continue
+        ratio = metrics[num] / metrics[den] if metrics[den] else float("inf")
+        status = "ok"
+        if ratio > limit:
+            status = "RATIO REGRESSION"
+            failures.append(f"{label}{num}/{den}")
+        print(f"  ratio {num} / {den} = {ratio:.3f} "
+              f"(limit {limit:.2f})  {status}")
+        if ratio < RATIO_SKEW_FLOOR:
+            print(f"bench_check: WARNING: {num} measures {1 - ratio:.0%} "
+                  f"faster than {den}; the two loops are probably not "
+                  "timing comparable work")
+    return failures
+
+
 def run_baseline(paths, tolerance):
     current_path = paths[0]
     baseline_path = (paths[1] if len(paths) > 1 else
@@ -189,6 +230,7 @@ def run_baseline(paths, tolerance):
     regressions, improvements = compare_metrics(current, baseline,
                                                 tolerance,
                                                 skip_scaling=skip_scaling)
+    regressions.extend(check_ratio_gates(current))
 
     if regressions:
         print(f"bench_check: FAIL: {len(regressions)} metric(s) regressed "
@@ -276,6 +318,9 @@ def run_history(path, bench_filter, window, tolerance):
         regressions, _ = compare_metrics(metrics, baseline, tolerance,
                                          label=f"{bench}:",
                                          skip_scaling=skip_scaling)
+        # The ratio gates hold within the newest run alone -- history
+        # depth is irrelevant to an architectural-overhead bound.
+        regressions.extend(check_ratio_gates(metrics, label=f"{bench}:"))
         all_regressions.extend(regressions)
 
     if all_regressions:

@@ -80,6 +80,55 @@ class BenchCheckTest(unittest.TestCase):
         self.assertEqual(self.run_check(slow, base).returncode, 1)
         self.assertEqual(self.run_check(base, base).returncode, 0)
 
+    # --- within-run ratio gates -------------------------------------------
+
+    def test_ratio_gate_bounds_abi_overhead(self):
+        # The C ABI surface may cost at most 10% over engine::format in
+        # the same document, regardless of how the host compares to the
+        # baseline run.
+        base = self.path("rbase.json", bench_doc(metrics={
+            "engine_format_ns_per_value": 100.0,
+            "to_chars_ns_per_value": 105.0}))
+        ok = self.path("rok.json", bench_doc(metrics={
+            "engine_format_ns_per_value": 110.0,
+            "to_chars_ns_per_value": 118.0}))  # Ratio 1.07: fine.
+        result = self.run_check(ok, base)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("ratio", result.stdout)
+        # Every metric within baseline tolerance, but the shim got fat:
+        # the ratio gate alone must fail the run.
+        fat = self.path("rfat.json", bench_doc(metrics={
+            "engine_format_ns_per_value": 100.0,
+            "to_chars_ns_per_value": 118.0}))
+        result = self.run_check(fat, base)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("RATIO REGRESSION", result.stdout)
+
+    def test_ratio_gate_warns_on_skew(self):
+        # A shim "faster" than what it wraps means the loops are not
+        # measuring comparable work: warn, don't fail.
+        base = self.path("sbase.json", bench_doc(metrics={
+            "engine_format_ns_per_value": 100.0,
+            "to_chars_ns_per_value": 100.0}))
+        skew = self.path("sskew.json", bench_doc(metrics={
+            "engine_format_ns_per_value": 100.0,
+            "to_chars_ns_per_value": 60.0}))
+        result = self.run_check(skew, base)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("comparable work", result.stdout)
+
+    def test_ratio_gate_applies_in_history_mode(self):
+        lines = [json.dumps(bench_doc("bench_x", {
+            "engine_format_ns_per_value": 100.0,
+            "to_chars_ns_per_value": v})) for v in (104.0, 102.0, 103.0)]
+        lines.append(json.dumps(bench_doc("bench_x", {
+            "engine_format_ns_per_value": 100.0,
+            "to_chars_ns_per_value": 115.0})))
+        h = self.path("ratio.jsonl", "\n".join(lines) + "\n")
+        result = self.run_check(f"--history={h}")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("RATIO REGRESSION", result.stdout)
+
     # --- thread-scaling skip logic ----------------------------------------
 
     def test_baseline_skips_scaling_when_flag_false(self):
